@@ -1,0 +1,55 @@
+//! Accelerator-model microbenchmarks: decoder, PE MAC, functional GEMM and
+//! cycle-simulator throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lp::format::LpParams;
+use lpa::decode::{decode_packed, DecodedOperand};
+use lpa::pe::{LpPe, PartialSum, PeMode};
+use lpa::sim::{execute, reference_workload};
+use lpa::systolic::{gemm_functional, ArrayConfig};
+use lpa::Design;
+
+fn bench_accelerator(c: &mut Criterion) {
+    let p4 = LpParams::new(4, 1, 3, 0.0).unwrap();
+    c.bench_function("unified_decoder_mode_b_256words", |b| {
+        b.iter(|| {
+            for w in 0..=255u8 {
+                black_box(decode_packed(black_box(w), PeMode::B, &p4));
+            }
+        })
+    });
+
+    let weights: Vec<DecodedOperand> = (0..4)
+        .map(|i| DecodedOperand::from_value(0.5 + i as f64 * 0.25))
+        .collect();
+    let pe = LpPe::new(PeMode::A, weights);
+    let act = DecodedOperand::from_value(1.3);
+    c.bench_function("pe_mac_mode_a", |b| {
+        let mut psums = vec![PartialSum::ZERO; 4];
+        b.iter(|| {
+            pe.mac(black_box(act), &mut psums);
+        })
+    });
+
+    let (m, k, n) = (16, 32, 16);
+    let a: Vec<f64> = (0..m * k).map(|i| ((i as f64) * 0.3).sin()).collect();
+    let w: Vec<f64> = (0..k * n).map(|i| ((i as f64) * 0.7).cos()).collect();
+    c.bench_function("functional_gemm_16x32x16_mode_b", |b| {
+        b.iter(|| black_box(gemm_functional(&a, &w, m, k, n, PeMode::B)))
+    });
+
+    let model = dnn::models::resnet50_like();
+    let bits: Vec<u32> = (0..model.num_quant_layers()).map(|i| [4u32, 8][i % 2]).collect();
+    let workload = reference_workload(&model, &bits);
+    let cfg = ArrayConfig::default();
+    c.bench_function("cycle_sim_resnet50_all_designs", |b| {
+        b.iter(|| {
+            for d in Design::TABLE3 {
+                black_box(execute(d, &cfg, &workload));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_accelerator);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Codec microbenchmarks: encode/decode throughput for every number format
+//! (the software cost of the quantization pipeline).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lp::adaptivfloat::AdaptivFloat;
+use lp::baselines::IntQuantizer;
+use lp::format::LpParams;
+use lp::posit::PositParams;
+
+fn values() -> Vec<f64> {
+    (0..1024)
+        .map(|i| ((i as f64) * 0.37).sin() * 4.0 + 0.001)
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let vs = values();
+    let lp = LpParams::new(8, 2, 3, 0.25).unwrap();
+    c.bench_function("lp8_encode_1k", |b| {
+        b.iter(|| {
+            for &v in &vs {
+                black_box(lp.encode(black_box(v)));
+            }
+        })
+    });
+    let words: Vec<_> = vs.iter().map(|&v| lp.encode(v)).collect();
+    c.bench_function("lp8_decode_1k", |b| {
+        b.iter(|| {
+            for &w in &words {
+                black_box(lp.decode(black_box(w)));
+            }
+        })
+    });
+    let posit = PositParams::new(8, 2).unwrap();
+    c.bench_function("posit8_quantize_1k", |b| {
+        b.iter(|| {
+            for &v in &vs {
+                black_box(posit.quantize(black_box(v)));
+            }
+        })
+    });
+    let af = AdaptivFloat::new(8, 3, 2).unwrap();
+    c.bench_function("adaptivfloat8_quantize_1k", |b| {
+        b.iter(|| {
+            for &v in &vs {
+                black_box(af.quantize(black_box(v)));
+            }
+        })
+    });
+    let int = IntQuantizer::new(8, 0.05).unwrap();
+    c.bench_function("int8_quantize_1k", |b| {
+        b.iter(|| {
+            for &v in &vs {
+                black_box(int.quantize(black_box(v)));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Inference-substrate benchmarks: full-precision and fake-quantized
+//! forward passes, and one LPQ fitness evaluation (the genetic search's
+//! inner loop).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dnn::data;
+use dnn::models;
+use lpq::objective::ObjectiveKind;
+use lpq::params::Candidate;
+use lpq::search::{Lpq, LpqConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_inference(c: &mut Criterion) {
+    let model = models::resnet18_like();
+    let input = data::calibration_set(&model).remove(0);
+    c.bench_function("resnet18_forward", |b| {
+        b.iter(|| black_box(model.forward(black_box(&input))))
+    });
+    c.bench_function("resnet18_forward_traced", |b| {
+        b.iter(|| black_box(model.forward_traced(black_box(&input), None, true)))
+    });
+
+    let vit = models::vit_b_like();
+    let vinput = data::calibration_set(&vit).remove(0);
+    c.bench_function("vit_b_forward", |b| {
+        b.iter(|| black_box(vit.forward(black_box(&vinput))))
+    });
+
+    // One LPQ fitness evaluation (quantize weights + 16-image calibration
+    // forward + contrastive objective).
+    let cfg = LpqConfig {
+        calib_size: 16,
+        objective: ObjectiveKind::GlobalLocalContrastive,
+        ..LpqConfig::quick()
+    };
+    let mut lpq = Lpq::new(&model, cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let centers = vec![0.0; model.num_quant_layers()];
+    let cand = Candidate::random(&mut rng, &centers, 0.1, true);
+    c.bench_function("lpq_fitness_eval_resnet18_16img", |b| {
+        b.iter(|| black_box(lpq.evaluate(black_box(&cand))))
+    });
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

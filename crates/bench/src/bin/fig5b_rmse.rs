@@ -1,0 +1,47 @@
+//! Fig. 5(b): per-layer RMSE of quantization error on ViT-B for every
+//! number format at matched bit-width. LP's distribution-aware
+//! parameterization gives the lowest average RMSE; AdaptivFloat adapts
+//! only its range and fares worse.
+
+use lp::quantizer::FormatKind;
+
+fn main() {
+    let bits = 6;
+    println!("=== Fig. 5(b): per-layer weight-quantization RMSE on ViT-B at {bits} bits ===\n");
+    let m = bench::model("vit_b");
+    let mut avg: Vec<(FormatKind, f64, Vec<f64>)> = Vec::new();
+    for kind in FormatKind::ALL {
+        let rmse = bench::per_layer_rmse(&m, kind, bits);
+        let mean = rmse.iter().sum::<f64>() / rmse.len() as f64;
+        avg.push((kind, mean, rmse));
+    }
+    avg.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!("{:<14} {:>12}  per-layer profile (74 layers)", "format", "avg RMSE");
+    for (kind, mean, rmse) in &avg {
+        println!("{:<14} {:>12.6}  {}", kind.to_string(), mean, bench::sparkline(rmse));
+    }
+    let best = avg.first().expect("formats evaluated");
+    println!();
+    if best.0 == FormatKind::Lp {
+        println!("Shape check PASSED: LP has the lowest average RMSE (paper's claim).");
+    } else {
+        println!(
+            "Shape check: LP ranked {} (paper expects 1st).",
+            avg.iter().position(|(k, _, _)| *k == FormatKind::Lp).unwrap() + 1
+        );
+    }
+    let af = avg
+        .iter()
+        .find(|(k, _, _)| *k == FormatKind::AdaptivFloat)
+        .expect("AF evaluated");
+    let lp = avg
+        .iter()
+        .find(|(k, _, _)| *k == FormatKind::Lp)
+        .expect("LP evaluated");
+    println!(
+        "LP vs AdaptivFloat: {:.6} vs {:.6} ({:.2}x better — paper: AF fares poorly vs LP).",
+        lp.1,
+        af.1,
+        af.1 / lp.1
+    );
+}

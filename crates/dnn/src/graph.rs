@@ -1,0 +1,1165 @@
+//! A small DAG-based model IR with the operators the paper's model families
+//! need: convolutions (plain and depthwise), linear layers, patch embedding,
+//! multi-head attention, normalization and pooling.
+//!
+//! Forward passes can run in full precision or *fake-quantized* (the PTQ
+//! evaluation mode): weighted layers carry per-layer weight quantizers and
+//! the outputs of weighted layers are optionally re-quantized as
+//! activations, exactly as LPA would store them between tiles. Forward
+//! passes can also capture every weighted layer's output tensor — the
+//! *intermediate representations* that LPQ's contrastive fitness compares
+//! against the full-precision model.
+
+use crate::tensor::{softmax_rows, Tensor};
+use lp::Quantizer;
+use std::fmt;
+use std::sync::Arc;
+
+/// A graph operator. Weighted variants ([`Op::Conv2d`], [`Op::DwConv2d`],
+/// [`Op::Linear`], [`Op::PatchEmbed`]) are the paper's "layers": they are
+/// the unit of per-layer quantization and of intermediate-representation
+/// capture.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Graph input placeholder.
+    Input,
+    /// 2-D convolution; weight `[out, in, k, k]` over input `[in, H, W]`.
+    Conv2d {
+        /// Filter bank `[out, in, k, k]`.
+        weight: Tensor,
+        /// Per-output-channel bias (batch-norm folded).
+        bias: Vec<f32>,
+        /// Spatial stride.
+        stride: usize,
+        /// Zero padding on each border.
+        pad: usize,
+    },
+    /// Depthwise 2-D convolution; weight `[c, k, k]` over input `[c, H, W]`.
+    DwConv2d {
+        /// Per-channel filters `[c, k, k]`.
+        weight: Tensor,
+        /// Per-channel bias.
+        bias: Vec<f32>,
+        /// Spatial stride.
+        stride: usize,
+        /// Zero padding on each border.
+        pad: usize,
+    },
+    /// Fully connected layer; weight `[out, in]` over input `[in]` or
+    /// `[T, in]`.
+    Linear {
+        /// Weight matrix `[out, in]`.
+        weight: Tensor,
+        /// Bias of length `out`.
+        bias: Vec<f32>,
+    },
+    /// ViT patch embedding: splits `[C, H, W]` into `p×p` patches, projects
+    /// each to `dim`, prepends a class token and adds positional embeddings,
+    /// producing `[T+1, dim]`.
+    PatchEmbed {
+        /// Projection `[dim, C·p·p]`.
+        weight: Tensor,
+        /// Bias of length `dim`.
+        bias: Vec<f32>,
+        /// Patch side length.
+        patch: usize,
+        /// Learned class token of length `dim`.
+        cls: Vec<f32>,
+        /// Positional embedding `[T+1, dim]`.
+        pos: Tensor,
+    },
+    /// ReLU activation.
+    Relu,
+    /// GELU activation (tanh approximation).
+    Gelu,
+    /// Element-wise addition of two inputs (residual connections).
+    Add,
+    /// Layer normalization over the last axis.
+    LayerNorm {
+        /// Scale, one per feature.
+        gamma: Vec<f32>,
+        /// Shift, one per feature.
+        beta: Vec<f32>,
+    },
+    /// Multi-head self-attention core: takes projected `q, k, v` (each
+    /// `[T, D]`), returns `[T, D]`.
+    Mha {
+        /// Number of attention heads; must divide `D`.
+        heads: usize,
+    },
+    /// Swin-style patch merging: tokens laid out on a `g×g` grid (`[g², D]`)
+    /// are grouped 2×2 and each concatenated group is projected, producing
+    /// `[(g/2)², out]`. Weighted (counts as a quantizable layer).
+    TokenMerge {
+        /// Projection `[out, 4·D]`.
+        weight: Tensor,
+        /// Bias of length `out`.
+        bias: Vec<f32>,
+        /// Input grid side `g` (token count must be `g²`).
+        grid: usize,
+    },
+    /// Max pooling with square window and stride over `[C, H, W]`.
+    MaxPool {
+        /// Window side.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling `[C, H, W] → [C]`.
+    GlobalAvgPool,
+    /// Mean over tokens `[T, D] → [D]` (transformer head pooling).
+    MeanTokens,
+    /// Flatten to rank-1.
+    Flatten,
+}
+
+impl Op {
+    /// Whether this op carries quantizable weights.
+    pub fn is_weighted(&self) -> bool {
+        matches!(
+            self,
+            Op::Conv2d { .. }
+                | Op::DwConv2d { .. }
+                | Op::Linear { .. }
+                | Op::PatchEmbed { .. }
+                | Op::TokenMerge { .. }
+        )
+    }
+
+    /// Immutable access to the weight tensor, if any.
+    pub fn weight(&self) -> Option<&Tensor> {
+        match self {
+            Op::Conv2d { weight, .. }
+            | Op::DwConv2d { weight, .. }
+            | Op::Linear { weight, .. }
+            | Op::PatchEmbed { weight, .. }
+            | Op::TokenMerge { weight, .. } => Some(weight),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the weight tensor, if any.
+    pub fn weight_mut(&mut self) -> Option<&mut Tensor> {
+        match self {
+            Op::Conv2d { weight, .. }
+            | Op::DwConv2d { weight, .. }
+            | Op::Linear { weight, .. }
+            | Op::PatchEmbed { weight, .. }
+            | Op::TokenMerge { weight, .. } => Some(weight),
+            _ => None,
+        }
+    }
+
+    /// Short kind name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Input => "input",
+            Op::Conv2d { .. } => "conv2d",
+            Op::DwConv2d { .. } => "dwconv2d",
+            Op::Linear { .. } => "linear",
+            Op::PatchEmbed { .. } => "patch_embed",
+            Op::TokenMerge { .. } => "token_merge",
+            Op::Relu => "relu",
+            Op::Gelu => "gelu",
+            Op::Add => "add",
+            Op::LayerNorm { .. } => "layer_norm",
+            Op::Mha { .. } => "mha",
+            Op::MaxPool { .. } => "max_pool",
+            Op::GlobalAvgPool => "global_avg_pool",
+            Op::MeanTokens => "mean_tokens",
+            Op::Flatten => "flatten",
+        }
+    }
+}
+
+/// A node: an operator plus the indices of its producer nodes.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The operator.
+    pub op: Op,
+    /// Indices (into the model's node list) of this node's inputs.
+    pub inputs: Vec<usize>,
+}
+
+/// Per-layer quantizers for a fake-quantized forward pass.
+///
+/// Indexed by *weighted-layer* ordinal (the order returned by
+/// [`Model::quant_layers`]). `None` leaves that layer in full precision.
+#[derive(Clone, Default)]
+pub struct QuantScheme {
+    /// Weight quantizer per weighted layer.
+    pub weights: Vec<Option<Arc<dyn Quantizer + Send + Sync>>>,
+    /// Activation (layer-output) quantizer per weighted layer.
+    pub activations: Vec<Option<Arc<dyn Quantizer + Send + Sync>>>,
+}
+
+impl fmt::Debug for QuantScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuantScheme")
+            .field("weights", &self.weights.len())
+            .field("activations", &self.activations.len())
+            .finish()
+    }
+}
+
+impl QuantScheme {
+    /// An all-`None` (full-precision) scheme for `layers` weighted layers.
+    pub fn identity(layers: usize) -> Self {
+        QuantScheme {
+            weights: vec![None; layers],
+            activations: vec![None; layers],
+        }
+    }
+}
+
+/// The result of a forward pass with capture enabled.
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    /// Final output (logits).
+    pub output: Tensor,
+    /// Output tensor of each weighted layer, in weighted-layer order.
+    pub irs: Vec<Tensor>,
+}
+
+/// A DAG model: named, with a fixed input shape and class count.
+///
+/// # Examples
+///
+/// ```
+/// use dnn::graph::{Model, Op};
+/// use dnn::tensor::Tensor;
+///
+/// let mut m = Model::new("tiny", &[4], 2);
+/// let x = m.input_node();
+/// let w = Tensor::from_vec(&[2, 4], vec![0.1; 8]);
+/// let fc = m.push(Op::Linear { weight: w, bias: vec![0.0; 2] }, &[x]);
+/// m.set_output(fc);
+/// let out = m.forward(&Tensor::from_vec(&[4], vec![1.0; 4]));
+/// assert_eq!(out.shape(), &[2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Model {
+    name: String,
+    input_shape: Vec<usize>,
+    num_classes: usize,
+    nodes: Vec<Node>,
+    output: usize,
+    /// Block boundaries over weighted-layer ordinals (for LPQ's block-wise
+    /// regeneration); each entry is an exclusive end index.
+    block_ends: Vec<usize>,
+    /// The paper's FP32 top-1 baseline for the model this one stands in for.
+    baseline_top1: f64,
+}
+
+impl Model {
+    /// Creates an empty model with one input node.
+    pub fn new(name: impl Into<String>, input_shape: &[usize], num_classes: usize) -> Self {
+        Model {
+            name: name.into(),
+            input_shape: input_shape.to_vec(),
+            num_classes,
+            nodes: vec![Node {
+                op: Op::Input,
+                inputs: vec![],
+            }],
+            output: 0,
+            block_ends: Vec::new(),
+            baseline_top1: 0.0,
+        }
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected input shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Index of the input node (always 0).
+    pub fn input_node(&self) -> usize {
+        0
+    }
+
+    /// The nodes, in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Appends a node and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input index refers to a node at or after the new one.
+    pub fn push(&mut self, op: Op, inputs: &[usize]) -> usize {
+        let idx = self.nodes.len();
+        for &i in inputs {
+            assert!(i < idx, "node input {i} must precede node {idx}");
+        }
+        self.nodes.push(Node {
+            op,
+            inputs: inputs.to_vec(),
+        });
+        idx
+    }
+
+    /// Marks `node` as the model output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn set_output(&mut self, node: usize) {
+        assert!(node < self.nodes.len(), "output node out of range");
+        self.output = node;
+    }
+
+    /// Marks the end of a quantization block at the current weighted-layer
+    /// count (used by the model zoo to delimit attention blocks / stages).
+    pub fn end_block(&mut self) {
+        let n = self.num_quant_layers();
+        if self.block_ends.last() != Some(&n) && n > 0 {
+            self.block_ends.push(n);
+        }
+    }
+
+    /// Block boundaries as exclusive end indices over weighted layers.
+    /// Empty if the zoo builder marked no blocks.
+    pub fn block_ends(&self) -> &[usize] {
+        &self.block_ends
+    }
+
+    /// Sets the paper's FP32 top-1 baseline this model stands in for.
+    pub fn set_baseline_top1(&mut self, acc: f64) {
+        self.baseline_top1 = acc;
+    }
+
+    /// The paper's FP32 top-1 baseline (0.0 if unset).
+    pub fn baseline_top1(&self) -> f64 {
+        self.baseline_top1
+    }
+
+    /// Node indices of weighted layers, in topological order.
+    pub fn quant_layers(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.op.is_weighted())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of weighted layers.
+    pub fn num_quant_layers(&self) -> usize {
+        self.nodes.iter().filter(|n| n.op.is_weighted()).count()
+    }
+
+    /// Parameter count of each weighted layer, in weighted-layer order.
+    pub fn layer_param_counts(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.op.is_weighted())
+            .map(|n| n.op.weight().map(Tensor::len).unwrap_or(0))
+            .collect()
+    }
+
+    /// Total parameter count over weighted layers.
+    pub fn num_params(&self) -> usize {
+        self.layer_param_counts().iter().sum()
+    }
+
+    /// Immutable view of each weighted layer's flat weights.
+    pub fn layer_weights(&self) -> Vec<&[f32]> {
+        self.nodes
+            .iter()
+            .filter(|n| n.op.is_weighted())
+            .filter_map(|n| n.op.weight().map(Tensor::data))
+            .collect()
+    }
+
+    /// Returns a copy of this model with each weighted layer's weights run
+    /// through the scheme's weight quantizer (activations untouched —
+    /// those are applied during [`Model::forward_traced`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme's length does not match the weighted-layer
+    /// count.
+    pub fn quantize_weights(&self, scheme: &QuantScheme) -> Model {
+        assert_eq!(
+            scheme.weights.len(),
+            self.num_quant_layers(),
+            "scheme length must match weighted-layer count"
+        );
+        let mut m = self.clone();
+        let mut li = 0usize;
+        for node in &mut m.nodes {
+            if node.op.is_weighted() {
+                if let Some(q) = &scheme.weights[li] {
+                    if let Some(w) = node.op.weight_mut() {
+                        q.quantize_slice(w.data_mut());
+                    }
+                }
+                li += 1;
+            }
+        }
+        m
+    }
+
+    /// Full-precision forward pass returning only the logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match [`Model::input_shape`].
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        self.forward_traced(input, None, false).output
+    }
+
+    /// Forward pass with optional activation quantization and optional
+    /// intermediate-representation capture.
+    ///
+    /// `act_scheme`'s `activations` entries are applied to each weighted
+    /// layer's output (post-bias, pre-nonlinearity), matching where LPA's
+    /// post-processing unit re-quantizes partial sums. Captured IRs are the
+    /// quantized outputs when quantization is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-shape mismatch or scheme-length mismatch.
+    pub fn forward_traced(
+        &self,
+        input: &Tensor,
+        act_scheme: Option<&QuantScheme>,
+        capture: bool,
+    ) -> ForwardTrace {
+        assert_eq!(
+            input.shape(),
+            &self.input_shape[..],
+            "input shape mismatch for model {}",
+            self.name
+        );
+        if let Some(s) = act_scheme {
+            assert_eq!(
+                s.activations.len(),
+                self.num_quant_layers(),
+                "activation scheme length must match weighted-layer count"
+            );
+        }
+        let mut values: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        values[0] = Some(input.clone());
+        let mut irs = Vec::new();
+        let mut li = 0usize;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if idx == 0 {
+                continue;
+            }
+            let get = |i: usize| -> &Tensor {
+                values[i]
+                    .as_ref()
+                    .expect("node input evaluated before use")
+            };
+            let mut out = eval_op(&node.op, &node.inputs.iter().map(|&i| get(i)).collect::<Vec<_>>());
+            if node.op.is_weighted() {
+                if let Some(s) = act_scheme {
+                    if let Some(q) = &s.activations[li] {
+                        q.quantize_slice(out.data_mut());
+                    }
+                }
+                if capture {
+                    irs.push(out.clone());
+                }
+                li += 1;
+            }
+            values[idx] = Some(out);
+        }
+        ForwardTrace {
+            output: values[self.output]
+                .take()
+                .expect("output node was not evaluated"),
+            irs,
+        }
+    }
+}
+
+/// Evaluates one operator on its input tensors.
+fn eval_op(op: &Op, inputs: &[&Tensor]) -> Tensor {
+    match op {
+        Op::Input => unreachable!("input nodes are seeded, not evaluated"),
+        Op::Conv2d {
+            weight,
+            bias,
+            stride,
+            pad,
+        } => conv2d(inputs[0], weight, bias, *stride, *pad),
+        Op::DwConv2d {
+            weight,
+            bias,
+            stride,
+            pad,
+        } => dwconv2d(inputs[0], weight, bias, *stride, *pad),
+        Op::Linear { weight, bias } => linear(inputs[0], weight, bias),
+        Op::PatchEmbed {
+            weight,
+            bias,
+            patch,
+            cls,
+            pos,
+        } => patch_embed(inputs[0], weight, bias, *patch, cls, pos),
+        Op::Relu => {
+            let mut t = inputs[0].clone();
+            for v in t.data_mut() {
+                *v = v.max(0.0);
+            }
+            t
+        }
+        Op::Gelu => {
+            let mut t = inputs[0].clone();
+            for v in t.data_mut() {
+                // tanh approximation of GELU
+                let x = *v;
+                let c = (0.797_884_6 * (x + 0.044_715 * x * x * x)).tanh();
+                *v = 0.5 * x * (1.0 + c);
+            }
+            t
+        }
+        Op::Add => inputs[0].add(inputs[1]),
+        Op::LayerNorm { gamma, beta } => layer_norm(inputs[0], gamma, beta),
+        Op::Mha { heads } => mha(inputs[0], inputs[1], inputs[2], *heads),
+        Op::TokenMerge { weight, bias, grid } => token_merge(inputs[0], weight, bias, *grid),
+        Op::MaxPool { k, stride } => max_pool(inputs[0], *k, *stride),
+        Op::GlobalAvgPool => global_avg_pool(inputs[0]),
+        Op::MeanTokens => mean_tokens(inputs[0]),
+        Op::Flatten => {
+            let t = inputs[0];
+            t.reshaped(&[t.len()])
+        }
+    }
+}
+
+fn out_dim(dim: usize, k: usize, stride: usize, pad: usize) -> usize {
+    (dim + 2 * pad - k) / stride + 1
+}
+
+/// im2col-based 2-D convolution.
+fn conv2d(x: &Tensor, w: &Tensor, bias: &[f32], stride: usize, pad: usize) -> Tensor {
+    let (c_in, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (c_out, c_in_w, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    assert_eq!(c_in, c_in_w, "conv2d channel mismatch");
+    assert_eq!(bias.len(), c_out, "conv2d bias length mismatch");
+    let oh = out_dim(h, kh, stride, pad);
+    let ow = out_dim(wd, kw, stride, pad);
+    // Build the patch matrix [oh*ow, c_in*kh*kw].
+    let patch_len = c_in * kh * kw;
+    let mut patches = vec![0.0f32; oh * ow * patch_len];
+    let xd = x.data();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = (oy * ow + ox) * patch_len;
+            for c in 0..c_in {
+                for ky in 0..kh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= wd as isize {
+                            continue;
+                        }
+                        patches[row + c * kh * kw + ky * kw + kx] =
+                            xd[c * h * wd + iy as usize * wd + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    let pm = Tensor::from_vec(&[oh * ow, patch_len], patches);
+    let wm = w.reshaped(&[c_out, patch_len]);
+    let prod = pm.matmul_t(&wm); // [oh*ow, c_out]
+    // Transpose to [c_out, oh, ow] and add bias.
+    let mut out = vec![0.0f32; c_out * oh * ow];
+    let pd = prod.data();
+    for pos in 0..oh * ow {
+        for co in 0..c_out {
+            out[co * oh * ow + pos] = pd[pos * c_out + co] + bias[co];
+        }
+    }
+    Tensor::from_vec(&[c_out, oh, ow], out)
+}
+
+/// Depthwise convolution: weight `[c, k, k]`.
+fn dwconv2d(x: &Tensor, w: &Tensor, bias: &[f32], stride: usize, pad: usize) -> Tensor {
+    let (c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (cw, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2]);
+    assert_eq!(c, cw, "dwconv2d channel mismatch");
+    assert_eq!(bias.len(), c, "dwconv2d bias length mismatch");
+    let oh = out_dim(h, kh, stride, pad);
+    let ow = out_dim(wd, kw, stride, pad);
+    let mut out = vec![0.0f32; c * oh * ow];
+    let xd = x.data();
+    let wdta = w.data();
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias[ch];
+                for ky in 0..kh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= wd as isize {
+                            continue;
+                        }
+                        acc += xd[ch * h * wd + iy as usize * wd + ix as usize]
+                            * wdta[ch * kh * kw + ky * kw + kx];
+                    }
+                }
+                out[ch * oh * ow + oy * ow + ox] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(&[c, oh, ow], out)
+}
+
+/// Linear layer on rank-1 `[in]` or rank-2 `[T, in]` input.
+fn linear(x: &Tensor, w: &Tensor, bias: &[f32]) -> Tensor {
+    let (out_f, in_f) = (w.shape()[0], w.shape()[1]);
+    assert_eq!(bias.len(), out_f, "linear bias length mismatch");
+    match x.shape().len() {
+        1 => {
+            assert_eq!(x.len(), in_f, "linear input length mismatch");
+            let xm = x.reshaped(&[1, in_f]);
+            let mut prod = xm.matmul_t(w);
+            for (v, b) in prod.data_mut().iter_mut().zip(bias) {
+                *v += b;
+            }
+            prod.reshaped(&[out_f])
+        }
+        2 => {
+            assert_eq!(x.shape()[1], in_f, "linear input feature mismatch");
+            let t = x.shape()[0];
+            let mut prod = x.matmul_t(w);
+            for row in prod.data_mut().chunks_mut(out_f) {
+                for (v, b) in row.iter_mut().zip(bias) {
+                    *v += b;
+                }
+            }
+            prod.reshaped(&[t, out_f])
+        }
+        r => panic!("linear expects rank-1 or rank-2 input, got rank-{r}"),
+    }
+}
+
+fn patch_embed(
+    x: &Tensor,
+    w: &Tensor,
+    bias: &[f32],
+    patch: usize,
+    cls: &[f32],
+    pos: &Tensor,
+) -> Tensor {
+    let (c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    assert!(
+        h % patch == 0 && wd % patch == 0,
+        "image dims must be divisible by patch size"
+    );
+    let (dim, plen) = (w.shape()[0], w.shape()[1]);
+    assert_eq!(plen, c * patch * patch, "patch embed weight shape mismatch");
+    let (ph, pw) = (h / patch, wd / patch);
+    let tokens = ph * pw;
+    // Extract flattened patches [tokens, c·p·p].
+    let mut pm = vec![0.0f32; tokens * plen];
+    let xd = x.data();
+    for py in 0..ph {
+        for px in 0..pw {
+            let row = (py * pw + px) * plen;
+            for ch in 0..c {
+                for dy in 0..patch {
+                    for dx in 0..patch {
+                        pm[row + ch * patch * patch + dy * patch + dx] = xd[ch * h * wd
+                            + (py * patch + dy) * wd
+                            + (px * patch + dx)];
+                    }
+                }
+            }
+        }
+    }
+    let pm = Tensor::from_vec(&[tokens, plen], pm);
+    let proj = pm.matmul_t(w); // [tokens, dim]
+    // Prepend the cls token (when present: an empty `cls` means a
+    // hierarchical model without one), add bias and positional embedding.
+    let with_cls = !cls.is_empty();
+    if with_cls {
+        assert_eq!(cls.len(), dim, "cls token length mismatch");
+    }
+    let total = tokens + usize::from(with_cls);
+    assert_eq!(pos.shape(), &[total, dim], "positional embedding shape");
+    let mut out = vec![0.0f32; total * dim];
+    let skip = if with_cls {
+        out[..dim].copy_from_slice(cls);
+        1
+    } else {
+        0
+    };
+    for t in 0..tokens {
+        for d in 0..dim {
+            out[(t + skip) * dim + d] = proj.data()[t * dim + d] + bias[d];
+        }
+    }
+    for (o, p) in out.iter_mut().zip(pos.data()) {
+        *o += p;
+    }
+    Tensor::from_vec(&[total, dim], out)
+}
+
+fn layer_norm(x: &Tensor, gamma: &[f32], beta: &[f32]) -> Tensor {
+    let rank = x.shape().len();
+    let d = *x.shape().last().expect("layer_norm needs rank >= 1");
+    assert_eq!(gamma.len(), d, "layer_norm gamma length mismatch");
+    assert_eq!(beta.len(), d, "layer_norm beta length mismatch");
+    assert!(rank <= 2, "layer_norm supports rank-1/2 input");
+    let mut out = x.clone();
+    for row in out.data_mut().chunks_mut(d) {
+        let mean: f32 = row.iter().sum::<f32>() / d as f32;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv = 1.0 / (var + 1e-5).sqrt();
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean) * inv * gamma[i] + beta[i];
+        }
+    }
+    out
+}
+
+/// Multi-head attention over pre-projected q, k, v (each `[T, D]`).
+fn mha(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize) -> Tensor {
+    let (t, d) = (q.shape()[0], q.shape()[1]);
+    assert_eq!(k.shape(), q.shape(), "mha k shape mismatch");
+    assert_eq!(v.shape(), q.shape(), "mha v shape mismatch");
+    assert!(d % heads == 0, "head count must divide model dim");
+    let dh = d / heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut out = vec![0.0f32; t * d];
+    for h in 0..heads {
+        let off = h * dh;
+        // scores[i][j] = q_i · k_j · scale
+        let mut scores = Tensor::zeros(&[t, t]);
+        for i in 0..t {
+            for j in 0..t {
+                let mut acc = 0.0f32;
+                for x in 0..dh {
+                    acc += q.data()[i * d + off + x] * k.data()[j * d + off + x];
+                }
+                scores.data_mut()[i * t + j] = acc * scale;
+            }
+        }
+        softmax_rows(&mut scores);
+        for i in 0..t {
+            for x in 0..dh {
+                let mut acc = 0.0f32;
+                for j in 0..t {
+                    acc += scores.data()[i * t + j] * v.data()[j * d + off + x];
+                }
+                out[i * d + off + x] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(&[t, d], out)
+}
+
+/// Swin patch merging: 2×2 token groups concatenated then projected.
+fn token_merge(x: &Tensor, w: &Tensor, bias: &[f32], grid: usize) -> Tensor {
+    let (t, d) = (x.shape()[0], x.shape()[1]);
+    assert_eq!(t, grid * grid, "token count must equal grid^2");
+    assert!(grid.is_multiple_of(2), "grid side must be even for 2x2 merging");
+    let (out_f, in_f) = (w.shape()[0], w.shape()[1]);
+    assert_eq!(in_f, 4 * d, "token_merge weight must be [out, 4*D]");
+    assert_eq!(bias.len(), out_f, "token_merge bias length mismatch");
+    let og = grid / 2;
+    let mut grouped = vec![0.0f32; og * og * 4 * d];
+    for gy in 0..og {
+        for gx in 0..og {
+            let row = (gy * og + gx) * 4 * d;
+            for (slot, (dy, dx)) in [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate() {
+                let tok = (2 * gy + dy) * grid + (2 * gx + dx);
+                grouped[row + slot * d..row + (slot + 1) * d]
+                    .copy_from_slice(&x.data()[tok * d..(tok + 1) * d]);
+            }
+        }
+    }
+    let gm = Tensor::from_vec(&[og * og, 4 * d], grouped);
+    let mut out = gm.matmul_t(w);
+    for row in out.data_mut().chunks_mut(out_f) {
+        for (v, b) in row.iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+    out
+}
+
+fn max_pool(x: &Tensor, k: usize, stride: usize) -> Tensor {
+    let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let oh = out_dim(h, k, stride, 0);
+    let ow = out_dim(w, k, stride, 0);
+    let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        let v = x.data()[ch * h * w + (oy * stride + dy) * w + (ox * stride + dx)];
+                        best = best.max(v);
+                    }
+                }
+                out[ch * oh * ow + oy * ow + ox] = best;
+            }
+        }
+    }
+    Tensor::from_vec(&[c, oh, ow], out)
+}
+
+fn global_avg_pool(x: &Tensor) -> Tensor {
+    let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let mut out = vec![0.0f32; c];
+    for ch in 0..c {
+        let s: f32 = x.data()[ch * h * w..(ch + 1) * h * w].iter().sum();
+        out[ch] = s / (h * w) as f32;
+    }
+    Tensor::from_vec(&[c], out)
+}
+
+fn mean_tokens(x: &Tensor) -> Tensor {
+    let (t, d) = (x.shape()[0], x.shape()[1]);
+    let mut out = vec![0.0f32; d];
+    for row in x.data().chunks(d) {
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    for o in &mut out {
+        *o /= t as f32;
+    }
+    Tensor::from_vec(&[d], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp::format::LpParams;
+
+    fn seq_tensor(shape: &[usize], scale: f32) -> Tensor {
+        let len = shape.iter().product();
+        Tensor::from_vec(
+            shape,
+            (0..len).map(|i| ((i as f32 * 0.611).sin()) * scale).collect(),
+        )
+    }
+
+    #[test]
+    fn conv2d_matches_naive_reference() {
+        let x = seq_tensor(&[2, 5, 5], 1.0);
+        let w = seq_tensor(&[3, 2, 3, 3], 0.5);
+        let bias = vec![0.1, -0.2, 0.3];
+        let out = conv2d(&x, &w, &bias, 1, 1);
+        assert_eq!(out.shape(), &[3, 5, 5]);
+        // Naive reference at a few positions.
+        for (co, oy, ox) in [(0usize, 0usize, 0usize), (1, 2, 3), (2, 4, 4)] {
+            let mut acc = bias[co];
+            for ci in 0..2 {
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        let iy = oy as isize + ky as isize - 1;
+                        let ix = ox as isize + kx as isize - 1;
+                        if iy < 0 || iy >= 5 || ix < 0 || ix >= 5 {
+                            continue;
+                        }
+                        acc += x.data()[ci * 25 + iy as usize * 5 + ix as usize]
+                            * w.data()[co * 18 + ci * 9 + ky * 3 + kx];
+                    }
+                }
+            }
+            let got = out.data()[co * 25 + oy * 5 + ox];
+            assert!((got - acc).abs() < 1e-4, "({co},{oy},{ox}): {got} vs {acc}");
+        }
+    }
+
+    #[test]
+    fn conv2d_stride_shapes() {
+        let x = seq_tensor(&[1, 8, 8], 1.0);
+        let w = seq_tensor(&[4, 1, 3, 3], 1.0);
+        let out = conv2d(&x, &w, &[0.0; 4], 2, 1);
+        assert_eq!(out.shape(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn dwconv_preserves_channels() {
+        let x = seq_tensor(&[3, 6, 6], 1.0);
+        let w = seq_tensor(&[3, 3, 3], 1.0);
+        let out = dwconv2d(&x, &w, &[0.0; 3], 1, 1);
+        assert_eq!(out.shape(), &[3, 6, 6]);
+        // Channel 0 output must not depend on channel 1 input.
+        let mut x2 = x.clone();
+        for v in &mut x2.data_mut()[36..72] {
+            *v += 10.0;
+        }
+        let out2 = dwconv2d(&x2, &w, &[0.0; 3], 1, 1);
+        assert_eq!(&out.data()[..36], &out2.data()[..36]);
+        assert_ne!(&out.data()[36..72], &out2.data()[36..72]);
+    }
+
+    #[test]
+    fn linear_rank1_and_rank2() {
+        let w = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        let b = vec![0.5, -0.5];
+        let x1 = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let y1 = linear(&x1, &w, &b);
+        assert_eq!(y1.data(), &[1.5, 1.5]);
+        let x2 = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y2 = linear(&x2, &w, &b);
+        assert_eq!(y2.shape(), &[2, 2]);
+        assert_eq!(y2.data(), &[1.5, 1.5, 4.5, 4.5]);
+    }
+
+    #[test]
+    fn layer_norm_normalizes() {
+        let x = Tensor::from_vec(&[2, 4], vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 1.0, 2.0]);
+        let out = layer_norm(&x, &[1.0; 4], &[0.0; 4]);
+        for row in out.data().chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mha_uniform_keys_average_values() {
+        // With identical q·k for all pairs, attention is a uniform average
+        // over tokens.
+        let t = 4;
+        let d = 8;
+        let q = Tensor::zeros(&[t, d]);
+        let k = Tensor::zeros(&[t, d]);
+        let v = seq_tensor(&[t, d], 1.0);
+        let out = mha(&q, &k, &v, 2);
+        for tok in 0..t {
+            for f in 0..d {
+                let avg: f32 = (0..t).map(|j| v.data()[j * d + f]).sum::<f32>() / t as f32;
+                assert!((out.data()[tok * d + f] - avg).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn mha_heads_are_independent() {
+        let t = 3;
+        let d = 8;
+        let q = seq_tensor(&[t, d], 0.5);
+        let k = seq_tensor(&[t, d], 0.4);
+        let mut v = seq_tensor(&[t, d], 1.0);
+        let out1 = mha(&q, &k, &v, 2);
+        // Perturb only head-1 features of v (second half of each row).
+        for tok in 0..t {
+            for f in 4..8 {
+                v.data_mut()[tok * d + f] += 7.0;
+            }
+        }
+        let out2 = mha(&q, &k, &v, 2);
+        for tok in 0..t {
+            for f in 0..4 {
+                assert_eq!(out1.data()[tok * d + f], out2.data()[tok * d + f]);
+            }
+        }
+    }
+
+    #[test]
+    fn max_pool_and_gap() {
+        let x = Tensor::from_vec(
+            &[1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+        );
+        let mp = max_pool(&x, 2, 2);
+        assert_eq!(mp.shape(), &[1, 2, 2]);
+        assert_eq!(mp.data(), &[6.0, 8.0, 14.0, 16.0]);
+        let gap = global_avg_pool(&x);
+        assert_eq!(gap.data(), &[8.5]);
+    }
+
+    #[test]
+    fn patch_embed_shapes_and_cls() {
+        let x = seq_tensor(&[3, 8, 8], 1.0);
+        let dim = 6;
+        let patch = 4;
+        let tokens = 4;
+        let w = seq_tensor(&[dim, 3 * 16], 0.1);
+        let pos = Tensor::zeros(&[tokens + 1, dim]);
+        let cls = vec![9.0; dim];
+        let out = patch_embed(&x, &w, &[0.0; 6], patch, &cls, &pos);
+        assert_eq!(out.shape(), &[tokens + 1, dim]);
+        assert_eq!(&out.data()[..dim], &[9.0; 6]);
+    }
+
+    #[test]
+    fn model_builder_and_forward() {
+        let mut m = Model::new("test", &[4], 3);
+        let x = m.input_node();
+        let w1 = Tensor::from_vec(&[5, 4], (0..20).map(|i| (i as f32) * 0.05).collect());
+        let l1 = m.push(
+            Op::Linear {
+                weight: w1,
+                bias: vec![0.0; 5],
+            },
+            &[x],
+        );
+        let r = m.push(Op::Relu, &[l1]);
+        let w2 = Tensor::from_vec(&[3, 5], (0..15).map(|i| (i as f32) * -0.03).collect());
+        let l2 = m.push(
+            Op::Linear {
+                weight: w2,
+                bias: vec![0.1; 3],
+            },
+            &[r],
+        );
+        m.set_output(l2);
+        assert_eq!(m.num_quant_layers(), 2);
+        assert_eq!(m.num_params(), 35);
+        let out = m.forward(&Tensor::from_vec(&[4], vec![1.0, -1.0, 0.5, 2.0]));
+        assert_eq!(out.shape(), &[3]);
+    }
+
+    #[test]
+    fn forward_traced_captures_irs() {
+        let mut m = Model::new("test", &[4], 2);
+        let x = m.input_node();
+        let l1 = m.push(
+            Op::Linear {
+                weight: Tensor::from_vec(&[4, 4], vec![0.2; 16]),
+                bias: vec![0.0; 4],
+            },
+            &[x],
+        );
+        let r = m.push(Op::Relu, &[l1]);
+        let l2 = m.push(
+            Op::Linear {
+                weight: Tensor::from_vec(&[2, 4], vec![0.1; 8]),
+                bias: vec![0.0; 2],
+            },
+            &[r],
+        );
+        m.set_output(l2);
+        let trace = m.forward_traced(&Tensor::from_vec(&[4], vec![1.0; 4]), None, true);
+        assert_eq!(trace.irs.len(), 2);
+        assert_eq!(trace.irs[0].shape(), &[4]);
+        assert_eq!(trace.irs[1].shape(), &[2]);
+        assert_eq!(trace.irs[1].data(), trace.output.data());
+    }
+
+    #[test]
+    fn quantize_weights_changes_values() {
+        let mut m = Model::new("test", &[4], 2);
+        let x = m.input_node();
+        let l = m.push(
+            Op::Linear {
+                weight: Tensor::from_vec(&[2, 4], vec![0.3; 8]),
+                bias: vec![0.0; 2],
+            },
+            &[x],
+        );
+        m.set_output(l);
+        let mut scheme = QuantScheme::identity(1);
+        // 2-bit LP: 0.3 cannot survive.
+        scheme.weights[0] = Some(Arc::new(LpParams::new(2, 0, 1, 0.0).unwrap()));
+        let qm = m.quantize_weights(&scheme);
+        let orig = m.nodes()[l].op.weight().unwrap().data();
+        let quant = qm.nodes()[l].op.weight().unwrap().data();
+        assert_ne!(orig, quant);
+        assert!(quant.iter().all(|&v| v == 1.0)); // only ±1 representable
+    }
+
+    #[test]
+    fn activation_quantization_applies() {
+        let mut m = Model::new("test", &[2], 2);
+        let x = m.input_node();
+        let l = m.push(
+            Op::Linear {
+                weight: Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]),
+                bias: vec![0.0; 2],
+            },
+            &[x],
+        );
+        m.set_output(l);
+        let mut scheme = QuantScheme::identity(1);
+        scheme.activations[0] = Some(Arc::new(LpParams::new(2, 0, 1, 0.0).unwrap()));
+        let out = m
+            .forward_traced(&Tensor::from_vec(&[2], vec![0.4, -3.0]), Some(&scheme), false)
+            .output;
+        assert_eq!(out.data(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn block_ends_accumulate() {
+        let mut m = Model::new("test", &[2], 2);
+        let x = m.input_node();
+        let l1 = m.push(
+            Op::Linear {
+                weight: Tensor::from_vec(&[2, 2], vec![0.1; 4]),
+                bias: vec![0.0; 2],
+            },
+            &[x],
+        );
+        m.end_block();
+        let l2 = m.push(
+            Op::Linear {
+                weight: Tensor::from_vec(&[2, 2], vec![0.1; 4]),
+                bias: vec![0.0; 2],
+            },
+            &[l1],
+        );
+        m.end_block();
+        m.end_block(); // duplicate is ignored
+        m.set_output(l2);
+        assert_eq!(m.block_ends(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape mismatch")]
+    fn forward_checks_input_shape() {
+        let mut m = Model::new("test", &[4], 2);
+        let x = m.input_node();
+        let l = m.push(
+            Op::Linear {
+                weight: Tensor::from_vec(&[2, 4], vec![0.1; 8]),
+                bias: vec![0.0; 2],
+            },
+            &[x],
+        );
+        m.set_output(l);
+        let _ = m.forward(&Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn gelu_and_relu_behave() {
+        let mut m = Model::new("test", &[3], 3);
+        let x = m.input_node();
+        let r = m.push(Op::Relu, &[x]);
+        m.set_output(r);
+        let out = m.forward(&Tensor::from_vec(&[3], vec![-1.0, 0.0, 2.0]));
+        assert_eq!(out.data(), &[0.0, 0.0, 2.0]);
+
+        let g = eval_op(&Op::Gelu, &[&Tensor::from_vec(&[3], vec![-10.0, 0.0, 10.0])]);
+        assert!(g.data()[0].abs() < 1e-3); // gelu(−10) ≈ 0
+        assert_eq!(g.data()[1], 0.0);
+        assert!((g.data()[2] - 10.0).abs() < 1e-3); // gelu(10) ≈ 10
+    }
+}

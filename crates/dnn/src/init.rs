@@ -1,0 +1,214 @@
+//! Synthetic per-layer weight distributions.
+//!
+//! Fig. 1(a) of the paper shows that DNN weight distributions vary
+//! substantially between layers and across models: per-layer standard
+//! deviations span orders of magnitude, shapes range from Gaussian to
+//! heavy-tailed, and some layers carry rare large-magnitude outliers. The
+//! model zoo samples weights from these distribution families so that the
+//! quantization problem LPQ solves — matching heterogeneous per-layer
+//! distributions — is fully exercised without pretrained checkpoints (see
+//! `DESIGN.md`, substitution 1).
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// A per-layer weight distribution family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightDist {
+    /// Zero-mean Gaussian with the given standard deviation.
+    Gaussian {
+        /// Standard deviation.
+        sigma: f64,
+    },
+    /// Zero-mean Laplace (double exponential) with the given scale.
+    Laplace {
+        /// Scale parameter `b` (std dev is `b·√2`).
+        b: f64,
+    },
+    /// Gaussian bulk plus a fraction of outliers drawn at `outlier_scale`
+    /// times the bulk σ — the per-channel outliers common in transformer
+    /// projection layers.
+    GaussianOutliers {
+        /// Bulk standard deviation.
+        sigma: f64,
+        /// Fraction of elements that are outliers (e.g. `0.005`).
+        outlier_frac: f64,
+        /// Outlier magnitude in units of `sigma`.
+        outlier_scale: f64,
+    },
+}
+
+impl WeightDist {
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        match *self {
+            WeightDist::Gaussian { sigma } => {
+                let n = Normal::new(0.0, sigma).expect("sigma must be positive");
+                n.sample(rng) as f32
+            }
+            WeightDist::Laplace { b } => {
+                // Inverse-CDF sampling.
+                let u: f64 = rng.gen_range(-0.5..0.5);
+                (-u.signum() * b * (1.0 - 2.0 * u.abs()).ln()) as f32
+            }
+            WeightDist::GaussianOutliers {
+                sigma,
+                outlier_frac,
+                outlier_scale,
+            } => {
+                if rng.gen_bool(outlier_frac.clamp(0.0, 1.0)) {
+                    let mag = sigma * outlier_scale * rng.gen_range(0.6..1.4);
+                    let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                    (sign * mag) as f32
+                } else {
+                    let n = Normal::new(0.0, sigma).expect("sigma must be positive");
+                    n.sample(rng) as f32
+                }
+            }
+        }
+    }
+
+    /// Fills a slice with samples.
+    pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f32]) {
+        for v in out {
+            *v = self.sample(rng);
+        }
+    }
+
+    /// Nominal standard deviation of the family (used by builders to scale
+    /// with fan-in).
+    pub fn nominal_sigma(&self) -> f64 {
+        match *self {
+            WeightDist::Gaussian { sigma } => sigma,
+            WeightDist::Laplace { b } => b * std::f64::consts::SQRT_2,
+            WeightDist::GaussianOutliers { sigma, .. } => sigma,
+        }
+    }
+}
+
+/// Picks the distribution family for weighted layer `index` with the given
+/// fan-in, cycling through the Fig. 1(a) shapes: mostly Gaussians at
+/// Kaiming-like scale, every third layer Laplace (heavier tails), every
+/// fifth layer with rare outliers, and a slow per-layer drift of σ over
+/// roughly two octaves.
+pub fn layer_distribution(index: usize, fan_in: usize) -> WeightDist {
+    let base = (2.0 / fan_in.max(1) as f64).sqrt();
+    // Deterministic σ drift: ×2^(±1) over the depth.
+    let drift = (index as f64 * 0.7).sin();
+    let sigma = base * f64::exp2(drift);
+    match index % 5 {
+        2 => WeightDist::Laplace {
+            b: sigma / std::f64::consts::SQRT_2,
+        },
+        4 => WeightDist::GaussianOutliers {
+            sigma,
+            outlier_frac: 0.005,
+            outlier_scale: 8.0,
+        },
+        _ => WeightDist::Gaussian { sigma },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn stats(xs: &[f32]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().map(|&x| f64::from(x)).sum::<f64>() / n;
+        let var = xs
+            .iter()
+            .map(|&x| (f64::from(x) - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn gaussian_matches_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = WeightDist::Gaussian { sigma: 0.05 };
+        let mut buf = vec![0.0f32; 20000];
+        d.fill(&mut rng, &mut buf);
+        let (mean, sd) = stats(&buf);
+        assert!(mean.abs() < 0.002, "mean {mean}");
+        assert!((sd - 0.05).abs() < 0.003, "sd {sd}");
+    }
+
+    #[test]
+    fn laplace_has_heavier_tails_than_gaussian() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let count = 20000;
+        let g = WeightDist::Gaussian { sigma: 1.0 };
+        let l = WeightDist::Laplace {
+            b: 1.0 / std::f64::consts::SQRT_2,
+        };
+        let mut gs = vec![0.0f32; count];
+        let mut ls = vec![0.0f32; count];
+        g.fill(&mut rng, &mut gs);
+        l.fill(&mut rng, &mut ls);
+        let (_, gsd) = stats(&gs);
+        let (_, lsd) = stats(&ls);
+        assert!((gsd - lsd).abs() < 0.1, "matched std devs");
+        // Excess kurtosis: Laplace = 3, Gaussian = 0.
+        let kurt = |xs: &[f32], sd: f64| {
+            xs.iter()
+                .map(|&x| (f64::from(x) / sd).powi(4))
+                .sum::<f64>()
+                / xs.len() as f64
+                - 3.0
+        };
+        assert!(kurt(&ls, lsd) > kurt(&gs, gsd) + 1.0);
+    }
+
+    #[test]
+    fn outliers_appear_at_expected_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let d = WeightDist::GaussianOutliers {
+            sigma: 0.02,
+            outlier_frac: 0.01,
+            outlier_scale: 10.0,
+        };
+        let mut buf = vec![0.0f32; 50000];
+        d.fill(&mut rng, &mut buf);
+        let outliers = buf.iter().filter(|&&x| x.abs() > 0.1).count();
+        let rate = outliers as f64 / buf.len() as f64;
+        assert!((rate - 0.01).abs() < 0.004, "rate {rate}");
+    }
+
+    #[test]
+    fn layer_distribution_varies_by_depth() {
+        let sigmas: Vec<f64> = (0..20)
+            .map(|i| layer_distribution(i, 64).nominal_sigma())
+            .collect();
+        let min = sigmas.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sigmas.iter().cloned().fold(0.0, f64::max);
+        // σ must drift by at least ~2× across layers (Fig. 1(a) variance).
+        assert!(max / min > 2.0, "min {min} max {max}");
+        // Families cycle.
+        assert!(matches!(layer_distribution(2, 64), WeightDist::Laplace { .. }));
+        assert!(matches!(
+            layer_distribution(4, 64),
+            WeightDist::GaussianOutliers { .. }
+        ));
+    }
+
+    #[test]
+    fn fan_in_scales_sigma() {
+        let narrow = layer_distribution(0, 16).nominal_sigma();
+        let wide = layer_distribution(0, 1024).nominal_sigma();
+        assert!(narrow > wide * 4.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = WeightDist::Gaussian { sigma: 0.1 };
+        let mut a = vec![0.0f32; 64];
+        let mut b = vec![0.0f32; 64];
+        d.fill(&mut ChaCha8Rng::seed_from_u64(7), &mut a);
+        d.fill(&mut ChaCha8Rng::seed_from_u64(7), &mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dnn — DNN inference substrate for the LP reproduction
+//!
+//! The paper evaluates LPQ on pretrained ImageNet CNNs and Vision
+//! Transformers running under PyTorch. This crate is the from-scratch Rust
+//! substitute: a small tensor library, a graph IR with the ops those
+//! architectures need (convolutions, attention, normalization), an
+//! architecture-faithful *synthetic* model zoo whose per-layer weight
+//! distributions match the paper's Fig. 1(a), and synthetic calibration/test
+//! data with teacher-agreement accuracy (see `DESIGN.md` for the
+//! substitution rationale).
+//!
+//! ## Modules
+//!
+//! * [`tensor`] — dense `f32` tensors and the linear-algebra kernels
+//! * [`graph`] — ops, nodes, models, forward passes with
+//!   intermediate-representation capture and fake quantization
+//! * [`init`] — per-layer synthetic weight distributions (Fig. 1(a))
+//! * [`models`] — the model zoo: ResNet-18/50, MobileNetV2, ViT-B, DeiT-S,
+//!   Swin-T analogues
+//! * [`data`] — synthetic calibration/test sets and teacher-agreement
+//!   accuracy
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod graph;
+pub mod init;
+pub mod models;
+pub mod tensor;
+
+pub use graph::{Model, Node, Op, QuantScheme};
+pub use tensor::Tensor;

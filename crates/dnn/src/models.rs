@@ -1,0 +1,524 @@
+//! The model zoo: architecture-faithful, spatially scaled analogues of the
+//! six networks the paper evaluates (ResNet-18/50, MobileNetV2, ViT-B,
+//! DeiT-S, Swin-T).
+//!
+//! Each builder reproduces the layer *topology* of its namesake (stem /
+//! basic vs. bottleneck residual blocks / inverted residuals with depthwise
+//! convolutions / pre-norm transformer encoder blocks / hierarchical stages
+//! with patch merging) at reduced channel counts and 16×16 inputs, so a
+//! forward pass is fast enough for the genetic search while the per-layer
+//! quantization problem keeps its full structure. Weights are sampled from
+//! the per-layer distribution families of [`crate::init`]; every model is
+//! deterministic given its name.
+
+use crate::graph::{Model, Op};
+use crate::init::layer_distribution;
+use crate::tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Number of classes in the synthetic classification task.
+pub const NUM_CLASSES: usize = 100;
+
+/// Input shape shared by all zoo models.
+pub const INPUT_SHAPE: [usize; 3] = [3, 16, 16];
+
+/// Names of all zoo models, CNNs first (the paper's Table 1 then Table 2).
+pub const ALL_MODELS: [&str; 6] = [
+    "resnet18",
+    "resnet50",
+    "mobilenetv2",
+    "vit_b",
+    "deit_s",
+    "swin_t",
+];
+
+/// Builds a zoo model by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name; valid names are in [`ALL_MODELS`].
+pub fn by_name(name: &str) -> Model {
+    match name {
+        "resnet18" => resnet18_like(),
+        "resnet50" => resnet50_like(),
+        "mobilenetv2" => mobilenetv2_like(),
+        "vit_b" => vit_b_like(),
+        "deit_s" => deit_s_like(),
+        "swin_t" => swin_t_like(),
+        other => panic!("unknown model {other:?}; valid: {ALL_MODELS:?}"),
+    }
+}
+
+fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the name: deterministic, dependency-free.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Incremental model builder that samples weights from the per-layer
+/// distribution families as layers are added.
+struct Builder {
+    m: Model,
+    rng: ChaCha8Rng,
+    layer_idx: usize,
+}
+
+impl Builder {
+    fn new(name: &str) -> Self {
+        Builder {
+            m: Model::new(name, &INPUT_SHAPE, NUM_CLASSES),
+            rng: ChaCha8Rng::seed_from_u64(seed_for(name)),
+            layer_idx: 0,
+        }
+    }
+
+    fn sample_weights(&mut self, len: usize, fan_in: usize) -> Vec<f32> {
+        let dist = layer_distribution(self.layer_idx, fan_in);
+        self.layer_idx += 1;
+        let mut buf = vec![0.0f32; len];
+        dist.fill(&mut self.rng, &mut buf);
+        buf
+    }
+
+    fn sample_bias(&mut self, len: usize) -> Vec<f32> {
+        let n = Normal::new(0.0, 0.01).expect("valid sigma");
+        (0..len).map(|_| n.sample(&mut self.rng) as f32).collect()
+    }
+
+    fn conv(&mut self, x: usize, c_in: usize, c_out: usize, k: usize, stride: usize, pad: usize) -> usize {
+        let fan_in = c_in * k * k;
+        let w = self.sample_weights(c_out * fan_in, fan_in);
+        let bias = self.sample_bias(c_out);
+        self.m.push(
+            Op::Conv2d {
+                weight: Tensor::from_vec(&[c_out, c_in, k, k], w),
+                bias,
+                stride,
+                pad,
+            },
+            &[x],
+        )
+    }
+
+    fn dwconv(&mut self, x: usize, c: usize, k: usize, stride: usize, pad: usize) -> usize {
+        let w = self.sample_weights(c * k * k, k * k);
+        let bias = self.sample_bias(c);
+        self.m.push(
+            Op::DwConv2d {
+                weight: Tensor::from_vec(&[c, k, k], w),
+                bias,
+                stride,
+                pad,
+            },
+            &[x],
+        )
+    }
+
+    fn linear(&mut self, x: usize, in_f: usize, out_f: usize) -> usize {
+        let w = self.sample_weights(out_f * in_f, in_f);
+        let bias = self.sample_bias(out_f);
+        self.m.push(
+            Op::Linear {
+                weight: Tensor::from_vec(&[out_f, in_f], w),
+                bias,
+            },
+            &[x],
+        )
+    }
+
+    fn relu(&mut self, x: usize) -> usize {
+        self.m.push(Op::Relu, &[x])
+    }
+
+    fn gelu(&mut self, x: usize) -> usize {
+        self.m.push(Op::Gelu, &[x])
+    }
+
+    fn add(&mut self, a: usize, b: usize) -> usize {
+        self.m.push(Op::Add, &[a, b])
+    }
+
+    fn layer_norm(&mut self, x: usize, d: usize) -> usize {
+        let n = Normal::new(0.0, 0.1).expect("valid sigma");
+        let gamma: Vec<f32> = (0..d).map(|_| 1.0 + n.sample(&mut self.rng) as f32).collect();
+        let beta: Vec<f32> = (0..d).map(|_| 0.1 * n.sample(&mut self.rng) as f32).collect();
+        self.m.push(Op::LayerNorm { gamma, beta }, &[x])
+    }
+
+    fn patch_embed(&mut self, x: usize, patch: usize, dim: usize, with_cls: bool) -> usize {
+        let [c, h, w] = INPUT_SHAPE;
+        let tokens = (h / patch) * (w / patch);
+        let fan_in = c * patch * patch;
+        let weight = Tensor::from_vec(
+            &[dim, fan_in],
+            self.sample_weights(dim * fan_in, fan_in),
+        );
+        let bias = self.sample_bias(dim);
+        let n = Normal::new(0.0, 0.02).expect("valid sigma");
+        let total = if with_cls { tokens + 1 } else { tokens };
+        let pos = Tensor::from_vec(
+            &[total, dim],
+            (0..total * dim).map(|_| n.sample(&mut self.rng) as f32).collect(),
+        );
+        let cls = if with_cls {
+            (0..dim).map(|_| n.sample(&mut self.rng) as f32).collect()
+        } else {
+            Vec::new()
+        };
+        self.m.push(
+            Op::PatchEmbed {
+                weight,
+                bias,
+                patch,
+                cls,
+                pos,
+            },
+            &[x],
+        )
+    }
+
+    /// Pre-norm transformer encoder block (the ViT/DeiT/Swin building
+    /// block). Marks a quantization block boundary afterwards.
+    fn encoder_block(&mut self, x: usize, dim: usize, heads: usize, mlp: usize) -> usize {
+        let ln1 = self.layer_norm(x, dim);
+        let q = self.linear(ln1, dim, dim);
+        let k = self.linear(ln1, dim, dim);
+        let v = self.linear(ln1, dim, dim);
+        let attn = self.m.push(Op::Mha { heads }, &[q, k, v]);
+        let proj = self.linear(attn, dim, dim);
+        let x2 = self.add(x, proj);
+        let ln2 = self.layer_norm(x2, dim);
+        let h1 = self.linear(ln2, dim, mlp);
+        let g = self.gelu(h1);
+        let h2 = self.linear(g, mlp, dim);
+        let out = self.add(x2, h2);
+        self.m.end_block();
+        out
+    }
+
+    fn token_merge(&mut self, x: usize, grid: usize, d_in: usize, d_out: usize) -> usize {
+        let fan_in = 4 * d_in;
+        let weight = Tensor::from_vec(
+            &[d_out, fan_in],
+            self.sample_weights(d_out * fan_in, fan_in),
+        );
+        let bias = self.sample_bias(d_out);
+        self.m.push(
+            Op::TokenMerge {
+                weight,
+                bias,
+                grid,
+            },
+            &[x],
+        )
+    }
+
+    fn finish(mut self, output: usize, baseline_top1: f64) -> Model {
+        self.m.set_output(output);
+        self.m.set_baseline_top1(baseline_top1);
+        self.m
+    }
+}
+
+/// ResNet-18 analogue: stem + 4 stages of 2 basic blocks, channels
+/// 8/16/32/64 (the real network's 64/128/256/512 scaled by 8).
+pub fn resnet18_like() -> Model {
+    let mut b = Builder::new("resnet18");
+    let x = b.m.input_node();
+    let channels = [8usize, 16, 32, 64];
+    let mut cur = b.conv(x, 3, channels[0], 3, 1, 1);
+    cur = b.relu(cur);
+    let mut c_in = channels[0];
+    for (stage, &c_out) in channels.iter().enumerate() {
+        let stride = if stage == 0 { 1 } else { 2 };
+        for block in 0..2 {
+            let s = if block == 0 { stride } else { 1 };
+            cur = basic_block(&mut b, cur, c_in, c_out, s);
+            c_in = c_out;
+        }
+        b.m.end_block();
+    }
+    let gap = b.m.push(Op::GlobalAvgPool, &[cur]);
+    let fc = b.linear(gap, c_in, NUM_CLASSES);
+    b.finish(fc, 71.08)
+}
+
+fn basic_block(b: &mut Builder, x: usize, c_in: usize, c_out: usize, stride: usize) -> usize {
+    let c1 = b.conv(x, c_in, c_out, 3, stride, 1);
+    let r1 = b.relu(c1);
+    let c2 = b.conv(r1, c_out, c_out, 3, 1, 1);
+    let skip = if stride != 1 || c_in != c_out {
+        b.conv(x, c_in, c_out, 1, stride, 0)
+    } else {
+        x
+    };
+    let sum = b.add(c2, skip);
+    b.relu(sum)
+}
+
+/// ResNet-50 analogue: stem + bottleneck stages of depth 3/4/6/3, base
+/// channels 8/16/32/64 with expansion 4.
+pub fn resnet50_like() -> Model {
+    let mut b = Builder::new("resnet50");
+    let x = b.m.input_node();
+    let base = [8usize, 16, 32, 64];
+    let depths = [3usize, 4, 6, 3];
+    let mut cur = b.conv(x, 3, base[0], 3, 1, 1);
+    cur = b.relu(cur);
+    let mut c_in = base[0];
+    for (stage, (&c, &depth)) in base.iter().zip(&depths).enumerate() {
+        let stride = if stage == 0 { 1 } else { 2 };
+        for block in 0..depth {
+            let s = if block == 0 { stride } else { 1 };
+            cur = bottleneck_block(&mut b, cur, c_in, c, s);
+            c_in = c * 4;
+        }
+        b.m.end_block();
+    }
+    let gap = b.m.push(Op::GlobalAvgPool, &[cur]);
+    let fc = b.linear(gap, c_in, NUM_CLASSES);
+    b.finish(fc, 77.72)
+}
+
+fn bottleneck_block(b: &mut Builder, x: usize, c_in: usize, c_mid: usize, stride: usize) -> usize {
+    let c_out = c_mid * 4;
+    let c1 = b.conv(x, c_in, c_mid, 1, 1, 0);
+    let r1 = b.relu(c1);
+    let c2 = b.conv(r1, c_mid, c_mid, 3, stride, 1);
+    let r2 = b.relu(c2);
+    let c3 = b.conv(r2, c_mid, c_out, 1, 1, 0);
+    let skip = if stride != 1 || c_in != c_out {
+        b.conv(x, c_in, c_out, 1, stride, 0)
+    } else {
+        x
+    };
+    let sum = b.add(c3, skip);
+    b.relu(sum)
+}
+
+/// MobileNetV2 analogue: stem + inverted-residual blocks (expansion 4) with
+/// depthwise convolutions, following the real network's stage layout.
+pub fn mobilenetv2_like() -> Model {
+    let mut b = Builder::new("mobilenetv2");
+    let x = b.m.input_node();
+    let mut cur = b.conv(x, 3, 8, 3, 1, 1);
+    cur = b.relu(cur);
+    let mut c_in = 8usize;
+    // (expansion, out channels, repeats, first stride) per stage, mirroring
+    // MobileNetV2's (t, c, n, s) table at 1/8 width.
+    let stages: [(usize, usize, usize, usize); 6] = [
+        (1, 8, 1, 1),
+        (4, 12, 2, 2),
+        (4, 16, 3, 2),
+        (4, 24, 3, 2),
+        (4, 32, 2, 1),
+        (4, 48, 2, 1),
+    ];
+    for &(t, c, n, s) in &stages {
+        for block in 0..n {
+            let stride = if block == 0 { s } else { 1 };
+            cur = inverted_residual(&mut b, cur, c_in, c, t, stride);
+            c_in = c;
+        }
+        b.m.end_block();
+    }
+    let head = b.conv(cur, c_in, 64, 1, 1, 0);
+    let head = b.relu(head);
+    b.m.end_block();
+    let gap = b.m.push(Op::GlobalAvgPool, &[head]);
+    let fc = b.linear(gap, 64, NUM_CLASSES);
+    b.finish(fc, 72.49)
+}
+
+fn inverted_residual(
+    b: &mut Builder,
+    x: usize,
+    c_in: usize,
+    c_out: usize,
+    expand: usize,
+    stride: usize,
+) -> usize {
+    let hidden = c_in * expand;
+    let mut cur = x;
+    if expand != 1 {
+        cur = b.conv(cur, c_in, hidden, 1, 1, 0);
+        cur = b.relu(cur);
+    }
+    cur = b.dwconv(cur, hidden, 3, stride, 1);
+    cur = b.relu(cur);
+    cur = b.conv(cur, hidden, c_out, 1, 1, 0);
+    if stride == 1 && c_in == c_out {
+        cur = b.add(cur, x);
+    }
+    cur
+}
+
+fn vit_like(name: &str, dim: usize, heads: usize, depth: usize, mlp: usize, baseline: f64) -> Model {
+    let mut b = Builder::new(name);
+    let x = b.m.input_node();
+    let mut cur = b.patch_embed(x, 4, dim, true);
+    b.m.end_block();
+    for _ in 0..depth {
+        cur = b.encoder_block(cur, dim, heads, mlp);
+    }
+    let ln = b.layer_norm(cur, dim);
+    let pooled = b.m.push(Op::MeanTokens, &[ln]);
+    let fc = b.linear(pooled, dim, NUM_CLASSES);
+    b.finish(fc, baseline)
+}
+
+/// ViT-B analogue: 12 pre-norm encoder blocks, dim 32, 4 heads, MLP 128
+/// (the real 768/12/3072 scaled by 24).
+pub fn vit_b_like() -> Model {
+    vit_like("vit_b", 32, 4, 12, 128, 84.53)
+}
+
+/// DeiT-S analogue: 12 encoder blocks, dim 24, 3 heads, MLP 96.
+pub fn deit_s_like() -> Model {
+    vit_like("deit_s", 24, 3, 12, 96, 79.80)
+}
+
+/// Swin-T analogue: hierarchical stages of depth 2/2/4/2 with patch merging
+/// between stages (dims 16 → 32 → 64 → 128), mean-token pooling head.
+pub fn swin_t_like() -> Model {
+    let mut b = Builder::new("swin_t");
+    let x = b.m.input_node();
+    // patch 2 on 16×16 → 8×8 grid of 64 tokens, no cls token.
+    let mut cur = b.patch_embed(x, 2, 16, false);
+    b.m.end_block();
+    let depths = [2usize, 2, 4, 2];
+    let mut dim = 16usize;
+    let mut grid = 8usize;
+    for (stage, &depth) in depths.iter().enumerate() {
+        let heads = (dim / 8).max(1);
+        for _ in 0..depth {
+            cur = b.encoder_block(cur, dim, heads, dim * 4);
+        }
+        if stage + 1 < depths.len() {
+            cur = b.token_merge(cur, grid, dim, dim * 2);
+            b.m.end_block();
+            dim *= 2;
+            grid /= 2;
+        }
+    }
+    let ln = b.layer_norm(cur, dim);
+    let pooled = b.m.push(Op::MeanTokens, &[ln]);
+    let fc = b.linear(pooled, dim, NUM_CLASSES);
+    b.finish(fc, 81.20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn test_input() -> Tensor {
+        let len: usize = INPUT_SHAPE.iter().product();
+        Tensor::from_vec(
+            &INPUT_SHAPE,
+            (0..len).map(|i| ((i as f32) * 0.13).sin()).collect(),
+        )
+    }
+
+    #[test]
+    fn all_models_build_and_forward() {
+        for name in ALL_MODELS {
+            let m = by_name(name);
+            assert_eq!(m.name(), name);
+            assert!(m.num_params() > 1000, "{name} has too few params");
+            assert!(m.baseline_top1() > 50.0, "{name} baseline unset");
+            let out = m.forward(&test_input());
+            assert_eq!(out.shape(), &[NUM_CLASSES], "{name} output shape");
+            assert!(
+                out.data().iter().all(|v| v.is_finite()),
+                "{name} produced non-finite logits"
+            );
+        }
+    }
+
+    #[test]
+    fn layer_counts_match_architectures() {
+        // ResNet-18: stem + 16 block convs + 3 downsample 1×1 + fc = 21.
+        assert_eq!(resnet18_like().num_quant_layers(), 21);
+        // ResNet-50: stem + 16 blocks × 3 convs + 4 downsample + fc = 54.
+        assert_eq!(resnet50_like().num_quant_layers(), 54);
+        // ViT-B: patch embed + 12 blocks × 6 linears + head = 74.
+        assert_eq!(vit_b_like().num_quant_layers(), 74);
+        assert_eq!(deit_s_like().num_quant_layers(), 74);
+    }
+
+    #[test]
+    fn models_are_deterministic() {
+        let a = resnet18_like();
+        let b = resnet18_like();
+        assert_eq!(a.layer_weights(), b.layer_weights());
+        let out_a = a.forward(&test_input());
+        let out_b = b.forward(&test_input());
+        assert_eq!(out_a.data(), out_b.data());
+    }
+
+    #[test]
+    fn different_models_have_different_weights() {
+        let a = vit_b_like();
+        let b = deit_s_like();
+        assert_ne!(a.layer_weights()[0], b.layer_weights()[0]);
+    }
+
+    #[test]
+    fn vit_blocks_are_marked() {
+        let m = vit_b_like();
+        // patch embed block + 12 encoder blocks (head layer not marked).
+        assert_eq!(m.block_ends().len(), 13);
+        // First encoder block ends after patch embed (1) + 6 linears = 7.
+        assert_eq!(m.block_ends()[1], 7);
+    }
+
+    #[test]
+    fn swin_hierarchy_shrinks_tokens() {
+        let m = swin_t_like();
+        let out = m.forward(&test_input());
+        assert_eq!(out.shape(), &[NUM_CLASSES]);
+        // 2 merges at minimum: token_merge layers present.
+        let merges = m
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::TokenMerge { .. }))
+            .count();
+        assert_eq!(merges, 3);
+    }
+
+    #[test]
+    fn per_layer_sigmas_span_a_wide_range() {
+        // The Fig. 1(a) property: per-layer weight std devs differ by
+        // orders of magnitude across a model.
+        let m = resnet50_like();
+        let sigmas: Vec<f64> = m
+            .layer_weights()
+            .iter()
+            .map(|w| {
+                let n = w.len() as f64;
+                let mean: f64 = w.iter().map(|&x| f64::from(x)).sum::<f64>() / n;
+                (w.iter()
+                    .map(|&x| (f64::from(x) - mean).powi(2))
+                    .sum::<f64>()
+                    / n)
+                    .sqrt()
+            })
+            .collect();
+        let min = sigmas.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sigmas.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 4.0, "σ range too narrow: {min}..{max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_name_panics() {
+        let _ = by_name("alexnet");
+    }
+}

@@ -1,0 +1,348 @@
+//! Dense `f32` tensors and the handful of linear-algebra kernels the model
+//! zoo needs. Deliberately minimal: row-major storage, explicit shapes,
+//! no broadcasting beyond what the ops require.
+
+use std::fmt;
+
+/// A dense row-major `f32` tensor.
+///
+/// # Examples
+///
+/// ```
+/// use dnn::tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} does not match data length {}",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a reshaped copy sharing the same element order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "cannot reshape {:?} to {shape:?}",
+            self.shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// Element-wise addition. Shapes must match exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "add requires matching shapes");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Matrix multiplication `self[M,K] × rhs[K,N] → [M,N]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching inner
+    /// dimensions.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank-2");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order: streams rhs rows, vectorizes the inner j loop.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Matrix multiplication with the second operand transposed:
+    /// `self[M,K] × rhs[N,K]ᵀ → [M,N]`. This is the natural layout for
+    /// linear layers stored as `[out, in]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching `K`.
+    pub fn matmul_t(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_t lhs must be rank-2");
+        assert_eq!(rhs.shape.len(), 2, "matmul_t rhs must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul_t inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &rhs.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Returns the index of the maximum element (first on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Mean of all elements (`0.0` for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+}
+
+/// Numerically stable softmax over the last axis of a rank-2 tensor, in
+/// place.
+///
+/// # Panics
+///
+/// Panics if `t` is not rank-2.
+pub fn softmax_rows(t: &mut Tensor) {
+    assert_eq!(t.shape().len(), 2, "softmax_rows requires rank-2");
+    let cols = t.shape()[1];
+    for row in t.data.chunks_mut(cols) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_from_vec() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        let u = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(u.shape(), &[2, 2]);
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match data length")]
+    fn from_vec_checks_shape() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_t_matches_matmul() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = Tensor::from_vec(&[3, 4], (0..12).map(|i| i as f32 * 0.3 - 1.0).collect());
+        // Build bᵀ explicitly.
+        let mut bt = Tensor::zeros(&[4, 3]);
+        for i in 0..3 {
+            for j in 0..4 {
+                bt.data_mut()[j * 3 + i] = b.data()[i * 4 + j];
+            }
+        }
+        let c1 = a.matmul(&b);
+        let c2 = a.matmul_t(&bt);
+        for (x, y) in c1.data().iter().zip(c2.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_checks_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_and_mean() {
+        let a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[3], vec![0.5, 0.5, 0.5]);
+        let c = a.add(&b);
+        assert_eq!(c.data(), &[1.5, 2.5, 3.5]);
+        assert!((c.mean() - 2.5).abs() < 1e-6);
+        assert_eq!(Tensor::zeros(&[0]).mean(), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        let t = Tensor::from_vec(&[4], vec![1.0, 3.0, 3.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let mut t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        softmax_rows(&mut t);
+        for row in t.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v > 0.0));
+        }
+        // Monotone: larger logits → larger probabilities.
+        assert!(t.data()[2] > t.data()[1]);
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let mut t = Tensor::from_vec(&[1, 2], vec![1000.0, 1001.0]);
+        softmax_rows(&mut t);
+        assert!(t.data().iter().all(|v| v.is_finite()));
+        assert!((t.data()[0] + t.data()[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r = t.reshaped(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests on the inference substrate.
+
+use dnn::graph::{Model, Op, QuantScheme};
+use dnn::tensor::{softmax_rows, Tensor};
+use lp::format::LpParams;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn small_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(&[rows, cols], data))
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_tensor(3, 4),
+        b in small_tensor(4, 2),
+        c in small_tensor(4, 2),
+    ) {
+        // a·(b + c) == a·b + a·c (within f32 accumulation error).
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_is_a_distribution(t in small_tensor(4, 8)) {
+        let mut s = t.clone();
+        softmax_rows(&mut s);
+        for row in s.data().chunks(8) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(t in small_tensor(2, 16)) {
+        let mut m = Model::new("t", &[2, 16], 2);
+        let x = m.input_node();
+        let r = m.push(Op::Relu, &[x]);
+        m.set_output(r);
+        // Reshape input to the model's expected shape.
+        let input = t.reshaped(&[2, 16]);
+        let once = m.forward(&input);
+        let twice = m.forward(&once);
+        prop_assert_eq!(once.data(), twice.data());
+        prop_assert!(once.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn weight_quantization_bounds_output_shift(
+        data in prop::collection::vec(-1.0f32..1.0, 8),
+    ) {
+        // An 8-bit LP weight quantization of a linear layer must move
+        // outputs by at most the format's worst relative step times the
+        // input's L1 mass.
+        let mut m = Model::new("t", &[4], 2);
+        let x = m.input_node();
+        let w = Tensor::from_vec(&[2, 4], data.clone());
+        let l = m.push(Op::Linear { weight: w, bias: vec![0.0; 2] }, &[x]);
+        m.set_output(l);
+        let mut scheme = QuantScheme::identity(1);
+        let sf = LpParams::fit_sf(&data);
+        let p = LpParams::clamped(8, 2, 3, sf);
+        scheme.weights[0] = Some(Arc::new(p));
+        let qm = m.quantize_weights(&scheme);
+        let input = Tensor::from_vec(&[4], vec![1.0, -0.5, 0.25, 0.75]);
+        let fp = m.forward(&input);
+        let q = qm.forward(&input);
+        let l1: f32 = data.iter().map(|v| v.abs()).sum();
+        for (a, b) in fp.data().iter().zip(q.data()) {
+            // Worst-case relative error of LP<8,2,3> in its taper ≈ 3%,
+            // saturation handled by the fitted sf.
+            prop_assert!((a - b).abs() <= 0.1 * l1 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic(seed in 0u64..1000) {
+        let imgs = dnn::data::synthetic_images(1, &[3, 16, 16], seed);
+        let m = dnn::models::mobilenetv2_like();
+        let a = m.forward(&imgs[0]);
+        let b = m.forward(&imgs[0]);
+        prop_assert_eq!(a.data(), b.data());
+    }
+}

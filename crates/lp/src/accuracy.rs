@@ -1,0 +1,215 @@
+//! Accuracy metrics for number formats: decimal accuracy (the posit
+//! literature's standard metric, used for Fig. 1(b)) and RMSE of quantized
+//! tensors (used for Fig. 5(b)).
+
+use crate::format::LpParams;
+
+/// Decimal accuracy of an approximation `x̂` of `x`:
+/// `−log10(|log10(x̂ / x)|)`.
+///
+/// Larger is better; one unit corresponds to one decimal digit of
+/// agreement. Returns `f64::INFINITY` for an exact match and
+/// `f64::NEG_INFINITY` when `x̂` and `x` differ in sign or one of them is
+/// zero or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use lp::accuracy::decimal_accuracy;
+///
+/// assert!(decimal_accuracy(1.0, 1.0).is_infinite());
+/// // ~3 digits of agreement
+/// let da = decimal_accuracy(1.0005, 1.0);
+/// assert!(da > 3.0 && da < 4.5);
+/// ```
+pub fn decimal_accuracy(x_hat: f64, x: f64) -> f64 {
+    if !(x_hat.is_finite() && x.is_finite()) || x_hat == 0.0 || x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if x_hat.signum() != x.signum() {
+        return f64::NEG_INFINITY;
+    }
+    let err = (x_hat / x).abs().log10().abs();
+    if err == 0.0 {
+        f64::INFINITY
+    } else {
+        -err.log10()
+    }
+}
+
+/// One point of a relative-accuracy profile: the worst-case decimal accuracy
+/// of a format in a small magnitude band around `magnitude`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyPoint {
+    /// Band center, as `log2` of the magnitude.
+    pub log2_magnitude: f64,
+    /// Worst-case decimal accuracy over the band.
+    pub decimal_accuracy: f64,
+}
+
+/// Sweeps the worst-case decimal accuracy of `quantize` across magnitudes
+/// `2^lo ..= 2^hi`, with `steps` bands and `probes` samples per band.
+///
+/// This regenerates the relative-accuracy plots of Fig. 1(b): tapered
+/// formats (posits, LP) peak in the middle and fall off toward the extremes;
+/// flat formats (floats, AdaptivFloat) are constant until they cliff.
+pub fn accuracy_profile(
+    quantize: impl Fn(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    steps: usize,
+    probes: usize,
+) -> Vec<AccuracyPoint> {
+    assert!(steps >= 1 && probes >= 1, "steps and probes must be >= 1");
+    let mut out = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let band_lo = lo + (hi - lo) * i as f64 / steps as f64;
+        let band_hi = lo + (hi - lo) * (i + 1) as f64 / steps as f64;
+        let mut worst = f64::INFINITY;
+        for j in 0..probes {
+            // Probe log-uniformly inside the band, avoiding the exact
+            // endpoints (which are often exactly representable).
+            let t = (j as f64 + 0.37) / probes as f64;
+            let l = band_lo + (band_hi - band_lo) * t;
+            let v = l.exp2();
+            let q = quantize(v);
+            let da = decimal_accuracy(q, v);
+            if da < worst {
+                worst = da;
+            }
+        }
+        out.push(AccuracyPoint {
+            log2_magnitude: (band_lo + band_hi) / 2.0,
+            decimal_accuracy: worst,
+        });
+    }
+    out
+}
+
+/// Root-mean-squared error between a reference slice and its quantized
+/// version (the per-layer metric of Fig. 5(b)).
+///
+/// Returns `0.0` for empty input.
+pub fn rmse(reference: &[f32], quantized: &[f32]) -> f64 {
+    assert_eq!(
+        reference.len(),
+        quantized.len(),
+        "rmse requires equal-length slices"
+    );
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = reference
+        .iter()
+        .zip(quantized)
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum();
+    (sum / reference.len() as f64).sqrt()
+}
+
+/// Quantizes `data` with `f` and returns the RMSE against the original.
+pub fn quantization_rmse(f: &LpParams, data: &[f32]) -> f64 {
+    let mut q = data.to_vec();
+    f.quantize_slice(&mut q);
+    rmse(data, &q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptivfloat::AdaptivFloat;
+
+    #[test]
+    fn decimal_accuracy_edge_cases() {
+        assert!(decimal_accuracy(2.0, 2.0).is_infinite());
+        assert_eq!(decimal_accuracy(0.0, 1.0), f64::NEG_INFINITY);
+        assert_eq!(decimal_accuracy(1.0, 0.0), f64::NEG_INFINITY);
+        assert_eq!(decimal_accuracy(-1.0, 1.0), f64::NEG_INFINITY);
+        assert_eq!(decimal_accuracy(f64::NAN, 1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn decimal_accuracy_counts_digits() {
+        // 1% relative error ≈ 2.36 decimal digits.
+        let da = decimal_accuracy(1.01, 1.0);
+        assert!(da > 2.0 && da < 3.0, "da={da}");
+        // 0.01% ≈ 4.36 digits.
+        let da = decimal_accuracy(1.0001, 1.0);
+        assert!(da > 4.0 && da < 5.0, "da={da}");
+    }
+
+    #[test]
+    fn lp_profile_is_tapered() {
+        // LP⟨8,2,3,0⟩: accuracy near 2^0 must exceed accuracy near the
+        // extremes — the signature tapered shape.
+        let f = LpParams::new(8, 2, 3, 0.0).unwrap();
+        let prof = accuracy_profile(|v| f.quantize(v), -14.0, 14.0, 14, 16);
+        let center = prof[7].decimal_accuracy;
+        let edge_lo = prof[0].decimal_accuracy;
+        let edge_hi = prof[13].decimal_accuracy;
+        assert!(center > edge_lo, "center {center} vs low edge {edge_lo}");
+        assert!(center > edge_hi, "center {center} vs high edge {edge_hi}");
+    }
+
+    #[test]
+    fn adaptivfloat_profile_is_flat() {
+        let af = AdaptivFloat::new(8, 4, 7).unwrap();
+        let prof = accuracy_profile(|v| af.quantize(v), -5.0, 5.0, 10, 16);
+        let min = prof
+            .iter()
+            .map(|p| p.decimal_accuracy)
+            .fold(f64::INFINITY, f64::min);
+        let max = prof
+            .iter()
+            .map(|p| p.decimal_accuracy)
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Within the covered range the accuracy varies by less than half a
+        // digit — flat, unlike LP.
+        assert!(max - min < 0.5, "min={min} max={max}");
+    }
+
+    #[test]
+    fn scale_factor_shifts_the_peak() {
+        // Fig. 1(b): sf moves the region of maximum accuracy.
+        let centered = LpParams::new(8, 2, 3, 0.0).unwrap();
+        let shifted = LpParams::new(8, 2, 3, 6.0).unwrap();
+        let prof_c = accuracy_profile(|v| centered.quantize(v), -16.0, 16.0, 32, 8);
+        let prof_s = accuracy_profile(|v| shifted.quantize(v), -16.0, 16.0, 32, 8);
+        let peak = |prof: &[AccuracyPoint]| {
+            prof.iter()
+                .cloned()
+                .max_by(|a, b| a.decimal_accuracy.total_cmp(&b.decimal_accuracy))
+                .map(|p| p.log2_magnitude)
+                .unwrap_or(0.0)
+        };
+        // Positive sf scales values down by 2^sf → peak moves toward
+        // smaller magnitudes.
+        assert!(peak(&prof_s) < peak(&prof_c));
+    }
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        let r = rmse(&[0.0, 0.0], &[3.0, 4.0]);
+        assert!((r - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn rmse_length_mismatch_panics() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn quantization_rmse_improves_with_bits() {
+        let data: Vec<f32> = (0..256).map(|i| ((i as f32) / 64.0 - 2.0).tanh() * 0.8).collect();
+        let sf = LpParams::fit_sf(&data);
+        let f4 = LpParams::new(4, 1, 3, sf).unwrap();
+        let f8 = LpParams::new(8, 1, 3, sf).unwrap();
+        assert!(quantization_rmse(&f8, &data) < quantization_rmse(&f4, &data));
+    }
+}

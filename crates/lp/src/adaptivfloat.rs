@@ -1,0 +1,229 @@
+//! AdaptivFloat codec (Tambe et al., "Algorithm-Hardware Co-Design of
+//! Adaptive Floating-Point Encodings for Resilient Deep Learning Inference",
+//! DAC 2020).
+//!
+//! AdaptivFloat is an `n`-bit floating-point format whose exponent *bias* is
+//! chosen per tensor so that the largest representable magnitude covers the
+//! tensor's absolute maximum. It adapts the **dynamic range** of the format
+//! but — unlike LP — not the *shape* of its accuracy profile, which stays
+//! flat across the covered range. The paper uses it both as a quantization
+//! baseline (Fig. 5(b)) and as an accelerator baseline (Tables 3, 4).
+
+use crate::error::LpError;
+use std::fmt;
+
+/// An AdaptivFloat format: `n` total bits, `e` exponent bits, tensor-adaptive
+/// exponent bias.
+///
+/// Layout: 1 sign bit, `e` exponent bits, `n − 1 − e` mantissa bits, with
+/// subnormals at the bottom of the range and no infinities (the top exponent
+/// is an ordinary binade, matching the DAC'20 design which reclaims the
+/// special patterns).
+///
+/// # Examples
+///
+/// ```
+/// use lp::adaptivfloat::AdaptivFloat;
+///
+/// # fn main() -> Result<(), lp::LpError> {
+/// let data = [0.5f32, -0.25, 0.125, 0.75];
+/// let af = AdaptivFloat::for_tensor(8, 3, &data)?;
+/// // The maximum element is representable with small relative error.
+/// let q = af.quantize(0.75);
+/// assert!((q - 0.75).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivFloat {
+    n: u32,
+    e: u32,
+    /// Unbiased exponent of the largest binade: values up to
+    /// `2^(exp_max+1) · (1 − 2^-(m+1))` are representable.
+    exp_max: i32,
+}
+
+impl fmt::Display for AdaptivFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AF<{},{},max2^{}>", self.n, self.e, self.exp_max)
+    }
+}
+
+impl AdaptivFloat {
+    /// Creates an AdaptivFloat format with an explicit top-binade exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError`] when `n ∉ [3, 16]` or the exponent field does not
+    /// leave room for the sign bit (`e ≥ n`), or `e = 0`.
+    pub fn new(n: u32, e: u32, exp_max: i32) -> Result<Self, LpError> {
+        if !(3..=16).contains(&n) {
+            return Err(LpError::InvalidWidth { n });
+        }
+        if e == 0 || e >= n {
+            return Err(LpError::InvalidExponentSize { es: e, n });
+        }
+        Ok(AdaptivFloat { n, e, exp_max })
+    }
+
+    /// Creates an AdaptivFloat whose exponent bias is adapted to `data`:
+    /// the top binade is set to `floor(log2(max|x|))`, the DAC'20 rule.
+    ///
+    /// Empty or all-zero tensors get `exp_max = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AdaptivFloat::new`].
+    pub fn for_tensor(n: u32, e: u32, data: &[f32]) -> Result<Self, LpError> {
+        let max = data
+            .iter()
+            .map(|x| x.abs())
+            .fold(0.0f32, f32::max);
+        let exp_max = if max > 0.0 {
+            f64::from(max).log2().floor() as i32
+        } else {
+            0
+        };
+        Self::new(n, e, exp_max)
+    }
+
+    /// Total width in bits.
+    pub const fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Exponent field width.
+    pub const fn exponent_bits(&self) -> u32 {
+        self.e
+    }
+
+    /// Mantissa field width.
+    pub const fn mantissa_bits(&self) -> u32 {
+        self.n - 1 - self.e
+    }
+
+    /// Unbiased exponent of the smallest *normal* binade.
+    pub fn exp_min(&self) -> i32 {
+        self.exp_max - ((1i32 << self.e) - 2)
+    }
+
+    /// Largest representable magnitude.
+    pub fn max_value(&self) -> f64 {
+        let m = self.mantissa_bits();
+        f64::from(self.exp_max as f32).exp2() * (2.0 - (0.5f64).powi(m as i32))
+    }
+
+    /// Smallest positive (subnormal) magnitude.
+    pub fn min_subnormal(&self) -> f64 {
+        let m = self.mantissa_bits();
+        (self.exp_min() as f64 - m as f64).exp2()
+    }
+
+    /// Rounds `v` to the nearest representable AdaptivFloat value
+    /// (round-to-nearest-even, saturating to ±max, flushing values below
+    /// half the smallest subnormal to zero).
+    pub fn quantize(&self, v: f64) -> f64 {
+        if v == 0.0 || !v.is_finite() {
+            return if v.is_finite() { 0.0 } else { f64::NAN };
+        }
+        let sign = v.signum();
+        let a = v.abs();
+        let m = self.mantissa_bits();
+        let max = self.max_value();
+        if a >= max {
+            return sign * max;
+        }
+        let exp = a.log2().floor() as i32;
+        let exp = exp.clamp(self.exp_min(), self.exp_max);
+        // Quantization step within (or below) this binade.
+        let step = ((exp - m as i32) as f64).exp2();
+        let q = (a / step).round_ties_even() * step;
+        // Rounding may push into the next binade; that value is still exactly
+        // representable (mantissa wraps to 0, exponent increments) unless we
+        // exceeded the top binade, which `max` handles above.
+        sign * q.min(max)
+    }
+
+    /// Quantizes a slice of `f32` in place.
+    pub fn quantize_slice(&self, xs: &mut [f32]) {
+        for x in xs.iter_mut() {
+            *x = self.quantize(f64::from(*x)) as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(AdaptivFloat::new(8, 3, 0).is_ok());
+        assert!(AdaptivFloat::new(2, 1, 0).is_err());
+        assert!(AdaptivFloat::new(8, 0, 0).is_err());
+        assert!(AdaptivFloat::new(8, 8, 0).is_err());
+    }
+
+    #[test]
+    fn adapts_to_tensor_max() {
+        let small = AdaptivFloat::for_tensor(8, 3, &[0.01f32, 0.002]).unwrap();
+        let large = AdaptivFloat::for_tensor(8, 3, &[100.0f32, 3.0]).unwrap();
+        assert!(small.max_value() < 0.05);
+        assert!(large.max_value() >= 100.0);
+    }
+
+    #[test]
+    fn exact_on_grid_values() {
+        let af = AdaptivFloat::new(8, 3, 0).unwrap();
+        // 1.0 = 2^0 · 1.0000 is exact; 1.25 = 2^0 · 1.0100 is exact with
+        // 4 mantissa bits.
+        assert_eq!(af.quantize(1.0), 1.0);
+        assert_eq!(af.quantize(1.25), 1.25);
+        assert_eq!(af.quantize(-1.25), -1.25);
+    }
+
+    #[test]
+    fn saturates_at_max() {
+        let af = AdaptivFloat::new(8, 3, 0).unwrap();
+        let max = af.max_value();
+        assert_eq!(af.quantize(1e9), max);
+        assert_eq!(af.quantize(-1e9), -max);
+    }
+
+    #[test]
+    fn subnormals_below_min_normal() {
+        let af = AdaptivFloat::new(8, 3, 0).unwrap();
+        let tiny = af.min_subnormal();
+        assert_eq!(af.quantize(tiny), tiny);
+        // Well below half a subnormal step flushes to zero.
+        assert_eq!(af.quantize(tiny * 0.2), 0.0);
+    }
+
+    #[test]
+    fn flat_relative_error_across_binades() {
+        // AdaptivFloat has flat accuracy: worst-case relative error is the
+        // same in every normal binade.
+        let af = AdaptivFloat::new(8, 4, 4).unwrap();
+        let worst = |scale: f64| {
+            let mut w: f64 = 0.0;
+            for i in 1..100 {
+                let v = scale * (1.0 + i as f64 / 100.0);
+                let q = af.quantize(v);
+                w = w.max(((q - v) / v).abs());
+            }
+            w
+        };
+        let w0 = worst(1.0);
+        let w3 = worst(8.0);
+        assert!((w0 - w3).abs() / w0 < 0.2, "w0={w0} w3={w3}");
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar() {
+        let af = AdaptivFloat::new(8, 3, 0).unwrap();
+        let mut xs = [0.3f32, -0.7, 1.9];
+        let expect: Vec<f32> = xs.iter().map(|&x| af.quantize(f64::from(x)) as f32).collect();
+        af.quantize_slice(&mut xs);
+        assert_eq!(xs.to_vec(), expect);
+    }
+}

@@ -1,0 +1,363 @@
+//! Log-domain arithmetic primitives shared by the software golden model and
+//! the LPA accelerator datapath.
+//!
+//! In LP, multiplication is an *addition* of log-domain scales (regime +
+//! ulfx) and a XOR of signs. Accumulation, however, is awkward in the log
+//! domain, so the LPA PE converts the product's log fraction (`lnf`) to a
+//! linear fraction (`lf`) with a small combinational converter before adding
+//! — the paper derives its gate logic with a Karnaugh-map solver over the
+//! full conversion truth table. [`LogLinear`] and [`LinearLog`] model those
+//! converters exactly as the truth tables they were synthesized from.
+
+use std::fmt;
+
+/// Fixed-point log↔linear fraction converter: maps a `bits`-wide log-domain
+/// fraction `f′ ∈ [0,1)` (in units of `2^−bits`) to the linear fraction
+/// `2^f′ − 1 ∈ [0,1)` at the same precision, with round-to-nearest.
+///
+/// The 8-bit instance is the LPA accumulation-stage converter.
+///
+/// # Examples
+///
+/// ```
+/// use lp::arith::LogLinear;
+///
+/// let conv = LogLinear::new(8);
+/// // f′ = 0.5 → 2^0.5 − 1 ≈ 0.41421; 0.41421·256 ≈ 106
+/// assert_eq!(conv.convert(128), 106);
+/// assert!(conv.max_abs_error() <= 1);
+/// ```
+#[derive(Clone)]
+pub struct LogLinear {
+    bits: u32,
+    table: Vec<u16>,
+}
+
+impl fmt::Debug for LogLinear {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogLinear")
+            .field("bits", &self.bits)
+            .field("entries", &self.table.len())
+            .finish()
+    }
+}
+
+impl LogLinear {
+    /// Builds the conversion truth table for a `bits`-wide fraction
+    /// (`1 ≤ bits ≤ 12`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `[1, 12]`.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=12).contains(&bits), "converter width must be in [1, 12]");
+        let n = 1usize << bits;
+        let scale = n as f64;
+        let table = (0..n)
+            .map(|i| {
+                let f_prime = i as f64 / scale;
+                let lf = f_prime.exp2() - 1.0;
+                // Round to nearest; 2^f′−1 < 1 so the result fits in `bits`.
+                ((lf * scale).round() as u16).min((n - 1) as u16)
+            })
+            .collect();
+        LogLinear { bits, table }
+    }
+
+    /// Fraction width in bits.
+    pub const fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Converts a log fraction (units of `2^−bits`) to a linear fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lnf` is out of range for the table width.
+    pub fn convert(&self, lnf: u16) -> u16 {
+        self.table[lnf as usize]
+    }
+
+    /// Converts an `f64` log fraction in `[0,1)` through the table.
+    pub fn convert_f64(&self, f_prime: f64) -> f64 {
+        let scale = (1usize << self.bits) as f64;
+        let idx = ((f_prime * scale).round() as usize).min(self.table.len() - 1);
+        self.table[idx] as f64 / scale
+    }
+
+    /// Worst-case absolute error of the table against the exact conversion,
+    /// in output LSBs.
+    pub fn max_abs_error(&self) -> u16 {
+        let scale = (1usize << self.bits) as f64;
+        self.table
+            .iter()
+            .enumerate()
+            .map(|(i, &out)| {
+                let exact = ((i as f64 / scale).exp2() - 1.0) * scale;
+                ((out as f64) - exact).abs().ceil() as u16
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The inverse converter (linear fraction → log fraction), used by the
+/// unified LP *encoder* when packing partial sums back into LP words.
+#[derive(Clone)]
+pub struct LinearLog {
+    bits: u32,
+    table: Vec<u16>,
+}
+
+impl fmt::Debug for LinearLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LinearLog")
+            .field("bits", &self.bits)
+            .field("entries", &self.table.len())
+            .finish()
+    }
+}
+
+impl LinearLog {
+    /// Builds the inverse conversion table (`1 ≤ bits ≤ 12`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `[1, 12]`.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=12).contains(&bits), "converter width must be in [1, 12]");
+        let n = 1usize << bits;
+        let scale = n as f64;
+        let table = (0..n)
+            .map(|i| {
+                let lf = i as f64 / scale; // linear fraction of 1.f
+                let lnf = (1.0 + lf).log2(); // ∈ [0, 1)
+                ((lnf * scale).round() as u16).min((n - 1) as u16)
+            })
+            .collect();
+        LinearLog { bits, table }
+    }
+
+    /// Fraction width in bits.
+    pub const fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Converts a linear fraction (units of `2^−bits`) to a log fraction.
+    pub fn convert(&self, lf: u16) -> u16 {
+        self.table[lf as usize]
+    }
+
+    /// Converts an `f64` linear fraction in `[0,1)` through the table.
+    pub fn convert_f64(&self, lf: f64) -> f64 {
+        let scale = (1usize << self.bits) as f64;
+        let idx = ((lf * scale).round() as usize).min(self.table.len() - 1);
+        self.table[idx] as f64 / scale
+    }
+}
+
+/// A number in sign/log form: the value is `(−1)^negative · 2^(log / 2^FRAC)`
+/// unless `zero`. This is the mathematical content of a decoded LP operand
+/// and the golden model for the PE datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LogNumber {
+    /// Sign flag.
+    pub negative: bool,
+    /// True for exact zero (log is meaningless).
+    pub zero: bool,
+    /// Fixed-point base-2 log of the magnitude, `Q·FRAC_BITS`.
+    pub log: i64,
+}
+
+/// Fraction bits used by [`LogNumber`]'s fixed-point logarithm. 16 bits is
+/// more than any LP fraction field (≤ 13 bits), so conversions are exact.
+pub const FRAC_BITS: u32 = 16;
+
+impl LogNumber {
+    /// The canonical zero.
+    pub const ZERO: LogNumber = LogNumber {
+        negative: false,
+        zero: true,
+        log: 0,
+    };
+
+    /// Converts an `f64` to sign/log form (rounding the log to `Q·16`).
+    pub fn from_f64(v: f64) -> Self {
+        if v == 0.0 || !v.is_finite() {
+            return LogNumber::ZERO;
+        }
+        LogNumber {
+            negative: v < 0.0,
+            zero: false,
+            log: (v.abs().log2() * (1u64 << FRAC_BITS) as f64).round() as i64,
+        }
+    }
+
+    /// Converts back to `f64`.
+    pub fn to_f64(self) -> f64 {
+        if self.zero {
+            return 0.0;
+        }
+        let mag = (self.log as f64 / (1u64 << FRAC_BITS) as f64).exp2();
+        if self.negative {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Log-domain multiplication: add logs, XOR signs — the entire LP MUL
+    /// stage.
+    pub fn mul(self, rhs: LogNumber) -> LogNumber {
+        if self.zero || rhs.zero {
+            return LogNumber::ZERO;
+        }
+        LogNumber {
+            negative: self.negative ^ rhs.negative,
+            zero: false,
+            log: self.log + rhs.log,
+        }
+    }
+}
+
+/// Computes a dot product the way an LPA PE column does: each product is a
+/// log-domain add, then the product's log fraction is converted to linear
+/// with the `conv` table and accumulated in the linear domain.
+///
+/// With the 8-bit table this reproduces the accelerator's small conversion
+/// error; with a 12-bit table it approaches the exact dot product.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths.
+pub fn dot_log_domain(a: &[f64], b: &[f64], conv: &LogLinear) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let p = LogNumber::from_f64(x).mul(LogNumber::from_f64(y));
+        if p.zero {
+            continue;
+        }
+        // Split the product log into integer exponent and fraction, convert
+        // the fraction through the table, rebuild the linear value.
+        let frac_unit = (1u64 << FRAC_BITS) as f64;
+        let l = p.log as f64 / frac_unit;
+        let e = l.floor();
+        let f_prime = l - e;
+        let lf = conv.convert_f64(f_prime);
+        let mag = e.exp2() * (1.0 + lf);
+        acc += if p.negative { -mag } else { mag };
+    }
+    acc
+}
+
+/// Exact dot product reference.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths.
+pub fn dot_exact(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_linear_endpoints() {
+        let c = LogLinear::new(8);
+        assert_eq!(c.convert(0), 0); // 2^0 − 1 = 0
+        // 2^(255/256) − 1 ≈ 0.99461 → 255 after rounding
+        assert_eq!(c.convert(255), 255);
+    }
+
+    #[test]
+    fn log_linear_is_monotone() {
+        let c = LogLinear::new(8);
+        let mut prev = 0;
+        for i in 0..256u16 {
+            let v = c.convert(i);
+            assert!(v >= prev, "table must be non-decreasing");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn log_linear_error_within_one_lsb() {
+        for bits in [4, 6, 8, 10] {
+            let c = LogLinear::new(bits);
+            assert!(c.max_abs_error() <= 1, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn converters_are_near_inverses() {
+        let fwd = LogLinear::new(8);
+        let inv = LinearLog::new(8);
+        for i in 0..256u16 {
+            let round_trip = inv.convert(fwd.convert(i));
+            assert!(
+                (round_trip as i32 - i as i32).abs() <= 1,
+                "round trip {i} → {round_trip}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "converter width")]
+    fn converter_width_validated() {
+        let _ = LogLinear::new(13);
+    }
+
+    #[test]
+    fn log_number_round_trip() {
+        for v in [1.0, -2.5, 0.125, 1e6, -1e-6, 3.7] {
+            let l = LogNumber::from_f64(v);
+            let back = l.to_f64();
+            assert!(
+                ((back - v) / v).abs() < 1e-4,
+                "{v} round-tripped to {back}"
+            );
+        }
+        assert_eq!(LogNumber::from_f64(0.0), LogNumber::ZERO);
+        assert_eq!(LogNumber::ZERO.to_f64(), 0.0);
+    }
+
+    #[test]
+    fn log_mul_matches_float_mul() {
+        for (a, b) in [(1.5, 2.0), (-0.25, 8.0), (3.0, -7.0), (-2.0, -2.0)] {
+            let p = LogNumber::from_f64(a).mul(LogNumber::from_f64(b)).to_f64();
+            assert!(
+                ((p - a * b) / (a * b)).abs() < 1e-4,
+                "{a}*{b} = {} got {p}",
+                a * b
+            );
+        }
+        // Zero annihilates.
+        assert!(LogNumber::from_f64(3.0).mul(LogNumber::ZERO).zero);
+    }
+
+    #[test]
+    fn dot_log_domain_tracks_exact() {
+        let a: Vec<f64> = (0..64).map(|i| ((i * 7 % 13) as f64 - 6.0) / 4.0).collect();
+        let b: Vec<f64> = (0..64).map(|i| ((i * 5 % 11) as f64 - 5.0) / 8.0).collect();
+        let exact = dot_exact(&a, &b);
+        let conv8 = LogLinear::new(8);
+        let conv12 = LogLinear::new(12);
+        let d8 = dot_log_domain(&a, &b, &conv8);
+        let d12 = dot_log_domain(&a, &b, &conv12);
+        // The 12-bit converter must be strictly closer than (or as close as)
+        // the 8-bit one, and both within 1%.
+        assert!((d8 - exact).abs() <= (d12 - exact).abs() + 1e-9);
+        assert!((d8 - exact).abs() / exact.abs() < 0.01, "d8={d8} exact={exact}");
+    }
+
+    #[test]
+    fn dot_handles_zeros() {
+        let conv = LogLinear::new(8);
+        assert_eq!(dot_log_domain(&[0.0, 0.0], &[1.0, 2.0], &conv), 0.0);
+        assert_eq!(dot_log_domain(&[], &[], &conv), 0.0);
+    }
+}

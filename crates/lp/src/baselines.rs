@@ -1,0 +1,442 @@
+//! Conventional baseline quantization formats: uniform integer, fixed-point,
+//! IEEE-style minifloat, and plain logarithmic number system (LNS).
+//!
+//! These are the remaining entries of the paper's number-format comparison
+//! (Fig. 5(b)): LP is evaluated against Float, INT, Fixed, LNS, Posit and
+//! AdaptivFloat. [`posit`](crate::posit) and
+//! [`adaptivfloat`](crate::adaptivfloat) live in their own modules.
+
+use crate::error::LpError;
+use std::fmt;
+
+/// Symmetric uniform integer quantizer with a per-tensor scale
+/// (`q = clamp(round(x / s), −2^(n−1)+1, 2^(n−1)−1)`, `x̂ = q·s`).
+///
+/// # Examples
+///
+/// ```
+/// use lp::baselines::IntQuantizer;
+///
+/// # fn main() -> Result<(), lp::LpError> {
+/// let q = IntQuantizer::for_tensor(8, &[1.0f32, -0.5, 0.25])?;
+/// assert!((q.quantize(0.25) - 0.25).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntQuantizer {
+    n: u32,
+    scale: f64,
+}
+
+impl fmt::Display for IntQuantizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INT{}(s={:.3e})", self.n, self.scale)
+    }
+}
+
+impl IntQuantizer {
+    /// Creates an integer quantizer with an explicit scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError`] when `n ∉ [2, 16]` or the scale is not positive
+    /// and finite.
+    pub fn new(n: u32, scale: f64) -> Result<Self, LpError> {
+        if !(2..=16).contains(&n) {
+            return Err(LpError::InvalidWidth { n });
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(LpError::InvalidParameter {
+                what: "integer scale must be positive and finite",
+            });
+        }
+        Ok(IntQuantizer { n, scale })
+    }
+
+    /// Scale fitted so the tensor's max magnitude maps to the top code.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IntQuantizer::new`].
+    pub fn for_tensor(n: u32, data: &[f32]) -> Result<Self, LpError> {
+        let max = data.iter().map(|x| x.abs()).fold(0.0f32, f32::max);
+        let max = if max > 0.0 { f64::from(max) } else { 1.0 };
+        let levels = (1u32 << (n - 1)) - 1;
+        Self::new(n, max / levels as f64)
+    }
+
+    /// Width in bits.
+    pub const fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The quantization scale (step size).
+    pub const fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Rounds `v` to the nearest representable value.
+    pub fn quantize(&self, v: f64) -> f64 {
+        if !v.is_finite() {
+            return f64::NAN;
+        }
+        let levels = ((1u32 << (self.n - 1)) - 1) as f64;
+        let q = (v / self.scale).round_ties_even().clamp(-levels, levels);
+        q * self.scale
+    }
+}
+
+/// Power-of-two fixed-point quantizer: an integer grid whose step is a power
+/// of two (`x̂ = round(x·2^f)·2^−f` with saturation). Hardware-wise this is
+/// INT with a shift instead of a multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedPoint {
+    n: u32,
+    /// Number of fractional bits (may be negative: step > 1).
+    frac_bits: i32,
+}
+
+impl fmt::Display for FixedPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.n as i32 - 1 - self.frac_bits, self.frac_bits)
+    }
+}
+
+impl FixedPoint {
+    /// Creates a fixed-point format with an explicit fractional-bit count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError`] when `n ∉ [2, 16]`.
+    pub fn new(n: u32, frac_bits: i32) -> Result<Self, LpError> {
+        if !(2..=16).contains(&n) {
+            return Err(LpError::InvalidWidth { n });
+        }
+        Ok(FixedPoint { n, frac_bits })
+    }
+
+    /// Picks the power-of-two step that covers the tensor's max magnitude.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FixedPoint::new`].
+    pub fn for_tensor(n: u32, data: &[f32]) -> Result<Self, LpError> {
+        let max = data.iter().map(|x| x.abs()).fold(0.0f32, f32::max);
+        let max = if max > 0.0 { f64::from(max) } else { 1.0 };
+        // Want (2^(n−1)−1)·2^−f ≥ max, i.e. f ≤ log2((2^(n−1)−1)/max).
+        let levels = ((1u32 << (n - 1)) - 1) as f64;
+        let f = (levels / max).log2().floor() as i32;
+        Self::new(n, f)
+    }
+
+    /// Width in bits.
+    pub const fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Fractional bit count (negative means step sizes above 1).
+    pub const fn frac_bits(&self) -> i32 {
+        self.frac_bits
+    }
+
+    /// Rounds `v` to the nearest representable value.
+    pub fn quantize(&self, v: f64) -> f64 {
+        if !v.is_finite() {
+            return f64::NAN;
+        }
+        let step = (-self.frac_bits as f64).exp2();
+        let levels = ((1u32 << (self.n - 1)) - 1) as f64;
+        let q = (v / step).round_ties_even().clamp(-levels, levels);
+        q * step
+    }
+}
+
+/// IEEE-754-style minifloat with `e` exponent bits, `n − 1 − e` mantissa
+/// bits, subnormals, and saturation instead of infinities (as DNN
+/// accelerators implement FP8). The bias is the IEEE default `2^(e−1) − 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MiniFloat {
+    n: u32,
+    e: u32,
+}
+
+impl fmt::Display for MiniFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FP{}-E{}M{}", self.n, self.e, self.mantissa_bits())
+    }
+}
+
+impl MiniFloat {
+    /// Creates an IEEE-style minifloat (e.g. `MiniFloat::new(8, 4)` is
+    /// FP8-E4M3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError`] when `n ∉ [3, 16]`, `e = 0`, or `e ≥ n`.
+    pub fn new(n: u32, e: u32) -> Result<Self, LpError> {
+        if !(3..=16).contains(&n) {
+            return Err(LpError::InvalidWidth { n });
+        }
+        if e == 0 || e >= n {
+            return Err(LpError::InvalidExponentSize { es: e, n });
+        }
+        Ok(MiniFloat { n, e })
+    }
+
+    /// Width in bits.
+    pub const fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Mantissa field width.
+    pub const fn mantissa_bits(&self) -> u32 {
+        self.n - 1 - self.e
+    }
+
+    /// IEEE exponent bias.
+    pub const fn bias(&self) -> i32 {
+        (1i32 << (self.e - 1)) - 1
+    }
+
+    /// Largest finite magnitude.
+    pub fn max_value(&self) -> f64 {
+        let m = self.mantissa_bits();
+        let top_exp = ((1i32 << self.e) - 1) - self.bias() - 1; // reserve top pattern? no: saturating format keeps it
+        // Saturating format: top exponent pattern is an ordinary binade.
+        let top_exp = top_exp + 1;
+        (top_exp as f64).exp2() * (2.0 - (0.5f64).powi(m as i32))
+    }
+
+    /// Rounds `v` to the nearest representable value.
+    pub fn quantize(&self, v: f64) -> f64 {
+        if v == 0.0 {
+            return 0.0;
+        }
+        if !v.is_finite() {
+            return f64::NAN;
+        }
+        let sign = v.signum();
+        let a = v.abs();
+        let m = self.mantissa_bits() as i32;
+        let max = self.max_value();
+        if a >= max {
+            return sign * max;
+        }
+        let exp_min = 1 - self.bias(); // smallest normal exponent
+        let exp = (a.log2().floor() as i32).clamp(exp_min, i32::MAX);
+        let step = ((exp - m) as f64).exp2();
+        let q = (a / step).round_ties_even() * step;
+        sign * q.min(max)
+    }
+}
+
+/// Plain logarithmic number system: sign plus an `(n−1)`-bit fixed-point
+/// base-2 logarithm with `f` fractional bits and a tensor-adaptive bias.
+/// Every value is `±2^(i·2^−f − bias)`; zero uses a reserved code.
+///
+/// LNS shares LP's cheap multiplication but has *no* tapered accuracy: the
+/// relative error is constant across the whole range, and the range/precision
+/// trade-off is fixed by `f` alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LnsQuantizer {
+    n: u32,
+    frac_bits: u32,
+    bias: f64,
+}
+
+impl fmt::Display for LnsQuantizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LNS{}(f={},b={:.2})", self.n, self.frac_bits, self.bias)
+    }
+}
+
+impl LnsQuantizer {
+    /// Creates an LNS format with explicit log-fraction bits and bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError`] when `n ∉ [3, 16]` or `frac_bits ≥ n − 1`, or
+    /// the bias is not finite.
+    pub fn new(n: u32, frac_bits: u32, bias: f64) -> Result<Self, LpError> {
+        if !(3..=16).contains(&n) {
+            return Err(LpError::InvalidWidth { n });
+        }
+        if frac_bits >= n - 1 {
+            return Err(LpError::InvalidParameter {
+                what: "lns fractional bits must leave at least one integer bit",
+            });
+        }
+        if !bias.is_finite() {
+            return Err(LpError::InvalidScaleFactor { sf: bias });
+        }
+        Ok(LnsQuantizer { n, frac_bits, bias })
+    }
+
+    /// Fits the bias so the log range is centered on the tensor's log-domain
+    /// mean, splitting `n − 1` bits as half integer / half fraction.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LnsQuantizer::new`].
+    pub fn for_tensor(n: u32, data: &[f32]) -> Result<Self, LpError> {
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for &x in data {
+            if x != 0.0 && x.is_finite() {
+                sum += f64::from(x.abs()).log2();
+                count += 1;
+            }
+        }
+        let bias = if count == 0 { 0.0 } else { -sum / count as f64 };
+        let frac_bits = (n - 1) / 2;
+        Self::new(n, frac_bits, bias)
+    }
+
+    /// Width in bits.
+    pub const fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Log-fraction bit count.
+    pub const fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// The log-domain bias.
+    pub const fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Rounds `v` to the nearest representable value (nearest in the *log*
+    /// domain, like LP and unlike floats).
+    pub fn quantize(&self, v: f64) -> f64 {
+        if v == 0.0 {
+            return 0.0;
+        }
+        if !v.is_finite() {
+            return f64::NAN;
+        }
+        let sign = v.signum();
+        let l = v.abs().log2() + self.bias;
+        let step = 1.0 / (1u64 << self.frac_bits) as f64;
+        // (n−1)-bit signed fixed-point log, one code reserved for zero.
+        let half_range = (1u64 << (self.n - 2)) as f64 * step;
+        let lq = (l / step).round_ties_even() * step;
+        let lq = lq.clamp(-half_range, half_range - step);
+        sign * (lq - self.bias).exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_quantizer_grid() {
+        let q = IntQuantizer::new(4, 0.5).unwrap();
+        assert_eq!(q.quantize(0.74), 0.5);
+        assert_eq!(q.quantize(0.76), 1.0);
+        // 4-bit symmetric: codes in [−7, 7].
+        assert_eq!(q.quantize(100.0), 3.5);
+        assert_eq!(q.quantize(-100.0), -3.5);
+    }
+
+    #[test]
+    fn int_for_tensor_covers_max() {
+        let data = [3.2f32, -1.0, 0.4];
+        let q = IntQuantizer::for_tensor(8, &data).unwrap();
+        assert!((q.quantize(3.2) - 3.2).abs() < q.scale() / 2.0 + 1e-12);
+        // All-zero tensor falls back to unit scale rather than failing.
+        assert!(IntQuantizer::for_tensor(8, &[0.0f32; 4]).is_ok());
+    }
+
+    #[test]
+    fn int_validates() {
+        assert!(IntQuantizer::new(1, 1.0).is_err());
+        assert!(IntQuantizer::new(8, 0.0).is_err());
+        assert!(IntQuantizer::new(8, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn fixed_point_steps_are_powers_of_two() {
+        let q = FixedPoint::new(8, 4).unwrap();
+        assert_eq!(q.quantize(0.0625), 0.0625); // 2^−4 exactly on grid
+        assert_eq!(q.quantize(0.03), 0.0); // below half a step rounds to 0
+        // saturation at ±(2^7−1)·2^−4
+        assert_eq!(q.quantize(1000.0), 127.0 / 16.0);
+    }
+
+    #[test]
+    fn fixed_for_tensor_covers_max() {
+        let data = [5.0f32, 0.2];
+        let q = FixedPoint::for_tensor(8, &data).unwrap();
+        let max_rep = 127.0 * (-q.frac_bits() as f64).exp2();
+        assert!(max_rep >= 5.0);
+        assert!(max_rep < 10.01); // not wastefully large
+    }
+
+    #[test]
+    fn minifloat_e4m3_basics() {
+        let f = MiniFloat::new(8, 4).unwrap();
+        assert_eq!(f.mantissa_bits(), 3);
+        assert_eq!(f.quantize(1.0), 1.0);
+        assert_eq!(f.quantize(1.125), 1.125);
+        assert_eq!(f.quantize(-1.125), -1.125);
+        let max = f.max_value();
+        assert_eq!(f.quantize(1e9), max);
+    }
+
+    #[test]
+    fn minifloat_validates() {
+        assert!(MiniFloat::new(8, 0).is_err());
+        assert!(MiniFloat::new(8, 8).is_err());
+        assert!(MiniFloat::new(2, 1).is_err());
+    }
+
+    #[test]
+    fn lns_multiplicative_grid() {
+        let q = LnsQuantizer::new(8, 3, 0.0).unwrap();
+        // Grid values are 2^(i/8); relative error constant across decades.
+        let v = q.quantize(3.0);
+        assert!((v.log2() * 8.0).round() - v.log2() * 8.0 < 1e-9);
+        let rel_small = (q.quantize(0.2) - 0.2f64).abs() / 0.2;
+        let rel_large = (q.quantize(3.3) - 3.3f64).abs() / 3.3;
+        assert!(rel_small < 0.05 && rel_large < 0.05);
+    }
+
+    #[test]
+    fn lns_for_tensor_centers_bias() {
+        let data = [0.25f32; 16];
+        let q = LnsQuantizer::for_tensor(8, &data).unwrap();
+        assert_eq!(q.quantize(0.25), 0.25); // exactly on the biased grid
+    }
+
+    #[test]
+    fn lns_validates() {
+        assert!(LnsQuantizer::new(8, 7, 0.0).is_err());
+        assert!(LnsQuantizer::new(8, 3, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zero_and_nonfinite_handling() {
+        let iq = IntQuantizer::new(8, 0.1).unwrap();
+        let fq = FixedPoint::new(8, 4).unwrap();
+        let mf = MiniFloat::new(8, 4).unwrap();
+        let lq = LnsQuantizer::new(8, 3, 0.0).unwrap();
+        assert_eq!(iq.quantize(0.0), 0.0);
+        assert_eq!(fq.quantize(0.0), 0.0);
+        assert_eq!(mf.quantize(0.0), 0.0);
+        assert_eq!(lq.quantize(0.0), 0.0);
+        assert!(iq.quantize(f64::NAN).is_nan());
+        assert!(mf.quantize(f64::INFINITY).is_nan());
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(FixedPoint::new(8, 4).unwrap().to_string(), "Q3.4");
+        assert_eq!(MiniFloat::new(8, 4).unwrap().to_string(), "FP8-E4M3");
+        assert!(IntQuantizer::new(8, 0.5).unwrap().to_string().starts_with("INT8"));
+        assert!(LnsQuantizer::new(8, 3, 0.0).unwrap().to_string().starts_with("LNS8"));
+    }
+}

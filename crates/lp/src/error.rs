@@ -1,0 +1,96 @@
+//! Error types for the `lp` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a number format with invalid parameters.
+///
+/// # Examples
+///
+/// ```
+/// use lp::format::LpParams;
+///
+/// // es must satisfy es ≤ n − 3
+/// let err = LpParams::new(4, 3, 3, 0.0).unwrap_err();
+/// assert!(err.to_string().contains("exponent size"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// Total width `n` outside the supported `[2, 16]` range.
+    InvalidWidth {
+        /// The requested width.
+        n: u32,
+    },
+    /// Exponent size exceeds `n − 3` (1 sign bit + at least 2 regime bits
+    /// must remain).
+    InvalidExponentSize {
+        /// The requested exponent size.
+        es: u32,
+        /// The total width it was requested for.
+        n: u32,
+    },
+    /// Regime cap outside `[2, n − 1]` (or `[1, 1]` when `n = 2`).
+    InvalidRegimeSize {
+        /// The requested regime cap.
+        rs: u32,
+        /// The total width it was requested for.
+        n: u32,
+    },
+    /// Scale factor is NaN or infinite.
+    InvalidScaleFactor {
+        /// The offending scale factor.
+        sf: f64,
+    },
+    /// A parameter was invalid for one of the baseline formats.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::InvalidWidth { n } => {
+                write!(f, "invalid width n={n}, supported range is [2, 16]")
+            }
+            LpError::InvalidExponentSize { es, n } => write!(
+                f,
+                "invalid exponent size es={es} for n={n}, must satisfy es <= min(max(0, n-3), 5)"
+            ),
+            LpError::InvalidRegimeSize { rs, n } => write!(
+                f,
+                "invalid regime size rs={rs} for n={n}, must satisfy min(2, n-1) <= rs <= n-1"
+            ),
+            LpError::InvalidScaleFactor { sf } => {
+                write!(f, "invalid scale factor sf={sf}, must be finite with |sf| <= 256")
+            }
+            LpError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = LpError::InvalidWidth { n: 40 };
+        assert_eq!(e.to_string(), "invalid width n=40, supported range is [2, 16]");
+        let e = LpError::InvalidExponentSize { es: 9, n: 8 };
+        assert!(e.to_string().contains("es=9"));
+        let e = LpError::InvalidRegimeSize { rs: 9, n: 8 };
+        assert!(e.to_string().contains("rs=9"));
+        let e = LpError::InvalidScaleFactor { sf: f64::NAN };
+        assert!(e.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

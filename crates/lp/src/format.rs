@@ -1,0 +1,845 @@
+//! The bit-exact Logarithmic Posit (LP) codec.
+//!
+//! An LP value `x⟨n, es, rs, sf⟩` is laid out, for non-negative encodings, as
+//!
+//! ```text
+//! | sign (1) | regime (run-length, ≤ rs bits) | exponent (es bits) | log-fraction |
+//! ```
+//!
+//! Negative values store the two's complement of the whole `n`-bit word,
+//! exactly like standard posits (and exactly what the LPA decoder's unified
+//! two's complementer undoes in hardware). The all-zeros word is `0`; the
+//! word with only the sign bit set is `NaR` (not-a-real).
+//!
+//! The regime is a run of `m` identical bits terminated by a complement bit,
+//! by the end of the word, or — unlike standard posits — by reaching the
+//! *regime cap* `rs`. Its value is `k = m − 1` for runs of ones and `k = −m`
+//! for runs of zeros, so `k ∈ [−rs, rs − 1]`. The remaining bits hold the
+//! `es`-bit integer exponent `e` and the log-domain fraction `f′`, together
+//! the *ulfx* (unified logarithmic fraction and exponent). The decoded
+//! magnitude is a pure power of two:
+//!
+//! ```text
+//! |x| = 2^(2^es·k + e + f′ − sf)
+//! ```
+//!
+//! Because encodings ordered as two's-complement integers are monotone in
+//! value (the posit property, preserved by the regime cap and the log-domain
+//! fraction), correct round-to-nearest-even is implemented by constructing
+//! the exact infinite-precision bit pattern and rounding it as an integer.
+
+use crate::error::LpError;
+use std::fmt;
+
+/// Number of guard bits used when constructing the exact pattern before
+/// rounding. 40 bits comfortably exceeds the largest possible fraction
+/// field (13 bits for n = 16) plus the precision of `f64::log2`.
+const GUARD: u32 = 40;
+
+/// An encoded LP word. The value occupies the low `n` bits.
+///
+/// `LpWord` is a thin newtype over `u16` so that raw buffer packing (as done
+/// by the LPA weight/input buffers) stays explicit.
+///
+/// # Examples
+///
+/// ```
+/// use lp::format::{LpParams, LpWord};
+///
+/// # fn main() -> Result<(), lp::LpError> {
+/// let p = LpParams::new(8, 1, 3, 0.0)?;
+/// let w: LpWord = p.encode(1.0);
+/// assert_eq!(p.decode(w), 1.0);
+/// assert_eq!(format!("{:#010b}", w.bits()), "0b01000000");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LpWord(u16);
+
+impl LpWord {
+    /// Creates a word from raw bits. Bits above the format width are the
+    /// caller's responsibility to keep clear.
+    pub const fn from_bits(bits: u16) -> Self {
+        LpWord(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Binary for LpWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for LpWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for LpWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for LpWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<LpWord> for u16 {
+    fn from(w: LpWord) -> u16 {
+        w.0
+    }
+}
+
+/// The decoded fields of an LP word, as produced by the LPA unified decoder.
+///
+/// `scale` is the total unbiased log-domain scale `2^es·k + e − sf` carried
+/// by regime and exponent, and `ulfx_frac` the log-domain fraction `f′` in
+/// `[0, 1)`. The decoded magnitude is `2^(scale + ulfx_frac)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodedLp {
+    /// Sign: `true` for negative.
+    pub negative: bool,
+    /// Regime value `k ∈ [−rs, rs−1]`.
+    pub k: i32,
+    /// Integer exponent `e ∈ [0, 2^es)`.
+    pub e: u32,
+    /// Log-domain fraction numerator; `f′ = frac / 2^frac_bits`.
+    pub frac: u32,
+    /// Number of fraction bits actually present in this word.
+    pub frac_bits: u32,
+    /// `true` when the word is the NaR (not-a-real) pattern.
+    pub is_nar: bool,
+    /// `true` when the word is zero.
+    pub is_zero: bool,
+}
+
+impl DecodedLp {
+    /// The log-domain fraction `f′ ∈ [0, 1)`.
+    pub fn f_prime(&self) -> f64 {
+        if self.frac_bits == 0 {
+            0.0
+        } else {
+            self.frac as f64 / (1u64 << self.frac_bits) as f64
+        }
+    }
+}
+
+/// Parameters of a Logarithmic Posit format: `⟨n, es, rs, sf⟩`.
+///
+/// * `n` — total width in bits, `2 ≤ n ≤ 16`
+/// * `es` — exponent field size, `0 ≤ es ≤ min(n − 3, 5)` (the paper caps
+///   exponent sizes at 5; larger values would overflow `f64` scales)
+/// * `rs` — regime cap, `2 ≤ rs ≤ n − 1` (`rs = 1` when `n = 2`)
+/// * `sf` — continuous scale-factor bias, `|sf| ≤ 256`
+///
+/// # Examples
+///
+/// ```
+/// use lp::format::LpParams;
+///
+/// # fn main() -> Result<(), lp::LpError> {
+/// let p = LpParams::new(8, 2, 3, 0.0)?;
+/// assert_eq!(p.n(), 8);
+/// // Largest representable magnitude: scale = 2^es·k + e + f′ with
+/// // k = rs−1 = 2, e = 3, f′ → 1, so max_pos approaches 2^12.
+/// assert!(p.max_pos() > 2f64.powi(11));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LpParams {
+    n: u32,
+    es: u32,
+    rs: u32,
+    sf: f64,
+}
+
+impl fmt::Display for LpParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LP<{},{},{},{:.4}>", self.n, self.es, self.rs, self.sf)
+    }
+}
+
+impl LpParams {
+    /// Creates a new LP format description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError`] if `n ∉ [2, 16]`, `es > max(0, n−3)`,
+    /// `rs ∉ [min(2, n−1), n−1]`, or `sf` is not finite.
+    pub fn new(n: u32, es: u32, rs: u32, sf: f64) -> Result<Self, LpError> {
+        if !(2..=16).contains(&n) {
+            return Err(LpError::InvalidWidth { n });
+        }
+        if es > n.saturating_sub(3).min(5) {
+            return Err(LpError::InvalidExponentSize { es, n });
+        }
+        let rs_lo = 2u32.min(n - 1);
+        if rs < rs_lo || rs > n - 1 {
+            return Err(LpError::InvalidRegimeSize { rs, n });
+        }
+        if !sf.is_finite() || sf.abs() > 256.0 {
+            return Err(LpError::InvalidScaleFactor { sf });
+        }
+        Ok(LpParams { n, es, rs, sf })
+    }
+
+    /// Builds the nearest *valid* format to the requested raw parameters by
+    /// clamping each field into range. Useful for genetic-algorithm search
+    /// where mutation may step outside the feasible region.
+    pub fn clamped(n: i64, es: i64, rs: i64, sf: f64) -> Self {
+        let n = n.clamp(2, 16) as u32;
+        let es = es.clamp(0, n.saturating_sub(3).min(5) as i64) as u32;
+        let rs_lo = 2u32.min(n - 1) as i64;
+        let rs = rs.clamp(rs_lo, (n - 1) as i64) as u32;
+        let sf = if sf.is_finite() { sf.clamp(-256.0, 256.0) } else { 0.0 };
+        LpParams { n, es, rs, sf }
+    }
+
+    /// Total width in bits.
+    pub const fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Exponent field size.
+    pub const fn es(&self) -> u32 {
+        self.es
+    }
+
+    /// Regime cap in bits.
+    pub const fn rs(&self) -> u32 {
+        self.rs
+    }
+
+    /// Scale-factor bias.
+    pub const fn sf(&self) -> f64 {
+        self.sf
+    }
+
+    /// Returns a copy with a different scale factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sf` is not finite.
+    pub fn with_sf(&self, sf: f64) -> Self {
+        assert!(sf.is_finite(), "scale factor must be finite");
+        LpParams { sf, ..*self }
+    }
+
+    /// The word mask for this width (`n` low bits set).
+    fn mask(&self) -> u32 {
+        (1u32 << self.n) - 1
+    }
+
+    /// The NaR (not-a-real) word: sign bit set, all else zero.
+    pub fn nar(&self) -> LpWord {
+        LpWord((1u16) << (self.n - 1))
+    }
+
+    /// The zero word.
+    pub fn zero(&self) -> LpWord {
+        LpWord(0)
+    }
+
+    /// Largest representable magnitude (the decode of the all-ones-below-sign
+    /// word).
+    pub fn max_pos(&self) -> f64 {
+        self.decode(LpWord(((1u32 << (self.n - 1)) - 1) as u16))
+    }
+
+    /// Smallest positive representable magnitude (the decode of word `1`).
+    pub fn min_pos(&self) -> f64 {
+        self.decode(LpWord(1))
+    }
+
+    /// Number of distinct finite, non-zero, positive values: `2^(n−1) − 1`.
+    pub fn positive_count(&self) -> u32 {
+        (1u32 << (self.n - 1)) - 1
+    }
+
+    /// Encodes an `f64` into the nearest LP word (round-to-nearest-even in
+    /// the log domain, posit saturation semantics: overflow → ±maxpos,
+    /// underflow → ±minpos, never rounds a non-zero value to zero).
+    ///
+    /// Non-finite inputs encode to NaR; `±0.0` encodes to the zero word.
+    pub fn encode(&self, v: f64) -> LpWord {
+        if v == 0.0 {
+            return self.zero();
+        }
+        if !v.is_finite() {
+            return self.nar();
+        }
+        let negative = v < 0.0;
+        let a = v.abs();
+        // Target total log scale: 2^es·k + e + f′ = log2|v| + sf.
+        let l_tot = a.log2() + self.sf;
+        let q = self.encode_magnitude(l_tot);
+        let word = if negative {
+            ((!q).wrapping_add(1)) & self.mask()
+        } else {
+            q
+        };
+        LpWord(word as u16)
+    }
+
+    /// Encodes the magnitude with total log scale `l_tot` into the positive
+    /// pattern `q ∈ [1, 2^(n−1) − 1]`.
+    fn encode_magnitude(&self, l_tot: f64) -> u32 {
+        let max_q = (1u32 << (self.n - 1)) - 1;
+        // Fixed-point log scale with GUARD fractional bits.
+        let l_fix = (l_tot * (1u64 << GUARD) as f64).round();
+        if !l_fix.is_finite() {
+            return if l_tot > 0.0 { max_q } else { 1 };
+        }
+        // Clamp to a safe i128 range before conversion.
+        let l_fix = l_fix.clamp(-(1i64 << 62) as f64, (1i64 << 62) as f64) as i128;
+        let unit = 1i128 << (self.es + GUARD); // one regime step
+        let k = l_fix.div_euclid(unit);
+        if k >= self.rs as i128 {
+            return max_q; // saturate to maxpos
+        }
+        if k < -(self.rs as i128) {
+            return 1; // saturate to minpos
+        }
+        let k = k as i32;
+        let rem = l_fix.rem_euclid(unit) as u128; // e·2^GUARD + f′·2^GUARD
+        let (reg_bits, reg_len) = Self::regime_pattern(k, self.rs);
+        // Full-precision pattern: regime | exponent+fraction (rem).
+        let total_len = reg_len + self.es + GUARD;
+        let pattern: u128 = ((reg_bits as u128) << (self.es + GUARD)) | rem;
+        // Round to n−1 bits (RNE), relying on posit integer monotonicity.
+        let shift = total_len - (self.n - 1);
+        debug_assert!(shift > 0, "guard bits must exceed available width");
+        let mut q = (pattern >> shift) as u32;
+        let dropped = pattern & ((1u128 << shift) - 1);
+        let half = 1u128 << (shift - 1);
+        if dropped > half || (dropped == half && (q & 1) == 1) {
+            q += 1;
+        }
+        q.clamp(1, max_q)
+    }
+
+    /// Regime bit pattern and length for regime value `k` under cap `rs`.
+    ///
+    /// For `k ≥ 0`: `k+1` ones, plus a `0` terminator if the run is below
+    /// the cap. For `k < 0`: `−k` zeros, plus a `1` terminator if below the
+    /// cap.
+    fn regime_pattern(k: i32, rs: u32) -> (u32, u32) {
+        if k >= 0 {
+            let m = (k + 1) as u32;
+            debug_assert!(m <= rs);
+            if m < rs {
+                // m ones then a zero terminator.
+                (((1u32 << m) - 1) << 1, m + 1)
+            } else {
+                ((1u32 << m) - 1, m)
+            }
+        } else {
+            let m = (-k) as u32;
+            debug_assert!(m <= rs);
+            if m < rs {
+                (1, m + 1) // m zeros then a one terminator
+            } else {
+                (0, m)
+            }
+        }
+    }
+
+    /// Decodes a word into its bit fields without converting to `f64`.
+    pub fn decode_parts(&self, w: LpWord) -> DecodedLp {
+        let mask = self.mask();
+        let bits = (w.bits() as u32) & mask;
+        if bits == 0 {
+            return DecodedLp {
+                negative: false,
+                k: 0,
+                e: 0,
+                frac: 0,
+                frac_bits: 0,
+                is_nar: false,
+                is_zero: true,
+            };
+        }
+        let sign_bit = 1u32 << (self.n - 1);
+        if bits == sign_bit {
+            return DecodedLp {
+                negative: true,
+                k: 0,
+                e: 0,
+                frac: 0,
+                frac_bits: 0,
+                is_nar: true,
+                is_zero: false,
+            };
+        }
+        let negative = bits & sign_bit != 0;
+        let mag = if negative {
+            ((!bits).wrapping_add(1)) & mask
+        } else {
+            bits
+        };
+        // Parse the regime from bit n−2 downward.
+        let body_len = self.n - 1;
+        let body = mag & (sign_bit - 1);
+        let first = (body >> (body_len - 1)) & 1;
+        let mut m = 1u32;
+        while m < self.rs && m < body_len && ((body >> (body_len - 1 - m)) & 1) == first {
+            m += 1;
+        }
+        let k = if first == 1 { m as i32 - 1 } else { -(m as i32) };
+        // Bits consumed by the regime: the run plus a terminator if the run
+        // ended below the cap and before the end of the word.
+        let reg_consumed = if m < self.rs && m < body_len { m + 1 } else { m };
+        let rest_len = body_len - reg_consumed;
+        let rest = body & ((1u32 << rest_len).wrapping_sub(1));
+        // Exponent: the leading min(es, rest_len) bits, MSB-aligned (missing
+        // low bits are implicit zeros, as in standard posits).
+        let e_avail = self.es.min(rest_len);
+        let e_bits = if e_avail > 0 {
+            (rest >> (rest_len - e_avail)) & ((1u32 << e_avail) - 1)
+        } else {
+            0
+        };
+        let e = e_bits << (self.es - e_avail);
+        let frac_bits = rest_len - e_avail;
+        let frac = rest & ((1u32 << frac_bits).wrapping_sub(1));
+        DecodedLp {
+            negative,
+            k,
+            e,
+            frac,
+            frac_bits,
+            is_nar: false,
+            is_zero: false,
+        }
+    }
+
+    /// Decodes a word into an `f64`. NaR decodes to NaN.
+    pub fn decode(&self, w: LpWord) -> f64 {
+        let d = self.decode_parts(w);
+        if d.is_zero {
+            return 0.0;
+        }
+        if d.is_nar {
+            return f64::NAN;
+        }
+        let l = (d.k as f64) * (1u64 << self.es) as f64 + d.e as f64 + d.f_prime() - self.sf;
+        let mag = l.exp2();
+        if d.negative {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Rounds a value to the nearest representable LP value
+    /// (`decode(encode(v))`).
+    pub fn quantize(&self, v: f64) -> f64 {
+        self.decode(self.encode(v))
+    }
+
+    /// Quantizes a slice of `f32` in place.
+    pub fn quantize_slice(&self, xs: &mut [f32]) {
+        for x in xs.iter_mut() {
+            *x = self.quantize(f64::from(*x)) as f32;
+        }
+    }
+
+    /// Iterates over every finite representable value of this format
+    /// (excluding NaR), in encoding order.
+    pub fn values(&self) -> Values<'_> {
+        Values {
+            params: self,
+            next: 0,
+            end: 1u32 << self.n,
+        }
+    }
+
+    /// The largest encodable *scale* (the value `2^es·k + e + f′` of the
+    /// all-ones pattern), independent of `sf`: the magnitude of `max_pos`
+    /// is `2^(max_scale − sf)`.
+    pub fn max_scale(&self) -> f64 {
+        self.max_pos().log2() + self.sf
+    }
+
+    /// The smallest encodable scale (the scale of `min_pos`).
+    pub fn min_scale(&self) -> f64 {
+        self.min_pos().log2() + self.sf
+    }
+
+    /// Fits a scale factor for quantizing `data` with this format's
+    /// `⟨n, es, rs⟩`, balancing two goals: center the taper on the data's
+    /// geometric mean, but never let the data's maximum magnitude saturate
+    /// (clipping large values hurts far more than coarsening small ones).
+    ///
+    /// Returns the centered fit `−mean(log2|x|)` clamped so that
+    /// `log2(max|x|) + sf ≤ max_scale`.
+    pub fn fit_sf_saturating(&self, data: &[f32]) -> f64 {
+        let center = Self::fit_sf(data);
+        let max_log = data
+            .iter()
+            .filter(|x| x.is_finite() && **x != 0.0)
+            .map(|x| f64::from(x.abs()).log2())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !max_log.is_finite() {
+            return center;
+        }
+        center.min(self.max_scale() - max_log).clamp(-256.0, 256.0)
+    }
+
+    /// Fits a scale factor that centers the format's region of maximum
+    /// accuracy (the tapered region, where the encoded scale is near zero)
+    /// on the bulk of `data`, by setting `sf = −mean(log2|x|)` over
+    /// non-zero elements: the encoded scale of `x` is `log2|x| + sf`, so
+    /// this choice maps the geometric mean of the data to scale 0.
+    ///
+    /// Returns `0.0` for empty or all-zero data.
+    pub fn fit_sf(data: &[f32]) -> f64 {
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for &x in data {
+            if x != 0.0 && x.is_finite() {
+                sum += f64::from(x.abs()).log2();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            -sum / count as f64
+        }
+    }
+}
+
+/// Iterator over all finite representable values of an [`LpParams`] format.
+///
+/// Produced by [`LpParams::values`]; yields `(word, value)` pairs, skipping
+/// the NaR pattern.
+#[derive(Debug, Clone)]
+pub struct Values<'a> {
+    params: &'a LpParams,
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for Values<'_> {
+    type Item = (LpWord, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.next < self.end {
+            let w = LpWord(self.next as u16);
+            self.next += 1;
+            let v = self.params.decode(w);
+            if v.is_nan() {
+                continue; // skip NaR
+            }
+            return Some((w, v));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32, es: u32, rs: u32, sf: f64) -> LpParams {
+        LpParams::new(n, es, rs, sf).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(LpParams::new(8, 2, 3, 0.0).is_ok());
+        assert!(matches!(
+            LpParams::new(1, 0, 1, 0.0),
+            Err(LpError::InvalidWidth { .. })
+        ));
+        assert!(matches!(
+            LpParams::new(17, 0, 2, 0.0),
+            Err(LpError::InvalidWidth { .. })
+        ));
+        assert!(matches!(
+            LpParams::new(8, 6, 3, 0.0),
+            Err(LpError::InvalidExponentSize { .. })
+        ));
+        assert!(matches!(
+            LpParams::new(8, 2, 8, 0.0),
+            Err(LpError::InvalidRegimeSize { .. })
+        ));
+        assert!(matches!(
+            LpParams::new(8, 2, 1, 0.0),
+            Err(LpError::InvalidRegimeSize { .. })
+        ));
+        assert!(matches!(
+            LpParams::new(8, 2, 3, f64::NAN),
+            Err(LpError::InvalidScaleFactor { .. })
+        ));
+        // n = 2 allows rs = 1 only.
+        assert!(LpParams::new(2, 0, 1, 0.0).is_ok());
+        assert!(LpParams::new(2, 0, 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn clamped_always_valid() {
+        for n in -5..20i64 {
+            for es in -2..8i64 {
+                for rs in -2..20i64 {
+                    let c = LpParams::clamped(n, es, rs, 0.5);
+                    assert!(LpParams::new(c.n(), c.es(), c.rs(), c.sf()).is_ok());
+                }
+            }
+        }
+        assert_eq!(LpParams::clamped(8, 2, 3, f64::INFINITY).sf(), 0.0);
+    }
+
+    #[test]
+    fn zero_and_nar() {
+        let f = p(8, 2, 3, 0.0);
+        assert_eq!(f.encode(0.0), f.zero());
+        assert_eq!(f.decode(f.zero()), 0.0);
+        assert!(f.decode(f.nar()).is_nan());
+        assert_eq!(f.encode(f64::INFINITY), f.nar());
+        assert_eq!(f.encode(f64::NAN), f.nar());
+        assert_eq!(f.encode(f64::NEG_INFINITY), f.nar());
+    }
+
+    #[test]
+    fn one_encodes_to_canonical_pattern() {
+        // With sf = 0, 1.0 has L = 0 → k = 0, e = 0, f = 0.
+        // k = 0 regime is "10", so the word is 0b0100_0000 for n = 8.
+        let f = p(8, 2, 3, 0.0);
+        assert_eq!(f.encode(1.0).bits(), 0b0100_0000);
+        assert_eq!(f.decode(f.encode(1.0)), 1.0);
+    }
+
+    #[test]
+    fn negative_is_twos_complement() {
+        let f = p(8, 2, 3, 0.0);
+        let pos = f.encode(1.5).bits();
+        let neg = f.encode(-1.5).bits();
+        assert_eq!(neg, (!pos).wrapping_add(1) & 0xFF);
+        assert_eq!(f.decode(f.encode(-1.5)), -f.decode(f.encode(1.5)));
+    }
+
+    #[test]
+    fn powers_of_two_are_exact() {
+        let f = p(8, 2, 3, 0.0);
+        // All powers of two within range must be exactly representable
+        // (zero log fraction).
+        for exp in -8..=8 {
+            let v = f64::powi(2.0, exp);
+            assert_eq!(f.decode(f.encode(v)), v, "2^{exp} must round-trip");
+        }
+    }
+
+    #[test]
+    fn saturation_semantics() {
+        let f = p(8, 2, 3, 0.0);
+        let max = f.max_pos();
+        let min = f.min_pos();
+        assert_eq!(f.quantize(max * 1e6), max, "overflow saturates to maxpos");
+        assert_eq!(f.quantize(min / 1e6), min, "underflow saturates to minpos");
+        assert_eq!(f.quantize(-max * 1e6), -max);
+        assert_eq!(f.quantize(-min / 1e6), -min);
+    }
+
+    #[test]
+    fn scale_factor_shifts_values() {
+        // sf shifts the whole representable set by 2^−sf.
+        let base = p(8, 2, 3, 0.0);
+        let shifted = p(8, 2, 3, 3.0);
+        assert_eq!(shifted.decode(shifted.encode(1.0 / 8.0)), 1.0 / 8.0);
+        // The word for 1/8 under sf=3 equals the word for 1.0 under sf=0.
+        assert_eq!(shifted.encode(1.0 / 8.0), base.encode(1.0));
+        assert!((shifted.max_pos() / base.max_pos() - (1.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_encoding_order() {
+        // Decoded values must be strictly increasing over positive patterns.
+        for (n, es, rs) in [(8, 2, 3), (8, 0, 7), (6, 1, 3), (4, 0, 3), (5, 2, 2), (8, 5, 2)] {
+            let f = p(n, es, rs, 0.25);
+            let mut prev = 0.0;
+            for q in 1..(1u32 << (n - 1)) {
+                let v = f.decode(LpWord(q as u16));
+                assert!(
+                    v > prev,
+                    "format {f}: pattern {q:#b} decodes to {v} <= previous {prev}"
+                );
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_all_words() {
+        // encode(decode(w)) == w for every finite word, across formats.
+        for (n, es, rs, sf) in [
+            (8, 2, 3, 0.0),
+            (8, 0, 7, 0.0),
+            (8, 3, 2, 1.5),
+            (6, 1, 3, -2.25),
+            (4, 1, 3, 0.0),
+            (3, 0, 2, 0.0),
+            (2, 0, 1, 0.0),
+            (10, 2, 4, 0.125),
+            (16, 3, 5, 0.0),
+        ] {
+            let f = p(n, es, rs, sf);
+            for w in 0..(1u32 << n) {
+                let word = LpWord(w as u16);
+                let v = f.decode(word);
+                if v.is_nan() {
+                    continue;
+                }
+                assert_eq!(
+                    f.encode(v),
+                    word,
+                    "format {f}: word {w:#b} decoded to {v} re-encoded differently"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_to_nearest_in_log_domain() {
+        let f = p(8, 2, 3, 0.0);
+        // Collect all positive values; any input between two adjacent values
+        // must round to the log-domain-nearer one.
+        let vals: Vec<f64> = (1..(1u32 << 7)).map(|q| f.decode(LpWord(q as u16))).collect();
+        for pair in vals.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            // Geometric midpoint = log-domain midpoint.
+            let mid = (lo * hi).sqrt();
+            let just_below = mid * (1.0 - 1e-9);
+            let just_above = mid * (1.0 + 1e-9);
+            assert_eq!(f.quantize(just_below), lo, "below geometric mid of ({lo},{hi})");
+            assert_eq!(f.quantize(just_above), hi, "above geometric mid of ({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn regime_cap_bounds_k() {
+        let f = p(8, 1, 3, 0.0);
+        for q in 1..(1u32 << 7) {
+            let d = f.decode_parts(LpWord(q as u16));
+            assert!(d.k >= -3 && d.k <= 2, "k={} out of [−rs, rs−1]", d.k);
+        }
+        // Cap must be reachable on both sides.
+        assert_eq!(f.decode_parts(f.encode(f.max_pos())).k, 2);
+        assert_eq!(f.decode_parts(f.encode(f.min_pos())).k, -3);
+    }
+
+    #[test]
+    fn n2_degenerate_format() {
+        let f = p(2, 0, 1, 0.0);
+        let vals: Vec<f64> = f.values().map(|(_, v)| v).collect();
+        assert_eq!(vals.len(), 3); // 0, +1, −1 (NaR skipped)
+        assert!(vals.contains(&0.0));
+        assert!(vals.contains(&1.0));
+        assert!(vals.contains(&-1.0));
+    }
+
+    #[test]
+    fn values_iterator_counts() {
+        let f = p(8, 2, 3, 0.0);
+        assert_eq!(f.values().count(), 255); // 256 patterns − NaR
+    }
+
+    #[test]
+    fn fit_sf_centers_distribution() {
+        let data: Vec<f32> = vec![0.25; 100];
+        let sf = LpParams::fit_sf(&data);
+        // log2(0.25) = −2, so sf = +2 centers the taper on the data.
+        assert!((sf - 2.0).abs() < 1e-9);
+        // The encoded scale of 0.25 is then exactly 0 (the word for 1.0
+        // under sf = 0).
+        let f = p(8, 2, 3, sf);
+        let base = p(8, 2, 3, 0.0);
+        assert_eq!(f.encode(0.25), base.encode(1.0));
+        assert_eq!(LpParams::fit_sf(&[]), 0.0);
+        assert_eq!(LpParams::fit_sf(&[0.0, 0.0]), 0.0);
+        // With the fitted sf, 0.25 is exactly representable.
+        let f = p(8, 2, 3, sf);
+        assert_eq!(f.quantize(0.25), 0.25);
+    }
+
+    #[test]
+    fn max_scale_consistent_with_max_pos() {
+        for (n, es, rs, sf) in [(8, 2, 3, 0.0), (8, 2, 3, 5.0), (4, 1, 3, -2.0)] {
+            let f = p(n, es, rs, sf);
+            assert!((f.max_pos().log2() - (f.max_scale() - sf)).abs() < 1e-9);
+            assert!((f.min_pos().log2() - (f.min_scale() - sf)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fit_sf_saturating_never_clips_the_max() {
+        // Data whose bulk is tiny but with one large outlier: the centered
+        // fit would clip the outlier; the saturating fit must not.
+        let mut data = vec![0.001f32; 1000];
+        data.push(4.0);
+        let f = p(4, 1, 3, 0.0); // narrow format, small dynamic range
+        let sf = f.fit_sf_saturating(&data);
+        let f = f.with_sf(sf);
+        let q = f.quantize(4.0);
+        assert!(
+            (q - 4.0).abs() / 4.0 < 0.5,
+            "max must stay representable, got {q}"
+        );
+        // Without outliers the saturating fit equals the centered fit.
+        let data2 = vec![0.25f32; 100];
+        let g = p(8, 2, 3, 0.0);
+        assert_eq!(g.fit_sf_saturating(&data2), LpParams::fit_sf(&data2));
+        // Degenerate input falls back to the centered fit.
+        assert_eq!(g.fit_sf_saturating(&[]), 0.0);
+    }
+
+    #[test]
+    fn higher_es_widens_dynamic_range() {
+        let narrow = p(8, 0, 3, 0.0);
+        let wide = p(8, 2, 3, 0.0);
+        assert!(wide.max_pos() > narrow.max_pos());
+        assert!(wide.min_pos() < narrow.min_pos());
+        // Each es increment squares the regime step: max_pos(es=2) ≈
+        // max_pos(es=0)^4 near the regime-dominated end.
+        assert!(wide.max_pos() >= narrow.max_pos().powi(2));
+    }
+
+    #[test]
+    fn smaller_rs_tightens_tapering() {
+        // A smaller regime cap must reduce dynamic range but leave more
+        // fraction bits for mid-range values.
+        let tight = p(8, 0, 2, 0.0);
+        let loose = p(8, 0, 7, 0.0);
+        assert!(tight.max_pos() < loose.max_pos());
+        // Mid-range step size (around 1.0) should be finer for the tight cap.
+        let step = |f: &LpParams| {
+            let w = f.encode(1.0);
+            f.decode(LpWord(w.bits() + 1)) - 1.0
+        };
+        assert!(step(&tight) <= step(&loose));
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = p(8, 2, 3, 0.5);
+        assert_eq!(f.to_string(), "LP<8,2,3,0.5000>");
+        let w = LpWord::from_bits(0b0100_0000);
+        assert_eq!(format!("{w:b}"), "1000000");
+        assert_eq!(format!("{w:x}"), "40");
+        assert_eq!(format!("{w:o}"), "100");
+        assert_eq!(format!("{w:X}"), "40");
+        assert_eq!(u16::from(w), 0b0100_0000);
+    }
+}

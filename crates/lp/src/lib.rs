@@ -1,0 +1,63 @@
+//! # Logarithmic Posits (LP)
+//!
+//! A from-scratch implementation of the *Logarithmic Posit* number format
+//! from "Algorithm-Hardware Co-Design of Distribution-Aware
+//! Logarithmic-Posit Encodings for Efficient DNN Inference" (DAC 2024),
+//! together with every baseline format the paper compares against.
+//!
+//! LP is a composite data type that blends the tapered accuracy of posits
+//! with the hardware efficiency of logarithmic number systems (LNS). Every
+//! non-zero LP value is a signed power of two:
+//!
+//! ```text
+//! x⟨n, es, rs, sf⟩ = (−1)^sign × 2^(2^es·k − sf) × 2^ulfx
+//! ```
+//!
+//! where `k` is the run-length-encoded *regime* (capped at `rs` bits),
+//! `ulfx` is the *unified logarithmic fraction and exponent* — an `es`-bit
+//! integer exponent `e` plus a log-domain fraction `f′ = log2(1.f)` — and
+//! `sf` is a continuous scale-factor bias that repositions the region of
+//! maximum accuracy.
+//!
+//! ## Modules
+//!
+//! * [`format`] — the bit-exact LP codec ([`LpParams`], [`LpWord`])
+//! * [`posit`] — standard linear-fraction posit⟨n,es⟩ (Gustafson 2017)
+//! * [`adaptivfloat`] — AdaptivFloat (Tambe et al., DAC 2020)
+//! * [`baselines`] — uniform INT, fixed-point, IEEE-style minifloat, plain LNS
+//! * [`arith`] — log-domain arithmetic and the 8-bit log↔linear converters
+//!   used by the LPA accelerator datapath
+//! * [`accuracy`] — decimal-accuracy metrics (Fig. 1(b) of the paper)
+//! * [`quantizer`] — a uniform [`Quantizer`](quantizer::Quantizer) trait over
+//!   every format, with tensor-adaptive parameter fitting
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lp::format::LpParams;
+//!
+//! # fn main() -> Result<(), lp::LpError> {
+//! // An 8-bit LP with 2 exponent bits, regime capped at 3 bits, no bias.
+//! let p = LpParams::new(8, 2, 3, 0.0)?;
+//! let w = p.encode(0.75);
+//! let back = p.decode(w);
+//! assert!((back - 0.75).abs() / 0.75 < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod adaptivfloat;
+pub mod arith;
+pub mod baselines;
+pub mod error;
+pub mod format;
+pub mod posit;
+pub mod quantizer;
+
+pub use error::LpError;
+pub use format::{LpParams, LpWord};
+pub use quantizer::Quantizer;

@@ -1,0 +1,277 @@
+//! Standard posit⟨n, es⟩ codec (Gustafson & Yonemoto, 2017).
+//!
+//! Unlike [`LpParams`](crate::format::LpParams), a standard posit has a
+//! *linear* fraction `1.f`, an uncapped regime (it may run to the end of the
+//! word), and no scale-factor bias:
+//!
+//! ```text
+//! x = (−1)^sign × 2^(2^es·k) × 2^e × (1 + f)
+//! ```
+//!
+//! This module provides the baseline "Posit" format used in the paper's
+//! format comparison (Fig. 5(b)) and in the Posit-2/4/8 PE ablation row of
+//! Table 4.
+
+use crate::error::LpError;
+use std::fmt;
+
+const GUARD: u32 = 40;
+
+/// Parameters of a standard posit format: width `n` and exponent size `es`.
+///
+/// # Examples
+///
+/// ```
+/// use lp::posit::PositParams;
+///
+/// # fn main() -> Result<(), lp::LpError> {
+/// let p8 = PositParams::new(8, 2)?;
+/// assert_eq!(p8.decode(p8.encode(1.0)), 1.0);
+/// // Posit fractions are linear: 1.5 = 1 + 0.5 is exact in posit⟨8,2⟩.
+/// assert_eq!(p8.decode(p8.encode(1.5)), 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PositParams {
+    n: u32,
+    es: u32,
+}
+
+impl fmt::Display for PositParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "posit<{},{}>", self.n, self.es)
+    }
+}
+
+impl PositParams {
+    /// Creates a standard posit format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError`] when `n ∉ [2, 16]` or `es > n − 2`.
+    pub fn new(n: u32, es: u32) -> Result<Self, LpError> {
+        if !(2..=16).contains(&n) {
+            return Err(LpError::InvalidWidth { n });
+        }
+        if es > n - 2 {
+            return Err(LpError::InvalidExponentSize { es, n });
+        }
+        Ok(PositParams { n, es })
+    }
+
+    /// Total width in bits.
+    pub const fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Exponent field size.
+    pub const fn es(&self) -> u32 {
+        self.es
+    }
+
+    fn mask(&self) -> u32 {
+        (1u32 << self.n) - 1
+    }
+
+    /// Largest representable magnitude: `2^(2^es · (n−2))`.
+    pub fn max_pos(&self) -> f64 {
+        self.decode(((1u32 << (self.n - 1)) - 1) as u16)
+    }
+
+    /// Smallest positive magnitude: `2^(−2^es · (n−2))`.
+    pub fn min_pos(&self) -> f64 {
+        self.decode(1)
+    }
+
+    /// Encodes `v` to the nearest posit word (RNE; posit saturation).
+    pub fn encode(&self, v: f64) -> u16 {
+        if v == 0.0 {
+            return 0;
+        }
+        if !v.is_finite() {
+            return (1u32 << (self.n - 1)) as u16; // NaR
+        }
+        let negative = v < 0.0;
+        let a = v.abs();
+        let exp = a.log2().floor();
+        // Guard against values of magnitude exactly a power of two where
+        // floating error could put log2 just below an integer.
+        let exp = if a / exp.exp2() >= 2.0 { exp + 1.0 } else { exp };
+        let exp_i = exp as i64;
+        let frac = a / (exp_i as f64).exp2() - 1.0; // ∈ [0, 1)
+        let unit = 1i64 << self.es;
+        let k = exp_i.div_euclid(unit);
+        let e = exp_i.rem_euclid(unit) as u32;
+        let max_q = (1u32 << (self.n - 1)) - 1;
+        let max_k = (self.n - 2) as i64;
+        let q = if k > max_k {
+            max_q
+        } else if k < -max_k {
+            1
+        } else {
+            let (reg_bits, reg_len) = regime_pattern(k as i32);
+            let f_fix = (frac * (1u64 << GUARD) as f64).round() as u128;
+            let total_len = reg_len + self.es + GUARD;
+            let pattern: u128 =
+                ((reg_bits as u128) << (self.es + GUARD)) | ((e as u128) << GUARD) | f_fix;
+            let shift = total_len - (self.n - 1);
+            let mut q = (pattern >> shift) as u32;
+            let dropped = pattern & ((1u128 << shift) - 1);
+            let half = 1u128 << (shift - 1);
+            if dropped > half || (dropped == half && (q & 1) == 1) {
+                q += 1;
+            }
+            q.clamp(1, max_q)
+        };
+        let word = if negative {
+            ((!q).wrapping_add(1)) & self.mask()
+        } else {
+            q
+        };
+        word as u16
+    }
+
+    /// Decodes a posit word. NaR decodes to NaN.
+    pub fn decode(&self, word: u16) -> f64 {
+        let mask = self.mask();
+        let bits = (word as u32) & mask;
+        if bits == 0 {
+            return 0.0;
+        }
+        let sign_bit = 1u32 << (self.n - 1);
+        if bits == sign_bit {
+            return f64::NAN;
+        }
+        let negative = bits & sign_bit != 0;
+        let mag = if negative {
+            ((!bits).wrapping_add(1)) & mask
+        } else {
+            bits
+        };
+        let body_len = self.n - 1;
+        let body = mag & (sign_bit - 1);
+        let first = (body >> (body_len - 1)) & 1;
+        let mut m = 1u32;
+        while m < body_len && ((body >> (body_len - 1 - m)) & 1) == first {
+            m += 1;
+        }
+        let k = if first == 1 { m as i32 - 1 } else { -(m as i32) };
+        let reg_consumed = if m < body_len { m + 1 } else { m };
+        let rest_len = body_len - reg_consumed;
+        let rest = body & ((1u32 << rest_len).wrapping_sub(1));
+        let e_avail = self.es.min(rest_len);
+        let e_bits = if e_avail > 0 {
+            (rest >> (rest_len - e_avail)) & ((1u32 << e_avail) - 1)
+        } else {
+            0
+        };
+        let e = e_bits << (self.es - e_avail);
+        let frac_bits = rest_len - e_avail;
+        let frac = rest & ((1u32 << frac_bits).wrapping_sub(1));
+        let f = if frac_bits == 0 {
+            0.0
+        } else {
+            frac as f64 / (1u64 << frac_bits) as f64
+        };
+        let scale = (k as f64) * (1u64 << self.es) as f64 + e as f64;
+        let mag_v = scale.exp2() * (1.0 + f);
+        if negative {
+            -mag_v
+        } else {
+            mag_v
+        }
+    }
+
+    /// Rounds `v` to the nearest representable posit value.
+    pub fn quantize(&self, v: f64) -> f64 {
+        self.decode(self.encode(v))
+    }
+}
+
+fn regime_pattern(k: i32) -> (u32, u32) {
+    if k >= 0 {
+        let m = (k + 1) as u32;
+        (((1u32 << m) - 1) << 1, m + 1)
+    } else {
+        let m = (-k) as u32;
+        (1, m + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(PositParams::new(8, 2).is_ok());
+        assert!(PositParams::new(1, 0).is_err());
+        assert!(PositParams::new(8, 7).is_err());
+        assert!(PositParams::new(8, 6).is_ok());
+    }
+
+    #[test]
+    fn canonical_values_posit8_2() {
+        let p = PositParams::new(8, 2).unwrap();
+        assert_eq!(p.decode(p.encode(1.0)), 1.0);
+        assert_eq!(p.encode(1.0), 0b0100_0000);
+        assert_eq!(p.decode(p.encode(1.5)), 1.5);
+        // maxpos for posit⟨8,2⟩ is 2^24.
+        assert_eq!(p.max_pos(), f64::powi(2.0, 24));
+        assert_eq!(p.min_pos(), f64::powi(2.0, -24));
+    }
+
+    #[test]
+    fn round_trip_all_words() {
+        for (n, es) in [(8, 2), (8, 0), (6, 1), (4, 0), (16, 1), (5, 3)] {
+            let p = PositParams::new(n, es).unwrap();
+            for w in 0..(1u32 << n) {
+                let v = p.decode(w as u16);
+                if v.is_nan() {
+                    continue;
+                }
+                assert_eq!(p.encode(v), w as u16, "posit<{n},{es}> word {w:#b} → {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_positive_patterns() {
+        let p = PositParams::new(8, 2).unwrap();
+        let mut prev = 0.0;
+        for q in 1..128u16 {
+            let v = p.decode(q);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn rounds_to_nearest_linear_midpoint() {
+        // Posits round in the *linear* domain: the arithmetic midpoint
+        // between adjacent same-regime values is the decision boundary.
+        let p = PositParams::new(8, 2).unwrap();
+        let a = p.decode(p.encode(1.0));
+        let b = p.decode(p.encode(1.0) + 1);
+        let mid = (a + b) / 2.0;
+        assert_eq!(p.quantize(mid * (1.0 - 1e-9)), a);
+        assert_eq!(p.quantize(mid * (1.0 + 1e-9)), b);
+    }
+
+    #[test]
+    fn saturates_not_overflows() {
+        let p = PositParams::new(8, 2).unwrap();
+        assert_eq!(p.quantize(1e30), p.max_pos());
+        assert_eq!(p.quantize(1e-30), p.min_pos());
+        assert_eq!(p.quantize(-1e30), -p.max_pos());
+    }
+
+    #[test]
+    fn nar_and_zero() {
+        let p = PositParams::new(8, 2).unwrap();
+        assert_eq!(p.encode(0.0), 0);
+        assert!(p.decode(0b1000_0000).is_nan());
+        assert_eq!(p.encode(f64::NAN), 0b1000_0000);
+    }
+}

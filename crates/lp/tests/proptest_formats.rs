@@ -1,0 +1,178 @@
+//! Property-based tests on the core format invariants.
+
+use lp::adaptivfloat::AdaptivFloat;
+use lp::baselines::{FixedPoint, IntQuantizer, LnsQuantizer, MiniFloat};
+use lp::format::{LpParams, LpWord};
+use lp::posit::PositParams;
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary valid LP formats.
+fn lp_params() -> impl Strategy<Value = LpParams> {
+    (2u32..=16, 0u32..=13, 1u32..=15, -8.0f64..8.0).prop_map(|(n, es, rs, sf)| {
+        LpParams::clamped(i64::from(n), i64::from(es), i64::from(rs), sf)
+    })
+}
+
+/// Strategy for interesting finite doubles spanning many magnitudes.
+fn magnitudes() -> impl Strategy<Value = f64> {
+    (-40.0f64..40.0, prop::bool::ANY).prop_map(|(l, neg)| {
+        let v = l.exp2();
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(p in lp_params(), w in 0u32..65536) {
+        let word = LpWord::from_bits((w & ((1 << p.n()) - 1)) as u16);
+        let v = p.decode(word);
+        if !v.is_nan() {
+            prop_assert_eq!(p.encode(v), word);
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent(p in lp_params(), v in magnitudes()) {
+        let q1 = p.quantize(v);
+        let q2 = p.quantize(q1);
+        prop_assert_eq!(q1.to_bits(), q2.to_bits());
+    }
+
+    #[test]
+    fn negation_is_twos_complement(p in lp_params(), v in magnitudes()) {
+        let pos = p.encode(v.abs());
+        let neg = p.encode(-v.abs());
+        let mask = ((1u32 << p.n()) - 1) as u16;
+        prop_assert_eq!(neg.bits(), (!pos.bits()).wrapping_add(1) & mask);
+    }
+
+    #[test]
+    fn quantize_preserves_sign_and_bounds(p in lp_params(), v in magnitudes()) {
+        let q = p.quantize(v);
+        prop_assert!(q != 0.0, "non-zero never rounds to zero");
+        prop_assert_eq!(q.signum(), v.signum());
+        prop_assert!(q.abs() <= p.max_pos());
+        prop_assert!(q.abs() >= p.min_pos());
+    }
+
+    #[test]
+    fn quantize_is_monotone(p in lp_params(), a in magnitudes(), b in magnitudes()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(p.quantize(lo) <= p.quantize(hi));
+    }
+
+    #[test]
+    fn decode_parts_matches_decode(p in lp_params(), w in 0u32..65536) {
+        let word = LpWord::from_bits((w & ((1 << p.n()) - 1)) as u16);
+        let d = p.decode_parts(word);
+        let v = p.decode(word);
+        if d.is_zero {
+            prop_assert_eq!(v, 0.0);
+        } else if d.is_nar {
+            prop_assert!(v.is_nan());
+        } else {
+            let l = (d.k as f64) * f64::from(1u32 << p.es()) + f64::from(d.e)
+                + d.f_prime() - p.sf();
+            let expect = if d.negative { -l.exp2() } else { l.exp2() };
+            prop_assert_eq!(v.to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn posit_round_trip(n in 2u32..=16, es in 0u32..=3, w in 0u32..65536) {
+        let es = es.min(n - 2);
+        let p = PositParams::new(n, es).unwrap();
+        let word = (w & ((1 << n) - 1)) as u16;
+        let v = p.decode(word);
+        if !v.is_nan() {
+            prop_assert_eq!(p.encode(v), word);
+        }
+    }
+
+    #[test]
+    fn posit_quantize_error_bounded(n in 6u32..=16, es in 0u32..=2, l in -3.0f64..3.0) {
+        // Probe magnitudes well inside posit⟨n,es⟩'s dynamic range
+        // (|log2 v| < 2^es·(n−2)) so saturation never triggers.
+        let p = PositParams::new(n, es).unwrap();
+        let v = l.exp2();
+        let q = p.quantize(v);
+        prop_assert!((q - v).abs() / v < 0.5, "v={v} q={q}");
+    }
+
+    #[test]
+    fn int_quantizer_error_within_half_step(
+        n in 2u32..=16,
+        scale in 1e-6f64..1e3,
+        v in -1e4f64..1e4,
+    ) {
+        let q = IntQuantizer::new(n, scale).unwrap();
+        let r = q.quantize(v);
+        let levels = f64::from((1u32 << (n - 1)) - 1);
+        if v.abs() <= levels * scale {
+            prop_assert!((r - v).abs() <= scale / 2.0 + 1e-12);
+        } else {
+            prop_assert_eq!(r.abs(), levels * scale);
+        }
+    }
+
+    #[test]
+    fn fixed_point_idempotent(n in 2u32..=16, f in -4i32..12, v in -100.0f64..100.0) {
+        let q = FixedPoint::new(n, f).unwrap();
+        let r = q.quantize(v);
+        prop_assert_eq!(q.quantize(r).to_bits(), r.to_bits());
+    }
+
+    #[test]
+    fn minifloat_idempotent_and_monotone(
+        n in 3u32..=16,
+        e in 1u32..=5,
+        a in -1e3f64..1e3,
+        b in -1e3f64..1e3,
+    ) {
+        let e = e.min(n - 1).max(1).min(n - 2).max(1);
+        if let Ok(q) = MiniFloat::new(n, e) {
+            let ra = q.quantize(a);
+            prop_assert_eq!(q.quantize(ra).to_bits(), ra.to_bits());
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(q.quantize(lo) <= q.quantize(hi));
+        }
+    }
+
+    #[test]
+    fn adaptivfloat_idempotent(n in 3u32..=16, v in -1e3f64..1e3) {
+        let e = 3u32.clamp(1, n - 2);
+        let af = AdaptivFloat::new(n, e, 2).unwrap();
+        let r = af.quantize(v);
+        prop_assert_eq!(af.quantize(r).to_bits(), r.to_bits());
+    }
+
+    #[test]
+    fn lns_idempotent(n in 3u32..=16, f in 1u32..=6, v in -1e3f64..1e3) {
+        let f = f.min(n - 2);
+        let q = LnsQuantizer::new(n, f, 0.5).unwrap();
+        let r = q.quantize(v);
+        // One extra round trip must be a fixed point.
+        let r2 = q.quantize(r);
+        prop_assert!((r2 - r).abs() <= r.abs() * 1e-12);
+    }
+
+    #[test]
+    fn lp_error_bounded_in_taper(p in lp_params(), t in 0.01f64..0.99) {
+        // Inside the first regime step (encoded scale in (0, 1)), formats
+        // with n ≥ 3 can represent both scale 0 and scale 1, so rounding
+        // error is at most half a unit log step: rel err ≤ 2^0.5 − 1.
+        // (n = 2 has a single magnitude and saturates instead.)
+        prop_assume!(p.n() >= 3);
+        let l = t - p.sf(); // encoded scale = t ∈ (0, 1)
+        let v = l.exp2();
+        if v.is_finite() && v > 0.0 {
+            let q = p.quantize(v);
+            let rel = ((q - v) / v).abs();
+            prop_assert!(rel <= 2f64.sqrt() - 1.0 + 1e-9, "rel={rel} p={p}");
+        }
+    }
+}

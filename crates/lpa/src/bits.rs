@@ -1,0 +1,169 @@
+//! Bit-level primitives of the unified LP decoder (Fig. 4 of the paper):
+//! the mixed-precision two's complementer and the mode-aware leading-zero
+//! detector. Both operate on a packed 8-bit word containing four 2-bit,
+//! two 4-bit, or one 8-bit LP value(s) depending on the PE mode.
+
+use crate::pe::PeMode;
+
+/// Unified mixed-precision two's complementer (Fig. 4(a)): negates each
+/// lane of the packed word independently, with carry propagation cut at
+/// lane boundaries according to the mode.
+///
+/// # Examples
+///
+/// ```
+/// use lpa::bits::twos_complement_lanes;
+/// use lpa::pe::PeMode;
+///
+/// // MODE-C: one 8-bit lane; ordinary two's complement.
+/// assert_eq!(twos_complement_lanes(0x01, PeMode::C), 0xFF);
+/// // MODE-A: four 2-bit lanes negated independently.
+/// assert_eq!(twos_complement_lanes(0b01_01_01_01, PeMode::A), 0b11_11_11_11);
+/// ```
+pub fn twos_complement_lanes(word: u8, mode: PeMode) -> u8 {
+    let lane_bits = mode.lane_bits();
+    let lanes = mode.lanes();
+    let mask = (1u16 << lane_bits) - 1;
+    let mut out = 0u16;
+    for l in 0..lanes {
+        let shift = (l as u32) * lane_bits;
+        let lane = (u16::from(word) >> shift) & mask;
+        // Per-lane two's complement: invert then +1 with the carry confined
+        // to the lane (exactly what the muxed carry chain of Fig. 4(a)
+        // produces).
+        let neg = (!lane).wrapping_add(1) & mask;
+        out |= neg << shift;
+    }
+    out as u8
+}
+
+/// Per-lane leading-zero count of the packed word (Fig. 4(b)): counts the
+/// zeros from each lane's MSB downward, with the count chain cut at lane
+/// boundaries by the mode muxes. Returns one count per lane,
+/// least-significant lane first.
+///
+/// In the decoder this runs after the regime's first bit has been used to
+/// conditionally invert the word, so a single zero-counter serves both
+/// regime polarities.
+pub fn leading_zeros_lanes(word: u8, mode: PeMode) -> Vec<u32> {
+    let lane_bits = mode.lane_bits();
+    let lanes = mode.lanes();
+    let mask = (1u16 << lane_bits) - 1;
+    (0..lanes)
+        .map(|l| {
+            let shift = (l as u32) * lane_bits;
+            let lane = (u16::from(word) >> shift) & mask;
+            let mut count = 0;
+            for b in (0..lane_bits).rev() {
+                if lane & (1 << b) == 0 {
+                    count += 1;
+                } else {
+                    break;
+                }
+            }
+            count
+        })
+        .collect()
+}
+
+/// Extracts the lanes of a packed word, least-significant lane first.
+pub fn unpack_lanes(word: u8, mode: PeMode) -> Vec<u8> {
+    let lane_bits = mode.lane_bits();
+    let mask = (1u16 << lane_bits) - 1;
+    (0..mode.lanes())
+        .map(|l| ((u16::from(word) >> ((l as u32) * lane_bits)) & mask) as u8)
+        .collect()
+}
+
+/// Packs lane values into an 8-bit word (inverse of [`unpack_lanes`]).
+///
+/// # Panics
+///
+/// Panics if the lane count does not match the mode or a lane overflows
+/// its width.
+pub fn pack_lanes(lanes: &[u8], mode: PeMode) -> u8 {
+    assert_eq!(lanes.len(), mode.lanes(), "lane count mismatch");
+    let lane_bits = mode.lane_bits();
+    let mask = (1u16 << lane_bits) - 1;
+    let mut out = 0u16;
+    for (l, &v) in lanes.iter().enumerate() {
+        assert!(u16::from(v) <= mask, "lane value {v:#x} exceeds {lane_bits} bits");
+        out |= u16::from(v) << ((l as u32) * lane_bits);
+    }
+    out as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twos_complement_mode_c_matches_scalar() {
+        for w in 0..=255u8 {
+            assert_eq!(
+                twos_complement_lanes(w, PeMode::C),
+                w.wrapping_neg(),
+                "word {w:#04x}"
+            );
+        }
+    }
+
+    #[test]
+    fn twos_complement_lanes_are_independent() {
+        // Negating one lane must not disturb the others.
+        for mode in [PeMode::A, PeMode::B] {
+            let lane_bits = mode.lane_bits();
+            let mask = ((1u16 << lane_bits) - 1) as u8;
+            for w in 0..=255u8 {
+                let neg = twos_complement_lanes(w, mode);
+                for (l, lane) in unpack_lanes(w, mode).into_iter().enumerate() {
+                    let expect = lane.wrapping_neg() & mask;
+                    let got = unpack_lanes(neg, mode)[l];
+                    assert_eq!(got, expect, "word {w:#04x} lane {l} mode {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_complement_is_identity() {
+        for mode in [PeMode::A, PeMode::B, PeMode::C] {
+            for w in 0..=255u8 {
+                let back = twos_complement_lanes(twos_complement_lanes(w, mode), mode);
+                assert_eq!(back, w, "mode {mode:?} word {w:#04x}");
+            }
+        }
+    }
+
+    #[test]
+    fn leading_zeros_mode_c() {
+        assert_eq!(leading_zeros_lanes(0b1000_0000, PeMode::C), vec![0]);
+        assert_eq!(leading_zeros_lanes(0b0001_0000, PeMode::C), vec![3]);
+        assert_eq!(leading_zeros_lanes(0, PeMode::C), vec![8]);
+    }
+
+    #[test]
+    fn leading_zeros_per_lane() {
+        // MODE-B: low lane 0b0001 → 3 zeros; high lane 0b0100 → 1 zero.
+        let w = 0b0100_0001u8;
+        assert_eq!(leading_zeros_lanes(w, PeMode::B), vec![3, 1]);
+        // MODE-A: lanes (LSB first) 01, 00, 01, 00 → counts 1, 2, 1, 2.
+        let w = 0b00_01_00_01u8;
+        assert_eq!(leading_zeros_lanes(w, PeMode::A), vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for mode in [PeMode::A, PeMode::B, PeMode::C] {
+            for w in 0..=255u8 {
+                assert_eq!(pack_lanes(&unpack_lanes(w, mode), mode), w);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count mismatch")]
+    fn pack_validates_lane_count() {
+        let _ = pack_lanes(&[1, 2], PeMode::A);
+    }
+}

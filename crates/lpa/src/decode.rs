@@ -1,0 +1,231 @@
+//! The unified LP decoder and encoder (Fig. 3): converts packed low-
+//! precision LP words from the weight/input buffers into the PE-internal
+//! unified format — sign, regime value adjusted for scale factor, and ulfx
+//! — and packs partial sums back into LP words on the way out.
+//!
+//! The decoder models the actual hardware steps: per-lane two's
+//! complement (Fig. 4(a)), conditional inversion by the regime's first bit
+//! followed by a mode-aware leading-zero count (Fig. 4(b)), regime
+//! shift-out, and ulfx extraction. Its output is verified bit-exactly
+//! against the `lp` crate's reference codec in the test suite.
+
+use crate::bits::{leading_zeros_lanes, twos_complement_lanes, unpack_lanes};
+use crate::pe::{PeMode, SCALE_FRAC_BITS};
+use lp::format::{LpParams, LpWord};
+
+/// A decoded operand in the PE-internal unified format: the value is
+/// `(−1)^negative · 2^(scale_q8 / 256)` unless `zero`.
+///
+/// `scale_q8` is the complete log₂ magnitude in Q·8 fixed point — the
+/// regime contribution `2^es·k`, the exponent `e`, the log fraction, and
+/// the (negated) scale-factor bias folded together. The hardware carries
+/// the same information as a 16-bit regime plus 16-bit ulfx; folding them
+/// into one fixed-point word is arithmetic-identical because the MUL stage
+/// only ever *adds* them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedOperand {
+    /// True when the operand is zero (or NaR, which the datapath flushes
+    /// to zero like the paper's exception handling).
+    pub zero: bool,
+    /// Sign bit.
+    pub negative: bool,
+    /// Q·8 fixed-point log₂ magnitude.
+    pub scale_q8: i32,
+}
+
+impl DecodedOperand {
+    /// The zero operand.
+    pub const ZERO: DecodedOperand = DecodedOperand {
+        zero: true,
+        negative: false,
+        scale_q8: 0,
+    };
+
+    /// Builds an operand from an `f64` value (used by the functional array
+    /// model and tests; real hardware always decodes from LP words).
+    pub fn from_value(v: f64) -> Self {
+        if v == 0.0 || !v.is_finite() {
+            return DecodedOperand::ZERO;
+        }
+        DecodedOperand {
+            zero: false,
+            negative: v < 0.0,
+            scale_q8: (v.abs().log2() * f64::from(1u32 << SCALE_FRAC_BITS)).round() as i32,
+        }
+    }
+
+    /// The operand's value as `f64`.
+    pub fn value(self) -> f64 {
+        if self.zero {
+            return 0.0;
+        }
+        let mag = (f64::from(self.scale_q8) / f64::from(1u32 << SCALE_FRAC_BITS)).exp2();
+        if self.negative {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+/// Decodes one LP lane through the hardware datapath steps.
+///
+/// `lane` holds the LP word in its low `params.n()` bits; `params.n()`
+/// must equal the lane width.
+pub fn decode_lane(lane: u8, params: &LpParams) -> DecodedOperand {
+    let n = params.n();
+    let mask = ((1u16 << n) - 1) as u8;
+    let lane = lane & mask;
+    if lane == 0 {
+        return DecodedOperand::ZERO;
+    }
+    let sign_bit = 1u8 << (n - 1);
+    if lane == sign_bit {
+        // NaR: flushed to zero by the PPU's exception handling.
+        return DecodedOperand::ZERO;
+    }
+    let negative = lane & sign_bit != 0;
+    // Step 1: unified two's complementer (single-lane view).
+    let mag = if negative {
+        twos_complement_lanes(lane, PeMode::C) & mask
+    } else {
+        lane
+    };
+    let body_len = n - 1;
+    let body = mag & (sign_bit - 1);
+    // Step 2: regime decode. The first regime bit selects inversion so a
+    // single leading-zero counter handles both polarities.
+    let first = (body >> (body_len - 1)) & 1;
+    let to_count = if first == 1 { (!body) & (sign_bit - 1) } else { body };
+    // Align the body to the top of an 8-bit word for the shared LZD.
+    let aligned = to_count << (8 - body_len);
+    let zeros = leading_zeros_lanes(aligned, PeMode::C)[0].min(body_len);
+    let m = zeros.min(params.rs());
+    let k = if first == 1 { m as i32 - 1 } else { -(m as i32) };
+    // Step 3: shift out the regime (run + terminator when below the cap
+    // and not at the end of the word), leaving exponent and fraction.
+    let reg_consumed = if m < params.rs() && m < body_len { m + 1 } else { m };
+    let rest_len = body_len - reg_consumed;
+    let rest = body & (((1u16 << rest_len) - 1) as u8);
+    let es = params.es();
+    let e_avail = es.min(rest_len);
+    let e_bits = if e_avail > 0 {
+        (rest >> (rest_len - e_avail)) & (((1u16 << e_avail) - 1) as u8)
+    } else {
+        0
+    };
+    let e = u32::from(e_bits) << (es - e_avail);
+    let frac_bits = rest_len - e_avail;
+    let frac = u32::from(rest) & ((1u32 << frac_bits) - 1);
+    // Step 4: assemble the unified fixed-point scale. The log fraction is
+    // MSB-aligned into the 8 fraction bits; the scale factor is quantized
+    // to Q·8 (the hardware's sf shifter resolution).
+    let lnf8 = (frac << (SCALE_FRAC_BITS - frac_bits)) as i32;
+    let sf_q8 = (params.sf() * f64::from(1u32 << SCALE_FRAC_BITS)).round() as i32;
+    let regime_scale = (k * (1i32 << es) + e as i32) << SCALE_FRAC_BITS;
+    DecodedOperand {
+        zero: false,
+        negative,
+        scale_q8: regime_scale + lnf8 - sf_q8,
+    }
+}
+
+/// The unified LP weight decoder: splits a packed 8-bit buffer word into
+/// its mode lanes and decodes each against its layer's LP parameters.
+///
+/// # Panics
+///
+/// Panics if `params.n()` does not match the mode's lane width.
+pub fn decode_packed(word: u8, mode: PeMode, params: &LpParams) -> Vec<DecodedOperand> {
+    assert_eq!(
+        params.n(),
+        mode.lane_bits(),
+        "format width must equal the mode lane width"
+    );
+    unpack_lanes(word, mode)
+        .into_iter()
+        .map(|lane| decode_lane(lane, params))
+        .collect()
+}
+
+/// The unified LP encoder + post-processing unit: quantizes a linear
+/// partial-sum value back to an LP word (the linear→log conversion happens
+/// inside [`LpParams::encode`]'s reference arithmetic; the hardware uses
+/// the inverse truth-table converter of `lp::arith::LinearLog`).
+pub fn encode_output(value: f64, params: &LpParams) -> LpWord {
+    params.encode(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_lane_matches_reference_codec() {
+        // Bit-exact agreement with lp::LpParams::decode over every word of
+        // several formats (scale factors quantized to Q·8 on both sides).
+        for (n, es, rs, sf) in [
+            (8u32, 2u32, 3u32, 0.0f64),
+            (8, 0, 7, 0.25),
+            (4, 1, 3, -1.5),
+            (2, 0, 1, 0.0),
+            (8, 3, 2, 1.0),
+        ] {
+            let sf_q = (sf * 256.0).round() / 256.0;
+            let p = LpParams::new(n, es, rs, sf_q).unwrap();
+            for w in 0..(1u16 << n) {
+                let hw = decode_lane(w as u8, &p);
+                let reference = p.decode(LpWord::from_bits(w));
+                if reference == 0.0 || reference.is_nan() {
+                    assert!(hw.zero, "format {p} word {w:#b} must decode to zero/NaR");
+                    continue;
+                }
+                assert_eq!(hw.negative, reference < 0.0, "format {p} word {w:#b} sign");
+                let hw_val = hw.value();
+                assert!(
+                    ((hw_val - reference) / reference).abs() < 1e-9,
+                    "format {p} word {w:#b}: hw {hw_val} vs ref {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_packed_splits_lanes() {
+        let p = LpParams::new(4, 1, 3, 0.0).unwrap();
+        // Two 4-bit lanes: low = encode(1.0), high = encode(-2.0).
+        let lo = p.encode(1.0).bits() as u8;
+        let hi = p.encode(-2.0).bits() as u8;
+        let word = (hi << 4) | lo;
+        let lanes = decode_packed(word, PeMode::B, &p);
+        assert_eq!(lanes.len(), 2);
+        assert!((lanes[0].value() - 1.0).abs() < 1e-9);
+        assert!((lanes[1].value() + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "format width must equal")]
+    fn decode_packed_checks_width() {
+        let p = LpParams::new(8, 2, 3, 0.0).unwrap();
+        let _ = decode_packed(0, PeMode::A, &p);
+    }
+
+    #[test]
+    fn from_value_round_trips() {
+        for v in [1.0, -3.5, 0.0625, -100.0] {
+            let d = DecodedOperand::from_value(v);
+            assert!(((d.value() - v) / v).abs() < 0.01, "{v} → {}", d.value());
+        }
+        assert_eq!(DecodedOperand::from_value(0.0), DecodedOperand::ZERO);
+        assert_eq!(DecodedOperand::from_value(f64::NAN), DecodedOperand::ZERO);
+        assert_eq!(DecodedOperand::ZERO.value(), 0.0);
+    }
+
+    #[test]
+    fn encode_output_round_trips_through_format() {
+        let p = LpParams::new(8, 2, 3, 0.0).unwrap();
+        let w = encode_output(1.5, &p);
+        let back = p.decode(w);
+        assert!((back - 1.5).abs() / 1.5 < 0.05);
+    }
+}

@@ -1,0 +1,35 @@
+//! # LPA — the mixed-precision Logarithmic-Posit accelerator model
+//!
+//! A software model of the accelerator of §5 of the paper: a weight-
+//! stationary 8×8 systolic array whose processing elements natively execute
+//! LP arithmetic in three packing modes (MODE-A: four 2-bit weights per PE,
+//! MODE-B: two 4-bit, MODE-C: one 8-bit), fed through unified LP
+//! decoders/encoders placed at the array boundary.
+//!
+//! The model has three layers of fidelity:
+//!
+//! * **bit-level** ([`bits`], [`decode`], [`pe`]) — the unified
+//!   mixed-precision two's complementer and leading-zero detector of
+//!   Fig. 4, the packed-word decoder of Fig. 3, and the PE MUL/ACC datapath
+//!   (log-domain multiply, 8-bit log→linear conversion, aligned linear
+//!   accumulation), verified against the `lp` crate's golden model;
+//! * **cycle-level** ([`systolic`], [`sim`]) — a tile-by-tile
+//!   weight-stationary schedule over each layer's GEMM, standing in for
+//!   the paper's DnnWeaver-based simulator;
+//! * **cost** ([`cost`]) — an area/energy model calibrated to the paper's
+//!   published TSMC-28nm component areas (Table 3) and efficiency points
+//!   (Table 4), covering LPA and the ANT / BitFusion / AdaptivFloat /
+//!   posit-PE baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod cost;
+pub mod decode;
+pub mod pe;
+pub mod sim;
+pub mod systolic;
+
+pub use cost::Design;
+pub use pe::{LpPe, PeMode};

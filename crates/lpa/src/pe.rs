@@ -1,0 +1,292 @@
+//! The LP processing element (§5.2): a weight-stationary MAC unit that
+//! holds one, two, or four decoded weights (MODE-C/-B/-A) sharing an
+//! eastbound input activation, computes products as log-domain *additions*
+//! (MUL stage), converts each product's log fraction to the linear domain
+//! through the 8-bit gate-level converter, and accumulates aligned linear
+//! fractions (ACC stage).
+
+use crate::decode::DecodedOperand;
+use lp::arith::LogLinear;
+use std::fmt;
+
+/// PE packing mode (§5.1): how many weights share one PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeMode {
+    /// Four 2-bit weights per PE.
+    A,
+    /// Two 4-bit weights per PE.
+    B,
+    /// One 8-bit weight per PE.
+    C,
+}
+
+impl PeMode {
+    /// Number of weight lanes in this mode.
+    pub const fn lanes(self) -> usize {
+        match self {
+            PeMode::A => 4,
+            PeMode::B => 2,
+            PeMode::C => 1,
+        }
+    }
+
+    /// Bits per lane in the packed 8-bit buffer word.
+    pub const fn lane_bits(self) -> u32 {
+        match self {
+            PeMode::A => 2,
+            PeMode::B => 4,
+            PeMode::C => 8,
+        }
+    }
+
+    /// The mode used for weights of the given bit-width.
+    ///
+    /// # Panics
+    ///
+    /// Panics for widths other than 2, 4, 8 (the LPQ hardware-constrained
+    /// search only emits those).
+    pub fn for_bits(bits: u32) -> PeMode {
+        match bits {
+            2 => PeMode::A,
+            4 => PeMode::B,
+            8 => PeMode::C,
+            other => panic!("unsupported packed weight width {other}"),
+        }
+    }
+}
+
+impl fmt::Display for PeMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeMode::A => f.write_str("MODE-A (4x2b)"),
+            PeMode::B => f.write_str("MODE-B (2x4b)"),
+            PeMode::C => f.write_str("MODE-C (1x8b)"),
+        }
+    }
+}
+
+/// Fraction bits of the PE's internal fixed-point log scale (Q·8: the
+/// paper's ulfx carries an 8-bit log fraction through the datapath).
+pub const SCALE_FRAC_BITS: u32 = 8;
+
+/// A partial sum flowing down a PE column: a wide fixed-point linear
+/// accumulator (`value = acc / 2^ACC_FRAC_BITS`).
+///
+/// The paper keeps partial sums in *linear* form (sign, regime/exponent,
+/// linear fraction) precisely so repeated accumulation needs no log↔linear
+/// round trips; this model widens the accumulator so alignment is exact
+/// and overflow-free, which the paper guarantees by construction for its
+/// tile sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartialSum {
+    acc: i64,
+}
+
+/// Fraction bits of the partial-sum accumulator.
+pub const ACC_FRAC_BITS: u32 = 24;
+
+impl PartialSum {
+    /// The zero partial sum.
+    pub const ZERO: PartialSum = PartialSum { acc: 0 };
+
+    /// The accumulated value as `f64`.
+    pub fn value(self) -> f64 {
+        self.acc as f64 / f64::from(1u32 << ACC_FRAC_BITS)
+    }
+
+    /// Adds a signed linear contribution `±(1 + lf/2^8) · 2^exp`.
+    fn add_product(&mut self, negative: bool, exp: i32, lf: u16) {
+        // mantissa = 256 + lf (the hidden 1 plus the 8-bit linear
+        // fraction), worth mantissa · 2^(exp − 8).
+        let mantissa = i64::from(256 + lf);
+        let shift = exp - 8 + ACC_FRAC_BITS as i32;
+        let mag = if shift >= 0 {
+            // Saturate rather than wrap on extreme exponents.
+            if shift >= 62 {
+                i64::MAX / 2
+            } else {
+                mantissa << shift
+            }
+        } else if shift > -63 {
+            mantissa >> (-shift)
+        } else {
+            0
+        };
+        self.acc = self.acc.saturating_add(if negative { -mag } else { mag });
+    }
+}
+
+/// One weight-stationary LP processing element.
+///
+/// # Examples
+///
+/// ```
+/// use lpa::decode::DecodedOperand;
+/// use lpa::pe::{LpPe, PartialSum, PeMode};
+///
+/// // An 8-bit-weight PE computing 2.0 × 3.0.
+/// let pe = LpPe::new(PeMode::C, vec![DecodedOperand::from_value(2.0)]);
+/// let mut psums = vec![PartialSum::ZERO];
+/// pe.mac(DecodedOperand::from_value(3.0), &mut psums);
+/// assert!((psums[0].value() - 6.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LpPe {
+    mode: PeMode,
+    weights: Vec<DecodedOperand>,
+    converter: LogLinear,
+}
+
+impl LpPe {
+    /// Creates a PE holding `weights` (one per lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight count does not match the mode's lane count.
+    pub fn new(mode: PeMode, weights: Vec<DecodedOperand>) -> Self {
+        assert_eq!(
+            weights.len(),
+            mode.lanes(),
+            "weight count must equal mode lanes"
+        );
+        LpPe {
+            mode,
+            weights,
+            converter: LogLinear::new(8),
+        }
+    }
+
+    /// The PE's mode.
+    pub fn mode(&self) -> PeMode {
+        self.mode
+    }
+
+    /// One MAC step: multiplies every stationary weight lane by the shared
+    /// `activation` (log-domain add + sign XOR), converts each product to
+    /// the linear domain through the 8-bit converter, and accumulates into
+    /// the per-lane partial sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `psums` length differs from the lane count.
+    pub fn mac(&self, activation: DecodedOperand, psums: &mut [PartialSum]) {
+        assert_eq!(psums.len(), self.weights.len(), "psum lane mismatch");
+        if activation.zero {
+            return;
+        }
+        for (w, psum) in self.weights.iter().zip(psums) {
+            if w.zero {
+                continue;
+            }
+            // MUL stage: 16-bit adds of regime+ulfx (modeled as one Q·8
+            // fixed-point scale add — guaranteed not to overflow i32).
+            let product_scale = w.scale_q8 + activation.scale_q8;
+            let negative = w.negative ^ activation.negative;
+            // Split into integer exponent and 8-bit log fraction (lnf).
+            let exp = product_scale >> SCALE_FRAC_BITS;
+            let lnf = (product_scale & ((1 << SCALE_FRAC_BITS) - 1)) as u16;
+            // ACC stage: log→linear conversion then aligned accumulation.
+            let lf = self.converter.convert(lnf);
+            psum.add_product(negative, exp, lf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::DecodedOperand;
+
+    #[test]
+    fn mode_metadata() {
+        assert_eq!(PeMode::A.lanes(), 4);
+        assert_eq!(PeMode::B.lanes(), 2);
+        assert_eq!(PeMode::C.lanes(), 1);
+        assert_eq!(PeMode::A.lane_bits() * PeMode::A.lanes() as u32, 8);
+        assert_eq!(PeMode::for_bits(4), PeMode::B);
+        assert_eq!(PeMode::C.to_string(), "MODE-C (1x8b)");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported packed weight width")]
+    fn mode_for_bits_rejects_odd_widths() {
+        let _ = PeMode::for_bits(5);
+    }
+
+    #[test]
+    fn single_mac_accuracy() {
+        for (w, a) in [(2.0, 3.0), (-1.5, 0.5), (0.25, -8.0), (-0.1, -0.7)] {
+            let pe = LpPe::new(PeMode::C, vec![DecodedOperand::from_value(w)]);
+            let mut ps = vec![PartialSum::ZERO];
+            pe.mac(DecodedOperand::from_value(a), &mut ps);
+            let exact = w * a;
+            let got = ps[0].value();
+            assert!(
+                ((got - exact) / exact).abs() < 0.02,
+                "{w}×{a}: got {got}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_operands_contribute_nothing() {
+        let pe = LpPe::new(PeMode::C, vec![DecodedOperand::from_value(5.0)]);
+        let mut ps = vec![PartialSum::ZERO];
+        pe.mac(DecodedOperand::from_value(0.0), &mut ps);
+        assert_eq!(ps[0].value(), 0.0);
+        let pe0 = LpPe::new(PeMode::C, vec![DecodedOperand::from_value(0.0)]);
+        pe0.mac(DecodedOperand::from_value(5.0), &mut ps);
+        assert_eq!(ps[0].value(), 0.0);
+    }
+
+    #[test]
+    fn mode_a_processes_four_lanes() {
+        let ws = vec![1.0, -2.0, 0.5, 4.0];
+        let pe = LpPe::new(
+            PeMode::A,
+            ws.iter().map(|&w| DecodedOperand::from_value(w)).collect(),
+        );
+        let mut ps = vec![PartialSum::ZERO; 4];
+        pe.mac(DecodedOperand::from_value(2.0), &mut ps);
+        for (i, &w) in ws.iter().enumerate() {
+            let exact = w * 2.0;
+            let got = ps[i].value();
+            assert!(
+                ((got - exact) / exact).abs() < 0.02,
+                "lane {i}: got {got}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_product_tracks_exact_within_converter_error() {
+        // A 64-term dot product through a single PE column.
+        let xs: Vec<f64> = (0..64).map(|i| ((i as f64 * 0.37).sin()) * 2.0).collect();
+        let ys: Vec<f64> = (0..64).map(|i| ((i as f64 * 0.61).cos()) * 0.5).collect();
+        let exact: f64 = xs.iter().zip(&ys).map(|(a, b)| a * b).sum();
+        let mut ps = vec![PartialSum::ZERO];
+        for (&x, &y) in xs.iter().zip(&ys) {
+            let pe = LpPe::new(PeMode::C, vec![DecodedOperand::from_value(x)]);
+            pe.mac(DecodedOperand::from_value(y), &mut ps);
+        }
+        let got = ps[0].value();
+        // 8-bit converter: ≤ 1/512 relative error per product, partially
+        // cancelling across terms.
+        assert!(
+            (got - exact).abs() <= 0.01 * xs.iter().zip(&ys).map(|(a, b)| (a * b).abs()).sum::<f64>(),
+            "got {got}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn accumulator_saturates_gracefully() {
+        let mut p = PartialSum::ZERO;
+        p.add_product(false, 100, 0); // astronomically large
+        assert!(p.value() > 0.0);
+        p.add_product(false, 100, 0);
+        assert!(p.value().is_finite());
+        let mut q = PartialSum::ZERO;
+        q.add_product(false, -200, 0); // astronomically small → flushed
+        assert_eq!(q.value(), 0.0);
+    }
+}

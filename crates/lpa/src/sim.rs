@@ -1,0 +1,330 @@
+//! End-to-end workload simulation: extracts per-layer GEMM shapes from a
+//! `dnn` model, schedules them on an accelerator design, and reports
+//! cycles, latency, throughput, and energy — the quantities behind
+//! Table 3, Table 4 and Fig. 6.
+
+use crate::cost::Design;
+use crate::systolic::ArrayConfig;
+use dnn::graph::{Model, Op};
+use dnn::tensor::Tensor;
+
+/// One layer's GEMM-shaped workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerGemm {
+    /// Operator kind (for diagnostics).
+    pub kind: &'static str,
+    /// Output rows (spatial positions or tokens).
+    pub m: usize,
+    /// Reduction length.
+    pub k: usize,
+    /// Output channels/features.
+    pub n: usize,
+    /// How many independent GEMMs of this shape the layer needs (depthwise
+    /// convolutions run one small GEMM per channel).
+    pub repeats: usize,
+    /// The layer's weight bit-width under the active quantization.
+    pub weight_bits: u32,
+}
+
+impl LayerGemm {
+    /// Multiply-accumulate count of this layer.
+    pub fn macs(&self) -> u64 {
+        (self.m * self.k * self.n * self.repeats) as u64
+    }
+}
+
+/// Extracts the per-weighted-layer GEMM workload of a model under the given
+/// per-layer weight bit-widths.
+///
+/// Runs one traced forward pass to recover output spatial shapes.
+///
+/// # Panics
+///
+/// Panics if `weight_bits` length differs from the weighted-layer count.
+pub fn extract_workload(model: &Model, weight_bits: &[u32]) -> Vec<LayerGemm> {
+    assert_eq!(
+        weight_bits.len(),
+        model.num_quant_layers(),
+        "weight_bits must cover every weighted layer"
+    );
+    let input = Tensor::zeros(model.input_shape());
+    let trace = model.forward_traced(&input, None, true);
+    let mut out = Vec::new();
+    let mut li = 0usize;
+    for node in model.nodes() {
+        if !node.op.is_weighted() {
+            continue;
+        }
+        let ir_shape = trace.irs[li].shape().to_vec();
+        let bits = weight_bits[li];
+        let gemm = match &node.op {
+            Op::Conv2d { weight, .. } => {
+                let (oh, ow) = (ir_shape[1], ir_shape[2]);
+                LayerGemm {
+                    kind: "conv2d",
+                    m: oh * ow,
+                    k: weight.shape()[1] * weight.shape()[2] * weight.shape()[3],
+                    n: weight.shape()[0],
+                    repeats: 1,
+                    weight_bits: bits,
+                }
+            }
+            Op::DwConv2d { weight, .. } => {
+                let (c, oh, ow) = (ir_shape[0], ir_shape[1], ir_shape[2]);
+                LayerGemm {
+                    kind: "dwconv2d",
+                    m: oh * ow,
+                    k: weight.shape()[1] * weight.shape()[2],
+                    n: 1,
+                    repeats: c,
+                    weight_bits: bits,
+                }
+            }
+            Op::Linear { weight, .. } => {
+                let m = if ir_shape.len() == 2 { ir_shape[0] } else { 1 };
+                LayerGemm {
+                    kind: "linear",
+                    m,
+                    k: weight.shape()[1],
+                    n: weight.shape()[0],
+                    repeats: 1,
+                    weight_bits: bits,
+                }
+            }
+            Op::PatchEmbed { weight, .. } => LayerGemm {
+                kind: "patch_embed",
+                m: ir_shape[0],
+                k: weight.shape()[1],
+                n: weight.shape()[0],
+                repeats: 1,
+                weight_bits: bits,
+            },
+            Op::TokenMerge { weight, .. } => LayerGemm {
+                kind: "token_merge",
+                m: ir_shape[0],
+                k: weight.shape()[1],
+                n: weight.shape()[0],
+                repeats: 1,
+                weight_bits: bits,
+            },
+            _ => unreachable!("non-weighted op filtered above"),
+        };
+        out.push(gemm);
+        li += 1;
+    }
+    out
+}
+
+/// The workload at *reference* (ImageNet) scale: the zoo models are
+/// spatially and channel-wise scaled down so the LPQ genetic search is
+/// laptop-fast, but hardware behavior (packing utilization, tile counts)
+/// depends on real GEMM sizes. This function restores ImageNet-scale
+/// dimensions layer-by-layer — ×7 linear spatial resolution (16 → 112-ish
+/// feature maps, 17 → ~200 tokens) and ×8 channels, matching how the zoo
+/// scaled them down — while keeping the per-layer bit allocation from the
+/// scaled-model LPQ search.
+///
+/// # Panics
+///
+/// Panics if `weight_bits` length differs from the weighted-layer count.
+pub fn reference_workload(model: &Model, weight_bits: &[u32]) -> Vec<LayerGemm> {
+    extract_workload(model, weight_bits)
+        .into_iter()
+        .map(|mut g| {
+            match g.kind {
+                "conv2d" | "dwconv2d" => g.m *= 49, // 7× linear spatial
+                _ => g.m *= 12,                     // token counts: 17 → ~200
+            }
+            g.k *= 8;
+            g.n *= 8;
+            if g.kind == "dwconv2d" {
+                g.repeats *= 8; // per-channel GEMMs scale with channels
+                g.k /= 8; // depthwise K is k×k only, not channel-scaled
+            }
+            g
+        })
+        .collect()
+}
+
+/// Execution report of one workload on one design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecReport {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total multiply-accumulates.
+    pub macs: u64,
+    /// Latency in seconds at the configured clock.
+    pub latency_s: f64,
+    /// Achieved throughput in GOPS (2 ops per MAC).
+    pub gops: f64,
+    /// Dynamic compute energy in joules.
+    pub energy_j: f64,
+    /// Energy efficiency in GOPS/W.
+    pub gops_per_watt: f64,
+}
+
+/// Simulates a workload on `design` with the given array geometry.
+///
+/// Per layer, the design's packing/fusion behavior sets the effective
+/// column parallelism, the cycle model schedules the tiles, and the
+/// calibrated energy model charges every operation.
+pub fn execute(design: Design, cfg: &ArrayConfig, workload: &[LayerGemm]) -> ExecReport {
+    let mut cycles = 0u64;
+    let mut macs = 0u64;
+    let mut energy_pj = 0.0f64;
+    let max_bits = workload.iter().map(|l| l.weight_bits).max().unwrap_or(8);
+    for layer in workload {
+        let packing_bits = if design.static_fusion() {
+            max_bits
+        } else {
+            layer.weight_bits
+        };
+        let packing = design.packing(packing_bits);
+        let eff_cols = ((cfg.cols as f64) * packing).round().max(1.0) as usize;
+        let layer_cycles =
+            cfg.gemm_cycles_cols(layer.m, layer.k, layer.n, eff_cols) * layer.repeats as u64;
+        cycles += layer_cycles;
+        let layer_macs = layer.macs();
+        macs += layer_macs;
+        energy_pj += 2.0 * layer_macs as f64 * design.energy_per_op_pj(layer.weight_bits);
+    }
+    let latency_s = cycles as f64 / cfg.freq_hz;
+    let ops = 2.0 * macs as f64;
+    let energy_j = energy_pj * 1e-12;
+    ExecReport {
+        cycles,
+        macs,
+        latency_s,
+        gops: ops / latency_s / 1e9,
+        energy_j,
+        // GOPS/W = (ops / 1e9) / energy — watt-seconds cancel.
+        gops_per_watt: if energy_j > 0.0 { ops / 1e9 / energy_j } else { 0.0 },
+    }
+}
+
+/// Compute density in TOPS/mm² over the design's compute area (Table 3's
+/// headline metric).
+pub fn compute_density_tops_mm2(design: Design, cfg: &ArrayConfig, report: &ExecReport) -> f64 {
+    let area_mm2 = design.compute_area_um2(cfg.rows, cfg.cols) / 1e6;
+    (report.gops / 1e3) / area_mm2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::models;
+
+    fn uniform_bits(model: &Model, bits: u32) -> Vec<u32> {
+        vec![bits; model.num_quant_layers()]
+    }
+
+    #[test]
+    fn workload_covers_all_layers() {
+        for name in ["resnet18", "mobilenetv2", "vit_b", "swin_t"] {
+            let m = models::by_name(name);
+            let w = extract_workload(&m, &uniform_bits(&m, 8));
+            assert_eq!(w.len(), m.num_quant_layers(), "{name}");
+            assert!(w.iter().all(|g| g.macs() > 0), "{name} has empty GEMMs");
+        }
+    }
+
+    #[test]
+    fn conv_gemm_shapes_are_correct() {
+        let m = models::resnet18_like();
+        let w = extract_workload(&m, &uniform_bits(&m, 8));
+        // Stem: 3×3 conv, 3→8 channels, 16×16 output.
+        assert_eq!(w[0].kind, "conv2d");
+        assert_eq!(w[0].m, 256);
+        assert_eq!(w[0].k, 27);
+        assert_eq!(w[0].n, 8);
+    }
+
+    #[test]
+    fn depthwise_maps_to_per_channel_gemms() {
+        let m = models::mobilenetv2_like();
+        let w = extract_workload(&m, &uniform_bits(&m, 8));
+        let dw = w.iter().find(|g| g.kind == "dwconv2d").expect("has dw conv");
+        assert_eq!(dw.n, 1);
+        assert!(dw.repeats > 1);
+    }
+
+    #[test]
+    fn lpa_beats_fusion_designs_at_low_bits() {
+        let m = models::resnet50_like();
+        let cfg = ArrayConfig::default();
+        let w4 = reference_workload(&m, &uniform_bits(&m, 4));
+        let lpa = execute(Design::Lpa, &cfg, &w4);
+        let ant = execute(Design::Ant, &cfg, &w4);
+        let bf = execute(Design::BitFusion, &cfg, &w4);
+        // At 4 bits LPA packs 2 weights/PE: ~2× ANT throughput.
+        assert!(lpa.cycles < ant.cycles);
+        let speedup = ant.cycles as f64 / lpa.cycles as f64;
+        assert!(speedup > 1.4, "LPA vs ANT speedup {speedup}");
+        // BitFusion at 4-bit loses half its columns to fusion.
+        assert!(bf.cycles > ant.cycles);
+    }
+
+    #[test]
+    fn lpa_keeps_8x8_behavior_at_8_bits() {
+        let m = models::resnet50_like();
+        let cfg = ArrayConfig::default();
+        let w8 = reference_workload(&m, &uniform_bits(&m, 8));
+        let lpa = execute(Design::Lpa, &cfg, &w8);
+        let ant = execute(Design::Ant, &cfg, &w8);
+        let bf = execute(Design::BitFusion, &cfg, &w8);
+        // The paper: fused designs behave as 8×4 / 8×2 at 8 bits.
+        assert!(ant.cycles > lpa.cycles);
+        assert!(bf.cycles > ant.cycles);
+    }
+
+    #[test]
+    fn compute_density_favors_lpa_about_2x_over_ant() {
+        // The headline Table 3 claim on a mixed-precision ResNet50: LPA's
+        // performance per unit area is ~2× ANT's.
+        let m = models::resnet50_like();
+        let cfg = ArrayConfig::default();
+        // Mixed allocation cycling 2/4/8 bits (a typical LPQ outcome).
+        let bits: Vec<u32> = (0..m.num_quant_layers())
+            .map(|i| [2u32, 4, 8][i % 3])
+            .collect();
+        let w = reference_workload(&m, &bits);
+        let lpa = execute(Design::Lpa, &cfg, &w);
+        let ant = execute(Design::Ant, &cfg, &w);
+        let d_lpa = compute_density_tops_mm2(Design::Lpa, &cfg, &lpa);
+        let d_ant = compute_density_tops_mm2(Design::Ant, &cfg, &ant);
+        let ratio = d_lpa / d_ant;
+        assert!(
+            ratio > 1.3 && ratio < 3.0,
+            "LPA/ANT density ratio {ratio} outside the paper's ~2× band"
+        );
+    }
+
+    #[test]
+    fn energy_orders_match_table4() {
+        let m = models::resnet50_like();
+        let cfg = ArrayConfig::default();
+        let w2 = reference_workload(&m, &uniform_bits(&m, 2));
+        let w8 = reference_workload(&m, &uniform_bits(&m, 8));
+        let lpa2 = execute(Design::Lpa, &cfg, &w2);
+        let lpa8 = execute(Design::Lpa, &cfg, &w8);
+        // LPA-2 is the most efficient, LPA-8 the least (Table 4).
+        assert!(lpa2.gops_per_watt > lpa8.gops_per_watt);
+        let af8 = execute(Design::AdaptivFloat, &cfg, &w8);
+        let posit8 = execute(Design::PositPe, &cfg, &w8);
+        assert!(lpa8.gops_per_watt > af8.gops_per_watt);
+        assert!(lpa8.gops_per_watt > posit8.gops_per_watt);
+    }
+
+    #[test]
+    fn report_quantities_are_consistent() {
+        let m = models::vit_b_like();
+        let cfg = ArrayConfig::default();
+        let w = extract_workload(&m, &uniform_bits(&m, 4));
+        let r = execute(Design::Lpa, &cfg, &w);
+        assert!(r.cycles > 0);
+        assert!((r.latency_s - r.cycles as f64 / 1e9).abs() < 1e-15);
+        let implied_gops = 2.0 * r.macs as f64 / r.latency_s / 1e9;
+        assert!((r.gops - implied_gops).abs() / implied_gops < 1e-9);
+        assert!(r.gops_per_watt > 0.0);
+    }
+}

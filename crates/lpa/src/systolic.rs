@@ -1,0 +1,187 @@
+//! The weight-stationary systolic array: a functional model that routes
+//! real values through the bit-level PE datapath, and a cycle model of the
+//! tile-by-tile schedule (the paper's DnnWeaver-style simulator
+//! abstraction).
+
+use crate::decode::DecodedOperand;
+use crate::pe::{LpPe, PartialSum, PeMode};
+
+/// Systolic-array geometry. The paper evaluates 8×8 everywhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayConfig {
+    /// PE rows (along the reduction dimension `K`).
+    pub rows: usize,
+    /// PE columns (along the output dimension `N`).
+    pub cols: usize,
+    /// Clock frequency in Hz (used to convert cycles to latency).
+    pub freq_hz: f64,
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        ArrayConfig {
+            rows: 8,
+            cols: 8,
+            freq_hz: 1.0e9,
+        }
+    }
+}
+
+impl ArrayConfig {
+    /// Cycle count for one `[M,K] × [K,N]` GEMM in weight-stationary
+    /// dataflow with `packing` weights per PE (LPA's MODE packing; 1 for
+    /// unpacked designs).
+    ///
+    /// Tiles of `rows × (cols·packing)` weights are loaded (hidden behind
+    /// compute by double buffering, except the first load), then `M`
+    /// activation rows stream through with `rows + cols` fill/drain.
+    pub fn gemm_cycles(&self, m: usize, k: usize, n: usize, packing: usize) -> u64 {
+        self.gemm_cycles_cols(m, k, n, self.cols * packing.max(1))
+    }
+
+    /// Cycle count with an explicit *effective* column count (PE-fusion
+    /// designs behave as narrower arrays at high precision: an 8×8 ANT
+    /// array runs 8-bit layers as 8×4).
+    pub fn gemm_cycles_cols(&self, m: usize, k: usize, n: usize, eff_cols: usize) -> u64 {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let eff_cols = eff_cols.max(1);
+        let row_tiles = k.div_ceil(self.rows);
+        let col_tiles = n.div_ceil(eff_cols);
+        let tiles = (row_tiles * col_tiles) as u64;
+        let per_tile = (m + self.rows + self.cols - 1) as u64;
+        // First weight load is exposed; subsequent loads overlap compute.
+        tiles * per_tile + self.rows as u64
+    }
+
+    /// MAC utilization of a GEMM: useful MACs over PE-lane-cycles.
+    pub fn utilization(&self, m: usize, k: usize, n: usize, packing: usize) -> f64 {
+        let macs = (m * k * n) as f64;
+        let cycles = self.gemm_cycles(m, k, n, packing) as f64;
+        let lanes = (self.rows * self.cols * packing.max(1)) as f64;
+        if cycles == 0.0 {
+            0.0
+        } else {
+            (macs / (cycles * lanes)).min(1.0)
+        }
+    }
+}
+
+/// Functional GEMM through the bit-level PE datapath: computes
+/// `a[M,K] × w[K,N]` where every product goes through the log-domain MUL
+/// stage and the 8-bit log→linear converter, exactly as the array would.
+///
+/// Weights/activations are taken as already-decoded real values (the
+/// quantization to LP happens upstream in the LPQ deployment pipeline).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or if `n` is not a multiple of the mode's
+/// lane count.
+pub fn gemm_functional(
+    a: &[f64],
+    w: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    mode: PeMode,
+) -> Vec<f64> {
+    assert_eq!(a.len(), m * k, "activation shape mismatch");
+    assert_eq!(w.len(), k * n, "weight shape mismatch");
+    let lanes = mode.lanes();
+    assert!(
+        n.is_multiple_of(lanes),
+        "output width {n} must be a multiple of the mode lane count {lanes}"
+    );
+    let mut out = vec![0.0f64; m * n];
+    for jg in (0..n).step_by(lanes) {
+        // One PE column group holds `lanes` adjacent output columns.
+        for i in 0..m {
+            let mut psums = vec![PartialSum::ZERO; lanes];
+            for kk in 0..k {
+                let weights: Vec<DecodedOperand> = (0..lanes)
+                    .map(|l| DecodedOperand::from_value(w[kk * n + jg + l]))
+                    .collect();
+                let pe = LpPe::new(mode, weights);
+                pe.mac(DecodedOperand::from_value(a[i * k + kk]), &mut psums);
+            }
+            for (l, p) in psums.iter().enumerate() {
+                out[i * n + jg + l] = p.value();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_scale_with_tiles() {
+        let cfg = ArrayConfig::default();
+        // Single tile: K ≤ 8, N ≤ 8·packing.
+        let one = cfg.gemm_cycles(16, 8, 8, 1);
+        assert_eq!(one, (16 + 15) + 8);
+        // Doubling K doubles the row tiles.
+        let two = cfg.gemm_cycles(16, 16, 8, 1);
+        assert_eq!(two, 2 * (16 + 15) + 8);
+        // Degenerate GEMMs cost nothing.
+        assert_eq!(cfg.gemm_cycles(0, 8, 8, 1), 0);
+    }
+
+    #[test]
+    fn packing_reduces_cycles() {
+        let cfg = ArrayConfig::default();
+        let unpacked = cfg.gemm_cycles(64, 64, 64, 1);
+        let packed2 = cfg.gemm_cycles(64, 64, 64, 2);
+        let packed4 = cfg.gemm_cycles(64, 64, 64, 4);
+        assert!(packed2 < unpacked);
+        assert!(packed4 < packed2);
+        // Asymptotically ~2× and ~4× fewer cycles.
+        assert!((unpacked as f64 / packed2 as f64) > 1.7);
+        assert!((unpacked as f64 / packed4 as f64) > 3.0);
+    }
+
+    #[test]
+    fn utilization_bounded_and_improves_with_size() {
+        let cfg = ArrayConfig::default();
+        let small = cfg.utilization(4, 4, 4, 1);
+        let large = cfg.utilization(256, 256, 256, 1);
+        assert!(small > 0.0 && small <= 1.0);
+        assert!(large > small);
+        assert!(large > 0.8, "large GEMMs should be efficient, got {large}");
+    }
+
+    #[test]
+    fn functional_gemm_matches_exact() {
+        let (m, k, n) = (5, 7, 8);
+        let a: Vec<f64> = (0..m * k).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let w: Vec<f64> = (0..k * n).map(|i| ((i as f64) * 0.73).cos() * 0.3).collect();
+        for mode in [PeMode::A, PeMode::B, PeMode::C] {
+            let got = gemm_functional(&a, &w, m, k, n, mode);
+            for i in 0..m {
+                for j in 0..n {
+                    let exact: f64 = (0..k).map(|kk| a[i * k + kk] * w[kk * n + j]).sum();
+                    let g = got[i * n + j];
+                    let tol = 0.01
+                        * (0..k)
+                            .map(|kk| (a[i * k + kk] * w[kk * n + j]).abs())
+                            .sum::<f64>()
+                        + 1e-9;
+                    assert!(
+                        (g - exact).abs() <= tol,
+                        "mode {mode:?} ({i},{j}): {g} vs {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the mode lane count")]
+    fn functional_gemm_checks_lane_alignment() {
+        let _ = gemm_functional(&[1.0], &[1.0; 3], 1, 1, 3, PeMode::B);
+    }
+}

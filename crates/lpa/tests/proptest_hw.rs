@@ -1,0 +1,114 @@
+//! Property-based tests on the accelerator model's invariants.
+
+use lp::format::LpParams;
+use lpa::bits::{leading_zeros_lanes, pack_lanes, twos_complement_lanes, unpack_lanes};
+use lpa::decode::{decode_lane, DecodedOperand};
+use lpa::pe::{LpPe, PartialSum, PeMode};
+use lpa::systolic::ArrayConfig;
+use proptest::prelude::*;
+
+fn modes() -> impl Strategy<Value = PeMode> {
+    prop_oneof![Just(PeMode::A), Just(PeMode::B), Just(PeMode::C)]
+}
+
+proptest! {
+    #[test]
+    fn twos_complement_involution(word in 0u8..=255, mode in modes()) {
+        let once = twos_complement_lanes(word, mode);
+        let twice = twos_complement_lanes(once, mode);
+        prop_assert_eq!(twice, word);
+    }
+
+    #[test]
+    fn pack_unpack_identity(word in 0u8..=255, mode in modes()) {
+        prop_assert_eq!(pack_lanes(&unpack_lanes(word, mode), mode), word);
+    }
+
+    #[test]
+    fn lzd_counts_bounded_by_lane_width(word in 0u8..=255, mode in modes()) {
+        for count in leading_zeros_lanes(word, mode) {
+            prop_assert!(count <= mode.lane_bits());
+        }
+    }
+
+    #[test]
+    fn decode_lane_agrees_with_codec(
+        word in 0u8..=255,
+        es in 0u32..=3,
+        rs in 2u32..=7,
+        sf_steps in -64i32..=64,
+    ) {
+        // sf quantized to Q·8 so hardware and software agree bit-exactly.
+        let sf = f64::from(sf_steps) / 8.0;
+        let p = LpParams::clamped(8, i64::from(es), i64::from(rs), sf);
+        let hw = decode_lane(word, &p);
+        let sw = p.decode(lp::format::LpWord::from_bits(u16::from(word)));
+        if sw == 0.0 || sw.is_nan() {
+            prop_assert!(hw.zero);
+        } else {
+            prop_assert_eq!(hw.negative, sw < 0.0);
+            prop_assert!(((hw.value() - sw) / sw).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pe_mac_relative_error_bounded(
+        w in -100.0f64..100.0,
+        a in -100.0f64..100.0,
+    ) {
+        prop_assume!(w.abs() > 1e-3 && a.abs() > 1e-3);
+        let pe = LpPe::new(PeMode::C, vec![DecodedOperand::from_value(w)]);
+        let mut ps = vec![PartialSum::ZERO];
+        pe.mac(DecodedOperand::from_value(a), &mut ps);
+        let exact = w * a;
+        // Q·8 operand rounding (±2^-9 each) plus 8-bit converter error.
+        prop_assert!(((ps[0].value() - exact) / exact).abs() < 0.02);
+    }
+
+    #[test]
+    fn mac_accumulation_is_order_insensitive_enough(
+        vals in prop::collection::vec((-4.0f64..4.0, -4.0f64..4.0), 1..32)
+    ) {
+        // Forward and reverse accumulation agree to the accumulator's
+        // fixed-point resolution — the wide linear accumulator is exact
+        // for aligned adds.
+        let mut fwd = vec![PartialSum::ZERO];
+        for &(w, a) in &vals {
+            let pe = LpPe::new(PeMode::C, vec![DecodedOperand::from_value(w)]);
+            pe.mac(DecodedOperand::from_value(a), &mut fwd);
+        }
+        let mut rev = vec![PartialSum::ZERO];
+        for &(w, a) in vals.iter().rev() {
+            let pe = LpPe::new(PeMode::C, vec![DecodedOperand::from_value(w)]);
+            pe.mac(DecodedOperand::from_value(a), &mut rev);
+        }
+        prop_assert!((fwd[0].value() - rev[0].value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycle_model_monotone_in_problem_size(
+        m in 1usize..128,
+        k in 1usize..128,
+        n in 1usize..128,
+        packing in 1usize..=4,
+    ) {
+        let cfg = ArrayConfig::default();
+        let base = cfg.gemm_cycles(m, k, n, packing);
+        prop_assert!(cfg.gemm_cycles(m + 8, k, n, packing) >= base);
+        prop_assert!(cfg.gemm_cycles(m, k + 8, n, packing) >= base);
+        prop_assert!(cfg.gemm_cycles(m, k, n + 8, packing) >= base);
+        // More packing never hurts.
+        prop_assert!(cfg.gemm_cycles(m, k, n, packing + 1) <= base);
+    }
+
+    #[test]
+    fn utilization_in_unit_interval(
+        m in 1usize..256,
+        k in 1usize..256,
+        n in 1usize..256,
+        packing in 1usize..=4,
+    ) {
+        let u = ArrayConfig::default().utilization(m, k, n, packing);
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+}

@@ -1,0 +1,197 @@
+//! Activation quantization (§4, "Quantization for Activation").
+//!
+//! After the weight search converges, each layer's input/output activations
+//! get LP parameters *derived* from the weight parameters rather than
+//! searched:
+//!
+//! * `n_act = min(8, 2·n_w)`
+//! * `es_act = min(5, 2·es_w)`
+//! * `rs_act = rs_w` (retaining the regime "achieves best performance")
+//! * scale factor: the paper accumulates `sf_act^l = sf_act^{l−1} + sf_w^l`,
+//!   which assumes trained, normalized networks whose activations stay near
+//!   unit scale. With synthetic weights the activation scales drift, so the
+//!   default here *fits* the activation scale factor on the calibration
+//!   IRs (the behavior-preserving translation; see `DESIGN.md`). The
+//!   paper's accumulation rule is available as
+//!   [`SfRule::Accumulate`].
+
+use crate::params::{Candidate, LayerParams};
+use dnn::tensor::Tensor;
+
+/// How activation scale factors are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SfRule {
+    /// Fit `sf` per layer from calibration activations (default).
+    #[default]
+    Fitted,
+    /// The paper's accumulation rule `sf_act^l = sf_act^{l−1} + sf_w^l`,
+    /// clamped to the valid LP range.
+    Accumulate,
+}
+
+/// Derives per-layer activation LP parameters from the weight candidate.
+///
+/// `calib_irs` must hold one representative activation tensor per weighted
+/// layer (e.g. the FP model's IRs on a calibration image batch,
+/// concatenated or single-image) and is required for [`SfRule::Fitted`].
+///
+/// # Panics
+///
+/// Panics if `calib_irs` is shorter than the candidate under
+/// [`SfRule::Fitted`].
+pub fn derive_activation_params(
+    candidate: &Candidate,
+    calib_irs: &[Tensor],
+    rule: SfRule,
+) -> Vec<LayerParams> {
+    let mut out = Vec::with_capacity(candidate.len());
+    let mut sf_acc = 0.0f64;
+    for (l, w) in candidate.layers.iter().enumerate() {
+        let n = (w.n * 2).min(8);
+        // The paper's es_act = min(5, 2·es_w), additionally capped so the
+        // taper center keeps at least 2 fraction bits (resolution-
+        // preserving deployment: a huge es at n = 8 would leave the format
+        // with factor-√2 granularity and destroy the forward pass; the
+        // fitted scale factor already supplies the dynamic-range
+        // adaptation the larger es was meant to buy).
+        let rs = w.rs.min(n - 1).max(2u32.min(n - 1));
+        let es_resolution_cap = n.saturating_sub(1 + rs + 2);
+        let es = (w.es * 2).min(5).min(es_resolution_cap);
+        let shape = LayerParams::clamped(i64::from(n), i64::from(es), i64::from(rs), 0.0, false);
+        let sf = match rule {
+            SfRule::Fitted => {
+                assert!(
+                    l < calib_irs.len(),
+                    "calibration IRs must cover every layer"
+                );
+                // Saturation-aware fit: activations are outlier-heavy, and
+                // clipping the top of the range destroys the forward pass.
+                shape.to_lp().fit_sf_saturating(calib_irs[l].data())
+            }
+            SfRule::Accumulate => {
+                sf_acc += w.sf;
+                sf_acc.clamp(-256.0, 256.0)
+            }
+        };
+        out.push(LayerParams::clamped(
+            i64::from(shape.n),
+            i64::from(shape.es),
+            i64::from(shape.rs),
+            sf,
+            false,
+        ));
+    }
+    out
+}
+
+/// Parameter-weighted average activation bit-width for reporting (uses the
+/// layer *output* element counts as weights when provided, else uniform).
+pub fn avg_activation_bits(act_params: &[LayerParams], ir_sizes: Option<&[usize]>) -> f64 {
+    if act_params.is_empty() {
+        return 0.0;
+    }
+    match ir_sizes {
+        Some(sizes) => {
+            let total: usize = sizes.iter().sum();
+            if total == 0 {
+                return 0.0;
+            }
+            act_params
+                .iter()
+                .zip(sizes)
+                .map(|(p, &s)| f64::from(p.n) * s as f64)
+                .sum::<f64>()
+                / total as f64
+        }
+        None => {
+            act_params.iter().map(|p| f64::from(p.n)).sum::<f64>() / act_params.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(ns: &[(u32, u32, u32, f64)]) -> Candidate {
+        Candidate {
+            layers: ns
+                .iter()
+                .map(|&(n, es, rs, sf)| {
+                    LayerParams::clamped(i64::from(n), i64::from(es), i64::from(rs), sf, false)
+                })
+                .collect(),
+        }
+    }
+
+    fn irs(scales: &[f32]) -> Vec<Tensor> {
+        scales
+            .iter()
+            .map(|&s| Tensor::from_vec(&[4], vec![s, -s, s * 0.5, -s * 0.5]))
+            .collect()
+    }
+
+    #[test]
+    fn widths_follow_paper_rule() {
+        let c = candidate(&[(2, 0, 2, 0.0), (4, 1, 3, 0.0), (8, 2, 3, 0.0)]);
+        let acts = derive_activation_params(&c, &irs(&[1.0, 1.0, 1.0]), SfRule::Fitted);
+        assert_eq!(acts[0].n, 4); // 2·2
+        assert_eq!(acts[1].n, 8); // 2·4
+        assert_eq!(acts[2].n, 8); // min(8, 16)
+        assert_eq!(acts[0].es, 0);
+        assert_eq!(acts[1].es, 2);
+        // 2·es_w = 4 but the resolution cap (n−1−rs−2 = 2) wins.
+        assert_eq!(acts[2].es, 2);
+        // Regime retained.
+        assert_eq!(acts[1].rs, 3);
+    }
+
+    #[test]
+    fn es_respects_resolution_cap() {
+        let c = candidate(&[(8, 5, 3, 0.0)]);
+        let acts = derive_activation_params(&c, &irs(&[1.0]), SfRule::Fitted);
+        // min(5, 10) = 5, but n−1−rs−2 = 2 preserves fraction resolution.
+        assert_eq!(acts[0].es, 2);
+        // With a small regime cap the es budget grows.
+        let c = candidate(&[(8, 2, 2, 0.0)]);
+        let acts = derive_activation_params(&c, &irs(&[1.0]), SfRule::Fitted);
+        assert_eq!(acts[0].es, 3); // min(4, 5, 8−1−2−2 = 3)
+    }
+
+    #[test]
+    fn fitted_sf_tracks_activation_scale() {
+        let c = candidate(&[(4, 1, 3, 0.0), (4, 1, 3, 0.0)]);
+        let acts = derive_activation_params(&c, &irs(&[0.125, 16.0]), SfRule::Fitted);
+        // Small activations → positive sf (scales values up into the taper);
+        // large activations → negative sf.
+        assert!(acts[0].sf > 0.0, "sf={}", acts[0].sf);
+        assert!(acts[1].sf < 0.0, "sf={}", acts[1].sf);
+    }
+
+    #[test]
+    fn accumulate_rule_sums_weight_sfs() {
+        let c = candidate(&[(4, 1, 3, 1.0), (4, 1, 3, 0.5), (4, 1, 3, -0.25)]);
+        let acts = derive_activation_params(&c, &[], SfRule::Accumulate);
+        assert!((acts[0].sf - 1.0).abs() < 1e-12);
+        assert!((acts[1].sf - 1.5).abs() < 1e-12);
+        assert!((acts[2].sf - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_bits_weighted_and_uniform() {
+        let c = candidate(&[(2, 0, 2, 0.0), (8, 2, 3, 0.0)]);
+        let acts = derive_activation_params(&c, &irs(&[1.0, 1.0]), SfRule::Fitted);
+        // n_act = [4, 8].
+        assert!((avg_activation_bits(&acts, None) - 6.0).abs() < 1e-12);
+        assert!((avg_activation_bits(&acts, Some(&[30, 10])) - 5.0).abs() < 1e-12);
+        assert_eq!(avg_activation_bits(&[], None), 0.0);
+    }
+
+    #[test]
+    fn derived_params_are_valid_lp() {
+        let c = candidate(&[(3, 0, 2, 0.3), (5, 2, 4, -0.7), (7, 3, 6, 0.9)]);
+        for p in derive_activation_params(&c, &irs(&[1.0, 2.0, 3.0]), SfRule::Fitted) {
+            let _ = p.to_lp(); // must not panic
+        }
+    }
+}

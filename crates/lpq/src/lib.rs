@@ -1,0 +1,39 @@
+//! # LPQ — Logarithmic-Posit Quantization framework
+//!
+//! The genetic-algorithm post-training-quantization search of §4 of the
+//! paper: a population of per-layer LP parameter vectors
+//! `Δ[l] = ⟨n_l, es_l, rs_l, sf_l⟩` evolves through block-wise regeneration
+//! (Eqs. 2–5), diversity-promoting selection, and evaluation under the
+//! global-local contrastive fitness `L_F = L_CO · L_CR^λ` (Eq. 6), using a
+//! small unlabeled calibration set.
+//!
+//! ## Modules
+//!
+//! * [`params`] — candidate encodings ([`LayerParams`], [`Candidate`])
+//! * [`objective`] — kurtosis-3 pooling, the contrastive objective, and the
+//!   alternative losses compared in Fig. 5(a)
+//! * [`activation`] — the paper's weight→activation parameter derivation
+//! * [`search`] — the four-step genetic algorithm
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use dnn::models;
+//! use lpq::search::{Lpq, LpqConfig};
+//!
+//! let model = models::resnet18_like();
+//! let cfg = LpqConfig::quick();
+//! let result = Lpq::new(&model, cfg).run();
+//! println!("avg weight bits: {:.2}", result.avg_weight_bits);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod objective;
+pub mod params;
+pub mod search;
+
+pub use params::{Candidate, LayerParams};
+pub use search::{Lpq, LpqConfig, LpqResult};

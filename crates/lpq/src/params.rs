@@ -1,0 +1,272 @@
+//! Candidate encodings: the per-layer LP parameter vector `Δ` of §4.
+//!
+//! A quantization solution is a vector of length `4N`; each group of four
+//! values `⟨n_l, es_l, rs_l, sf_l⟩` parameterizes layer `l`'s LP format.
+//! The search space follows the paper: `n ∈ [2, 8]`, `es ∈ [0, n−3]`,
+//! `rs ∈ [2, n−1]`, and `sf` in a small ball around the layer's fitted
+//! center. In hardware-constrained mode (`§5.1`), `n` is restricted to
+//! powers of two `{2, 4, 8}` so LPA can pack weights into its three PE
+//! modes.
+
+use lp::format::LpParams;
+use rand::Rng;
+
+/// One layer's LP parameters inside a candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerParams {
+    /// Bit width `n ∈ [2, 8]`.
+    pub n: u32,
+    /// Exponent size `es ∈ [0, n−3]`.
+    pub es: u32,
+    /// Regime cap `rs ∈ [2, n−1]`.
+    pub rs: u32,
+    /// Scale factor.
+    pub sf: f64,
+}
+
+impl LayerParams {
+    /// Clamps raw values into the LPQ search space, optionally snapping `n`
+    /// to powers of two for hardware packing.
+    pub fn clamped(n: i64, es: i64, rs: i64, sf: f64, hw_constrained: bool) -> Self {
+        let mut n = n.clamp(2, 8) as u32;
+        if hw_constrained {
+            n = match n {
+                0..=2 => 2,
+                3..=5 => 4,
+                _ => 8,
+            };
+        }
+        let lp = LpParams::clamped(i64::from(n), es, rs, sf);
+        LayerParams {
+            n: lp.n(),
+            es: lp.es(),
+            rs: lp.rs(),
+            sf: lp.sf(),
+        }
+    }
+
+    /// Converts to a concrete LP format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fields are outside the valid LP space (cannot happen
+    /// for values produced by [`LayerParams::clamped`]).
+    pub fn to_lp(self) -> LpParams {
+        LpParams::new(self.n, self.es, self.rs, self.sf)
+            .expect("LayerParams must hold a valid LP format")
+    }
+}
+
+/// A full quantization candidate: one [`LayerParams`] per weighted layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Per-layer parameters, in weighted-layer order.
+    pub layers: Vec<LayerParams>,
+}
+
+impl Candidate {
+    /// Samples a uniform-random candidate within the search space.
+    ///
+    /// `sf_centers` are per-layer fitted scale-factor centers (the paper
+    /// centers the `sf` ball "around the mean weight distribution of that
+    /// layer"); `sf_radius` is the ball radius.
+    pub fn random<R: Rng + ?Sized>(
+        rng: &mut R,
+        sf_centers: &[f64],
+        sf_radius: f64,
+        hw_constrained: bool,
+    ) -> Self {
+        let layers = sf_centers
+            .iter()
+            .map(|&c| {
+                let n = rng.gen_range(2..=8i64);
+                let es = rng.gen_range(0..=6i64);
+                let rs = rng.gen_range(2..=7i64);
+                let sf = c + rng.gen_range(-sf_radius..=sf_radius);
+                LayerParams::clamped(n, es, rs, sf, hw_constrained)
+            })
+            .collect();
+        Candidate { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the candidate has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Parameter-weighted average weight bit-width (the paper's "MP4.2"
+    /// style metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param_counts` length differs from the layer count.
+    pub fn avg_bits(&self, param_counts: &[usize]) -> f64 {
+        assert_eq!(
+            param_counts.len(),
+            self.layers.len(),
+            "param_counts length mismatch"
+        );
+        let total: usize = param_counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .layers
+            .iter()
+            .zip(param_counts)
+            .map(|(l, &c)| f64::from(l.n) * c as f64)
+            .sum();
+        weighted / total as f64
+    }
+
+    /// Model size in megabytes under this candidate (params × bits / 8).
+    pub fn model_size_mb(&self, param_counts: &[usize]) -> f64 {
+        assert_eq!(
+            param_counts.len(),
+            self.layers.len(),
+            "param_counts length mismatch"
+        );
+        let bits: f64 = self
+            .layers
+            .iter()
+            .zip(param_counts)
+            .map(|(l, &c)| f64::from(l.n) * c as f64)
+            .sum();
+        bits / 8.0 / 1e6
+    }
+
+    /// The block-wise regeneration of Eqs. 2–5: the child copies the best
+    /// parent outside `block`, and inside the block draws
+    ///
+    /// * `n ∈ [min(p1,p2)−1, max(p1,p2)+1]` (dynamic range params use
+    ///   min/max),
+    /// * `es` likewise,
+    /// * `rs ∈ [0, ceil(mean(p1,p2))+1]` (shape params use the mean),
+    /// * `sf = mean(p1,p2) + η(−r, r)`.
+    pub fn regenerate_block<R: Rng + ?Sized>(
+        best: &Candidate,
+        other: &Candidate,
+        block: std::ops::Range<usize>,
+        rng: &mut R,
+        sf_radius: f64,
+        hw_constrained: bool,
+    ) -> Candidate {
+        assert_eq!(best.len(), other.len(), "parents must have equal length");
+        let mut layers = best.layers.clone();
+        for i in block {
+            let (p1, p2) = (best.layers[i], other.layers[i]);
+            let n_lo = i64::from(p1.n.min(p2.n)) - 1;
+            let n_hi = i64::from(p1.n.max(p2.n)) + 1;
+            let n = rng.gen_range(n_lo..=n_hi);
+            let es_lo = i64::from(p1.es.min(p2.es)) - 1;
+            let es_hi = i64::from(p1.es.max(p2.es)) + 1;
+            let es = rng.gen_range(es_lo..=es_hi);
+            let rs_hi = ((f64::from(p1.rs) + f64::from(p2.rs)) / 2.0).ceil() as i64 + 1;
+            let rs = rng.gen_range(0..=rs_hi.max(0));
+            let sf = (p1.sf + p2.sf) / 2.0 + rng.gen_range(-sf_radius..=sf_radius);
+            layers[i] = LayerParams::clamped(n, es, rs, sf, hw_constrained);
+        }
+        Candidate { layers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn clamped_respects_search_space() {
+        for n in -3..12i64 {
+            for es in -2..9i64 {
+                for rs in -2..12i64 {
+                    let p = LayerParams::clamped(n, es, rs, 100.0, false);
+                    assert!((2..=8).contains(&p.n));
+                    assert!(p.es <= p.n.saturating_sub(3));
+                    assert!(p.rs >= 2u32.min(p.n - 1) && p.rs <= p.n - 1);
+                    let _ = p.to_lp(); // must be a valid format
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hw_constrained_snaps_to_powers_of_two() {
+        for n in 2..=8i64 {
+            let p = LayerParams::clamped(n, 1, 3, 0.0, true);
+            assert!([2, 4, 8].contains(&p.n), "n={n} → {}", p.n);
+        }
+        assert_eq!(LayerParams::clamped(3, 0, 2, 0.0, true).n, 4);
+        assert_eq!(LayerParams::clamped(6, 0, 2, 0.0, true).n, 8);
+    }
+
+    #[test]
+    fn random_candidates_stay_in_space() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let centers = vec![1.5; 10];
+        for _ in 0..50 {
+            let c = Candidate::random(&mut rng, &centers, 0.1, false);
+            assert_eq!(c.len(), 10);
+            for l in &c.layers {
+                assert!((2..=8).contains(&l.n));
+                assert!((l.sf - 1.5).abs() <= 0.1 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn avg_bits_weighted_by_params() {
+        let c = Candidate {
+            layers: vec![
+                LayerParams::clamped(2, 0, 1, 0.0, false),
+                LayerParams::clamped(8, 2, 3, 0.0, false),
+            ],
+        };
+        // 3 params at 2 bits, 1 param at 8 bits → (6+8)/4 = 3.5.
+        assert!((c.avg_bits(&[3, 1]) - 3.5).abs() < 1e-12);
+        // Size: 14 bits = 1.75 bytes.
+        assert!((c.model_size_mb(&[3, 1]) - 1.75e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn regeneration_only_touches_block() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let centers = vec![0.0; 12];
+        let a = Candidate::random(&mut rng, &centers, 0.05, false);
+        let b = Candidate::random(&mut rng, &centers, 0.05, false);
+        let child = Candidate::regenerate_block(&a, &b, 4..8, &mut rng, 0.05, false);
+        for i in 0..12 {
+            if !(4..8).contains(&i) {
+                assert_eq!(child.layers[i], a.layers[i], "layer {i} must copy best parent");
+            }
+        }
+    }
+
+    #[test]
+    fn regenerated_n_within_parent_envelope() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mk = |n: u32| Candidate {
+            layers: vec![LayerParams::clamped(i64::from(n), 1, 3, 0.0, false)],
+        };
+        let a = mk(4);
+        let b = mk(6);
+        for _ in 0..100 {
+            let child = Candidate::regenerate_block(&a, &b, 0..1, &mut rng, 0.01, false);
+            let n = child.layers[0].n;
+            assert!((3..=7).contains(&n), "n={n} outside [min−1, max+1]");
+        }
+    }
+
+    #[test]
+    fn empty_candidate() {
+        let c = Candidate { layers: vec![] };
+        assert!(c.is_empty());
+        assert_eq!(c.avg_bits(&[]), 0.0);
+    }
+}

@@ -1,0 +1,538 @@
+//! The four-step genetic-algorithm search of §4 (Fig. 2): candidate
+//! initialization, block-wise regeneration (crossover + mutation),
+//! diversity-promoting selection, and evaluation / population update.
+
+use crate::activation::{derive_activation_params, SfRule};
+use crate::objective::{FitnessEvaluator, ObjectiveKind};
+use crate::params::{Candidate, LayerParams};
+use dnn::data::par_map;
+use dnn::graph::{ForwardTrace, Model, QuantScheme};
+use dnn::tensor::Tensor;
+use lp::format::LpParams;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Search hyper-parameters (§6: K = 20, P = 10, C = 4, B = 4 for CNNs and
+/// one attention block for transformers, 5 diversity children, λ = 0.4).
+#[derive(Debug, Clone)]
+pub struct LpqConfig {
+    /// Population size `K`.
+    pub population: usize,
+    /// Number of passes `P` over all blocks.
+    pub passes: usize,
+    /// Cycles `C` per block per pass.
+    pub cycles: usize,
+    /// Block size `B` over weighted layers; `0` uses the model's own block
+    /// boundaries (attention blocks for transformers).
+    pub block_size: usize,
+    /// Diversity-promoting children per update (paper: 5).
+    pub diversity_children: usize,
+    /// Compression-term exponent `λ`.
+    pub lambda: f64,
+    /// Contrastive temperature `τ`.
+    pub tau: f64,
+    /// Scale-factor perturbation radius `η`.
+    pub sf_radius: f64,
+    /// Restrict `n` to `{2, 4, 8}` for LPA weight packing (§5.1).
+    pub hw_constrained: bool,
+    /// RNG seed (the whole search is deterministic given the seed).
+    pub seed: u64,
+    /// Fitness objective.
+    pub objective: ObjectiveKind,
+    /// Number of calibration images used in fitness evaluation.
+    pub calib_size: usize,
+    /// Population cap (worst candidates are dropped beyond this).
+    pub max_population: usize,
+}
+
+impl LpqConfig {
+    /// The paper's full search configuration.
+    pub fn paper() -> Self {
+        LpqConfig {
+            population: 20,
+            passes: 10,
+            cycles: 4,
+            block_size: 4,
+            diversity_children: 5,
+            lambda: 0.4,
+            tau: 0.5,
+            sf_radius: 0.1,
+            hw_constrained: true,
+            seed: 7,
+            objective: ObjectiveKind::GlobalLocalContrastive,
+            calib_size: 128,
+            max_population: 40,
+        }
+    }
+
+    /// A reduced configuration for quick runs and CI (same algorithm,
+    /// smaller budgets).
+    pub fn quick() -> Self {
+        LpqConfig {
+            population: 8,
+            passes: 2,
+            cycles: 1,
+            block_size: 8,
+            diversity_children: 3,
+            calib_size: 32,
+            max_population: 16,
+            ..Self::paper()
+        }
+    }
+
+    /// Reads `LPQ_PRESET=paper|quick` from the environment, defaulting to
+    /// `quick`.
+    pub fn from_env() -> Self {
+        match std::env::var("LPQ_PRESET").as_deref() {
+            Ok("paper") => Self::paper(),
+            _ => Self::quick(),
+        }
+    }
+}
+
+/// The outcome of an LPQ search.
+#[derive(Debug, Clone)]
+pub struct LpqResult {
+    /// Best weight-parameter candidate found (the raw genome).
+    pub best: Candidate,
+    /// The genome resolved into deployable per-layer LP formats
+    /// (saturation-aware scale factors).
+    pub weight_params: Vec<lp::format::LpParams>,
+    /// Derived activation parameters (one per weighted layer).
+    pub activation_params: Vec<LayerParams>,
+    /// Parameter-weighted average weight bit-width ("MP4.2"-style).
+    pub avg_weight_bits: f64,
+    /// Average activation bit-width (IR-size weighted).
+    pub avg_activation_bits: f64,
+    /// Quantized model size in MB.
+    pub model_size_mb: f64,
+    /// Best fitness after each population update.
+    pub fitness_history: Vec<f64>,
+    /// Snapshot of the best candidate after each population update (for
+    /// convergence plots).
+    pub best_history: Vec<Candidate>,
+    /// Total candidate evaluations performed.
+    pub evaluations: usize,
+}
+
+impl LpqResult {
+    /// Builds the full weight + activation [`QuantScheme`] for deployment
+    /// evaluation.
+    pub fn scheme(&self) -> QuantScheme {
+        QuantScheme {
+            weights: self
+                .weight_params
+                .iter()
+                .map(|p| Some(Arc::new(*p) as Arc<dyn lp::Quantizer + Send + Sync>))
+                .collect(),
+            activations: self
+                .activation_params
+                .iter()
+                .map(|p| Some(Arc::new(p.to_lp()) as Arc<dyn lp::Quantizer + Send + Sync>))
+                .collect(),
+        }
+    }
+
+    /// Builds a weight-only scheme (activations in full precision).
+    pub fn weight_scheme(&self) -> QuantScheme {
+        QuantScheme {
+            weights: self
+                .weight_params
+                .iter()
+                .map(|p| Some(Arc::new(*p) as Arc<dyn lp::Quantizer + Send + Sync>))
+                .collect(),
+            activations: vec![None; self.weight_params.len()],
+        }
+    }
+}
+
+/// Builds a [`QuantScheme`] from weight parameters and optional activation
+/// parameters.
+pub fn scheme_from(weights: &Candidate, acts: Option<&[LayerParams]>) -> QuantScheme {
+    let to_arc = |p: &LayerParams| -> Option<Arc<dyn lp::Quantizer + Send + Sync>> {
+        Some(Arc::new(p.to_lp()))
+    };
+    QuantScheme {
+        weights: weights.layers.iter().map(to_arc).collect(),
+        activations: match acts {
+            Some(a) => a.iter().map(to_arc).collect(),
+            None => vec![None; weights.len()],
+        },
+    }
+}
+
+/// The LPQ search engine, bound to a model and calibration data.
+pub struct Lpq<'m> {
+    model: &'m Model,
+    cfg: LpqConfig,
+    calib: Vec<Tensor>,
+    evaluator: FitnessEvaluator,
+    sf_centers: Vec<f64>,
+    /// Per-layer `log2(max|w|)` used for saturation-aware sf resolution.
+    weight_max_log: Vec<f64>,
+    blocks: Vec<Range<usize>>,
+    /// Per-layer concatenated FP activations for activation-sf fitting.
+    layer_acts: Vec<Tensor>,
+    rng: ChaCha8Rng,
+    evaluations: usize,
+}
+
+impl<'m> Lpq<'m> {
+    /// Prepares a search: builds the calibration set, runs the FP model
+    /// once to cache reference features, and fits per-layer scale-factor
+    /// centers.
+    pub fn new(model: &'m Model, cfg: LpqConfig) -> Self {
+        let calib: Vec<Tensor> = dnn::data::calibration_set(model)
+            .into_iter()
+            .take(cfg.calib_size)
+            .collect();
+        Self::with_calibration(model, cfg, calib)
+    }
+
+    /// Like [`Lpq::new`] with explicit calibration inputs.
+    pub fn with_calibration(model: &'m Model, cfg: LpqConfig, calib: Vec<Tensor>) -> Self {
+        let fp_traces: Vec<ForwardTrace> =
+            par_map(&calib, |x| model.forward_traced(x, None, true));
+        let evaluator = FitnessEvaluator::new(
+            cfg.objective,
+            cfg.tau,
+            cfg.lambda,
+            &fp_traces,
+            model.layer_param_counts(),
+        );
+        // Concatenate up to 8 images' IRs per layer for activation fitting.
+        let layers = model.num_quant_layers();
+        let mut layer_acts = Vec::with_capacity(layers);
+        for l in 0..layers {
+            let mut buf = Vec::new();
+            for t in fp_traces.iter().take(8) {
+                buf.extend_from_slice(t.irs[l].data());
+            }
+            let len = buf.len();
+            layer_acts.push(Tensor::from_vec(&[len], buf));
+        }
+        let sf_centers: Vec<f64> = model
+            .layer_weights()
+            .iter()
+            .map(|w| LpParams::fit_sf(w))
+            .collect();
+        let weight_max_log: Vec<f64> = model
+            .layer_weights()
+            .iter()
+            .map(|w| {
+                w.iter()
+                    .filter(|x| x.is_finite() && **x != 0.0)
+                    .map(|x| f64::from(x.abs()).log2())
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect();
+        let blocks = make_blocks(model, cfg.block_size);
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        Lpq {
+            model,
+            cfg,
+            calib,
+            evaluator,
+            sf_centers,
+            weight_max_log,
+            blocks,
+            layer_acts,
+            rng,
+            evaluations: 0,
+        }
+    }
+
+    /// Resolves a genome into concrete per-layer LP formats: the genome's
+    /// scale factor is clamped so the layer's largest weight never
+    /// saturates under the genome's `⟨n, es, rs⟩` (saturation-aware
+    /// deployment of the searched parameters).
+    pub fn resolve(&self, cand: &Candidate) -> Vec<LpParams> {
+        cand.layers
+            .iter()
+            .zip(&self.weight_max_log)
+            .map(|(l, &max_log)| {
+                let base = l.to_lp();
+                let sf = if max_log.is_finite() {
+                    l.sf.min(base.max_scale() - max_log).clamp(-256.0, 256.0)
+                } else {
+                    l.sf
+                };
+                base.with_sf(sf)
+            })
+            .collect()
+    }
+
+    /// Builds the weight-only scheme for a resolved candidate.
+    fn resolved_scheme(&self, cand: &Candidate) -> QuantScheme {
+        let resolved = self.resolve(cand);
+        QuantScheme {
+            weights: resolved
+                .into_iter()
+                .map(|p| Some(Arc::new(p) as Arc<dyn lp::Quantizer + Send + Sync>))
+                .collect(),
+            activations: vec![None; cand.len()],
+        }
+    }
+
+    /// The block partition in use.
+    pub fn blocks(&self) -> &[Range<usize>] {
+        &self.blocks
+    }
+
+    /// Evaluates one candidate's fitness (lower is better).
+    pub fn evaluate(&mut self, cand: &Candidate) -> f64 {
+        self.evaluations += 1;
+        let scheme = self.resolved_scheme(cand);
+        let qm = self.model.quantize_weights(&scheme);
+        let needs_irs = self.evaluator.needs_irs();
+        let traces: Vec<ForwardTrace> =
+            par_map(&self.calib, |x| qm.forward_traced(x, None, needs_irs));
+        self.evaluator.fitness(&traces, cand)
+    }
+
+    /// Runs the full four-step search and derives activation parameters for
+    /// the winner.
+    pub fn run(mut self) -> LpqResult {
+        let layers = self.model.num_quant_layers();
+        // Step 1: candidate initialization. K − 1 random candidates plus an
+        // all-8-bit anchor (a known-safe starting point).
+        let mut population: Vec<(Candidate, f64)> = Vec::new();
+        let anchor = Candidate {
+            layers: self
+                .sf_centers
+                .iter()
+                .map(|&c| LayerParams::clamped(8, 2, 3, c, self.cfg.hw_constrained))
+                .collect(),
+        };
+        let anchor_fit = self.evaluate(&anchor);
+        population.push((anchor, anchor_fit));
+        for _ in 1..self.cfg.population {
+            let c = Candidate::random(
+                &mut self.rng,
+                &self.sf_centers,
+                self.cfg.sf_radius,
+                self.cfg.hw_constrained,
+            );
+            let f = self.evaluate(&c);
+            population.push((c, f));
+        }
+        let mut fitness_history = Vec::new();
+        let mut best_history = Vec::new();
+        // P passes over all blocks, C cycles each.
+        let blocks = self.blocks.clone();
+        for _pass in 0..self.cfg.passes {
+            for block in &blocks {
+                for _cycle in 0..self.cfg.cycles {
+                    population.sort_by(|a, b| a.1.total_cmp(&b.1));
+                    // Step 2: regeneration from the top two candidates.
+                    let p1 = population[0].0.clone();
+                    let p2 = population[1.min(population.len() - 1)].0.clone();
+                    let child = Candidate::regenerate_block(
+                        &p1,
+                        &p2,
+                        block.clone(),
+                        &mut self.rng,
+                        self.cfg.sf_radius,
+                        self.cfg.hw_constrained,
+                    );
+                    // Step 3: diversity-promoting selection — cross the
+                    // child with fresh random parents.
+                    let mut diverse = Vec::new();
+                    for _ in 0..self.cfg.diversity_children {
+                        let rand_parent = Candidate::random(
+                            &mut self.rng,
+                            &self.sf_centers,
+                            self.cfg.sf_radius,
+                            self.cfg.hw_constrained,
+                        );
+                        diverse.push(Candidate::regenerate_block(
+                            &child,
+                            &rand_parent,
+                            block.clone(),
+                            &mut self.rng,
+                            self.cfg.sf_radius,
+                            self.cfg.hw_constrained,
+                        ));
+                    }
+                    // Step 4: evaluation and population update.
+                    let child_fit = self.evaluate(&child);
+                    population.push((child, child_fit));
+                    let mut best_div: Option<(Candidate, f64)> = None;
+                    for d in diverse {
+                        let f = self.evaluate(&d);
+                        if best_div.as_ref().is_none_or(|(_, bf)| f < *bf) {
+                            best_div = Some((d, f));
+                        }
+                    }
+                    if let Some(bd) = best_div {
+                        population.push(bd);
+                    }
+                    population.sort_by(|a, b| a.1.total_cmp(&b.1));
+                    population.truncate(self.cfg.max_population);
+                    fitness_history.push(population[0].1);
+                    best_history.push(population[0].0.clone());
+                }
+            }
+        }
+        population.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let best = population
+            .into_iter()
+            .next()
+            .map(|(c, _)| c)
+            .expect("population is never empty");
+        let weight_params = self.resolve(&best);
+        let activation_params =
+            derive_activation_params(&best, &self.layer_acts, SfRule::Fitted);
+        let param_counts = self.model.layer_param_counts();
+        let ir_sizes: Vec<usize> = self.layer_acts.iter().map(Tensor::len).collect();
+        let avg_weight_bits = best.avg_bits(&param_counts);
+        let avg_activation_bits =
+            crate::activation::avg_activation_bits(&activation_params, Some(&ir_sizes));
+        let model_size_mb = best.model_size_mb(&param_counts);
+        assert_eq!(best.len(), layers);
+        LpqResult {
+            best,
+            weight_params,
+            activation_params,
+            avg_weight_bits,
+            avg_activation_bits,
+            model_size_mb,
+            fitness_history,
+            best_history,
+            evaluations: self.evaluations,
+        }
+    }
+}
+
+/// Splits the model's weighted layers into regeneration blocks: fixed-size
+/// chunks when `block_size > 0`, else the model's own block boundaries
+/// (falling back to chunks of 4 when the model has none).
+fn make_blocks(model: &Model, block_size: usize) -> Vec<Range<usize>> {
+    let layers = model.num_quant_layers();
+    if block_size == 0 && !model.block_ends().is_empty() {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for &end in model.block_ends() {
+            if end > start {
+                out.push(start..end);
+                start = end;
+            }
+        }
+        if start < layers {
+            out.push(start..layers);
+        }
+        return out;
+    }
+    let b = if block_size == 0 { 4 } else { block_size };
+    (0..layers)
+        .step_by(b)
+        .map(|s| s..(s + b).min(layers))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::models;
+
+    fn tiny_config() -> LpqConfig {
+        LpqConfig {
+            population: 4,
+            passes: 1,
+            cycles: 1,
+            block_size: 8,
+            diversity_children: 2,
+            calib_size: 8,
+            max_population: 8,
+            ..LpqConfig::paper()
+        }
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let p = LpqConfig::paper();
+        assert_eq!((p.population, p.passes, p.cycles), (20, 10, 4));
+        assert_eq!(p.diversity_children, 5);
+        assert!((p.lambda - 0.4).abs() < 1e-12);
+        assert_eq!(p.calib_size, 128);
+        let q = LpqConfig::quick();
+        assert!(q.population < p.population);
+    }
+
+    #[test]
+    fn block_partition_fixed_size() {
+        let m = models::resnet18_like(); // 21 layers
+        let blocks = make_blocks(&m, 4);
+        assert_eq!(blocks.len(), 6);
+        assert_eq!(blocks[0], 0..4);
+        assert_eq!(blocks[5], 20..21);
+    }
+
+    #[test]
+    fn block_partition_model_blocks() {
+        let m = models::vit_b_like();
+        let blocks = make_blocks(&m, 0);
+        // 13 marked blocks + trailing head layer.
+        assert_eq!(blocks.len(), 14);
+        assert_eq!(blocks[0], 0..1); // patch embed
+        assert_eq!(blocks[1], 1..7); // first encoder block
+        let last = blocks.last().unwrap().clone();
+        assert_eq!(last.end, m.num_quant_layers());
+    }
+
+    #[test]
+    fn search_runs_and_improves_over_random() {
+        let m = models::resnet18_like();
+        let cfg = tiny_config();
+        let lpq = Lpq::new(&m, cfg);
+        let result = lpq.run();
+        assert_eq!(result.best.len(), m.num_quant_layers());
+        assert!(!result.fitness_history.is_empty());
+        assert!(result.evaluations > 4);
+        // Fitness history must be non-increasing (we always keep the best).
+        for w in result.fitness_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!(result.avg_weight_bits >= 2.0 && result.avg_weight_bits <= 8.0);
+        assert!(result.avg_activation_bits >= 4.0 && result.avg_activation_bits <= 8.0);
+        assert!(result.model_size_mb > 0.0);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let m = models::mobilenetv2_like();
+        let r1 = Lpq::new(&m, tiny_config()).run();
+        let r2 = Lpq::new(&m, tiny_config()).run();
+        assert_eq!(r1.best, r2.best);
+        assert_eq!(r1.fitness_history, r2.fitness_history);
+    }
+
+    #[test]
+    fn hw_constrained_candidates_pack() {
+        let m = models::mobilenetv2_like();
+        let mut cfg = tiny_config();
+        cfg.hw_constrained = true;
+        let result = Lpq::new(&m, cfg).run();
+        for l in &result.best.layers {
+            assert!([2, 4, 8].contains(&l.n));
+        }
+        for a in &result.activation_params {
+            assert!([4, 8].contains(&a.n), "activations are 4- or 8-bit");
+        }
+    }
+
+    #[test]
+    fn scheme_lengths_match() {
+        let m = models::resnet18_like();
+        let result = Lpq::new(&m, tiny_config()).run();
+        let s = result.scheme();
+        assert_eq!(s.weights.len(), m.num_quant_layers());
+        assert_eq!(s.activations.len(), m.num_quant_layers());
+        assert!(s.weights.iter().all(Option::is_some));
+        assert!(s.activations.iter().all(Option::is_some));
+        let ws = result.weight_scheme();
+        assert!(ws.activations.iter().all(Option::is_none));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests on the LPQ search-space invariants.
+
+use lpq::objective::{kurtosis3, normalize};
+use lpq::params::{Candidate, LayerParams};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #[test]
+    fn clamped_params_always_form_valid_lp(
+        n in -10i64..20,
+        es in -5i64..10,
+        rs in -5i64..20,
+        sf in -300.0f64..300.0,
+        hw in prop::bool::ANY,
+    ) {
+        let p = LayerParams::clamped(n, es, rs, sf, hw);
+        let lp = p.to_lp(); // must not panic
+        prop_assert!((2..=8).contains(&p.n));
+        if hw {
+            prop_assert!([2, 4, 8].contains(&p.n));
+        }
+        prop_assert_eq!(lp.n(), p.n);
+    }
+
+    #[test]
+    fn regeneration_stays_in_search_space(
+        seed in 0u64..500,
+        layers in 1usize..30,
+        b_lo in 0usize..10,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let centers = vec![0.5; layers];
+        let a = Candidate::random(&mut rng, &centers, 0.2, false);
+        let b = Candidate::random(&mut rng, &centers, 0.2, false);
+        let lo = b_lo.min(layers.saturating_sub(1));
+        let hi = (lo + 4).min(layers);
+        let child = Candidate::regenerate_block(&a, &b, lo..hi, &mut rng, 0.2, false);
+        prop_assert_eq!(child.len(), layers);
+        for (i, l) in child.layers.iter().enumerate() {
+            let _ = l.to_lp();
+            if !(lo..hi).contains(&i) {
+                prop_assert_eq!(*l, a.layers[i], "outside block copies best parent");
+            } else {
+                // n within [min−1, max+1] of the parents.
+                let pn = (a.layers[i].n, b.layers[i].n);
+                let lo_n = pn.0.min(pn.1).saturating_sub(1).max(2);
+                let hi_n = (pn.0.max(pn.1) + 1).min(8);
+                prop_assert!((lo_n..=hi_n).contains(&l.n));
+            }
+        }
+    }
+
+    #[test]
+    fn avg_bits_between_min_and_max_layer(
+        seed in 0u64..200,
+        layers in 1usize..20,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let centers = vec![0.0; layers];
+        let c = Candidate::random(&mut rng, &centers, 0.1, true);
+        let counts: Vec<usize> = (1..=layers).collect();
+        let avg = c.avg_bits(&counts);
+        let min = c.layers.iter().map(|l| l.n).min().unwrap() as f64;
+        let max = c.layers.iter().map(|l| l.n).max().unwrap() as f64;
+        prop_assert!(avg >= min - 1e-9 && avg <= max + 1e-9);
+    }
+
+    #[test]
+    fn kurtosis_is_shift_and_scale_invariant(
+        data in prop::collection::vec(-10.0f32..10.0, 16..256),
+        shift in -5.0f32..5.0,
+        scale in 0.5f32..4.0,
+    ) {
+        let k0 = kurtosis3(&data);
+        let transformed: Vec<f32> = data.iter().map(|&x| x * scale + shift).collect();
+        let k1 = kurtosis3(&transformed);
+        // Kurtosis is invariant to affine transforms (within f32 noise).
+        prop_assert!((k0 - k1).abs() < 0.3 + 0.01 * k0.abs(), "{k0} vs {k1}");
+    }
+
+    #[test]
+    fn normalize_produces_unit_or_zero(v in prop::collection::vec(-100.0f64..100.0, 1..64)) {
+        let mut v = v;
+        normalize(&mut v);
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!(norm < 1e-9 || (norm - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,53 @@
+//! Peek inside the LPA datapath: pack LP weights into a buffer word,
+//! decode them through the hardware bit-path, and run a MAC through the
+//! MODE-B PE exactly as the systolic array would.
+//!
+//! Run with: `cargo run --release --example bit_level_pe`
+
+use lp::format::LpParams;
+use lpa::bits::{pack_lanes, unpack_lanes};
+use lpa::decode::{decode_packed, DecodedOperand};
+use lpa::pe::{LpPe, PartialSum, PeMode};
+
+fn main() -> Result<(), lp::LpError> {
+    // Two 4-bit LP weights for one MODE-B PE.
+    let fmt = LpParams::new(4, 1, 3, 0.0)?;
+    let w0 = 1.5f64;
+    let w1 = -0.5f64;
+    let lane0 = fmt.encode(w0).bits() as u8;
+    let lane1 = fmt.encode(w1).bits() as u8;
+    let word = pack_lanes(&[lane0, lane1], PeMode::B);
+    println!("weights {w0} and {w1} pack into buffer word {word:#010b}");
+    println!("  lanes: {:?}", unpack_lanes(word, PeMode::B));
+
+    // The unified decoder: per-lane two's complement, regime LZD, ulfx
+    // extraction — one call, hardware-step faithful.
+    let decoded = decode_packed(word, PeMode::B, &fmt);
+    for (i, d) in decoded.iter().enumerate() {
+        println!(
+            "  lane {i}: sign={} scale_q8={} → value {:.4}",
+            d.negative,
+            d.scale_q8,
+            d.value()
+        );
+    }
+
+    // MAC: both weights share one eastbound activation. The reference is
+    // the product of the *quantized* weights (1.5 rounds to 2.0 in this
+    // narrow format) with the activation.
+    let act = 2.0f64;
+    let qw = [fmt.quantize(w0), fmt.quantize(w1)];
+    let pe = LpPe::new(PeMode::B, decoded);
+    let mut psums = vec![PartialSum::ZERO; 2];
+    pe.mac(DecodedOperand::from_value(act), &mut psums);
+    println!("after MAC with activation {act} (quantized weights {qw:?}):");
+    for (i, (p, exact)) in psums.iter().zip([qw[0] * act, qw[1] * act]).enumerate() {
+        println!(
+            "  lane {i}: partial sum {:.4} (exact {:.4}, log-linear converter error {:+.4})",
+            p.value(),
+            exact,
+            p.value() - exact
+        );
+    }
+    Ok(())
+}

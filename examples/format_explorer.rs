@@ -1,0 +1,49 @@
+//! Compare number formats on a DNN-like weight tensor: RMSE at matched
+//! bit-widths and accuracy profiles — a miniature of the paper's Figs.
+//! 1(b) and 5(b).
+//!
+//! Run with: `cargo run --release --example format_explorer`
+
+use dnn::models;
+use lp::accuracy::{accuracy_profile, rmse};
+use lp::quantizer::{fit_quantizer, FormatKind};
+
+fn main() -> Result<(), lp::LpError> {
+    // A real layer from the zoo: heavy-tailed transformer projection.
+    let model = models::vit_b_like();
+    let weights = model.layer_weights();
+    let layer = weights[10];
+    println!(
+        "layer tensor: {} weights, max |w| = {:.4}\n",
+        layer.len(),
+        layer.iter().map(|x| x.abs()).fold(0.0f32, f32::max)
+    );
+
+    println!("RMSE by format and bit-width (per-tensor fitted parameters):");
+    println!("{:<14} {:>12} {:>12} {:>12}", "format", "4-bit", "6-bit", "8-bit");
+    for kind in FormatKind::ALL {
+        let mut row = format!("{:<14}", kind.to_string());
+        for bits in [4u32, 6, 8] {
+            let q = fit_quantizer(kind, bits, layer)?;
+            let mut quantized = layer.to_vec();
+            q.quantize_slice(&mut quantized);
+            row.push_str(&format!(" {:>12.6}", rmse(layer, &quantized)));
+        }
+        println!("{row}");
+    }
+
+    // Accuracy profile comparison at 8 bits.
+    println!("\ndecimal-accuracy profiles over 2^-10..2^10 (worst case per band):");
+    let lp = fit_quantizer(FormatKind::Lp, 8, layer)?;
+    let af = fit_quantizer(FormatKind::AdaptivFloat, 8, layer)?;
+    for (name, q) in [("LP", &lp), ("AdaptivFloat", &af)] {
+        let prof = accuracy_profile(|v| q.quantize(v), -10.0, 10.0, 10, 16);
+        let line: Vec<String> = prof
+            .iter()
+            .map(|p| format!("{:.1}", p.decimal_accuracy.max(0.0)))
+            .collect();
+        println!("{name:<14} [{}]", line.join(", "));
+    }
+    println!("\nLP is tapered (peak where the data lives); AdaptivFloat is flat.");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: the Logarithmic Posit format in five minutes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lp::accuracy::decimal_accuracy;
+use lp::format::LpParams;
+
+fn main() -> Result<(), lp::LpError> {
+    // An LP format is ⟨n, es, rs, sf⟩: total bits, exponent size, regime
+    // cap, and a continuous scale-factor bias.
+    let p = LpParams::new(8, 2, 3, 0.0)?;
+    println!("format: {p}");
+    println!("dynamic range: [{:.3e}, {:.3e}]", p.min_pos(), p.max_pos());
+
+    // Encode/decode round trip. Every non-zero LP value is ±2^(scale).
+    let w = p.encode(0.75);
+    println!("0.75 encodes to {:#010b} and decodes to {}", w.bits(), p.decode(w));
+
+    // Tapered accuracy: values near the taper center round more precisely
+    // than values near the extremes.
+    for v in [1.1, 17.3, 1900.0] {
+        let q = p.quantize(v);
+        println!(
+            "quantize({v:>7}) = {q:<22.6} ({:.2} decimal digits)",
+            decimal_accuracy(q, v)
+        );
+    }
+
+    // The scale factor repositions the accuracy peak: fit it to data.
+    let tensor: Vec<f32> = (0..64).map(|i| 0.01 * ((i as f32 * 0.7).sin())).collect();
+    let sf = p.fit_sf_saturating(&tensor);
+    let fitted = p.with_sf(sf);
+    println!("fitted scale factor for ~0.01-magnitude data: {sf:.2}");
+    let v = 0.008_f64;
+    println!(
+        "quantize(0.008): unfitted {:.6} vs fitted {:.6}",
+        p.quantize(v),
+        fitted.quantize(v)
+    );
+
+    // Mixed-precision: the same value at 4 and 2 bits.
+    let p4 = LpParams::new(4, 1, 3, 0.0)?;
+    let p2 = LpParams::new(2, 0, 1, 0.0)?;
+    println!("0.75 at 4 bits: {}, at 2 bits: {}", p4.quantize(0.75), p2.quantize(0.75));
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! # lp-repro
+//!
+//! Umbrella crate for the Rust reproduction of *"Algorithm-Hardware
+//! Co-Design of Distribution-Aware Logarithmic-Posit Encodings for Efficient
+//! DNN Inference"* (DAC 2024).
+//!
+//! Re-exports the four subsystem crates:
+//!
+//! * [`lp`] — the Logarithmic Posit number format and baseline formats
+//! * [`dnn`] — the DNN inference substrate (tensors, models, data)
+//! * [`lpq`] — the genetic-algorithm quantization framework
+//! * [`lpa`] — the accelerator model (PEs, systolic array, cost model)
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+#![forbid(unsafe_code)]
+
+pub use dnn;
+pub use lp;
+pub use lpa;
+pub use lpq;

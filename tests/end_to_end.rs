@@ -1,0 +1,86 @@
+//! Cross-crate integration: the full co-design pipeline from format to
+//! search to deployment accuracy.
+
+use dnn::{data, models};
+use lpq::search::{Lpq, LpqConfig};
+
+fn tiny() -> LpqConfig {
+    LpqConfig {
+        population: 5,
+        passes: 1,
+        cycles: 1,
+        block_size: 8,
+        diversity_children: 2,
+        calib_size: 12,
+        max_population: 10,
+        ..LpqConfig::paper()
+    }
+}
+
+#[test]
+fn lpq_pipeline_preserves_accuracy_on_cnn() {
+    let model = models::resnet18_like();
+    let result = Lpq::new(&model, tiny()).run();
+    let test: Vec<_> = data::test_set(&model).into_iter().take(64).collect();
+    let teacher = data::predictions(&model, &test);
+    let acc = data::quantized_accuracy(&model, &result.scheme(), &test, &teacher);
+    // Even a tiny-budget search must stay within a few points of baseline
+    // on the robust CNN (the anchor candidate guarantees a safe fallback).
+    assert!(
+        acc > model.baseline_top1() - 8.0,
+        "acc {acc} vs baseline {}",
+        model.baseline_top1()
+    );
+    // And it must actually compress relative to FP32.
+    assert!(result.avg_weight_bits <= 8.0);
+    assert!(result.model_size_mb < model.num_params() as f64 * 4.0 / 1e6);
+}
+
+#[test]
+fn lpq_scheme_runs_on_transformer() {
+    let model = models::deit_s_like();
+    let mut cfg = tiny();
+    cfg.block_size = 0; // attention blocks
+    let result = Lpq::new(&model, cfg).run();
+    assert_eq!(result.best.len(), model.num_quant_layers());
+    // The deployment scheme must produce finite logits.
+    let qm = model.quantize_weights(&result.scheme());
+    let input = data::calibration_set(&model).remove(0);
+    let out = qm.forward_traced(&input, Some(&result.scheme()), false).output;
+    assert!(out.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn uniform_bit_sweep_is_monotone_in_fidelity() {
+    // More weight bits must never *hurt* representational fidelity: check
+    // the mean relative logit error against FP shrinks with width.
+    use dnn::graph::QuantScheme;
+    use lp::quantizer::{fit_quantizer, FormatKind};
+    use std::sync::Arc;
+    let model = models::resnet18_like();
+    let inputs: Vec<_> = data::calibration_set(&model).into_iter().take(8).collect();
+    let fp: Vec<_> = inputs.iter().map(|x| model.forward(x)).collect();
+    let weights = model.layer_weights();
+    let mut errs = Vec::new();
+    for bits in [2u32, 4, 8] {
+        let mut scheme = QuantScheme::identity(model.num_quant_layers());
+        for (i, w) in scheme.weights.iter_mut().enumerate() {
+            let q = fit_quantizer(FormatKind::Lp, bits, weights[i]).unwrap();
+            *w = Some(Arc::from(q));
+        }
+        let qm = model.quantize_weights(&scheme);
+        let mut err = 0.0f64;
+        let mut norm = 0.0f64;
+        for (x, f) in inputs.iter().zip(&fp) {
+            let q = qm.forward(x);
+            for (a, b) in q.data().iter().zip(f.data()) {
+                err += f64::from(a - b).powi(2);
+                norm += f64::from(*b).powi(2);
+            }
+        }
+        errs.push((err / norm).sqrt());
+    }
+    assert!(errs[0] > errs[1], "2-bit must be worse than 4-bit: {errs:?}");
+    assert!(errs[1] > errs[2], "4-bit must be worse than 8-bit: {errs:?}");
+    assert!(errs[2] < 0.1, "8-bit LP must be near-lossless: {errs:?}");
+}
