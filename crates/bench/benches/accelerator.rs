@@ -39,7 +39,9 @@ fn bench_accelerator(c: &mut Criterion) {
     });
 
     let model = dnn::models::resnet50_like();
-    let bits: Vec<u32> = (0..model.num_quant_layers()).map(|i| [4u32, 8][i % 2]).collect();
+    let bits: Vec<u32> = (0..model.num_quant_layers())
+        .map(|i| [4u32, 8][i % 2])
+        .collect();
     let workload = reference_workload(&model, &bits);
     let cfg = ArrayConfig::default();
     c.bench_function("cycle_sim_resnet50_all_designs", |b| {

@@ -1,11 +1,22 @@
-//! Codec microbenchmarks: encode/decode throughput for every number format
-//! (the software cost of the quantization pipeline).
+//! Codec benchmarks: the software cost of the quantization pipeline.
+//!
+//! Two layers:
+//!
+//! 1. criterion-style microbenches of the raw encode/decode primitives;
+//! 2. the headline scalar-vs-table comparison — `quantize_slice` on a
+//!    1M-element tensor for every 8-bit format, scalar reference path vs
+//!    the `lp::codec` decode-table path — written to `BENCH_codec.json`
+//!    so the perf trajectory is machine-trackable across PRs.
+//!
+//! Run with `cargo bench --bench codec`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lp::adaptivfloat::AdaptivFloat;
-use lp::baselines::IntQuantizer;
+use lp::baselines::{FixedPoint, IntQuantizer, LnsQuantizer, MiniFloat};
 use lp::format::LpParams;
 use lp::posit::PositParams;
+use lp::Quantizer;
+use std::time::Instant;
 
 fn values() -> Vec<f64> {
     (0..1024)
@@ -29,6 +40,15 @@ fn bench_codecs(c: &mut Criterion) {
             for &w in &words {
                 black_box(lp.decode(black_box(w)));
             }
+        })
+    });
+    let fs: Vec<f32> = vs.iter().map(|&v| v as f32).collect();
+    let table = lp.decode_table();
+    c.bench_function("lp8_table_quantize_1k", |b| {
+        b.iter(|| {
+            let mut buf = fs.clone();
+            table.quantize_slice(black_box(&mut buf));
+            black_box(buf)
         })
     });
     let posit = PositParams::new(8, 2).unwrap();
@@ -57,5 +77,142 @@ fn bench_codecs(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_codecs);
+/// One scalar-vs-table measurement on `n` elements.
+struct Comparison {
+    format: String,
+    scalar_elems_per_s: f64,
+    table_elems_per_s: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.table_elems_per_s / self.scalar_elems_per_s
+    }
+}
+
+/// Times `f` over `reps` runs and returns the best wall-clock seconds.
+fn best_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn tensor_1m() -> Vec<f32> {
+    // A DNN-layer-like magnitude profile: bulk near ±0.05, mild outliers.
+    (0..1_000_000)
+        .map(|i| {
+            let t = (i as f32 * 0.618_034).fract() - 0.5;
+            let outlier = if i % 97 == 0 { 8.0 } else { 1.0 };
+            t * 0.1 * outlier
+        })
+        .collect()
+}
+
+fn compare_paths(c: &mut Criterion) {
+    let quantizers: Vec<Box<dyn Quantizer + Send + Sync>> = vec![
+        Box::new(LpParams::new(8, 2, 3, 4.25).unwrap()),
+        Box::new(PositParams::new(8, 2).unwrap()),
+        Box::new(AdaptivFloat::for_tensor(8, 3, &tensor_1m()).unwrap()),
+        Box::new(MiniFloat::new(8, 4).unwrap()),
+        Box::new(IntQuantizer::new(8, 0.005).unwrap()),
+        Box::new(FixedPoint::new(8, 8).unwrap()),
+        Box::new(LnsQuantizer::new(8, 3, 4.0).unwrap()),
+    ];
+    let xs = tensor_1m();
+    let n = xs.len();
+    // Each measured pass must start from unquantized input; restore by
+    // memcpy into a preallocated buffer and subtract the measured cost of
+    // that restore so the recorded rates are for quantization alone.
+    let mut buf = xs.clone();
+    let restore = best_seconds(5, || {
+        buf.copy_from_slice(black_box(&xs));
+        black_box(&buf);
+    });
+    let mut rows = Vec::new();
+    println!();
+    println!(
+        "{:<14} {:>16} {:>16} {:>9}",
+        "format", "scalar Melem/s", "table Melem/s", "speedup"
+    );
+    for q in &quantizers {
+        // Warm the table outside the timed region (builds are amortized by
+        // the process-wide cache in real use).
+        let table = q.decode_table();
+        let scalar_s = best_seconds(3, || {
+            buf.copy_from_slice(&xs);
+            q.quantize_slice_scalar(black_box(&mut buf));
+            black_box(&buf);
+        }) - restore;
+        let table_s = best_seconds(3, || {
+            buf.copy_from_slice(&xs);
+            table.quantize_slice(black_box(&mut buf));
+            black_box(&buf);
+        }) - restore;
+        let row = Comparison {
+            format: q.name().to_string(),
+            scalar_elems_per_s: n as f64 / scalar_s.max(1e-9),
+            table_elems_per_s: n as f64 / table_s.max(1e-9),
+        };
+        println!(
+            "{:<14} {:>16.1} {:>16.1} {:>8.2}x",
+            row.format,
+            row.scalar_elems_per_s / 1e6,
+            row.table_elems_per_s / 1e6,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+    write_json(&rows, n);
+    // Also register the LP comparison with criterion so it shows up in the
+    // standard bench listing.
+    let lp = LpParams::new(8, 2, 3, 4.25).unwrap();
+    let table = lp.decode_table();
+    c.bench_function("lp8_scalar_quantize_1M", |b| {
+        b.iter(|| {
+            buf.copy_from_slice(&xs);
+            lp.quantize_slice_scalar(black_box(&mut buf));
+            black_box(buf.len())
+        })
+    });
+    c.bench_function("lp8_table_quantize_1M", |b| {
+        b.iter(|| {
+            buf.copy_from_slice(&xs);
+            table.quantize_slice(black_box(&mut buf));
+            black_box(buf.len())
+        })
+    });
+}
+
+/// Writes `BENCH_codec.json` (no serde in the tree; the format is flat
+/// enough to emit by hand).
+fn write_json(rows: &[Comparison], elements: usize) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"elements\": {elements},\n"));
+    out.push_str("  \"unit\": \"elements_per_second\",\n");
+    out.push_str("  \"formats\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"format\": \"{}\", \"scalar\": {:.0}, \"table\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            r.format,
+            r.scalar_elems_per_s,
+            r.table_elems_per_s,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    // cargo bench runs with the package as CWD; anchor the report at the
+    // workspace root where the perf trajectory is tracked.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_codec.json");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("\nwrote BENCH_codec.json"),
+        Err(e) => eprintln!("could not write BENCH_codec.json: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_codecs, compare_paths);
 criterion_main!(benches);

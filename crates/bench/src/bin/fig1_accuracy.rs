@@ -10,17 +10,23 @@ fn main() {
     println!("=== Fig. 1(b): decimal-accuracy profiles over magnitude 2^-14..2^14 ===\n");
     let configs = [
         ("LP<8,2,3,sf=0>", LpParams::new(8, 2, 3, 0.0).unwrap()),
-        ("LP<8,2,3,sf=6> (peak shifted)", LpParams::new(8, 2, 3, 6.0).unwrap()),
-        ("LP<8,1,2,sf=0> (tight taper)", LpParams::new(8, 1, 2, 0.0).unwrap()),
-        ("LP<8,3,5,sf=0> (wide range)", LpParams::new(8, 3, 5, 0.0).unwrap()),
+        (
+            "LP<8,2,3,sf=6> (peak shifted)",
+            LpParams::new(8, 2, 3, 6.0).unwrap(),
+        ),
+        (
+            "LP<8,1,2,sf=0> (tight taper)",
+            LpParams::new(8, 1, 2, 0.0).unwrap(),
+        ),
+        (
+            "LP<8,3,5,sf=0> (wide range)",
+            LpParams::new(8, 3, 5, 0.0).unwrap(),
+        ),
     ];
     let steps = 28;
     for (label, p) in &configs {
         let prof = accuracy_profile(|v| p.quantize(v), -14.0, 14.0, steps, 24);
-        let vals: Vec<f64> = prof
-            .iter()
-            .map(|pt| pt.decimal_accuracy.max(0.0))
-            .collect();
+        let vals: Vec<f64> = prof.iter().map(|pt| pt.decimal_accuracy.max(0.0)).collect();
         let peak = prof
             .iter()
             .cloned()
@@ -36,7 +42,11 @@ fn main() {
     let af = AdaptivFloat::new(8, 4, 7).unwrap();
     let prof = accuracy_profile(|v| af.quantize(v), -14.0, 14.0, steps, 24);
     let vals: Vec<f64> = prof.iter().map(|pt| pt.decimal_accuracy.max(0.0)).collect();
-    println!("{:<32} {}  (flat until range cliff)", "AdaptivFloat<8,e4>", bench::sparkline(&vals));
+    println!(
+        "{:<32} {}  (flat until range cliff)",
+        "AdaptivFloat<8,e4>",
+        bench::sparkline(&vals)
+    );
     println!();
     println!("Paper: LP shows tapered, repositionable accuracy vs AdaptivFloat's");
     println!("flat profile (distribution-aware vs range-only adaptation).");

@@ -9,7 +9,10 @@ fn main() {
     for name in ["resnet50", "vit_b"] {
         let m = bench::model(name);
         println!("{name} ({} weighted layers):", m.num_quant_layers());
-        println!("{:>6} {:>12} {:>12} {:>12} {:>10}", "layer", "sigma", "max|w|", "max/sigma", "kurt-3");
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>10}",
+            "layer", "sigma", "max|w|", "max/sigma", "kurt-3"
+        );
         let mut sigmas = Vec::new();
         for (i, w) in m.layer_weights().iter().enumerate() {
             let n = w.len() as f64;

@@ -56,7 +56,8 @@ fn main() {
             .unwrap_or(0.0)
     };
     let gl = final_of("global-local contrastive");
-    println!("final top-1: global-local {:.2} | global {:.2} | MSE {:.2} | KL {:.2}",
+    println!(
+        "final top-1: global-local {:.2} | global {:.2} | MSE {:.2} | KL {:.2}",
         gl,
         final_of("global contrastive"),
         final_of("MSE"),

@@ -16,9 +16,17 @@ fn main() {
         avg.push((kind, mean, rmse));
     }
     avg.sort_by(|a, b| a.1.total_cmp(&b.1));
-    println!("{:<14} {:>12}  per-layer profile (74 layers)", "format", "avg RMSE");
+    println!(
+        "{:<14} {:>12}  per-layer profile (74 layers)",
+        "format", "avg RMSE"
+    );
     for (kind, mean, rmse) in &avg {
-        println!("{:<14} {:>12.6}  {}", kind.to_string(), mean, bench::sparkline(rmse));
+        println!(
+            "{:<14} {:>12.6}  {}",
+            kind.to_string(),
+            mean,
+            bench::sparkline(rmse)
+        );
     }
     let best = avg.first().expect("formats evaluated");
     println!();
@@ -27,7 +35,10 @@ fn main() {
     } else {
         println!(
             "Shape check: LP ranked {} (paper expects 1st).",
-            avg.iter().position(|(k, _, _)| *k == FormatKind::Lp).unwrap() + 1
+            avg.iter()
+                .position(|(k, _, _)| *k == FormatKind::Lp)
+                .unwrap()
+                + 1
         );
     }
     let af = avg

@@ -18,10 +18,7 @@ fn main() {
         let run = bench::run_lpq(&m, bench::config_for(&m));
         let lpq_bits = run.layer_bits.clone();
         let all8 = vec![8u32; m.num_quant_layers()];
-        println!(
-            "--- {name} (LPQ avg W{:.1}) ---",
-            run.weight_bits
-        );
+        println!("--- {name} (LPQ avg W{:.1}) ---", run.weight_bits);
         let mut results = Vec::new();
         for design in Design::TABLE3 {
             let bits = if design == Design::AdaptivFloat {

@@ -15,6 +15,7 @@ fn main() {
         bench::preset_name()
     );
     // Paper rows: (model, method, W/A, size MB, top-1).
+    #[allow(clippy::type_complexity)] // literal table mirroring the paper
     let paper: [(&str, &[(&str, &str, f64, f64)]); 3] = [
         (
             "resnet18",
@@ -48,7 +49,10 @@ fn main() {
     for (name, rows) in paper {
         let m = bench::model(name);
         println!("--- {name} (baseline top-1 {:.2}) ---", m.baseline_top1());
-        println!("{:<22} {:>12} {:>10} {:>8}", "method", "W/A", "size(MB)", "top-1");
+        println!(
+            "{:<22} {:>12} {:>10} {:>8}",
+            "method", "W/A", "size(MB)", "top-1"
+        );
         for (method, wa, size, acc) in rows {
             println!("{method:<22} {wa:>12} {size:>10.2} {acc:>8.2}   [paper]");
         }
@@ -68,7 +72,10 @@ fn main() {
         ] {
             let acc = bench::uniform_accuracy(&m, kind, bits, act);
             let size = m.num_params() as f64 * f64::from(bits) / 8.0 / 1e6;
-            println!("{label:<22} {:>12} {size:>10.3} {acc:>8.2}   [ours]", format!("{bits}/8"));
+            println!(
+                "{label:<22} {:>12} {size:>10.3} {acc:>8.2}   [ours]",
+                format!("{bits}/8")
+            );
         }
         let run = bench::run_lpq(&m, bench::config_for(&m));
         println!(

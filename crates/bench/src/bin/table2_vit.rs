@@ -9,6 +9,7 @@ fn main() {
         "=== Table 2: ViT quantization accuracy (preset: {}) ===\n",
         bench::preset_name()
     );
+    #[allow(clippy::type_complexity)] // literal table mirroring the paper
     let paper: [(&str, &[(&str, &str, f64)]); 3] = [
         (
             "vit_b",

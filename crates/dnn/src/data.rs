@@ -162,7 +162,11 @@ pub fn predictions(model: &Model, inputs: &[Tensor]) -> Vec<usize> {
 ///
 /// Panics if lengths differ.
 pub fn agreement(quantized: &Model, inputs: &[Tensor], teacher: &[usize]) -> f64 {
-    assert_eq!(inputs.len(), teacher.len(), "inputs/teacher length mismatch");
+    assert_eq!(
+        inputs.len(),
+        teacher.len(),
+        "inputs/teacher length mismatch"
+    );
     if inputs.is_empty() {
         return 1.0;
     }

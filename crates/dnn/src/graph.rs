@@ -11,6 +11,7 @@
 //! against the full-precision model.
 
 use crate::tensor::{softmax_rows, Tensor};
+use lp::codec::BoundedCache;
 use lp::Quantizer;
 use std::fmt;
 use std::sync::Arc;
@@ -181,16 +182,76 @@ pub struct Node {
     pub inputs: Vec<usize>,
 }
 
+/// Cache of quantized weight tensors, keyed by weighted-layer ordinal and
+/// the quantizer's [`codec_key`](Quantizer::codec_key).
+///
+/// The cache is tied to *one* model's original weights: LPQ's genetic
+/// search evaluates hundreds of candidates against the same model, and
+/// block-wise regeneration copies most genes from the best parent — so
+/// most layers of a new candidate carry a format that was already
+/// quantized in an earlier generation. Sharing one `WeightCache` across
+/// those candidates (see [`QuantScheme::with_shared_cache`]) turns each
+/// re-quantization into a `memcpy`.
+#[derive(Debug)]
+pub struct WeightCache {
+    map: BoundedCache<(usize, String), Vec<f32>>,
+}
+
+/// Entries kept before the cache is flushed wholesale (continuous scale
+/// factors can mint unbounded distinct formats over a long search).
+const MAX_CACHED_WEIGHTS: usize = 256;
+
+impl Default for WeightCache {
+    fn default() -> Self {
+        WeightCache {
+            map: BoundedCache::new(MAX_CACHED_WEIGHTS),
+        }
+    }
+}
+
+impl WeightCache {
+    /// Quantizes `data` (a layer's original weights) in place with `q`,
+    /// copying from the cache when this `(layer, format)` pair was already
+    /// quantized.
+    fn apply(&self, layer: usize, q: &(dyn Quantizer + Send + Sync), data: &mut [f32]) {
+        let key = (layer, q.codec_key());
+        if let Some(hit) = self.map.get(&key) {
+            if hit.len() == data.len() {
+                data.copy_from_slice(&hit);
+                return;
+            }
+        }
+        q.quantize_slice(data);
+        self.map.insert(key, data.to_vec());
+    }
+
+    /// Number of cached layer tensors (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// Per-layer quantizers for a fake-quantized forward pass.
 ///
 /// Indexed by *weighted-layer* ordinal (the order returned by
 /// [`Model::quant_layers`]). `None` leaves that layer in full precision.
+///
+/// Every scheme carries a [`WeightCache`]; clones share it, and
+/// [`QuantScheme::with_shared_cache`] lets many schemes (e.g. LPQ's
+/// candidate population) pool one cache.
 #[derive(Clone, Default)]
 pub struct QuantScheme {
     /// Weight quantizer per weighted layer.
     pub weights: Vec<Option<Arc<dyn Quantizer + Send + Sync>>>,
     /// Activation (layer-output) quantizer per weighted layer.
     pub activations: Vec<Option<Arc<dyn Quantizer + Send + Sync>>>,
+    /// Quantized-weight cache consulted by [`Model::quantize_weights`].
+    cache: Arc<WeightCache>,
 }
 
 impl fmt::Debug for QuantScheme {
@@ -198,6 +259,7 @@ impl fmt::Debug for QuantScheme {
         f.debug_struct("QuantScheme")
             .field("weights", &self.weights.len())
             .field("activations", &self.activations.len())
+            .field("cached_layers", &self.cache.len())
             .finish()
     }
 }
@@ -208,7 +270,43 @@ impl QuantScheme {
         QuantScheme {
             weights: vec![None; layers],
             activations: vec![None; layers],
+            cache: Arc::default(),
         }
+    }
+
+    /// A scheme from per-layer weight and activation quantizers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors differ in length.
+    pub fn new(
+        weights: Vec<Option<Arc<dyn Quantizer + Send + Sync>>>,
+        activations: Vec<Option<Arc<dyn Quantizer + Send + Sync>>>,
+    ) -> Self {
+        assert_eq!(
+            weights.len(),
+            activations.len(),
+            "weight/activation scheme length mismatch"
+        );
+        QuantScheme {
+            weights,
+            activations,
+            cache: Arc::default(),
+        }
+    }
+
+    /// Rebinds this scheme to a shared quantized-weight cache. The cache
+    /// is only valid for the model whose original weights it was first
+    /// used with.
+    pub fn with_shared_cache(mut self, cache: Arc<WeightCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The scheme's weight cache (shareable via
+    /// [`QuantScheme::with_shared_cache`]).
+    pub fn weight_cache(&self) -> Arc<WeightCache> {
+        Arc::clone(&self.cache)
     }
 }
 
@@ -387,6 +485,13 @@ impl Model {
     /// through the scheme's weight quantizer (activations untouched —
     /// those are applied during [`Model::forward_traced`]).
     ///
+    /// Quantization goes through the scheme's [`WeightCache`]: layers
+    /// whose `(ordinal, format)` pair was quantized before — by this
+    /// scheme or any scheme sharing its cache — are restored with a copy
+    /// instead of re-quantized. The quantizers themselves run on the
+    /// `lp::codec` decode tables, so even cache misses avoid per-element
+    /// transcendentals.
+    ///
     /// # Panics
     ///
     /// Panics if the scheme's length does not match the weighted-layer
@@ -403,7 +508,7 @@ impl Model {
             if node.op.is_weighted() {
                 if let Some(q) = &scheme.weights[li] {
                     if let Some(w) = node.op.weight_mut() {
-                        q.quantize_slice(w.data_mut());
+                        scheme.cache.apply(li, q.as_ref(), w.data_mut());
                     }
                 }
                 li += 1;
@@ -460,11 +565,12 @@ impl Model {
                 continue;
             }
             let get = |i: usize| -> &Tensor {
-                values[i]
-                    .as_ref()
-                    .expect("node input evaluated before use")
+                values[i].as_ref().expect("node input evaluated before use")
             };
-            let mut out = eval_op(&node.op, &node.inputs.iter().map(|&i| get(i)).collect::<Vec<_>>());
+            let mut out = eval_op(
+                &node.op,
+                &node.inputs.iter().map(|&i| get(i)).collect::<Vec<_>>(),
+            );
             if node.op.is_weighted() {
                 if let Some(s) = act_scheme {
                     if let Some(q) = &s.activations[li] {
@@ -582,7 +688,7 @@ fn conv2d(x: &Tensor, w: &Tensor, bias: &[f32], stride: usize, pad: usize) -> Te
     let pm = Tensor::from_vec(&[oh * ow, patch_len], patches);
     let wm = w.reshaped(&[c_out, patch_len]);
     let prod = pm.matmul_t(&wm); // [oh*ow, c_out]
-    // Transpose to [c_out, oh, ow] and add bias.
+                                 // Transpose to [c_out, oh, ow] and add bias.
     let mut out = vec![0.0f32; c_out * oh * ow];
     let pd = prod.data();
     for pos in 0..oh * ow {
@@ -684,9 +790,8 @@ fn patch_embed(
             for ch in 0..c {
                 for dy in 0..patch {
                     for dx in 0..patch {
-                        pm[row + ch * patch * patch + dy * patch + dx] = xd[ch * h * wd
-                            + (py * patch + dy) * wd
-                            + (px * patch + dx)];
+                        pm[row + ch * patch * patch + dy * patch + dx] =
+                            xd[ch * h * wd + (py * patch + dy) * wd + (px * patch + dx)];
                     }
                 }
             }
@@ -694,8 +799,8 @@ fn patch_embed(
     }
     let pm = Tensor::from_vec(&[tokens, plen], pm);
     let proj = pm.matmul_t(w); // [tokens, dim]
-    // Prepend the cls token (when present: an empty `cls` means a
-    // hierarchical model without one), add bias and positional embedding.
+                               // Prepend the cls token (when present: an empty `cls` means a
+                               // hierarchical model without one), add bias and positional embedding.
     let with_cls = !cls.is_empty();
     if with_cls {
         assert_eq!(cls.len(), dim, "cls token length mismatch");
@@ -778,7 +883,10 @@ fn mha(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize) -> Tensor {
 fn token_merge(x: &Tensor, w: &Tensor, bias: &[f32], grid: usize) -> Tensor {
     let (t, d) = (x.shape()[0], x.shape()[1]);
     assert_eq!(t, grid * grid, "token count must equal grid^2");
-    assert!(grid.is_multiple_of(2), "grid side must be even for 2x2 merging");
+    assert!(
+        grid.is_multiple_of(2),
+        "grid side must be even for 2x2 merging"
+    );
     let (out_f, in_f) = (w.shape()[0], w.shape()[1]);
     assert_eq!(in_f, 4 * d, "token_merge weight must be [out, 4*D]");
     assert_eq!(bias.len(), out_f, "token_merge bias length mismatch");
@@ -829,9 +937,9 @@ fn max_pool(x: &Tensor, k: usize, stride: usize) -> Tensor {
 fn global_avg_pool(x: &Tensor) -> Tensor {
     let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     let mut out = vec![0.0f32; c];
-    for ch in 0..c {
+    for (ch, slot) in out.iter_mut().enumerate() {
         let s: f32 = x.data()[ch * h * w..(ch + 1) * h * w].iter().sum();
-        out[ch] = s / (h * w) as f32;
+        *slot = s / (h * w) as f32;
     }
     Tensor::from_vec(&[c], out)
 }
@@ -859,7 +967,9 @@ mod tests {
         let len = shape.iter().product();
         Tensor::from_vec(
             shape,
-            (0..len).map(|i| ((i as f32 * 0.611).sin()) * scale).collect(),
+            (0..len)
+                .map(|i| ((i as f32 * 0.611).sin()) * scale)
+                .collect(),
         )
     }
 
@@ -878,7 +988,7 @@ mod tests {
                     for kx in 0..3 {
                         let iy = oy as isize + ky as isize - 1;
                         let ix = ox as isize + kx as isize - 1;
-                        if iy < 0 || iy >= 5 || ix < 0 || ix >= 5 {
+                        if !(0..5).contains(&iy) || !(0..5).contains(&ix) {
                             continue;
                         }
                         acc += x.data()[ci * 25 + iy as usize * 5 + ix as usize]
@@ -1088,6 +1198,65 @@ mod tests {
     }
 
     #[test]
+    fn weight_cache_is_shared_and_hit() {
+        let mut m = Model::new("test", &[4], 2);
+        let x = m.input_node();
+        let l = m.push(
+            Op::Linear {
+                weight: Tensor::from_vec(&[2, 4], vec![0.37; 8]),
+                bias: vec![0.0; 2],
+            },
+            &[x],
+        );
+        m.set_output(l);
+        let cache = Arc::new(WeightCache::default());
+        let mk_scheme = || {
+            let mut s = QuantScheme::identity(1);
+            s.weights[0] = Some(Arc::new(LpParams::new(4, 1, 3, 0.0).unwrap()));
+            s.with_shared_cache(Arc::clone(&cache))
+        };
+        let q1 = m.quantize_weights(&mk_scheme());
+        assert_eq!(cache.len(), 1, "first pass populates the cache");
+        let q2 = m.quantize_weights(&mk_scheme());
+        assert_eq!(cache.len(), 1, "identical format re-uses the entry");
+        assert_eq!(
+            q1.nodes()[l].op.weight().unwrap().data(),
+            q2.nodes()[l].op.weight().unwrap().data()
+        );
+        // A different format is a distinct entry.
+        let mut s3 = QuantScheme::identity(1);
+        s3.weights[0] = Some(Arc::new(LpParams::new(4, 1, 3, 1.0).unwrap()));
+        let _ = m.quantize_weights(&s3.with_shared_cache(Arc::clone(&cache)));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_quantization_equals_uncached() {
+        let mut m = Model::new("test", &[4], 2);
+        let x = m.input_node();
+        let l = m.push(
+            Op::Linear {
+                weight: Tensor::from_vec(&[2, 4], (0..8).map(|i| i as f32 * 0.11 - 0.4).collect()),
+                bias: vec![0.0; 2],
+            },
+            &[x],
+        );
+        m.set_output(l);
+        let mut scheme = QuantScheme::identity(1);
+        scheme.weights[0] = Some(Arc::new(LpParams::new(6, 1, 3, 0.5).unwrap()));
+        // Prime the cache, then re-apply; compare against a direct
+        // (fresh-cache) quantization.
+        let warm1 = m.quantize_weights(&scheme);
+        let warm2 = m.quantize_weights(&scheme);
+        let fresh = m.quantize_weights(&scheme.clone().with_shared_cache(Arc::default()));
+        let w1 = warm1.nodes()[l].op.weight().unwrap().data();
+        let w2 = warm2.nodes()[l].op.weight().unwrap().data();
+        let wf = fresh.nodes()[l].op.weight().unwrap().data();
+        assert_eq!(w1, w2);
+        assert_eq!(w1, wf);
+    }
+
+    #[test]
     fn activation_quantization_applies() {
         let mut m = Model::new("test", &[2], 2);
         let x = m.input_node();
@@ -1102,7 +1271,11 @@ mod tests {
         let mut scheme = QuantScheme::identity(1);
         scheme.activations[0] = Some(Arc::new(LpParams::new(2, 0, 1, 0.0).unwrap()));
         let out = m
-            .forward_traced(&Tensor::from_vec(&[2], vec![0.4, -3.0]), Some(&scheme), false)
+            .forward_traced(
+                &Tensor::from_vec(&[2], vec![0.4, -3.0]),
+                Some(&scheme),
+                false,
+            )
             .output;
         assert_eq!(out.data(), &[1.0, -1.0]);
     }
@@ -1157,7 +1330,10 @@ mod tests {
         let out = m.forward(&Tensor::from_vec(&[3], vec![-1.0, 0.0, 2.0]));
         assert_eq!(out.data(), &[0.0, 0.0, 2.0]);
 
-        let g = eval_op(&Op::Gelu, &[&Tensor::from_vec(&[3], vec![-10.0, 0.0, 10.0])]);
+        let g = eval_op(
+            &Op::Gelu,
+            &[&Tensor::from_vec(&[3], vec![-10.0, 0.0, 10.0])],
+        );
         assert!(g.data()[0].abs() < 1e-3); // gelu(−10) ≈ 0
         assert_eq!(g.data()[1], 0.0);
         assert!((g.data()[2] - 10.0).abs() < 1e-3); // gelu(10) ≈ 10

@@ -154,11 +154,7 @@ mod tests {
         assert!((gsd - lsd).abs() < 0.1, "matched std devs");
         // Excess kurtosis: Laplace = 3, Gaussian = 0.
         let kurt = |xs: &[f32], sd: f64| {
-            xs.iter()
-                .map(|&x| (f64::from(x) / sd).powi(4))
-                .sum::<f64>()
-                / xs.len() as f64
-                - 3.0
+            xs.iter().map(|&x| (f64::from(x) / sd).powi(4)).sum::<f64>() / xs.len() as f64 - 3.0
         };
         assert!(kurt(&ls, lsd) > kurt(&gs, gsd) + 1.0);
     }
@@ -188,7 +184,10 @@ mod tests {
         // σ must drift by at least ~2× across layers (Fig. 1(a) variance).
         assert!(max / min > 2.0, "min {min} max {max}");
         // Families cycle.
-        assert!(matches!(layer_distribution(2, 64), WeightDist::Laplace { .. }));
+        assert!(matches!(
+            layer_distribution(2, 64),
+            WeightDist::Laplace { .. }
+        ));
         assert!(matches!(
             layer_distribution(4, 64),
             WeightDist::GaussianOutliers { .. }

@@ -29,5 +29,5 @@ pub mod init;
 pub mod models;
 pub mod tensor;
 
-pub use graph::{Model, Node, Op, QuantScheme};
+pub use graph::{Model, Node, Op, QuantScheme, WeightCache};
 pub use tensor::Tensor;

@@ -91,7 +91,15 @@ impl Builder {
         (0..len).map(|_| n.sample(&mut self.rng) as f32).collect()
     }
 
-    fn conv(&mut self, x: usize, c_in: usize, c_out: usize, k: usize, stride: usize, pad: usize) -> usize {
+    fn conv(
+        &mut self,
+        x: usize,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> usize {
         let fan_in = c_in * k * k;
         let w = self.sample_weights(c_out * fan_in, fan_in);
         let bias = self.sample_bias(c_out);
@@ -146,8 +154,12 @@ impl Builder {
 
     fn layer_norm(&mut self, x: usize, d: usize) -> usize {
         let n = Normal::new(0.0, 0.1).expect("valid sigma");
-        let gamma: Vec<f32> = (0..d).map(|_| 1.0 + n.sample(&mut self.rng) as f32).collect();
-        let beta: Vec<f32> = (0..d).map(|_| 0.1 * n.sample(&mut self.rng) as f32).collect();
+        let gamma: Vec<f32> = (0..d)
+            .map(|_| 1.0 + n.sample(&mut self.rng) as f32)
+            .collect();
+        let beta: Vec<f32> = (0..d)
+            .map(|_| 0.1 * n.sample(&mut self.rng) as f32)
+            .collect();
         self.m.push(Op::LayerNorm { gamma, beta }, &[x])
     }
 
@@ -155,16 +167,15 @@ impl Builder {
         let [c, h, w] = INPUT_SHAPE;
         let tokens = (h / patch) * (w / patch);
         let fan_in = c * patch * patch;
-        let weight = Tensor::from_vec(
-            &[dim, fan_in],
-            self.sample_weights(dim * fan_in, fan_in),
-        );
+        let weight = Tensor::from_vec(&[dim, fan_in], self.sample_weights(dim * fan_in, fan_in));
         let bias = self.sample_bias(dim);
         let n = Normal::new(0.0, 0.02).expect("valid sigma");
         let total = if with_cls { tokens + 1 } else { tokens };
         let pos = Tensor::from_vec(
             &[total, dim],
-            (0..total * dim).map(|_| n.sample(&mut self.rng) as f32).collect(),
+            (0..total * dim)
+                .map(|_| n.sample(&mut self.rng) as f32)
+                .collect(),
         );
         let cls = if with_cls {
             (0..dim).map(|_| n.sample(&mut self.rng) as f32).collect()
@@ -209,14 +220,7 @@ impl Builder {
             self.sample_weights(d_out * fan_in, fan_in),
         );
         let bias = self.sample_bias(d_out);
-        self.m.push(
-            Op::TokenMerge {
-                weight,
-                bias,
-                grid,
-            },
-            &[x],
-        )
+        self.m.push(Op::TokenMerge { weight, bias, grid }, &[x])
     }
 
     fn finish(mut self, output: usize, baseline_top1: f64) -> Model {
@@ -359,7 +363,14 @@ fn inverted_residual(
     cur
 }
 
-fn vit_like(name: &str, dim: usize, heads: usize, depth: usize, mlp: usize, baseline: f64) -> Model {
+fn vit_like(
+    name: &str,
+    dim: usize,
+    heads: usize,
+    depth: usize,
+    mlp: usize,
+    baseline: f64,
+) -> Model {
     let mut b = Builder::new(name);
     let x = b.m.input_node();
     let mut cur = b.patch_embed(x, 4, dim, true);

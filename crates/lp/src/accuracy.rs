@@ -3,6 +3,7 @@
 //! tensors (used for Fig. 5(b)).
 
 use crate::format::LpParams;
+use crate::quantizer::Quantizer;
 
 /// Decimal accuracy of an approximation `x̂` of `x`:
 /// `−log10(|log10(x̂ / x)|)`.
@@ -206,7 +207,9 @@ mod tests {
 
     #[test]
     fn quantization_rmse_improves_with_bits() {
-        let data: Vec<f32> = (0..256).map(|i| ((i as f32) / 64.0 - 2.0).tanh() * 0.8).collect();
+        let data: Vec<f32> = (0..256)
+            .map(|i| ((i as f32) / 64.0 - 2.0).tanh() * 0.8)
+            .collect();
         let sf = LpParams::fit_sf(&data);
         let f4 = LpParams::new(4, 1, 3, sf).unwrap();
         let f8 = LpParams::new(8, 1, 3, sf).unwrap();

@@ -75,10 +75,7 @@ impl AdaptivFloat {
     ///
     /// Same conditions as [`AdaptivFloat::new`].
     pub fn for_tensor(n: u32, e: u32, data: &[f32]) -> Result<Self, LpError> {
-        let max = data
-            .iter()
-            .map(|x| x.abs())
-            .fold(0.0f32, f32::max);
+        let max = data.iter().map(|x| x.abs()).fold(0.0f32, f32::max);
         let exp_max = if max > 0.0 {
             f64::from(max).log2().floor() as i32
         } else {
@@ -144,17 +141,38 @@ impl AdaptivFloat {
         sign * q.min(max)
     }
 
-    /// Quantizes a slice of `f32` in place.
-    pub fn quantize_slice(&self, xs: &mut [f32]) {
-        for x in xs.iter_mut() {
-            *x = self.quantize(f64::from(*x)) as f32;
+    /// Every representable value: zero, ± subnormals, and ± every
+    /// normal-binade grid point, computed with the same power-of-two
+    /// arithmetic as [`AdaptivFloat::quantize`] so the sets match
+    /// bit-exactly. Feeds the `lp::codec` decode table.
+    pub fn representable_values(&self) -> Vec<f64> {
+        let m = self.mantissa_bits();
+        let emin = self.exp_min();
+        let mut out = vec![0.0];
+        let mut push = |mag: f64| {
+            out.push(mag);
+            out.push(-mag);
+        };
+        // Subnormals: k · 2^(emin − m) for k ∈ [1, 2^m).
+        let sub_step = (f64::from(emin) - f64::from(m)).exp2();
+        for k in 1..(1u32 << m) {
+            push(f64::from(k) * sub_step);
         }
+        // Normals: k · 2^(exp − m) for k ∈ [2^m, 2^(m+1)) per binade.
+        for exp in emin..=self.exp_max {
+            let step = (f64::from(exp) - f64::from(m)).exp2();
+            for k in (1u32 << m)..(1u32 << (m + 1)) {
+                push(f64::from(k) * step);
+            }
+        }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::quantizer::Quantizer;
 
     #[test]
     fn construction_validates() {
@@ -222,7 +240,10 @@ mod tests {
     fn quantize_slice_matches_scalar() {
         let af = AdaptivFloat::new(8, 3, 0).unwrap();
         let mut xs = [0.3f32, -0.7, 1.9];
-        let expect: Vec<f32> = xs.iter().map(|&x| af.quantize(f64::from(x)) as f32).collect();
+        let expect: Vec<f32> = xs
+            .iter()
+            .map(|&x| af.quantize(f64::from(x)) as f32)
+            .collect();
         af.quantize_slice(&mut xs);
         assert_eq!(xs.to_vec(), expect);
     }

@@ -50,7 +50,10 @@ impl LogLinear {
     ///
     /// Panics if `bits` is outside `[1, 12]`.
     pub fn new(bits: u32) -> Self {
-        assert!((1..=12).contains(&bits), "converter width must be in [1, 12]");
+        assert!(
+            (1..=12).contains(&bits),
+            "converter width must be in [1, 12]"
+        );
         let n = 1usize << bits;
         let scale = n as f64;
         let table = (0..n)
@@ -125,7 +128,10 @@ impl LinearLog {
     ///
     /// Panics if `bits` is outside `[1, 12]`.
     pub fn new(bits: u32) -> Self {
-        assert!((1..=12).contains(&bits), "converter width must be in [1, 12]");
+        assert!(
+            (1..=12).contains(&bits),
+            "converter width must be in [1, 12]"
+        );
         let n = 1usize << bits;
         let scale = n as f64;
         let table = (0..n)
@@ -208,6 +214,7 @@ impl LogNumber {
 
     /// Log-domain multiplication: add logs, XOR signs — the entire LP MUL
     /// stage.
+    #[allow(clippy::should_implement_trait)] // free-function style mirrors the datapath stage
     pub fn mul(self, rhs: LogNumber) -> LogNumber {
         if self.zero || rhs.zero {
             return LogNumber::ZERO;
@@ -269,7 +276,7 @@ mod tests {
     fn log_linear_endpoints() {
         let c = LogLinear::new(8);
         assert_eq!(c.convert(0), 0); // 2^0 − 1 = 0
-        // 2^(255/256) − 1 ≈ 0.99461 → 255 after rounding
+                                     // 2^(255/256) − 1 ≈ 0.99461 → 255 after rounding
         assert_eq!(c.convert(255), 255);
     }
 
@@ -316,10 +323,7 @@ mod tests {
         for v in [1.0, -2.5, 0.125, 1e6, -1e-6, 3.7] {
             let l = LogNumber::from_f64(v);
             let back = l.to_f64();
-            assert!(
-                ((back - v) / v).abs() < 1e-4,
-                "{v} round-tripped to {back}"
-            );
+            assert!(((back - v) / v).abs() < 1e-4, "{v} round-tripped to {back}");
         }
         assert_eq!(LogNumber::from_f64(0.0), LogNumber::ZERO);
         assert_eq!(LogNumber::ZERO.to_f64(), 0.0);
@@ -351,7 +355,10 @@ mod tests {
         // The 12-bit converter must be strictly closer than (or as close as)
         // the 8-bit one, and both within 1%.
         assert!((d8 - exact).abs() <= (d12 - exact).abs() + 1e-9);
-        assert!((d8 - exact).abs() / exact.abs() < 0.01, "d8={d8} exact={exact}");
+        assert!(
+            (d8 - exact).abs() / exact.abs() < 0.01,
+            "d8={d8} exact={exact}"
+        );
     }
 
     #[test]

@@ -85,6 +85,14 @@ impl IntQuantizer {
         let q = (v / self.scale).round_ties_even().clamp(-levels, levels);
         q * self.scale
     }
+
+    /// Every representable value `k·s` for `k ∈ [−(2^(n−1)−1), 2^(n−1)−1]`,
+    /// computed with the same `f64` product as [`IntQuantizer::quantize`].
+    /// Feeds the `lp::codec` decode table.
+    pub fn representable_values(&self) -> Vec<f64> {
+        let levels = (1i64 << (self.n - 1)) - 1;
+        (-levels..=levels).map(|k| k as f64 * self.scale).collect()
+    }
 }
 
 /// Power-of-two fixed-point quantizer: an integer grid whose step is a power
@@ -99,7 +107,12 @@ pub struct FixedPoint {
 
 impl fmt::Display for FixedPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Q{}.{}", self.n as i32 - 1 - self.frac_bits, self.frac_bits)
+        write!(
+            f,
+            "Q{}.{}",
+            self.n as i32 - 1 - self.frac_bits,
+            self.frac_bits
+        )
     }
 }
 
@@ -149,6 +162,15 @@ impl FixedPoint {
         let levels = ((1u32 << (self.n - 1)) - 1) as f64;
         let q = (v / step).round_ties_even().clamp(-levels, levels);
         q * step
+    }
+
+    /// Every representable value `k·2^−f`, matching
+    /// [`FixedPoint::quantize`]'s arithmetic. Feeds the `lp::codec` decode
+    /// table.
+    pub fn representable_values(&self) -> Vec<f64> {
+        let step = (-self.frac_bits as f64).exp2();
+        let levels = (1i64 << (self.n - 1)) - 1;
+        (-levels..=levels).map(|k| k as f64 * step).collect()
     }
 }
 
@@ -203,7 +225,7 @@ impl MiniFloat {
     pub fn max_value(&self) -> f64 {
         let m = self.mantissa_bits();
         let top_exp = ((1i32 << self.e) - 1) - self.bias() - 1; // reserve top pattern? no: saturating format keeps it
-        // Saturating format: top exponent pattern is an ordinary binade.
+                                                                // Saturating format: top exponent pattern is an ordinary binade.
         let top_exp = top_exp + 1;
         (top_exp as f64).exp2() * (2.0 - (0.5f64).powi(m as i32))
     }
@@ -228,6 +250,32 @@ impl MiniFloat {
         let step = ((exp - m) as f64).exp2();
         let q = (a / step).round_ties_even() * step;
         sign * q.min(max)
+    }
+
+    /// Every representable value: zero, ± subnormals, and ± every
+    /// normal-binade grid point, using the same power-of-two arithmetic as
+    /// [`MiniFloat::quantize`]. Feeds the `lp::codec` decode table.
+    pub fn representable_values(&self) -> Vec<f64> {
+        let m = self.mantissa_bits();
+        let exp_min = 1 - self.bias();
+        // Saturating format: the top exponent pattern is an ordinary binade.
+        let exp_max = ((1i32 << self.e) - 1) - self.bias();
+        let mut out = vec![0.0];
+        let mut push = |mag: f64| {
+            out.push(mag);
+            out.push(-mag);
+        };
+        let sub_step = f64::from(exp_min - m as i32).exp2();
+        for k in 1..(1u32 << m) {
+            push(f64::from(k) * sub_step);
+        }
+        for exp in exp_min..=exp_max {
+            let step = f64::from(exp - m as i32).exp2();
+            for k in (1u32 << m)..(1u32 << (m + 1)) {
+                push(f64::from(k) * step);
+            }
+        }
+        out
     }
 }
 
@@ -326,6 +374,21 @@ impl LnsQuantizer {
         let lq = lq.clamp(-half_range, half_range - step);
         sign * (lq - self.bias).exp2()
     }
+
+    /// Every representable value: zero plus `±2^(i·2^−f − bias)` over the
+    /// signed fixed-point log grid, matching [`LnsQuantizer::quantize`]'s
+    /// arithmetic. Feeds the `lp::codec` decode table.
+    pub fn representable_values(&self) -> Vec<f64> {
+        let step = 1.0 / (1u64 << self.frac_bits) as f64;
+        let half = 1i64 << (self.n - 2);
+        let mut out = vec![0.0];
+        for i in -half..half {
+            let mag = (i as f64 * step - self.bias).exp2();
+            out.push(mag);
+            out.push(-mag);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -363,7 +426,7 @@ mod tests {
         let q = FixedPoint::new(8, 4).unwrap();
         assert_eq!(q.quantize(0.0625), 0.0625); // 2^−4 exactly on grid
         assert_eq!(q.quantize(0.03), 0.0); // below half a step rounds to 0
-        // saturation at ±(2^7−1)·2^−4
+                                           // saturation at ±(2^7−1)·2^−4
         assert_eq!(q.quantize(1000.0), 127.0 / 16.0);
     }
 
@@ -436,7 +499,13 @@ mod tests {
     fn displays() {
         assert_eq!(FixedPoint::new(8, 4).unwrap().to_string(), "Q3.4");
         assert_eq!(MiniFloat::new(8, 4).unwrap().to_string(), "FP8-E4M3");
-        assert!(IntQuantizer::new(8, 0.5).unwrap().to_string().starts_with("INT8"));
-        assert!(LnsQuantizer::new(8, 3, 0.0).unwrap().to_string().starts_with("LNS8"));
+        assert!(IntQuantizer::new(8, 0.5)
+            .unwrap()
+            .to_string()
+            .starts_with("INT8"));
+        assert!(LnsQuantizer::new(8, 3, 0.0)
+            .unwrap()
+            .to_string()
+            .starts_with("LNS8"));
     }
 }

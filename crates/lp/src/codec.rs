@@ -1,0 +1,658 @@
+//! The table-driven batch quantization codec.
+//!
+//! Every format in this crate has at most 2¹⁶ representable values, so the
+//! whole quantization function — transcendentals, field packing, rounding
+//! rules and all — collapses into a precomputed [`DecodeTable`]: the sorted
+//! set of representable values plus, for each adjacent pair, the exact
+//! `f32` input at which the scalar quantizer switches from the lower value
+//! to the upper one. Batch quantization is then a branch-light binary
+//! search per element (accelerated by a 12-bit prefix index over the
+//! monotone integer image of the input float), with **no** per-element
+//! `log2`/`exp2`.
+//!
+//! ## Bit-exactness
+//!
+//! The decision boundaries are *measured from the scalar quantizer itself*
+//! by monotone bisection over the `f32` bit lattice, not recomputed from a
+//! midpoint formula. Because every scalar quantizer in this crate is
+//! monotone non-decreasing, the table path is bit-identical to
+//! `q.quantize(f64::from(x)) as f32` for **every** `f32` input — including
+//! signed zeros, saturation at ±max, never-round-to-zero posit semantics,
+//! subnormals, and NaN/±∞ handling (captured specially at build time).
+//! `lp::tests::proptest_codec` proves this property per format family.
+//!
+//! ## Cost model
+//!
+//! Building a table costs `O(2ⁿ log 2³²)` scalar quantizations — microseconds
+//! for 8-bit formats, a fraction of a second at n = 16 — and is amortized by
+//! the global [`cached_table`] keyed on [`Quantizer::codec_key`]. One 8-bit
+//! table is ~20 KB.
+
+use crate::quantizer::Quantizer;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bits of the input-key prefix used for the first-level index. 16 bits
+/// (sign + exponent + 7 mantissa bits) makes the prefix entry pair resolve
+/// most inputs *without any search*: an 8-bit format has ≤ 254 decision
+/// boundaries spread over 65 536 key blocks, so the block containing a
+/// given input almost never holds a boundary and the lookup collapses to
+/// two adjacent `u16` loads plus the value load.
+const PREFIX_BITS: u32 = 16;
+const PREFIX_SHIFT: u32 = 32 - PREFIX_BITS;
+const PREFIX_LEN: usize = (1 << PREFIX_BITS) + 1;
+
+/// Entries kept in the global table cache before it is flushed (a genetic
+/// search with continuous scale factors can mint unbounded distinct
+/// formats; the flush bounds memory at ~20 MB of tables).
+const MAX_CACHED_TABLES: usize = 128;
+
+/// Maps an `f32` to a `u32` whose unsigned order equals the float total
+/// order (sign-magnitude to biased): the standard radix-sort key.
+#[inline]
+fn sort_key(x: f32) -> u32 {
+    let b = x.to_bits();
+    if b & 0x8000_0000 != 0 {
+        !b
+    } else {
+        b ^ 0x8000_0000
+    }
+}
+
+/// Inverse of [`sort_key`].
+#[inline]
+fn from_key(k: u32) -> f32 {
+    let b = if k & 0x8000_0000 != 0 {
+        k ^ 0x8000_0000
+    } else {
+        !k
+    };
+    f32::from_bits(b)
+}
+
+/// A precomputed quantization table for one `(format, params)` pair: the
+/// sorted representable values and the exact input boundaries between them.
+///
+/// # Examples
+///
+/// ```
+/// use lp::format::LpParams;
+/// use lp::codec::DecodeTable;
+/// use lp::Quantizer;
+///
+/// # fn main() -> Result<(), lp::LpError> {
+/// let p = LpParams::new(8, 2, 3, 0.25)?;
+/// let table = DecodeTable::build(&p);
+/// // Bit-identical to the scalar path, without per-element transcendentals.
+/// for x in [0.37f32, -1.4, 1e-9, 1e9, 0.0] {
+///     assert_eq!(
+///         table.quantize_one(x).to_bits(),
+///         (p.quantize(f64::from(x)) as f32).to_bits(),
+///     );
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodeTable {
+    /// Cache identity of the source quantizer.
+    key: String,
+    /// Storage bits of the source format.
+    bits: u32,
+    /// Distinct representable values (after `f32` cast), ascending.
+    values: Vec<f32>,
+    /// `bounds[i]` = [`sort_key`] of the smallest `f32` input whose scalar
+    /// quantization exceeds `values[i]`; non-decreasing, one per adjacent
+    /// pair. The sentinel `sort_key(f32::MAX) + 1` marks values unreachable
+    /// from any finite input.
+    bounds: Vec<u32>,
+    /// First-level index: `prefix[p]` = number of bounds whose key is
+    /// `< p << PREFIX_SHIFT` (`u16` suffices: a 16-bit format has at most
+    /// 2¹⁶ − 2 boundaries).
+    prefix: Vec<u16>,
+    /// Index of the value `+0.0` inputs map to.
+    zero_index: u16,
+    /// What the scalar path returns for non-zero inputs inside the zero
+    /// interval, per input sign: formats with a linear grid flush tiny
+    /// negative inputs to `-0.0` (the rounding is sign-preserving), which
+    /// the collapsed `0.0` table entry cannot express on its own.
+    zero_from_neg: f32,
+    zero_from_pos: f32,
+    /// Exact scalar outputs for the special inputs.
+    q_pos_zero: f32,
+    q_neg_zero: f32,
+    q_nan: f32,
+    q_pos_inf: f32,
+    q_neg_inf: f32,
+}
+
+impl DecodeTable {
+    /// Enumerates, sorts and boundary-measures the full decode table of a
+    /// quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantizer enumerates no finite values (a format must
+    /// represent at least one value).
+    pub fn build<Q: Quantizer + ?Sized>(q: &Q) -> Self {
+        let mut values: Vec<f32> = q
+            .enumerate_values()
+            .into_iter()
+            .filter(|v| !v.is_nan())
+            .map(|v| v as f32)
+            .collect();
+        values.sort_by(|a, b| a.total_cmp(b));
+        values.dedup_by(|a, b| a == b); // also collapses -0.0 with +0.0
+        assert!(!values.is_empty(), "quantizer enumerates no values");
+        assert!(
+            values.len() <= usize::from(u16::MAX) + 1,
+            "more than 2^16 representable values"
+        );
+
+        let scalar = |x: f32| -> f32 { q.quantize(f64::from(x)) as f32 };
+
+        let k_min = sort_key(f32::MIN); // most negative finite input
+        let k_max = sort_key(f32::MAX);
+        let k_unreachable = k_max + 1;
+        let mut bounds: Vec<u32> = Vec::with_capacity(values.len().saturating_sub(1));
+        let mut prev = k_min;
+        for i in 0..values.len().saturating_sub(1) {
+            let vi = values[i];
+            // Does the input with this key quantize above values[i]?
+            // (NaN outputs compare false, which conservatively reads as
+            // "not above"; only the unreachable-sentinel path can see them.)
+            let above = |k: u32| scalar(from_key(k)) > vi;
+            let bound = if prev > k_max {
+                k_unreachable
+            } else if above(prev) {
+                // values[i] is unreachable beyond the previous boundary.
+                prev
+            } else {
+                // Establish an upper bracket at/above the next value.
+                let mut hi = if values[i + 1].is_finite() {
+                    sort_key(values[i + 1]).max(prev)
+                } else {
+                    k_max
+                };
+                if !above(hi) {
+                    // Rare: the next value's own bit pattern still rounds
+                    // down. Expand exponentially toward the top of the
+                    // finite range.
+                    let mut step = 1u32;
+                    loop {
+                        if hi >= k_max {
+                            hi = k_unreachable;
+                            break;
+                        }
+                        hi = hi.saturating_add(step).min(k_max);
+                        if above(hi) {
+                            break;
+                        }
+                        step = step.saturating_mul(2);
+                    }
+                }
+                if hi == k_unreachable {
+                    hi
+                } else {
+                    // Invariant: !above(prev) && above(hi) — bisect to the
+                    // smallest key that maps above values[i].
+                    let (mut lo, mut hi) = (prev, hi);
+                    while hi - lo > 1 {
+                        let mid = lo + (hi - lo) / 2;
+                        if above(mid) {
+                            hi = mid;
+                        } else {
+                            lo = mid;
+                        }
+                    }
+                    hi
+                }
+            };
+            bounds.push(bound);
+            prev = bound;
+        }
+
+        // Single sweep: prefix[p] = #bounds with key < (p << PREFIX_SHIFT).
+        let mut prefix = vec![0u16; PREFIX_LEN];
+        let mut cursor = 0usize;
+        for (p, slot) in prefix.iter_mut().enumerate() {
+            let limit = (p as u64) << PREFIX_SHIFT;
+            while cursor < bounds.len() && u64::from(bounds[cursor]) < limit {
+                cursor += 1;
+            }
+            *slot = cursor as u16;
+        }
+
+        let q_pos_zero = scalar(0.0);
+        let zero_index = {
+            // Index +0.0 inputs resolve to through the boundary structure.
+            let k = sort_key(0.0);
+            bounds.partition_point(|&b| b <= k) as u16
+        };
+
+        // Measure the per-sign outputs of the zero interval (if any): the
+        // probe points are the extreme in-interval inputs on each side.
+        let (mut zero_from_neg, mut zero_from_pos) = (0.0f32, 0.0f32);
+        let zi = values.partition_point(|&v| v < 0.0);
+        if zi < values.len() && values[zi] == 0.0 {
+            let start = if zi == 0 { k_min } else { bounds[zi - 1] };
+            let lo_probe = from_key(start);
+            zero_from_neg = if lo_probe < 0.0 {
+                scalar(lo_probe)
+            } else {
+                values[zi]
+            };
+            let end = if zi + 1 == values.len() {
+                k_max
+            } else {
+                bounds[zi].saturating_sub(1).min(k_max)
+            };
+            let hi_probe = from_key(end);
+            zero_from_pos = if hi_probe > 0.0 {
+                scalar(hi_probe)
+            } else {
+                values[zi]
+            };
+        }
+
+        DecodeTable {
+            key: q.codec_key(),
+            bits: q.bits(),
+            values,
+            bounds,
+            prefix,
+            zero_index,
+            zero_from_neg,
+            zero_from_pos,
+            q_pos_zero,
+            q_neg_zero: scalar(-0.0),
+            q_nan: q.quantize(f64::NAN) as f32,
+            q_pos_inf: q.quantize(f64::INFINITY) as f32,
+            q_neg_inf: q.quantize(f64::NEG_INFINITY) as f32,
+        }
+    }
+
+    /// The cache identity of the source quantizer.
+    pub fn codec_key(&self) -> &str {
+        &self.key
+    }
+
+    /// Storage bits of the source format.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of distinct representable values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table is empty (never true for a built table).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sorted representable values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Index of the value that `+0.0` quantizes to.
+    pub fn zero_index(&self) -> u16 {
+        self.zero_index
+    }
+
+    /// Index of the representable value a finite input quantizes to.
+    ///
+    /// Fast path: when the input's 16-bit key block contains no decision
+    /// boundary (`lo == hi`, the overwhelmingly common case) the prefix
+    /// pair already *is* the answer; otherwise a short binary search over
+    /// the few in-block boundaries finishes the job.
+    #[inline]
+    fn index_of_finite(&self, x: f32) -> usize {
+        let k = sort_key(x);
+        let p = (k >> PREFIX_SHIFT) as usize;
+        let mut lo = usize::from(self.prefix[p]);
+        let mut hi = usize::from(self.prefix[p + 1]);
+        while lo < hi {
+            let mid = (lo + hi) >> 1;
+            if self.bounds[mid] <= k {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Quantizes one value, bit-identical to the scalar path.
+    #[inline]
+    pub fn quantize_one(&self, x: f32) -> f32 {
+        if x == 0.0 {
+            return if x.is_sign_negative() {
+                self.q_neg_zero
+            } else {
+                self.q_pos_zero
+            };
+        }
+        if !x.is_finite() {
+            return if x.is_nan() {
+                self.q_nan
+            } else if x > 0.0 {
+                self.q_pos_inf
+            } else {
+                self.q_neg_inf
+            };
+        }
+        let v = self.values[self.index_of_finite(x)];
+        if v == 0.0 {
+            // Inside the zero interval the scalar grid formats preserve the
+            // input sign on the flushed zero.
+            if x < 0.0 {
+                self.zero_from_neg
+            } else {
+                self.zero_from_pos
+            }
+        } else {
+            v
+        }
+    }
+
+    /// Quantizes a slice in place (the batch fake-quant hot path).
+    pub fn quantize_slice(&self, xs: &mut [f32]) {
+        for x in xs.iter_mut() {
+            *x = self.quantize_one(*x);
+        }
+    }
+
+    /// Quantizes a batch into table indices (`u16` codes).
+    ///
+    /// Finite inputs map to the index of their quantized value. Non-finite
+    /// inputs follow the LPA datapath's exception handling: NaN flushes to
+    /// the zero code, ±∞ saturate to the extreme codes.
+    pub fn quantize_batch(&self, xs: &[f32]) -> Vec<u16> {
+        xs.iter()
+            .map(|&x| {
+                if x == 0.0 || x.is_nan() {
+                    self.zero_index
+                } else if x == f32::INFINITY {
+                    (self.values.len() - 1) as u16
+                } else if x == f32::NEG_INFINITY {
+                    0
+                } else {
+                    self.index_of_finite(x) as u16
+                }
+            })
+            .collect()
+    }
+
+    /// Decodes a batch of table indices back to values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for this table.
+    pub fn dequantize_batch(&self, codes: &[u16]) -> Vec<f32> {
+        codes.iter().map(|&c| self.values[usize::from(c)]).collect()
+    }
+}
+
+/// A bounded, process-wide memo map: `Arc`-shared values keyed by an
+/// arbitrary hashable key, flushed wholesale when `cap` entries accumulate
+/// (searches over continuous parameters can mint unbounded distinct keys;
+/// the flush bounds memory while keeping steady-state hits cheap).
+///
+/// One implementation serves the three cache sites in the workspace: the
+/// decode-table cache here, `lpa`'s lane-LUT cache, and `dnn`'s
+/// quantized-weight cache.
+pub struct BoundedCache<K, V> {
+    map: Mutex<HashMap<K, Arc<V>>>,
+    cap: usize,
+}
+
+impl<K: std::hash::Hash + Eq, V> BoundedCache<K, V> {
+    /// An empty cache flushed at `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        BoundedCache {
+            map: Mutex::new(HashMap::new()),
+            cap,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<K, Arc<V>>> {
+        self.map.lock().expect("bounded cache poisoned")
+    }
+
+    /// The cached value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        self.lock().get(key).map(Arc::clone)
+    }
+
+    /// Inserts `value` under `key` (flushing first at capacity) and
+    /// returns the stored `Arc` — the existing one if a racing insert got
+    /// there first.
+    pub fn insert(&self, key: K, value: V) -> Arc<V> {
+        let mut map = self.lock();
+        if map.len() >= self.cap {
+            map.clear();
+        }
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(value)))
+    }
+
+    /// The cached value for `key`, building it with `build` on a miss.
+    ///
+    /// `build` runs *outside* the lock so concurrent first-time builders
+    /// of other keys are not serialized; a racing duplicate build is
+    /// harmless (one result wins).
+    pub fn get_or_insert_with(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let value = build();
+        self.insert(key, value)
+    }
+
+    /// Number of cached entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: std::hash::Hash + Eq, V> std::fmt::Debug for BoundedCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedCache")
+            .field("entries", &self.len())
+            .field("cap", &self.cap)
+            .finish()
+    }
+}
+
+fn cache() -> &'static BoundedCache<String, DecodeTable> {
+    static CACHE: OnceLock<BoundedCache<String, DecodeTable>> = OnceLock::new();
+    CACHE.get_or_init(|| BoundedCache::new(MAX_CACHED_TABLES))
+}
+
+/// The process-wide decode-table cache, keyed by
+/// [`Quantizer::codec_key`]. Builds the table on first use; repeated
+/// requests for the same `(format, params)` are a map lookup.
+pub fn cached_table<Q: Quantizer + ?Sized>(q: &Q) -> Arc<DecodeTable> {
+    cache().get_or_insert_with(q.codec_key(), || DecodeTable::build(q))
+}
+
+/// Number of tables currently cached (diagnostics).
+pub fn cached_table_count() -> usize {
+    cache().len()
+}
+
+/// Batch-quantizes `xs` through the cached table of `q`, returning the
+/// `u16` codes together with the table that decodes them — the
+/// tensor-granular API the `dnn`/`lpa` crates build on.
+pub fn quantize_batch<Q: Quantizer + ?Sized>(q: &Q, xs: &[f32]) -> (Vec<u16>, Arc<DecodeTable>) {
+    let table = cached_table(q);
+    let codes = table.quantize_batch(xs);
+    (codes, table)
+}
+
+/// Decodes `codes` produced by [`quantize_batch`] against `table`.
+pub fn dequantize_batch(codes: &[u16], table: &DecodeTable) -> Vec<f32> {
+    table.dequantize_batch(codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptivfloat::AdaptivFloat;
+    use crate::baselines::{FixedPoint, IntQuantizer, LnsQuantizer, MiniFloat};
+    use crate::format::LpParams;
+    use crate::posit::PositParams;
+
+    fn all_8bit() -> Vec<Box<dyn Quantizer + Send + Sync>> {
+        vec![
+            Box::new(LpParams::new(8, 2, 3, 0.25).unwrap()),
+            Box::new(PositParams::new(8, 2).unwrap()),
+            Box::new(AdaptivFloat::new(8, 3, 2).unwrap()),
+            Box::new(MiniFloat::new(8, 4).unwrap()),
+            Box::new(IntQuantizer::new(8, 0.05).unwrap()),
+            Box::new(FixedPoint::new(8, 4).unwrap()),
+            Box::new(LnsQuantizer::new(8, 3, 0.5).unwrap()),
+        ]
+    }
+
+    fn probe_inputs() -> Vec<f32> {
+        let mut xs = vec![
+            0.0,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            1e-40, // f32 subnormal
+            -1e-40,
+            1.0,
+            -1.0,
+        ];
+        for i in 0..4000 {
+            let t = (i as f32 * 0.618_034).fract();
+            let mag = (t * 60.0 - 30.0).exp2();
+            xs.push(if i % 2 == 0 { mag } else { -mag });
+        }
+        xs
+    }
+
+    #[test]
+    fn table_matches_scalar_for_every_8bit_format() {
+        for q in all_8bit() {
+            let table = DecodeTable::build(q.as_ref());
+            for &x in &probe_inputs() {
+                let want = (q.quantize(f64::from(x)) as f32).to_bits();
+                let got = table.quantize_one(x).to_bits();
+                assert_eq!(
+                    got,
+                    want,
+                    "{}: input {x:?} ({:#010x})",
+                    q.codec_key(),
+                    x.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_scalar_at_boundaries() {
+        // The adversarial inputs: each value and one ulp around each
+        // measured boundary.
+        let p = LpParams::new(8, 2, 3, 0.0).unwrap();
+        let table = DecodeTable::build(&p);
+        let mut probes = Vec::new();
+        for &v in table.values() {
+            probes.push(v);
+        }
+        for &b in &table.bounds {
+            if b <= sort_key(f32::MAX) {
+                let x = from_key(b);
+                probes.push(x);
+                probes.push(from_key(b.wrapping_sub(1)));
+                probes.push(from_key(b.saturating_add(1)));
+            }
+        }
+        for x in probes {
+            if x.is_nan() {
+                continue;
+            }
+            assert_eq!(
+                table.quantize_one(x).to_bits(),
+                (p.quantize(f64::from(x)) as f32).to_bits(),
+                "input {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_round_trips_through_codes() {
+        let p = LpParams::new(8, 2, 3, 0.0).unwrap();
+        let xs: Vec<f32> = probe_inputs()
+            .into_iter()
+            .filter(|x| x.is_finite())
+            .collect();
+        let (codes, table) = quantize_batch(&p, &xs);
+        let decoded = dequantize_batch(&codes, &table);
+        let mut direct = xs.clone();
+        table.quantize_slice(&mut direct);
+        for ((x, d), q) in xs.iter().zip(&decoded).zip(&direct) {
+            assert_eq!(d.to_bits(), q.to_bits(), "input {x}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_codes_follow_datapath_semantics() {
+        let p = LpParams::new(8, 2, 3, 0.0).unwrap();
+        let table = cached_table(&p);
+        let codes = table.quantize_batch(&[f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.0]);
+        assert_eq!(codes[0], table.zero_index());
+        assert_eq!(usize::from(codes[1]), table.len() - 1);
+        assert_eq!(codes[2], 0);
+        assert_eq!(codes[3], table.zero_index());
+        assert_eq!(table.dequantize_batch(&[codes[3]])[0], 0.0);
+    }
+
+    #[test]
+    fn cache_returns_same_table() {
+        let p = LpParams::new(7, 1, 4, 0.5).unwrap();
+        let a = cached_table(&p);
+        let b = cached_table(&p);
+        assert!(Arc::ptr_eq(&a, &b));
+        let other = LpParams::new(7, 1, 4, 0.75).unwrap();
+        let c = cached_table(&other);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn value_counts_match_formats() {
+        // 8-bit LP: 256 patterns − NaR − (−0 collapses with +0) = 255.
+        let p = LpParams::new(8, 2, 3, 0.0).unwrap();
+        assert_eq!(DecodeTable::build(&p).len(), 255);
+        // INT8: 2·127 + 1.
+        let i = IntQuantizer::new(8, 0.1).unwrap();
+        assert_eq!(DecodeTable::build(&i).len(), 255);
+    }
+
+    #[test]
+    fn values_are_strictly_sorted() {
+        for q in all_8bit() {
+            let t = DecodeTable::build(q.as_ref());
+            for w in t.values().windows(2) {
+                assert!(w[0] < w[1], "{}: {} !< {}", q.codec_key(), w[0], w[1]);
+            }
+            for w in t.bounds.windows(2) {
+                assert!(w[0] <= w[1], "bounds must be non-decreasing");
+            }
+        }
+    }
+}

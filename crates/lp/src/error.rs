@@ -63,7 +63,10 @@ impl fmt::Display for LpError {
                 "invalid regime size rs={rs} for n={n}, must satisfy min(2, n-1) <= rs <= n-1"
             ),
             LpError::InvalidScaleFactor { sf } => {
-                write!(f, "invalid scale factor sf={sf}, must be finite with |sf| <= 256")
+                write!(
+                    f,
+                    "invalid scale factor sf={sf}, must be finite with |sf| <= 256"
+                )
             }
             LpError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
         }
@@ -79,7 +82,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_specific() {
         let e = LpError::InvalidWidth { n: 40 };
-        assert_eq!(e.to_string(), "invalid width n=40, supported range is [2, 16]");
+        assert_eq!(
+            e.to_string(),
+            "invalid width n=40, supported range is [2, 16]"
+        );
         let e = LpError::InvalidExponentSize { es: 9, n: 8 };
         assert!(e.to_string().contains("es=9"));
         let e = LpError::InvalidRegimeSize { rs: 9, n: 8 };

@@ -202,7 +202,11 @@ impl LpParams {
         let es = es.clamp(0, n.saturating_sub(3).min(5) as i64) as u32;
         let rs_lo = 2u32.min(n - 1) as i64;
         let rs = rs.clamp(rs_lo, (n - 1) as i64) as u32;
-        let sf = if sf.is_finite() { sf.clamp(-256.0, 256.0) } else { 0.0 };
+        let sf = if sf.is_finite() {
+            sf.clamp(-256.0, 256.0)
+        } else {
+            0.0
+        };
         LpParams { n, es, rs, sf }
     }
 
@@ -396,10 +400,18 @@ impl LpParams {
         while m < self.rs && m < body_len && ((body >> (body_len - 1 - m)) & 1) == first {
             m += 1;
         }
-        let k = if first == 1 { m as i32 - 1 } else { -(m as i32) };
+        let k = if first == 1 {
+            m as i32 - 1
+        } else {
+            -(m as i32)
+        };
         // Bits consumed by the regime: the run plus a terminator if the run
         // ended below the cap and before the end of the word.
-        let reg_consumed = if m < self.rs && m < body_len { m + 1 } else { m };
+        let reg_consumed = if m < self.rs && m < body_len {
+            m + 1
+        } else {
+            m
+        };
         let rest_len = body_len - reg_consumed;
         let rest = body & ((1u32 << rest_len).wrapping_sub(1));
         // Exponent: the leading min(es, rest_len) bits, MSB-aligned (missing
@@ -446,13 +458,6 @@ impl LpParams {
     /// (`decode(encode(v))`).
     pub fn quantize(&self, v: f64) -> f64 {
         self.decode(self.encode(v))
-    }
-
-    /// Quantizes a slice of `f32` in place.
-    pub fn quantize_slice(&self, xs: &mut [f32]) {
-        for x in xs.iter_mut() {
-            *x = self.quantize(f64::from(*x)) as f32;
-        }
     }
 
     /// Iterates over every finite representable value of this format
@@ -667,7 +672,14 @@ mod tests {
     #[test]
     fn monotone_in_encoding_order() {
         // Decoded values must be strictly increasing over positive patterns.
-        for (n, es, rs) in [(8, 2, 3), (8, 0, 7), (6, 1, 3), (4, 0, 3), (5, 2, 2), (8, 5, 2)] {
+        for (n, es, rs) in [
+            (8, 2, 3),
+            (8, 0, 7),
+            (6, 1, 3),
+            (4, 0, 3),
+            (5, 2, 2),
+            (8, 5, 2),
+        ] {
             let f = p(n, es, rs, 0.25);
             let mut prev = 0.0;
             for q in 1..(1u32 << (n - 1)) {
@@ -716,15 +728,25 @@ mod tests {
         let f = p(8, 2, 3, 0.0);
         // Collect all positive values; any input between two adjacent values
         // must round to the log-domain-nearer one.
-        let vals: Vec<f64> = (1..(1u32 << 7)).map(|q| f.decode(LpWord(q as u16))).collect();
+        let vals: Vec<f64> = (1..(1u32 << 7))
+            .map(|q| f.decode(LpWord(q as u16)))
+            .collect();
         for pair in vals.windows(2) {
             let (lo, hi) = (pair[0], pair[1]);
             // Geometric midpoint = log-domain midpoint.
             let mid = (lo * hi).sqrt();
             let just_below = mid * (1.0 - 1e-9);
             let just_above = mid * (1.0 + 1e-9);
-            assert_eq!(f.quantize(just_below), lo, "below geometric mid of ({lo},{hi})");
-            assert_eq!(f.quantize(just_above), hi, "above geometric mid of ({lo},{hi})");
+            assert_eq!(
+                f.quantize(just_below),
+                lo,
+                "below geometric mid of ({lo},{hi})"
+            );
+            assert_eq!(
+                f.quantize(just_above),
+                hi,
+                "above geometric mid of ({lo},{hi})"
+            );
         }
     }
 

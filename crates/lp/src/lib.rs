@@ -22,6 +22,10 @@
 //! ## Modules
 //!
 //! * [`format`] — the bit-exact LP codec ([`LpParams`], [`LpWord`])
+//! * [`codec`] — the table-driven batch quantization codec
+//!   ([`DecodeTable`], `quantize_batch`): every ≤16-bit format collapses
+//!   into a sorted decode table + branch-light binary search, replacing
+//!   per-element transcendentals on the fake-quant hot path
 //! * [`posit`] — standard linear-fraction posit⟨n,es⟩ (Gustafson 2017)
 //! * [`adaptivfloat`] — AdaptivFloat (Tambe et al., DAC 2020)
 //! * [`baselines`] — uniform INT, fixed-point, IEEE-style minifloat, plain LNS
@@ -53,11 +57,13 @@ pub mod accuracy;
 pub mod adaptivfloat;
 pub mod arith;
 pub mod baselines;
+pub mod codec;
 pub mod error;
 pub mod format;
 pub mod posit;
 pub mod quantizer;
 
+pub use codec::DecodeTable;
 pub use error::LpError;
 pub use format::{LpParams, LpWord};
 pub use quantizer::Quantizer;

@@ -97,7 +97,11 @@ impl PositParams {
         let exp = a.log2().floor();
         // Guard against values of magnitude exactly a power of two where
         // floating error could put log2 just below an integer.
-        let exp = if a / exp.exp2() >= 2.0 { exp + 1.0 } else { exp };
+        let exp = if a / exp.exp2() >= 2.0 {
+            exp + 1.0
+        } else {
+            exp
+        };
         let exp_i = exp as i64;
         let frac = a / (exp_i as f64).exp2() - 1.0; // ∈ [0, 1)
         let unit = 1i64 << self.es;
@@ -156,7 +160,11 @@ impl PositParams {
         while m < body_len && ((body >> (body_len - 1 - m)) & 1) == first {
             m += 1;
         }
-        let k = if first == 1 { m as i32 - 1 } else { -(m as i32) };
+        let k = if first == 1 {
+            m as i32 - 1
+        } else {
+            -(m as i32)
+        };
         let reg_consumed = if m < body_len { m + 1 } else { m };
         let rest_len = body_len - reg_consumed;
         let rest = body & ((1u32 << rest_len).wrapping_sub(1));
@@ -186,6 +194,15 @@ impl PositParams {
     /// Rounds `v` to the nearest representable posit value.
     pub fn quantize(&self, v: f64) -> f64 {
         self.decode(self.encode(v))
+    }
+
+    /// Every finite representable value (decode of each word, NaR skipped),
+    /// in encoding order. Feeds the `lp::codec` decode table.
+    pub fn representable_values(&self) -> Vec<f64> {
+        (0..1u32 << self.n)
+            .map(|w| self.decode(w as u16))
+            .filter(|v| !v.is_nan())
+            .collect()
     }
 }
 

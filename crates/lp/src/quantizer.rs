@@ -1,20 +1,31 @@
-//! A uniform [`Quantizer`] interface over every number format in this crate,
-//! plus tensor-adaptive constructors. This is the abstraction the `dnn`
-//! crate uses for fake-quantized inference and the `bench` crate uses for
-//! the format-comparison figures.
+//! A uniform, **batch-first** [`Quantizer`] interface over every number
+//! format in this crate, plus tensor-adaptive constructors. This is the
+//! abstraction the `dnn` crate uses for fake-quantized inference and the
+//! `bench` crate uses for the format-comparison figures.
+//!
+//! The hot path is [`Quantizer::quantize_slice`], which routes through the
+//! lazily-cached [`DecodeTable`](crate::codec::DecodeTable) of
+//! [`lp::codec`](crate::codec) — a sorted-value binary search instead of
+//! per-element transcendentals. The scalar [`Quantizer::quantize`] remains
+//! the semantic reference (and is what the table is measured from).
 
 use crate::adaptivfloat::AdaptivFloat;
 use crate::baselines::{FixedPoint, IntQuantizer, LnsQuantizer, MiniFloat};
+use crate::codec::{self, DecodeTable};
 use crate::error::LpError;
 use crate::format::LpParams;
 use crate::posit::PositParams;
 use std::fmt;
+use std::sync::Arc;
 
-/// A scalar quantization function with a known bit budget.
+/// A quantization function with a known bit budget.
 ///
-/// Implementors round a real value to their nearest representable value.
-/// The trait is object-safe so heterogeneous format lists (as in the
-/// Fig. 5(b) comparison) can be stored as `Vec<Box<dyn Quantizer + Send + Sync>>`.
+/// Implementors round a real value to their nearest representable value
+/// ([`Quantizer::quantize`], the scalar reference path) and enumerate their
+/// full value set ([`Quantizer::enumerate_values`]), from which the batch
+/// path derives a cached decode table. The trait is object-safe so
+/// heterogeneous format lists (as in the Fig. 5(b) comparison) can be
+/// stored as `Vec<Box<dyn Quantizer + Send + Sync>>`.
 pub trait Quantizer: fmt::Debug {
     /// Short human-readable format name (e.g. `"LP"`, `"Posit"`).
     fn name(&self) -> &'static str;
@@ -22,11 +33,39 @@ pub trait Quantizer: fmt::Debug {
     /// Storage bits per element.
     fn bits(&self) -> u32;
 
-    /// Rounds `v` to the nearest representable value.
+    /// Rounds `v` to the nearest representable value (scalar reference
+    /// path; the batch path is bit-identical by construction).
     fn quantize(&self, v: f64) -> f64;
 
-    /// Quantizes a slice of `f32` in place.
+    /// Every representable value of this format (order and duplicates are
+    /// irrelevant; NaN entries are ignored). At most 2¹⁶ entries.
+    fn enumerate_values(&self) -> Vec<f64>;
+
+    /// Stable identity for the decode-table cache: two quantizers with the
+    /// same key must quantize identically. The default derives it from the
+    /// `Debug` representation, which covers every parameter field of the
+    /// formats in this crate.
+    fn codec_key(&self) -> String {
+        format!("{}:{:?}", self.name(), self)
+    }
+
+    /// This format's decode table from the process-wide cache (built on
+    /// first use).
+    fn decode_table(&self) -> Arc<DecodeTable> {
+        codec::cached_table(self)
+    }
+
+    /// Quantizes a slice of `f32` in place via the cached decode table.
+    ///
+    /// Bit-identical to mapping [`Quantizer::quantize`] over the slice,
+    /// ~an order of magnitude faster for transcendental-heavy formats.
     fn quantize_slice(&self, xs: &mut [f32]) {
+        self.decode_table().quantize_slice(xs);
+    }
+
+    /// The pre-codec scalar path (one `quantize` call per element), kept
+    /// as the benchmark baseline and for equivalence testing.
+    fn quantize_slice_scalar(&self, xs: &mut [f32]) {
         for x in xs.iter_mut() {
             *x = self.quantize(f64::from(*x)) as f32;
         }
@@ -43,6 +82,9 @@ impl Quantizer for LpParams {
     fn quantize(&self, v: f64) -> f64 {
         LpParams::quantize(self, v)
     }
+    fn enumerate_values(&self) -> Vec<f64> {
+        self.values().map(|(_, v)| v).collect()
+    }
 }
 
 impl Quantizer for PositParams {
@@ -54,6 +96,9 @@ impl Quantizer for PositParams {
     }
     fn quantize(&self, v: f64) -> f64 {
         PositParams::quantize(self, v)
+    }
+    fn enumerate_values(&self) -> Vec<f64> {
+        self.representable_values()
     }
 }
 
@@ -67,6 +112,9 @@ impl Quantizer for AdaptivFloat {
     fn quantize(&self, v: f64) -> f64 {
         AdaptivFloat::quantize(self, v)
     }
+    fn enumerate_values(&self) -> Vec<f64> {
+        self.representable_values()
+    }
 }
 
 impl Quantizer for IntQuantizer {
@@ -78,6 +126,9 @@ impl Quantizer for IntQuantizer {
     }
     fn quantize(&self, v: f64) -> f64 {
         IntQuantizer::quantize(self, v)
+    }
+    fn enumerate_values(&self) -> Vec<f64> {
+        self.representable_values()
     }
 }
 
@@ -91,6 +142,9 @@ impl Quantizer for FixedPoint {
     fn quantize(&self, v: f64) -> f64 {
         FixedPoint::quantize(self, v)
     }
+    fn enumerate_values(&self) -> Vec<f64> {
+        self.representable_values()
+    }
 }
 
 impl Quantizer for MiniFloat {
@@ -103,6 +157,9 @@ impl Quantizer for MiniFloat {
     fn quantize(&self, v: f64) -> f64 {
         MiniFloat::quantize(self, v)
     }
+    fn enumerate_values(&self) -> Vec<f64> {
+        self.representable_values()
+    }
 }
 
 impl Quantizer for LnsQuantizer {
@@ -114,6 +171,9 @@ impl Quantizer for LnsQuantizer {
     }
     fn quantize(&self, v: f64) -> f64 {
         LnsQuantizer::quantize(self, v)
+    }
+    fn enumerate_values(&self) -> Vec<f64> {
+        self.representable_values()
     }
 }
 
@@ -365,7 +425,10 @@ mod tests {
             let e_lp = rmse_of(lp.as_ref(), &data);
             let e_af = rmse_of(af.as_ref(), &data);
             let e_int = rmse_of(int.as_ref(), &data);
-            assert!(e_lp < e_af, "n={n}: LP {e_lp} must beat AdaptivFloat {e_af}");
+            assert!(
+                e_lp < e_af,
+                "n={n}: LP {e_lp} must beat AdaptivFloat {e_af}"
+            );
             assert!(e_lp < e_int, "n={n}: LP {e_lp} must beat INT {e_int}");
         }
     }
@@ -380,7 +443,15 @@ mod tests {
         let names: Vec<&str> = qs.iter().map(|q| q.name()).collect();
         assert_eq!(
             names,
-            ["LP", "Posit", "AdaptivFloat", "Float", "INT", "Fixed", "LNS"]
+            [
+                "LP",
+                "Posit",
+                "AdaptivFloat",
+                "Float",
+                "INT",
+                "Fixed",
+                "LNS"
+            ]
         );
     }
 
@@ -389,7 +460,10 @@ mod tests {
         let data = sample_data();
         let q = fit_quantizer(FormatKind::Lp, 8, &data).unwrap();
         let mut xs = [0.5f32, -0.3, 0.125];
-        let expect: Vec<f32> = xs.iter().map(|&x| q.quantize(f64::from(x)) as f32).collect();
+        let expect: Vec<f32> = xs
+            .iter()
+            .map(|&x| q.quantize(f64::from(x)) as f32)
+            .collect();
         q.quantize_slice(&mut xs);
         assert_eq!(xs.to_vec(), expect);
     }

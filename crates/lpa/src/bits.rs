@@ -87,7 +87,10 @@ pub fn pack_lanes(lanes: &[u8], mode: PeMode) -> u8 {
     let mask = (1u16 << lane_bits) - 1;
     let mut out = 0u16;
     for (l, &v) in lanes.iter().enumerate() {
-        assert!(u16::from(v) <= mask, "lane value {v:#x} exceeds {lane_bits} bits");
+        assert!(
+            u16::from(v) <= mask,
+            "lane value {v:#x} exceeds {lane_bits} bits"
+        );
         out |= u16::from(v) << ((l as u32) * lane_bits);
     }
     out as u8

@@ -144,9 +144,9 @@ impl Design {
     pub fn energy_per_op_pj(&self, bits: u32) -> f64 {
         match self {
             Design::Lpa => match bits {
-                0..=2 => 2.28,  // Table 4: LPA-2 → 438.96 GOPS/W
+                0..=2 => 2.28, // Table 4: LPA-2 → 438.96 GOPS/W
                 3..=4 => 4.30,
-                _ => 8.05,      // Table 4: LPA-8 → 124.26 GOPS/W
+                _ => 8.05, // Table 4: LPA-8 → 124.26 GOPS/W
             },
             Design::Ant => match bits {
                 0..=4 => 3.60,
@@ -161,7 +161,7 @@ impl Design {
             Design::PositPe => match bits {
                 0..=2 => 7.10,
                 3..=4 => 10.40,
-                _ => 14.21,    // Table 4: Posit → 70.36 GOPS/W
+                _ => 14.21, // Table 4: Posit → 70.36 GOPS/W
             },
         }
     }
@@ -230,9 +230,7 @@ mod tests {
         // posit PEs in both area and energy at every precision.
         assert!(Design::Lpa.pe_area_um2() < Design::PositPe.pe_area_um2());
         for bits in [2, 4, 8] {
-            assert!(
-                Design::Lpa.energy_per_op_pj(bits) < Design::PositPe.energy_per_op_pj(bits)
-            );
+            assert!(Design::Lpa.energy_per_op_pj(bits) < Design::PositPe.energy_per_op_pj(bits));
         }
     }
 }

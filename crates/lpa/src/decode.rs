@@ -11,7 +11,10 @@
 
 use crate::bits::{leading_zeros_lanes, twos_complement_lanes, unpack_lanes};
 use crate::pe::{PeMode, SCALE_FRAC_BITS};
+use lp::codec::{BoundedCache, DecodeTable};
 use lp::format::{LpParams, LpWord};
+use lp::Quantizer;
+use std::sync::{Arc, OnceLock};
 
 /// A decoded operand in the PE-internal unified format: the value is
 /// `(−1)^negative · 2^(scale_q8 / 256)` unless `zero`.
@@ -96,15 +99,27 @@ pub fn decode_lane(lane: u8, params: &LpParams) -> DecodedOperand {
     // Step 2: regime decode. The first regime bit selects inversion so a
     // single leading-zero counter handles both polarities.
     let first = (body >> (body_len - 1)) & 1;
-    let to_count = if first == 1 { (!body) & (sign_bit - 1) } else { body };
+    let to_count = if first == 1 {
+        (!body) & (sign_bit - 1)
+    } else {
+        body
+    };
     // Align the body to the top of an 8-bit word for the shared LZD.
     let aligned = to_count << (8 - body_len);
     let zeros = leading_zeros_lanes(aligned, PeMode::C)[0].min(body_len);
     let m = zeros.min(params.rs());
-    let k = if first == 1 { m as i32 - 1 } else { -(m as i32) };
+    let k = if first == 1 {
+        m as i32 - 1
+    } else {
+        -(m as i32)
+    };
     // Step 3: shift out the regime (run + terminator when below the cap
     // and not at the end of the word), leaving exponent and fraction.
-    let reg_consumed = if m < params.rs() && m < body_len { m + 1 } else { m };
+    let reg_consumed = if m < params.rs() && m < body_len {
+        m + 1
+    } else {
+        m
+    };
     let rest_len = body_len - reg_consumed;
     let rest = body & (((1u16 << rest_len) - 1) as u8);
     let es = params.es();
@@ -130,8 +145,111 @@ pub fn decode_lane(lane: u8, params: &LpParams) -> DecodedOperand {
     }
 }
 
+/// The per-format datapath LUT: every possible lane word pre-decoded
+/// through [`decode_lane`], plus the shared `lp::codec`
+/// [`DecodeTable`] of the same format for the encoder direction.
+///
+/// This is the software model of the LUT-based unified decoder an actual
+/// LPA implementation would synthesize: a layer's format is fixed while
+/// its tile streams through the array, so the full `2ⁿ`-entry decode ROM
+/// is tiny (≤ 256 entries per lane width) and replaces the per-word
+/// regime/LZD logic on the hot path.
+#[derive(Debug, Clone)]
+pub struct LaneLut {
+    params: LpParams,
+    /// `ops[w]` = decode of lane word `w` (index by the low `n` bits).
+    ops: Vec<DecodedOperand>,
+    /// The format's shared software codec table (sorted values).
+    table: Arc<DecodeTable>,
+    /// `words[i]` = LP word whose decode is `table.values()[i]` —
+    /// the bridge from codec indices back to storage words.
+    words_by_value: Vec<u16>,
+}
+
+impl LaneLut {
+    /// Builds the LUT for one LP format by exercising the bit-level
+    /// decoder on every word, and aligns it with the format's cached
+    /// `lp::codec` table.
+    pub fn new(params: &LpParams) -> Self {
+        let n = params.n();
+        assert!(n <= 8, "lane LUTs cover the PE lane widths (n ≤ 8)");
+        let ops: Vec<DecodedOperand> = (0..1u16 << n)
+            .map(|w| decode_lane(w as u8, params))
+            .collect();
+        let table = params.decode_table();
+        // Invert word → value into value-order → word using the reference
+        // codec (adjacent representable values of an n ≤ 8 format are
+        // far further apart than f32 resolution, so the cast is
+        // collision-free).
+        let mut words_by_value = vec![0u16; table.len()];
+        for w in 0..1u32 << n {
+            let v = params.decode(LpWord::from_bits(w as u16));
+            if v.is_nan() {
+                continue;
+            }
+            let idx = table
+                .values()
+                .partition_point(|&t| t < v as f32)
+                .min(table.len() - 1);
+            words_by_value[idx] = w as u16;
+        }
+        LaneLut {
+            params: *params,
+            ops,
+            table,
+            words_by_value,
+        }
+    }
+
+    /// The source format.
+    pub fn params(&self) -> &LpParams {
+        &self.params
+    }
+
+    /// The format's shared software codec table.
+    pub fn codec_table(&self) -> &Arc<DecodeTable> {
+        &self.table
+    }
+
+    /// Decodes one lane word by table lookup (bit-identical to
+    /// [`decode_lane`]).
+    #[inline]
+    pub fn decode(&self, lane: u8) -> DecodedOperand {
+        let mask = ((1u16 << self.params.n()) - 1) as u8;
+        self.ops[usize::from(lane & mask)]
+    }
+
+    /// Encodes a batch of partial-sum values to LP words through the
+    /// codec table: one binary search per element instead of per-element
+    /// `log2` + field packing. Bit-identical to
+    /// [`LpParams::encode`]`(f64::from(x))` for every *finite* `f32`
+    /// input; non-finite inputs follow the PPU's exception handling
+    /// (NaN flushes to the zero word, ±∞ saturate) rather than encoding
+    /// NaR.
+    pub fn encode_outputs(&self, values: &[f32]) -> Vec<LpWord> {
+        self.table
+            .quantize_batch(values)
+            .into_iter()
+            .map(|c| LpWord::from_bits(self.words_by_value[usize::from(c)]))
+            .collect()
+    }
+}
+
+fn lut_cache() -> &'static BoundedCache<String, LaneLut> {
+    static CACHE: OnceLock<BoundedCache<String, LaneLut>> = OnceLock::new();
+    CACHE.get_or_init(|| BoundedCache::new(256))
+}
+
+/// Process-wide [`LaneLut`] cache, keyed by the format's
+/// [`codec_key`](Quantizer::codec_key) — the same identity the `lp::codec`
+/// table cache uses.
+pub fn cached_lane_lut(params: &LpParams) -> Arc<LaneLut> {
+    lut_cache().get_or_insert_with(params.codec_key(), || LaneLut::new(params))
+}
+
 /// The unified LP weight decoder: splits a packed 8-bit buffer word into
-/// its mode lanes and decodes each against its layer's LP parameters.
+/// its mode lanes and decodes each against its layer's LP parameters,
+/// through the format's cached [`LaneLut`].
 ///
 /// # Panics
 ///
@@ -142,9 +260,10 @@ pub fn decode_packed(word: u8, mode: PeMode, params: &LpParams) -> Vec<DecodedOp
         mode.lane_bits(),
         "format width must equal the mode lane width"
     );
+    let lut = cached_lane_lut(params);
     unpack_lanes(word, mode)
         .into_iter()
-        .map(|lane| decode_lane(lane, params))
+        .map(|lane| lut.decode(lane))
         .collect()
 }
 
@@ -227,5 +346,58 @@ mod tests {
         let w = encode_output(1.5, &p);
         let back = p.decode(w);
         assert!((back - 1.5).abs() / 1.5 < 0.05);
+    }
+
+    #[test]
+    fn lane_lut_matches_bit_level_decoder() {
+        for (n, es, rs, sf) in [(8u32, 2u32, 3u32, 0.0f64), (4, 1, 3, -1.5), (2, 0, 1, 0.25)] {
+            let p = LpParams::new(n, es, rs, sf).unwrap();
+            let lut = LaneLut::new(&p);
+            for w in 0..(1u16 << n) {
+                assert_eq!(
+                    lut.decode(w as u8),
+                    decode_lane(w as u8, &p),
+                    "format {p} word {w:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_lut_shares_the_codec_table() {
+        use lp::Quantizer;
+        let p = LpParams::new(8, 1, 4, 0.5).unwrap();
+        let lut = cached_lane_lut(&p);
+        // The LUT's table IS the process-wide codec table of the format.
+        assert!(Arc::ptr_eq(lut.codec_table(), &p.decode_table()));
+        // And the cached LUT itself is shared.
+        assert!(Arc::ptr_eq(&lut, &cached_lane_lut(&p)));
+    }
+
+    #[test]
+    fn encode_outputs_matches_reference_encoder() {
+        let p = LpParams::new(8, 2, 3, 0.25).unwrap();
+        let lut = cached_lane_lut(&p);
+        let inputs: Vec<f32> = (0..2000)
+            .map(|i| {
+                let t = (i as f32 * 0.618_034).fract();
+                let mag = (t * 30.0 - 15.0).exp2();
+                if i % 2 == 0 {
+                    mag
+                } else {
+                    -mag
+                }
+            })
+            .chain([0.0f32, -0.0, 1.0, -1.0, 1e9, -1e9, 1e-9, -1e-9])
+            .collect();
+        let words = lut.encode_outputs(&inputs);
+        for (x, w) in inputs.iter().zip(&words) {
+            assert_eq!(w.bits(), p.encode(f64::from(*x)).bits(), "input {x}");
+        }
+        // NaR-flush semantics for non-finite partial sums.
+        let specials = lut.encode_outputs(&[f32::NAN, f32::INFINITY, f32::NEG_INFINITY]);
+        assert_eq!(specials[0], p.zero());
+        assert_eq!(p.decode(specials[1]), p.max_pos());
+        assert_eq!(p.decode(specials[2]), -p.max_pos());
     }
 }

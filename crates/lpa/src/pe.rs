@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     fn mode_a_processes_four_lanes() {
-        let ws = vec![1.0, -2.0, 0.5, 4.0];
+        let ws = [1.0, -2.0, 0.5, 4.0];
         let pe = LpPe::new(
             PeMode::A,
             ws.iter().map(|&w| DecodedOperand::from_value(w)).collect(),
@@ -273,7 +273,8 @@ mod tests {
         // 8-bit converter: ≤ 1/512 relative error per product, partially
         // cancelling across terms.
         assert!(
-            (got - exact).abs() <= 0.01 * xs.iter().zip(&ys).map(|(a, b)| (a * b).abs()).sum::<f64>(),
+            (got - exact).abs()
+                <= 0.01 * xs.iter().zip(&ys).map(|(a, b)| (a * b).abs()).sum::<f64>(),
             "got {got}, exact {exact}"
         );
     }

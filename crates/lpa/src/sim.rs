@@ -198,7 +198,11 @@ pub fn execute(design: Design, cfg: &ArrayConfig, workload: &[LayerGemm]) -> Exe
         gops: ops / latency_s / 1e9,
         energy_j,
         // GOPS/W = (ops / 1e9) / energy — watt-seconds cancel.
-        gops_per_watt: if energy_j > 0.0 { ops / 1e9 / energy_j } else { 0.0 },
+        gops_per_watt: if energy_j > 0.0 {
+            ops / 1e9 / energy_j
+        } else {
+            0.0
+        },
     }
 }
 
@@ -243,7 +247,10 @@ mod tests {
     fn depthwise_maps_to_per_channel_gemms() {
         let m = models::mobilenetv2_like();
         let w = extract_workload(&m, &uniform_bits(&m, 8));
-        let dw = w.iter().find(|g| g.kind == "dwconv2d").expect("has dw conv");
+        let dw = w
+            .iter()
+            .find(|g| g.kind == "dwconv2d")
+            .expect("has dw conv");
         assert_eq!(dw.n, 1);
         assert!(dw.repeats > 1);
     }

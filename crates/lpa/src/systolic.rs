@@ -158,7 +158,9 @@ mod tests {
     fn functional_gemm_matches_exact() {
         let (m, k, n) = (5, 7, 8);
         let a: Vec<f64> = (0..m * k).map(|i| ((i as f64) * 0.37).sin()).collect();
-        let w: Vec<f64> = (0..k * n).map(|i| ((i as f64) * 0.73).cos() * 0.3).collect();
+        let w: Vec<f64> = (0..k * n)
+            .map(|i| ((i as f64) * 0.73).cos() * 0.3)
+            .collect();
         for mode in [PeMode::A, PeMode::B, PeMode::C] {
             let got = gemm_functional(&a, &w, m, k, n, mode);
             for i in 0..m {

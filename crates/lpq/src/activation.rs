@@ -103,9 +103,7 @@ pub fn avg_activation_bits(act_params: &[LayerParams], ir_sizes: Option<&[usize]
                 .sum::<f64>()
                 / total as f64
         }
-        None => {
-            act_params.iter().map(|p| f64::from(p.n)).sum::<f64>() / act_params.len() as f64
-        }
+        None => act_params.iter().map(|p| f64::from(p.n)).sum::<f64>() / act_params.len() as f64,
     }
 }
 

@@ -186,10 +186,7 @@ impl FitnessEvaluator {
                 v
             })
             .collect();
-        let fp_raw_logits = fp_traces
-            .iter()
-            .map(|t| t.output.data().to_vec())
-            .collect();
+        let fp_raw_logits = fp_traces.iter().map(|t| t.output.data().to_vec()).collect();
         let total: usize = param_counts.iter().sum();
         FitnessEvaluator {
             kind,

@@ -189,7 +189,7 @@ mod tests {
                     let p = LayerParams::clamped(n, es, rs, 100.0, false);
                     assert!((2..=8).contains(&p.n));
                     assert!(p.es <= p.n.saturating_sub(3));
-                    assert!(p.rs >= 2u32.min(p.n - 1) && p.rs <= p.n - 1);
+                    assert!(p.rs >= 2u32.min(p.n - 1) && p.rs < p.n);
                     let _ = p.to_lp(); // must be a valid format
                 }
             }
@@ -243,7 +243,10 @@ mod tests {
         let child = Candidate::regenerate_block(&a, &b, 4..8, &mut rng, 0.05, false);
         for i in 0..12 {
             if !(4..8).contains(&i) {
-                assert_eq!(child.layers[i], a.layers[i], "layer {i} must copy best parent");
+                assert_eq!(
+                    child.layers[i], a.layers[i],
+                    "layer {i} must copy best parent"
+                );
             }
         }
     }

@@ -121,30 +121,27 @@ impl LpqResult {
     /// Builds the full weight + activation [`QuantScheme`] for deployment
     /// evaluation.
     pub fn scheme(&self) -> QuantScheme {
-        QuantScheme {
-            weights: self
-                .weight_params
+        QuantScheme::new(
+            self.weight_params
                 .iter()
                 .map(|p| Some(Arc::new(*p) as Arc<dyn lp::Quantizer + Send + Sync>))
                 .collect(),
-            activations: self
-                .activation_params
+            self.activation_params
                 .iter()
                 .map(|p| Some(Arc::new(p.to_lp()) as Arc<dyn lp::Quantizer + Send + Sync>))
                 .collect(),
-        }
+        )
     }
 
     /// Builds a weight-only scheme (activations in full precision).
     pub fn weight_scheme(&self) -> QuantScheme {
-        QuantScheme {
-            weights: self
-                .weight_params
+        QuantScheme::new(
+            self.weight_params
                 .iter()
                 .map(|p| Some(Arc::new(*p) as Arc<dyn lp::Quantizer + Send + Sync>))
                 .collect(),
-            activations: vec![None; self.weight_params.len()],
-        }
+            vec![None; self.weight_params.len()],
+        )
     }
 }
 
@@ -154,13 +151,13 @@ pub fn scheme_from(weights: &Candidate, acts: Option<&[LayerParams]>) -> QuantSc
     let to_arc = |p: &LayerParams| -> Option<Arc<dyn lp::Quantizer + Send + Sync>> {
         Some(Arc::new(p.to_lp()))
     };
-    QuantScheme {
-        weights: weights.layers.iter().map(to_arc).collect(),
-        activations: match acts {
+    QuantScheme::new(
+        weights.layers.iter().map(to_arc).collect(),
+        match acts {
             Some(a) => a.iter().map(to_arc).collect(),
             None => vec![None; weights.len()],
         },
-    }
+    )
 }
 
 /// The LPQ search engine, bound to a model and calibration data.
@@ -175,6 +172,9 @@ pub struct Lpq<'m> {
     blocks: Vec<Range<usize>>,
     /// Per-layer concatenated FP activations for activation-sf fitting.
     layer_acts: Vec<Tensor>,
+    /// Quantized-weight cache shared by every candidate scheme of this
+    /// search: generations only re-quantize layers whose genes changed.
+    weight_cache: Arc<dnn::graph::WeightCache>,
     rng: ChaCha8Rng,
     evaluations: usize,
 }
@@ -193,8 +193,7 @@ impl<'m> Lpq<'m> {
 
     /// Like [`Lpq::new`] with explicit calibration inputs.
     pub fn with_calibration(model: &'m Model, cfg: LpqConfig, calib: Vec<Tensor>) -> Self {
-        let fp_traces: Vec<ForwardTrace> =
-            par_map(&calib, |x| model.forward_traced(x, None, true));
+        let fp_traces: Vec<ForwardTrace> = par_map(&calib, |x| model.forward_traced(x, None, true));
         let evaluator = FitnessEvaluator::new(
             cfg.objective,
             cfg.tau,
@@ -239,6 +238,7 @@ impl<'m> Lpq<'m> {
             weight_max_log,
             blocks,
             layer_acts,
+            weight_cache: Arc::default(),
             rng,
             evaluations: 0,
         }
@@ -264,21 +264,29 @@ impl<'m> Lpq<'m> {
             .collect()
     }
 
-    /// Builds the weight-only scheme for a resolved candidate.
+    /// Builds the weight-only scheme for a resolved candidate, bound to
+    /// the search-wide quantized-weight cache.
     fn resolved_scheme(&self, cand: &Candidate) -> QuantScheme {
         let resolved = self.resolve(cand);
-        QuantScheme {
-            weights: resolved
+        QuantScheme::new(
+            resolved
                 .into_iter()
                 .map(|p| Some(Arc::new(p) as Arc<dyn lp::Quantizer + Send + Sync>))
                 .collect(),
-            activations: vec![None; cand.len()],
-        }
+            vec![None; cand.len()],
+        )
+        .with_shared_cache(Arc::clone(&self.weight_cache))
     }
 
     /// The block partition in use.
     pub fn blocks(&self) -> &[Range<usize>] {
         &self.blocks
+    }
+
+    /// Number of `(layer, format)` weight tensors held by the search-wide
+    /// quantized-weight cache (diagnostics).
+    pub fn weight_cache_len(&self) -> usize {
+        self.weight_cache.len()
     }
 
     /// Evaluates one candidate's fitness (lower is better).
@@ -383,8 +391,7 @@ impl<'m> Lpq<'m> {
             .map(|(c, _)| c)
             .expect("population is never empty");
         let weight_params = self.resolve(&best);
-        let activation_params =
-            derive_activation_params(&best, &self.layer_acts, SfRule::Fitted);
+        let activation_params = derive_activation_params(&best, &self.layer_acts, SfRule::Fitted);
         let param_counts = self.model.layer_param_counts();
         let ir_sizes: Vec<usize> = self.layer_acts.iter().map(Tensor::len).collect();
         let avg_weight_bits = best.avg_bits(&param_counts);
@@ -498,6 +505,26 @@ mod tests {
         assert!(result.avg_weight_bits >= 2.0 && result.avg_weight_bits <= 8.0);
         assert!(result.avg_activation_bits >= 4.0 && result.avg_activation_bits <= 8.0);
         assert!(result.model_size_mb > 0.0);
+    }
+
+    #[test]
+    fn evaluate_populates_shared_weight_cache() {
+        let m = models::resnet18_like();
+        let mut lpq = Lpq::new(&m, tiny_config());
+        let anchor = Candidate {
+            layers: (0..m.num_quant_layers())
+                .map(|_| LayerParams::clamped(8, 2, 3, 0.0, true))
+                .collect(),
+        };
+        assert_eq!(lpq.weight_cache_len(), 0);
+        let f1 = lpq.evaluate(&anchor);
+        let filled = lpq.weight_cache_len();
+        assert_eq!(filled, m.num_quant_layers(), "one entry per layer");
+        // Re-evaluating the same genome hits the cache (no growth) and is
+        // bit-identical.
+        let f2 = lpq.evaluate(&anchor);
+        assert_eq!(lpq.weight_cache_len(), filled);
+        assert_eq!(f1.to_bits(), f2.to_bits());
     }
 
     #[test]

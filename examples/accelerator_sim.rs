@@ -27,7 +27,11 @@ fn main() {
         .collect();
     let workload = reference_workload(&model, &bits);
     let macs: u64 = workload.iter().map(|g| g.macs()).sum();
-    println!("total MACs: {:.2}G across {} layers\n", macs as f64 / 1e9, workload.len());
+    println!(
+        "total MACs: {:.2}G across {} layers\n",
+        macs as f64 / 1e9,
+        workload.len()
+    );
 
     println!(
         "{:<14} {:>12} {:>10} {:>14} {:>12} {:>14}",

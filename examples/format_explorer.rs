@@ -20,7 +20,10 @@ fn main() -> Result<(), lp::LpError> {
     );
 
     println!("RMSE by format and bit-width (per-tensor fitted parameters):");
-    println!("{:<14} {:>12} {:>12} {:>12}", "format", "4-bit", "6-bit", "8-bit");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "format", "4-bit", "6-bit", "8-bit"
+    );
     for kind in FormatKind::ALL {
         let mut row = format!("{:<14}", kind.to_string());
         for bits in [4u32, 6, 8] {

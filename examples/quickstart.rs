@@ -14,7 +14,11 @@ fn main() -> Result<(), lp::LpError> {
 
     // Encode/decode round trip. Every non-zero LP value is ±2^(scale).
     let w = p.encode(0.75);
-    println!("0.75 encodes to {:#010b} and decodes to {}", w.bits(), p.decode(w));
+    println!(
+        "0.75 encodes to {:#010b} and decodes to {}",
+        w.bits(),
+        p.decode(w)
+    );
 
     // Tapered accuracy: values near the taper center round more precisely
     // than values near the extremes.
@@ -41,6 +45,10 @@ fn main() -> Result<(), lp::LpError> {
     // Mixed-precision: the same value at 4 and 2 bits.
     let p4 = LpParams::new(4, 1, 3, 0.0)?;
     let p2 = LpParams::new(2, 0, 1, 0.0)?;
-    println!("0.75 at 4 bits: {}, at 2 bits: {}", p4.quantize(0.75), p2.quantize(0.75));
+    println!(
+        "0.75 at 4 bits: {}, at 2 bits: {}",
+        p4.quantize(0.75),
+        p2.quantize(0.75)
+    );
     Ok(())
 }

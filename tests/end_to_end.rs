@@ -46,7 +46,9 @@ fn lpq_scheme_runs_on_transformer() {
     // The deployment scheme must produce finite logits.
     let qm = model.quantize_weights(&result.scheme());
     let input = data::calibration_set(&model).remove(0);
-    let out = qm.forward_traced(&input, Some(&result.scheme()), false).output;
+    let out = qm
+        .forward_traced(&input, Some(&result.scheme()), false)
+        .output;
     assert!(out.data().iter().all(|v| v.is_finite()));
 }
 
@@ -80,7 +82,13 @@ fn uniform_bit_sweep_is_monotone_in_fidelity() {
         }
         errs.push((err / norm).sqrt());
     }
-    assert!(errs[0] > errs[1], "2-bit must be worse than 4-bit: {errs:?}");
-    assert!(errs[1] > errs[2], "4-bit must be worse than 8-bit: {errs:?}");
+    assert!(
+        errs[0] > errs[1],
+        "2-bit must be worse than 4-bit: {errs:?}"
+    );
+    assert!(
+        errs[1] > errs[2],
+        "4-bit must be worse than 8-bit: {errs:?}"
+    );
     assert!(errs[2] < 0.1, "8-bit LP must be near-lossless: {errs:?}");
 }

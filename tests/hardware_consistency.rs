@@ -77,7 +77,11 @@ fn functional_gemm_reproduces_dnn_linear_layer() {
                 .map(|i| (x[i] * f64::from(w[o * in_f + i])).abs())
                 .sum::<f64>()
             + 1e-9;
-        assert!((got[o] - exact).abs() <= tol, "output {o}: {} vs {exact}", got[o]);
+        assert!(
+            (got[o] - exact).abs() <= tol,
+            "output {o}: {} vs {exact}",
+            got[o]
+        );
     }
 }
 

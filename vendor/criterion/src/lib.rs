@@ -1,0 +1,107 @@
+//! Offline stand-in for the subset of the `criterion` API used by this
+//! workspace's benches: `Criterion::bench_function`, `Bencher::iter`,
+//! `black_box`, `criterion_group!` and `criterion_main!`.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed in
+//! batches until ~`CRITERION_TARGET_MS` (default 300 ms) of samples are
+//! collected; the mean ns/iteration is printed. No statistics beyond the
+//! mean, no plots, no baselines — just honest wall-clock numbers suitable
+//! for coarse regression tracking.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    ns_per_iter: f64,
+    target: Duration,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Bencher {
+            ns_per_iter: f64::NAN,
+            target,
+        }
+    }
+
+    /// Times `f`, storing mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and batch-size calibration.
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (self.target.as_nanos() / 20 / one.as_nanos()).clamp(1, 1_000_000) as u64;
+        let deadline = Instant::now() + self.target;
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += t.elapsed();
+            iters += batch;
+        }
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// Benchmark registry/driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_TARGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            target: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.target);
+        f(&mut b);
+        if b.ns_per_iter.is_finite() {
+            println!("{name:<40} {:>14.1} ns/iter", b.ns_per_iter);
+        } else {
+            println!("{name:<40} (no measurement: Bencher::iter was not called)");
+        }
+        self
+    }
+}
+
+/// Groups benchmark functions under one callable (mirror of criterion's).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for the subset of the `proptest` API used by this
+//! workspace (the build environment has no access to crates.io).
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with `arg in strategy` bindings,
+//! * [`Strategy`](strategy::Strategy) with `prop_map`, implemented for
+//!   numeric `Range`/`RangeInclusive`, tuples (≤ 6), [`Just`](strategy::Just)
+//!   and unions,
+//! * `prop::collection::vec`, `prop::bool::ANY`,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], [`prop_oneof!`].
+//!
+//! Semantics: random testing without shrinking. Each test runs
+//! `PROPTEST_CASES` cases (default 64) from a per-test deterministic seed.
+//! Failures report the stringified condition but not a minimized input.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Module mirror of `proptest::bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type for arbitrary booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Arbitrary boolean strategy (mirror of `proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The `prop` module re-exports, as `proptest::prelude::prop` provides.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+/// Everything a proptest file normally imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running many sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: u32 = ::std::env::var("PROPTEST_CASES")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(64);
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut ran = 0u32;
+                let mut attempts = 0u32;
+                while ran < cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < cases.saturating_mul(20).max(1000),
+                        "too many rejected cases in {}",
+                        stringify!($name)
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => ran += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest {} failed: {}", stringify!($name), msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{:?} != {:?}", a, b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{:?} != {:?}: {}", a, b, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{:?} == {:?}",
+                a, b
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (it is re-drawn, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between homogeneous strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strat),+])
+    };
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for the subset of `rand_distr` used by this workspace:
+//! the [`Normal`] distribution and the [`Distribution`] trait. Sampling
+//! uses the Marsaglia polar method (exact Gaussian, not an approximation).
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Types that can sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// Standard deviation was negative or non-finite.
+    BadVariance,
+    /// Mean was non-finite.
+    MeanTooSmall,
+}
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalError::BadVariance => f.write_str("standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => f.write_str("mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution with the `rand_distr::Normal` constructor API.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] for non-finite parameters or negative
+    /// `std_dev`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar method; one of the pair is discarded to keep the
+        // distribution stateless (determinism only depends on the stream).
+        loop {
+            let u = rng.gen_range(-1.0f64..1.0);
+            let v = rng.gen_range(-1.0f64..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    struct Sm(u64);
+    impl RngCore for Sm {
+        fn next_u64(&mut self) -> u64 {
+            rand::splitmix64(&mut self.0)
+        }
+    }
+    impl SeedableRng for Sm {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Sm(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn moments_are_close() {
+        let n = Normal::new(1.0, 2.0).unwrap();
+        let mut rng = Sm::seed_from_u64(5);
+        let xs: Vec<f64> = (0..20000).map(|_| n.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+}
