@@ -77,28 +77,47 @@ fn bench_codecs(c: &mut Criterion) {
     });
 }
 
-/// One scalar-vs-table measurement on `n` elements.
+/// One scalar-vs-table-vs-batch measurement on `n` elements. "Batch" is
+/// the production `Quantizer::quantize_slice` dispatch: the decode table
+/// for most formats, the table-free scalar kernel for the uniform-grid
+/// INT/Fixed overrides.
 struct Comparison {
     format: String,
     scalar_elems_per_s: f64,
     table_elems_per_s: f64,
+    batch_elems_per_s: f64,
+    /// Tail latency of the batch path across repetitions, in seconds per
+    /// pass (p50/p99 over per-rep wall clock; see `criterion::BenchStats`).
+    batch_p50_s: f64,
+    batch_p99_s: f64,
 }
 
 impl Comparison {
     fn speedup(&self) -> f64 {
         self.table_elems_per_s / self.scalar_elems_per_s
     }
+
+    fn batch_speedup(&self) -> f64 {
+        self.batch_elems_per_s / self.scalar_elems_per_s
+    }
 }
 
-/// Times `f` over `reps` runs and returns the best wall-clock seconds.
-fn best_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t = Instant::now();
-        f();
-        best = best.min(t.elapsed().as_secs_f64());
-    }
-    best
+/// Times `f` over `reps` runs and returns each run's wall-clock seconds.
+fn timed_seconds(reps: usize, mut f: impl FnMut()) -> Vec<f64> {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+/// Best (minimum) of `reps` timed runs.
+fn best_seconds(reps: usize, f: impl FnMut()) -> f64 {
+    timed_seconds(reps, f)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn tensor_1m() -> Vec<f32> {
@@ -135,8 +154,8 @@ fn compare_paths(c: &mut Criterion) {
     let mut rows = Vec::new();
     println!();
     println!(
-        "{:<14} {:>16} {:>16} {:>9}",
-        "format", "scalar Melem/s", "table Melem/s", "speedup"
+        "{:<14} {:>16} {:>16} {:>16} {:>9} {:>9}",
+        "format", "scalar Melem/s", "table Melem/s", "batch Melem/s", "tbl-spd", "bat-spd"
     );
     for q in &quantizers {
         // Warm the table outside the timed region (builds are amortized by
@@ -152,17 +171,40 @@ fn compare_paths(c: &mut Criterion) {
             table.quantize_slice(black_box(&mut buf));
             black_box(&buf);
         }) - restore;
+        // The production dispatch (fast-path override for INT/Fixed).
+        // 1 + 100 reps with the first (cold) pass discarded: nearest-rank
+        // p99 over 100 warm samples is a real tail, not just the max.
+        let batch_samples_ns: Vec<f64> = timed_seconds(101, || {
+            buf.copy_from_slice(&xs);
+            q.quantize_slice(black_box(&mut buf));
+            black_box(&buf);
+        })
+        .into_iter()
+        .skip(1)
+        .map(|s| (s - restore).max(1e-9) * 1e9)
+        .collect();
+        let batch_stats =
+            criterion::BenchStats::from_ns_samples(&batch_samples_ns).expect("nonempty samples");
+        let batch_s = batch_samples_ns
+            .iter()
+            .fold(f64::INFINITY, |a, &b| a.min(b))
+            / 1e9;
         let row = Comparison {
             format: q.name().to_string(),
             scalar_elems_per_s: n as f64 / scalar_s.max(1e-9),
             table_elems_per_s: n as f64 / table_s.max(1e-9),
+            batch_elems_per_s: n as f64 / batch_s.max(1e-9),
+            batch_p50_s: batch_stats.p50_ns / 1e9,
+            batch_p99_s: batch_stats.p99_ns / 1e9,
         };
         println!(
-            "{:<14} {:>16.1} {:>16.1} {:>8.2}x",
+            "{:<14} {:>16.1} {:>16.1} {:>16.1} {:>8.2}x {:>8.2}x",
             row.format,
             row.scalar_elems_per_s / 1e6,
             row.table_elems_per_s / 1e6,
-            row.speedup()
+            row.batch_elems_per_s / 1e6,
+            row.speedup(),
+            row.batch_speedup()
         );
         rows.push(row);
     }
@@ -196,11 +238,17 @@ fn write_json(rows: &[Comparison], elements: usize) {
     out.push_str("  \"formats\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"format\": \"{}\", \"scalar\": {:.0}, \"table\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"format\": \"{}\", \"scalar\": {:.0}, \"table\": {:.0}, \"batch\": {:.0}, \
+             \"speedup\": {:.3}, \"batch_speedup\": {:.3}, \
+             \"batch_pass_p50_s\": {:.6}, \"batch_pass_p99_s\": {:.6}}}{}\n",
             r.format,
             r.scalar_elems_per_s,
             r.table_elems_per_s,
+            r.batch_elems_per_s,
             r.speedup(),
+            r.batch_speedup(),
+            r.batch_p50_s,
+            r.batch_p99_s,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -1,0 +1,321 @@
+//! Multi-model batch-inference serving benchmark.
+//!
+//! Exercises the whole `serve` subsystem end to end and writes
+//! `BENCH_serve.json` at the workspace root:
+//!
+//! 1. **Pool vs scoped threads** — LPQ-style candidate evaluation
+//!    (quantize weights, then fan calibration forward passes out per
+//!    candidate) timed on the retired spawn-per-call
+//!    `dnn::data::par_map_scoped` baseline and on the pooled
+//!    work-stealing executor.
+//! 2. **Multi-model serving** — two models × two quantization scenarios
+//!    registered on one batching server (shared weight caches per model),
+//!    hammered by concurrent synchronous clients; reports requests/s and
+//!    per-registration mean/p50/p99 latency.
+//!
+//! Environment knobs (all optional): `SERVE_BENCH_REQUESTS` (total
+//! requests, default 240), `SERVE_BENCH_CLIENTS` (client threads, default
+//! 8), `SERVE_BENCH_CANDIDATES` (candidates in the executor comparison,
+//! default 6), `SERVE_BENCH_CALIB` (calibration images per candidate,
+//! default 16), `SERVE_BENCH_CHUNK` (images per fan-out call, default 4),
+//! `SERVE_BENCH_REPS` (interleaved A/B repetitions, default 7), and
+//! `SERVE_THREADS` (pool size — the scoped baseline follows the same
+//! setting, see `dnn::data::par_map_scoped`). CI runs this in smoke mode
+//! with tiny counts; the defaults produce a meaningful measurement.
+
+use dnn::data;
+use dnn::graph::{Model, QuantScheme};
+use dnn::serving::ServedModel;
+use dnn::Tensor;
+use serve::pool::Pool;
+use serve::server::{BatchPolicy, Server};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// One LPQ-candidate-evaluation pass: quantize the model's weights under
+/// `scheme` (through its weight cache) and fan the calibration images
+/// through the quantized model in micro-batches of `chunk` — the
+/// granularity at which an LPQ search and the batching server actually
+/// issue fan-outs — on the pooled executor or on the retired scoped-thread
+/// baseline.
+fn evaluate_candidate(
+    model: &Model,
+    scheme: &QuantScheme,
+    calib: &[Tensor],
+    chunk: usize,
+    pooled: bool,
+) -> usize {
+    let qm = model.quantize_weights(scheme);
+    let f = |x: &Tensor| qm.forward_traced(x, None, false).output.argmax();
+    let mut sum = 0usize;
+    for batch in calib.chunks(chunk) {
+        let preds = if pooled {
+            data::par_map(batch, f)
+        } else {
+            data::par_map_scoped(batch, f)
+        };
+        sum += preds.into_iter().sum::<usize>();
+    }
+    sum
+}
+
+/// Times `reps` full candidate sweeps each for the scoped baseline and
+/// the pooled executor, interleaved A/B to decorrelate machine jitter,
+/// returning `(best_scoped_s, best_pooled_s)`.
+fn time_sweeps(
+    model: &Model,
+    schemes: &[QuantScheme],
+    calib: &[Tensor],
+    chunk: usize,
+    reps: usize,
+) -> (f64, f64) {
+    let mut best = [f64::INFINITY; 2];
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        for (slot, pooled) in [(0usize, false), (1, true)] {
+            let t = Instant::now();
+            for scheme in schemes {
+                sink = sink.wrapping_add(evaluate_candidate(model, scheme, calib, chunk, pooled));
+            }
+            best[slot] = best[slot].min(t.elapsed().as_secs_f64());
+        }
+    }
+    std::hint::black_box(sink);
+    (best[0], best[1])
+}
+
+struct ServingRow {
+    model: String,
+    scenario: String,
+    count: u64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn main() {
+    let requests = env_usize("SERVE_BENCH_REQUESTS", 240);
+    let clients = env_usize("SERVE_BENCH_CLIENTS", 8);
+    let candidates = env_usize("SERVE_BENCH_CANDIDATES", 6);
+    let calib_n = env_usize("SERVE_BENCH_CALIB", 16);
+    let chunk = env_usize("SERVE_BENCH_CHUNK", 4);
+    let pool = Pool::global();
+    println!(
+        "serve_throughput: {} pool workers, {requests} requests, {clients} clients",
+        pool.threads()
+    );
+
+    // ------------------------------------------------------------------
+    // Part 1: pooled executor vs scoped-thread baseline on LPQ candidate
+    // evaluation.
+    // ------------------------------------------------------------------
+    let model = bench::model("resnet18");
+    let calib: Vec<Tensor> = data::calibration_set(&model)
+        .into_iter()
+        .take(calib_n)
+        .collect();
+    // Candidate schemes at varying widths/scale offsets, all bound to one
+    // shared weight cache exactly as `lpq::Lpq` does.
+    let cache = QuantScheme::identity(model.num_quant_layers()).weight_cache();
+    let schemes: Vec<QuantScheme> = (0..candidates)
+        .map(|i| {
+            let bits = [8u32, 4, 8, 4, 6, 6][i % 6];
+            bench::uniform_lp_scheme(&model, bits).with_shared_cache(Arc::clone(&cache))
+        })
+        .collect();
+    // Warm the weight cache and codec tables once so both paths measure
+    // steady-state executor overhead, not table construction.
+    for s in &schemes {
+        let _ = evaluate_candidate(&model, s, &calib[..1.min(calib.len())], chunk, true);
+    }
+    let reps = env_usize("SERVE_BENCH_REPS", 7);
+    let (scoped_s, pooled_s) = time_sweeps(&model, &schemes, &calib, chunk, reps);
+    let speedup = scoped_s / pooled_s.max(1e-12);
+    println!(
+        "lpq candidate evaluation ({candidates} candidates x {} images, \
+         micro-batches of {chunk}): scoped {scoped_s:.4}s, pooled {pooled_s:.4}s, \
+         speedup {speedup:.2}x",
+        calib.len()
+    );
+
+    // ------------------------------------------------------------------
+    // Part 2: multi-model multi-scenario serving.
+    // ------------------------------------------------------------------
+    let server: Server<Tensor, Tensor> = Server::new(
+        pool.clone(),
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        },
+    );
+    let model_names = ["resnet18", "deit_s"];
+    let scenario_bits = [("lp8", 8u32), ("lp4", 4u32)];
+    let mut combos: Vec<(String, String)> = Vec::new();
+    let mut served_models = Vec::new();
+    for name in model_names {
+        let m = bench::model(name);
+        let served = ServedModel::new(m);
+        for (scenario, bits) in scenario_bits {
+            let scheme = bench::uniform_lp_scheme(served.model(), bits);
+            served
+                .register(&server, scenario, scheme)
+                .expect("registration failed");
+            combos.push((name.to_string(), scenario.to_string()));
+        }
+        served_models.push(served);
+    }
+    // Cache-reuse evidence: re-registering the lp8 scheme under a new
+    // scenario name must not grow the model's weight cache (every layer
+    // restores from cache instead of re-quantizing).
+    let first = &served_models[0];
+    let before = first.cache_len();
+    let mirror = bench::uniform_lp_scheme(first.model(), 8);
+    first
+        .register(&server, "lp8_mirror", mirror)
+        .expect("mirror registration failed");
+    let after = first.cache_len();
+    assert_eq!(
+        before, after,
+        "identical scenario must reuse cached quantized weights"
+    );
+    println!(
+        "weight-cache reuse: {} entries before and after registering a \
+         duplicate scenario of {} ({} layers)",
+        before,
+        first.model().name(),
+        first.model().num_quant_layers()
+    );
+
+    let inputs: Vec<Tensor> = data::synthetic_images(16, &dnn::models::INPUT_SHAPE, 99);
+    let counter = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let mut joins = Vec::new();
+    for _ in 0..clients {
+        let client = server.client();
+        let counter = Arc::clone(&counter);
+        let combos = combos.clone();
+        let inputs = inputs.clone();
+        joins.push(std::thread::spawn(move || loop {
+            let i = counter.fetch_add(1, Ordering::Relaxed);
+            if i >= requests {
+                break;
+            }
+            let (model, scenario) = &combos[i % combos.len()];
+            let input = inputs[i % inputs.len()].clone();
+            client
+                .infer(model, scenario, input)
+                .expect("request failed");
+        }));
+    }
+    for j in joins {
+        j.join().expect("client thread panicked");
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let rps = requests as f64 / wall_s.max(1e-12);
+    println!("served {requests} requests in {wall_s:.3}s = {rps:.1} req/s");
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<10} {:<10} {:>7} {:>10} {:>10} {:>10}",
+        "model", "scenario", "count", "mean ms", "p50 ms", "p99 ms"
+    );
+    for (model, scenario) in &combos {
+        let snap = server.stats(model, scenario).expect("stats exist");
+        let row = ServingRow {
+            model: model.clone(),
+            scenario: scenario.clone(),
+            count: snap.count,
+            mean_ms: snap.mean_s * 1e3,
+            p50_ms: snap.p50_s * 1e3,
+            p99_ms: snap.p99_s * 1e3,
+        };
+        println!(
+            "{:<10} {:<10} {:>7} {:>10.3} {:>10.3} {:>10.3}",
+            row.model, row.scenario, row.count, row.mean_ms, row.p50_ms, row.p99_ms
+        );
+        rows.push(row);
+    }
+    server.shutdown();
+
+    write_json(
+        pool.threads(),
+        candidates,
+        calib.len(),
+        chunk,
+        scoped_s,
+        pooled_s,
+        requests,
+        wall_s,
+        rps,
+        (before, first.model().num_quant_layers()),
+        &rows,
+    );
+    println!("wrote BENCH_serve.json");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    threads: usize,
+    candidates: usize,
+    calib: usize,
+    chunk: usize,
+    scoped_s: f64,
+    pooled_s: f64,
+    requests: usize,
+    wall_s: f64,
+    rps: f64,
+    cache: (usize, usize),
+    rows: &[ServingRow],
+) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"pool_threads\": {threads},\n"));
+    out.push_str("  \"lpq_candidate_eval\": {\n");
+    out.push_str(&format!("    \"candidates\": {candidates},\n"));
+    out.push_str(&format!("    \"calibration_images\": {calib},\n"));
+    out.push_str(&format!("    \"micro_batch\": {chunk},\n"));
+    out.push_str(&format!("    \"scoped_threads_s\": {scoped_s:.6},\n"));
+    out.push_str(&format!("    \"pooled_s\": {pooled_s:.6},\n"));
+    out.push_str(&format!(
+        "    \"pool_speedup\": {:.3}\n",
+        scoped_s / pooled_s.max(1e-12)
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"serving\": {\n");
+    out.push_str(&format!("    \"total_requests\": {requests},\n"));
+    out.push_str(&format!("    \"wall_s\": {wall_s:.6},\n"));
+    out.push_str(&format!("    \"requests_per_s\": {rps:.1},\n"));
+    out.push_str(&format!(
+        "    \"weight_cache_entries_after_duplicate_scenario\": {},\n",
+        cache.0
+    ));
+    out.push_str(&format!("    \"layers_per_model\": {},\n", cache.1));
+    out.push_str("    \"registrations\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"model\": \"{}\", \"scenario\": \"{}\", \"count\": {}, \
+             \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            r.model,
+            r.scenario,
+            r.count,
+            r.mean_ms,
+            r.p50_ms,
+            r.p99_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    ]\n  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &out) {
+        Ok(()) => {}
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+}

@@ -115,18 +115,33 @@ fn margin_of(logits: &Tensor) -> f64 {
     f64::from(top1 - top2) / (f64::from(var).sqrt() + 1e-9)
 }
 
-/// Maps `f` over `items` on up to `available_parallelism` threads,
-/// preserving order. Falls back to sequential for small inputs.
+/// Maps `f` over `items` in parallel, preserving order. Thin shim over the
+/// pooled work-stealing executor ([`serve::pool`]): the fan-out runs on the
+/// process-wide worker pool instead of spawning scoped threads per call.
+/// Small inputs (< 4 items) take a sequential fast path on the caller.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
+    serve::pool::par_map_pooled(items, f)
+}
+
+/// The retired spawn-per-call implementation: one batch of scoped OS
+/// threads spawned for every call. Kept (not deprecated) as the measured
+/// baseline for the pooled executor — `serve_throughput` reports the
+/// pooled-vs-scoped speedup on LPQ candidate evaluation against this. The
+/// thread count follows the same `SERVE_THREADS` convention as the pool
+/// ([`serve::pool::configured_threads`]) so the comparison isolates
+/// *spawn-per-call vs pooled*, not two different parallelism settings.
+pub fn par_map_scoped<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = serve::pool::configured_threads().min(items.len().max(1));
     if threads <= 1 || items.len() < 4 {
         return items.iter().map(&f).collect();
     }
@@ -243,6 +258,15 @@ mod tests {
         assert_eq!(small, vec![2, 3]);
         let empty: Vec<i32> = par_map(&[] as &[i32], |&x| x);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn par_map_matches_scoped_baseline() {
+        let items: Vec<usize> = (0..64).collect();
+        assert_eq!(
+            par_map(&items, |&x| x * x),
+            par_map_scoped(&items, |&x| x * x)
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! * [`models`] — the model zoo: ResNet-18/50, MobileNetV2, ViT-B, DeiT-S,
 //!   Swin-T analogues
 //! * [`data`] — synthetic calibration/test sets and teacher-agreement
-//!   accuracy
+//!   accuracy (parallel maps ride the `serve::pool` executor)
+//! * [`serving`] — registers quantized models on the `serve::server`
+//!   batch-inference server with weight caches shared across scenarios
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ pub mod data;
 pub mod graph;
 pub mod init;
 pub mod models;
+pub mod serving;
 pub mod tensor;
 
 pub use graph::{Model, Node, Op, QuantScheme, WeightCache};

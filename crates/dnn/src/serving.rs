@@ -1,0 +1,214 @@
+//! Glue between the model zoo and the generic batch-inference server
+//! (`serve::server`).
+//!
+//! A [`ServedModel`] wraps one full-precision model plus a single
+//! [`WeightCache`] shared by **every** quantization scenario registered
+//! from it. Registering a scenario quantizes the weights once, through
+//! that cache — so a second scenario that reuses a layer's `(ordinal,
+//! format)` pair restores the cached tensor with a `memcpy` instead of
+//! re-quantizing, and scenarios with identical schemes re-quantize
+//! nothing at all. The process-wide `lp::codec` decode-table cache is
+//! shared the same way (it is keyed globally), so scenarios across
+//! *different* models also reuse each other's tables.
+//!
+//! The registered batch function fans the micro-batch out per input on the
+//! global work-stealing pool; activation quantizers from the scheme are
+//! applied during each forward pass, exactly like
+//! [`data::quantized_accuracy`](crate::data::quantized_accuracy).
+
+use crate::graph::{Model, QuantScheme, WeightCache};
+use crate::tensor::Tensor;
+use serve::server::{ServeError, Server};
+use std::sync::Arc;
+
+/// The request/response server type the model glue targets.
+pub type TensorServer = Server<Tensor, Tensor>;
+
+/// One model plus the weight cache its scenarios share.
+#[derive(Clone)]
+pub struct ServedModel {
+    model: Arc<Model>,
+    cache: Arc<WeightCache>,
+}
+
+impl std::fmt::Debug for ServedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedModel")
+            .field("model", &self.model.name())
+            .field("cached_layers", &self.cache.len())
+            .finish()
+    }
+}
+
+impl ServedModel {
+    /// Wraps a model for serving with a fresh shared weight cache.
+    pub fn new(model: Model) -> Self {
+        ServedModel {
+            model: Arc::new(model),
+            cache: Arc::default(),
+        }
+    }
+
+    /// The underlying full-precision model.
+    pub fn model(&self) -> &Arc<Model> {
+        &self.model
+    }
+
+    /// Number of `(layer, format)` quantized tensors in the shared cache —
+    /// the observable that proves scenario registrations reuse each
+    /// other's quantized weights.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Registers one quantization scenario of this model on `server` under
+    /// `(model_name, scenario)`. Weights are quantized **now**, through
+    /// the model's shared cache; each request batch then runs
+    /// fake-quantized forward passes (scheme activations applied) fanned
+    /// out on the global pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError`] from registration (duplicate key or
+    /// shutdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme's length does not match the model's
+    /// weighted-layer count (same contract as
+    /// [`Model::quantize_weights`]).
+    pub fn register(
+        &self,
+        server: &TensorServer,
+        scenario: &str,
+        scheme: QuantScheme,
+    ) -> Result<(), ServeError> {
+        let scheme = scheme.with_shared_cache(Arc::clone(&self.cache));
+        let quantized = Arc::new(self.model.quantize_weights(&scheme));
+        let scheme = Arc::new(scheme);
+        server.register(self.model.name(), scenario, move |batch: &[Tensor]| {
+            serve::pool::par_map_pooled(batch, |x| {
+                quantized.forward_traced(x, Some(&scheme), false).output
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp::format::LpParams;
+    use lp::Quantizer;
+    use serve::pool::Pool;
+    use serve::server::BatchPolicy;
+    use std::time::Duration;
+
+    /// A small two-layer MLP (fast enough to serve in unit tests).
+    fn tiny_model() -> Model {
+        use crate::graph::Op;
+        let mut m = Model::new("tiny_mlp", &[8], 4);
+        let x = m.input_node();
+        let w1 = Tensor::from_vec(
+            &[16, 8],
+            (0..128).map(|i| ((i as f32) * 0.37).sin() * 0.3).collect(),
+        );
+        let l1 = m.push(
+            Op::Linear {
+                weight: w1,
+                bias: vec![0.01; 16],
+            },
+            &[x],
+        );
+        let r = m.push(Op::Relu, &[l1]);
+        let w2 = Tensor::from_vec(
+            &[4, 16],
+            (0..64).map(|i| ((i as f32) * 0.61).cos() * 0.2).collect(),
+        );
+        let l2 = m.push(
+            Op::Linear {
+                weight: w2,
+                bias: vec![0.0; 4],
+            },
+            &[r],
+        );
+        m.set_output(l2);
+        m
+    }
+
+    fn lp_scheme(layers: usize, bits: i64, sf: f64) -> QuantScheme {
+        let mut s = QuantScheme::identity(layers);
+        for w in &mut s.weights {
+            *w = Some(Arc::new(LpParams::clamped(bits, 2, 3, sf)));
+        }
+        s
+    }
+
+    fn test_server() -> TensorServer {
+        Server::new(
+            Pool::new(4),
+            BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+            },
+        )
+    }
+
+    #[test]
+    fn second_scenario_reuses_cached_quantized_weights() {
+        let served = ServedModel::new(tiny_model());
+        let server = test_server();
+        let layers = served.model().num_quant_layers();
+        assert_eq!(served.cache_len(), 0);
+
+        served
+            .register(&server, "lp8", lp_scheme(layers, 8, 0.0))
+            .unwrap();
+        assert_eq!(served.cache_len(), layers, "first scenario fills the cache");
+
+        // An identical scheme under a new scenario name: every layer hits
+        // the cache — no re-quantization, no growth.
+        served
+            .register(&server, "lp8_replica", lp_scheme(layers, 8, 0.0))
+            .unwrap();
+        assert_eq!(
+            served.cache_len(),
+            layers,
+            "identical scenario must reuse every cached layer"
+        );
+
+        // A genuinely different scheme adds one entry per layer.
+        served
+            .register(&server, "lp4", lp_scheme(layers, 4, 0.0))
+            .unwrap();
+        assert_eq!(served.cache_len(), 2 * layers);
+    }
+
+    #[test]
+    fn served_outputs_match_direct_quantized_forward() {
+        let served = ServedModel::new(tiny_model());
+        let server = test_server();
+        let layers = served.model().num_quant_layers();
+        let scheme = lp_scheme(layers, 8, 0.0);
+        served.register(&server, "lp8", scheme.clone()).unwrap();
+
+        let input = Tensor::from_vec(&[8], (0..8).map(|i| i as f32 * 0.1 - 0.3).collect());
+        let got = server
+            .client()
+            .infer("tiny_mlp", "lp8", input.clone())
+            .unwrap();
+        let qm = served.model().quantize_weights(&scheme);
+        let want = qm.forward_traced(&input, Some(&scheme), false).output;
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn scenarios_share_process_wide_decode_tables() {
+        // Two ServedModels registering the same format family draw from
+        // the one global codec cache: the table for a given format is
+        // built once, then shared by pointer.
+        let p = LpParams::clamped(8, 2, 3, 1.5);
+        let a = p.decode_table();
+        let b = p.decode_table();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -130,6 +130,24 @@ impl Quantizer for IntQuantizer {
     fn enumerate_values(&self) -> Vec<f64> {
         self.representable_values()
     }
+    /// Uniform-grid fast path: a hoisted-constant divide + round + clamp
+    /// per element, skipping the decode table entirely (for uniform grids
+    /// the scalar arithmetic *is* the floor a lookup can only match — see
+    /// ROADMAP "INT/fixed fast path"). Arithmetic is kept term-for-term
+    /// identical to [`IntQuantizer::quantize`], so this stays bit-identical
+    /// to both the scalar map and the table path.
+    fn quantize_slice(&self, xs: &mut [f32]) {
+        let scale = self.scale();
+        let levels = ((1u32 << (self.n() - 1)) - 1) as f64;
+        for x in xs.iter_mut() {
+            let v = f64::from(*x);
+            *x = if v.is_finite() {
+                ((v / scale).round_ties_even().clamp(-levels, levels) * scale) as f32
+            } else {
+                f64::NAN as f32
+            };
+        }
+    }
 }
 
 impl Quantizer for FixedPoint {
@@ -144,6 +162,22 @@ impl Quantizer for FixedPoint {
     }
     fn enumerate_values(&self) -> Vec<f64> {
         self.representable_values()
+    }
+    /// Uniform-grid fast path (see the [`IntQuantizer`] impl): the
+    /// power-of-two step is hoisted out of the loop and no table is
+    /// consulted. Bit-identical to [`FixedPoint::quantize`] by using the
+    /// same arithmetic.
+    fn quantize_slice(&self, xs: &mut [f32]) {
+        let step = (-f64::from(self.frac_bits())).exp2();
+        let levels = ((1u32 << (self.n() - 1)) - 1) as f64;
+        for x in xs.iter_mut() {
+            let v = f64::from(*x);
+            *x = if v.is_finite() {
+                ((v / step).round_ties_even().clamp(-levels, levels) * step) as f32
+            } else {
+                f64::NAN as f32
+            };
+        }
     }
 }
 
@@ -466,6 +500,59 @@ mod tests {
             .collect();
         q.quantize_slice(&mut xs);
         assert_eq!(xs.to_vec(), expect);
+    }
+
+    #[test]
+    fn uniform_grid_fast_path_is_bit_identical() {
+        // INT/Fixed override `quantize_slice` with a table-free scalar
+        // kernel; it must agree bit-for-bit with both the scalar reference
+        // map and the decode-table path on every input class.
+        let mut probes: Vec<f32> = vec![
+            0.0,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            1e-40, // subnormal
+            f32::MAX,
+            f32::MIN,
+        ];
+        for i in 0..4000 {
+            let t = (i as f32 * 0.618_034).fract();
+            let mag = (t * 40.0 - 20.0).exp2();
+            probes.push(if i % 2 == 0 { mag } else { -mag });
+        }
+        let quantizers: Vec<Box<dyn Quantizer + Send + Sync>> = vec![
+            Box::new(IntQuantizer::new(8, 0.037).unwrap()),
+            Box::new(IntQuantizer::new(4, 1.5).unwrap()),
+            Box::new(FixedPoint::new(8, 4).unwrap()),
+            Box::new(FixedPoint::new(6, -2).unwrap()),
+        ];
+        for q in &quantizers {
+            let mut fast = probes.clone();
+            q.quantize_slice(&mut fast);
+            let mut scalar = probes.clone();
+            q.quantize_slice_scalar(&mut scalar);
+            let table = q.decode_table();
+            let mut tabled = probes.clone();
+            table.quantize_slice(&mut tabled);
+            for ((&x, &a), (&b, &c)) in probes.iter().zip(&fast).zip(scalar.iter().zip(&tabled)) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: fast!=scalar at {x:?}",
+                    q.codec_key()
+                );
+                assert_eq!(
+                    a.to_bits(),
+                    c.to_bits(),
+                    "{}: fast!=table at {x:?}",
+                    q.codec_key()
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,12 +5,12 @@
 use crate::activation::{derive_activation_params, SfRule};
 use crate::objective::{FitnessEvaluator, ObjectiveKind};
 use crate::params::{Candidate, LayerParams};
-use dnn::data::par_map;
 use dnn::graph::{ForwardTrace, Model, QuantScheme};
 use dnn::tensor::Tensor;
 use lp::format::LpParams;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serve::pool::par_map_pooled;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -193,7 +193,11 @@ impl<'m> Lpq<'m> {
 
     /// Like [`Lpq::new`] with explicit calibration inputs.
     pub fn with_calibration(model: &'m Model, cfg: LpqConfig, calib: Vec<Tensor>) -> Self {
-        let fp_traces: Vec<ForwardTrace> = par_map(&calib, |x| model.forward_traced(x, None, true));
+        // Calibration forward passes are independent; fan them out on the
+        // pooled work-stealing executor (candidate evaluation below rides
+        // the same pool, so a whole search reuses one set of workers).
+        let fp_traces: Vec<ForwardTrace> =
+            par_map_pooled(&calib, |x| model.forward_traced(x, None, true));
         let evaluator = FitnessEvaluator::new(
             cfg.objective,
             cfg.tau,
@@ -296,7 +300,7 @@ impl<'m> Lpq<'m> {
         let qm = self.model.quantize_weights(&scheme);
         let needs_irs = self.evaluator.needs_irs();
         let traces: Vec<ForwardTrace> =
-            par_map(&self.calib, |x| qm.forward_traced(x, None, needs_irs));
+            par_map_pooled(&self.calib, |x| qm.forward_traced(x, None, needs_irs));
         self.evaluator.fitness(&traces, cand)
     }
 

@@ -1,0 +1,28 @@
+//! `serve` — the serving runtime for the LP reproduction stack.
+//!
+//! Two layers, both free of model dependencies so the whole workspace can
+//! build on them without cycles:
+//!
+//! * [`pool`] — a pooled work-stealing executor (fixed workers, per-worker
+//!   deques plus a global injector, scoped spawns and an order-preserving
+//!   [`pool::Pool::par_map`]). This replaces the scoped-thread-per-call
+//!   fan-out that `dnn::data::par_map` used to spawn.
+//! * [`server`] — a multi-model micro-batching inference server generic
+//!   over request/response payloads: per-`(model, scenario)` queues, a
+//!   max-batch/max-wait scheduler dispatching micro-batches onto the pool,
+//!   synchronous [`server::Client`] handles, and per-registration
+//!   [`stats`] (count, mean, p50/p99 latency).
+//!
+//! `dnn::serving` supplies the glue that registers quantized DNN models
+//! here with weight caches shared across scenarios; see
+//! `crates/bench/src/bin/serve_throughput.rs` for the end-to-end driver.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod server;
+pub mod stats;
+
+pub use pool::{par_map_pooled, Pool};
+pub use server::{BatchPolicy, Client, ServeError, Server};
+pub use stats::{percentile, StatsCollector, StatsSnapshot};

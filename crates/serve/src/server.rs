@@ -1,0 +1,668 @@
+//! A multi-model micro-batching inference server.
+//!
+//! Registrations are keyed by `(model, scenario)` — a scenario being one
+//! quantization configuration of a model (e.g. `"lp8"`, `"lp4"`). Each
+//! registration supplies a **batch inference function** `&[I] -> Vec<O>`;
+//! the server owns the queues, the batching policy and the statistics, and
+//! stays fully generic over the tensor types so the runtime layer carries
+//! no model dependencies (`dnn::serving` provides the glue that registers
+//! quantized DNN models with shared weight caches).
+//!
+//! ## Batching
+//!
+//! Requests accumulate in a per-registration queue. A scheduler thread
+//! drains a queue into a micro-batch as soon as **either** `max_batch`
+//! requests are waiting **or** the oldest request has waited `max_wait`,
+//! and dispatches the batch onto the work-stealing [`Pool`] — so batches
+//! from different `(model, scenario)` streams execute concurrently, and a
+//! batch function may itself fan out per-item work on the same pool
+//! (nested use is deadlock-free by the pool's help-while-waiting design).
+//!
+//! ## Clients
+//!
+//! [`Client::infer`] is synchronous: it enqueues the request and blocks the
+//! *calling* thread until its response is ready. Call it from request
+//! threads, not from inside pool tasks.
+
+use crate::pool::Pool;
+use crate::stats::{StatsCollector, StatsSnapshot};
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Micro-batch formation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Dispatch as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Dispatch a partial batch once its oldest request has waited this
+    /// long.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Serving errors surfaced to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No registration under this `(model, scenario)` key.
+    UnknownModel {
+        /// Requested model name.
+        model: String,
+        /// Requested scenario name.
+        scenario: String,
+    },
+    /// A registration under this key already exists.
+    DuplicateRegistration {
+        /// Registered model name.
+        model: String,
+        /// Registered scenario name.
+        scenario: String,
+    },
+    /// The batch function panicked or returned a malformed batch.
+    InferenceFailed,
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel { model, scenario } => {
+                write!(f, "no registration for ({model}, {scenario})")
+            }
+            ServeError::DuplicateRegistration { model, scenario } => {
+                write!(f, "({model}, {scenario}) is already registered")
+            }
+            ServeError::InferenceFailed => write!(f, "batch inference failed"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One-shot response cell a blocked client waits on.
+struct Slot<O> {
+    cell: Mutex<Option<Result<O, ServeError>>>,
+    ready: Condvar,
+}
+
+impl<O> Slot<O> {
+    fn new() -> Self {
+        Slot {
+            cell: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, r: Result<O, ServeError>) {
+        *self.cell.lock().expect("slot poisoned") = Some(r);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<O, ServeError> {
+        let mut guard = self.cell.lock().expect("slot poisoned");
+        loop {
+            if let Some(r) = guard.take() {
+                return r;
+            }
+            guard = self.ready.wait(guard).expect("slot poisoned");
+        }
+    }
+}
+
+/// A queued request.
+struct Pending<I, O> {
+    input: I,
+    enqueued: Instant,
+    slot: Arc<Slot<O>>,
+}
+
+/// The batch inference function type for one registration.
+pub type InferFn<I, O> = Arc<dyn Fn(&[I]) -> Vec<O> + Send + Sync>;
+
+struct Registration<I, O> {
+    infer: InferFn<I, O>,
+    queue: Mutex<Vec<Pending<I, O>>>,
+    stats: StatsCollector,
+    /// Most recent batch sizes dispatched (diagnostics; lets tests assert
+    /// the batching policy without instrumenting the inference function).
+    /// Bounded: only the last [`MAX_BATCH_SIZE_SAMPLES`] are retained so a
+    /// long-running server does not grow without limit.
+    batch_sizes: Mutex<Vec<usize>>,
+}
+
+/// Retained entries in each registration's batch-size diagnostic log.
+const MAX_BATCH_SIZE_SAMPLES: usize = 4096;
+
+/// Registration table keyed by `(model, scenario)`.
+type Registry<I, O> = HashMap<(String, String), Arc<Registration<I, O>>>;
+
+struct Inner<I, O> {
+    pool: Pool,
+    policy: BatchPolicy,
+    registry: RwLock<Registry<I, O>>,
+    shutdown: AtomicBool,
+    inflight: AtomicUsize,
+    /// Scheduler wakeup channel. The bool is a dirty flag: set by
+    /// [`Inner::wake_scheduler`], consumed by the scheduler before it
+    /// waits — so a wakeup fired between the scheduler's queue scan and
+    /// its wait is never lost (it would otherwise nap up to its idle
+    /// timeout with a request already queued).
+    tick: Mutex<bool>,
+    tick_cv: Condvar,
+}
+
+impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
+    fn wake_scheduler(&self) {
+        *self.tick.lock().expect("tick poisoned") = true;
+        self.tick_cv.notify_all();
+    }
+
+    /// Drains one due batch from `reg`, if any, and dispatches it onto the
+    /// pool. Returns whether a batch was dispatched.
+    fn dispatch_due(self: &Arc<Self>, reg: &Arc<Registration<I, O>>, force: bool) -> bool {
+        let batch: Vec<Pending<I, O>> = {
+            let mut q = reg.queue.lock().expect("queue poisoned");
+            let due = q.len() >= self.policy.max_batch
+                || (!q.is_empty() && (force || q[0].enqueued.elapsed() >= self.policy.max_wait));
+            if !due {
+                return false;
+            }
+            let take = q.len().min(self.policy.max_batch);
+            q.drain(..take).collect()
+        };
+        {
+            let mut sizes = reg.batch_sizes.lock().expect("batch sizes poisoned");
+            if sizes.len() >= MAX_BATCH_SIZE_SAMPLES {
+                // Keep the recent half; amortized O(1) per dispatch.
+                sizes.drain(..MAX_BATCH_SIZE_SAMPLES / 2);
+            }
+            sizes.push(batch.len());
+        }
+        self.inflight.fetch_add(1, Ordering::AcqRel);
+        let reg = Arc::clone(reg);
+        let inner = Arc::clone(self);
+        self.pool.spawn(move || {
+            let mut owned: Vec<I> = Vec::with_capacity(batch.len());
+            let mut waiters: Vec<(Instant, Arc<Slot<O>>)> = Vec::with_capacity(batch.len());
+            for p in batch {
+                owned.push(p.input);
+                waiters.push((p.enqueued, p.slot));
+            }
+            let result = panic::catch_unwind(AssertUnwindSafe(|| (reg.infer)(&owned)));
+            match result {
+                Ok(outputs) if outputs.len() == owned.len() => {
+                    for ((enqueued, slot), out) in waiters.into_iter().zip(outputs) {
+                        reg.stats.record(enqueued.elapsed());
+                        slot.fulfill(Ok(out));
+                    }
+                }
+                _ => {
+                    for (_, slot) in waiters {
+                        slot.fulfill(Err(ServeError::InferenceFailed));
+                    }
+                }
+            }
+            inner.inflight.fetch_sub(1, Ordering::AcqRel);
+            inner.wake_scheduler();
+        });
+        true
+    }
+
+    fn scheduler_loop(self: Arc<Self>) {
+        loop {
+            let draining = self.shutdown.load(Ordering::Acquire);
+            let regs: Vec<Arc<Registration<I, O>>> = self
+                .registry
+                .read()
+                .expect("registry poisoned")
+                .values()
+                .map(Arc::clone)
+                .collect();
+            let mut queued = false;
+            let mut nearest: Option<Duration> = None;
+            for reg in &regs {
+                // Flush every batch that is already due (possibly several
+                // full ones from a burst).
+                while self.dispatch_due(reg, draining) {}
+                let q = reg.queue.lock().expect("queue poisoned");
+                if let Some(front) = q.first() {
+                    queued = true;
+                    let age = front.enqueued.elapsed();
+                    let left = self.policy.max_wait.saturating_sub(age);
+                    nearest = Some(nearest.map_or(left, |n| n.min(left)));
+                }
+            }
+            if draining && !queued && self.inflight.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let mut dirty = self.tick.lock().expect("tick poisoned");
+            if !*dirty {
+                let timeout = nearest
+                    .unwrap_or(Duration::from_millis(50))
+                    .max(Duration::from_micros(100));
+                let (guard, _) = self
+                    .tick_cv
+                    .wait_timeout(dirty, timeout)
+                    .expect("tick poisoned");
+                dirty = guard;
+            }
+            *dirty = false;
+        }
+    }
+}
+
+/// The multi-model batch-inference server. Generic over the request (`I`)
+/// and response (`O`) payload types.
+///
+/// # Examples
+///
+/// ```
+/// use serve::pool::Pool;
+/// use serve::server::{BatchPolicy, Server};
+///
+/// let server: Server<f32, f32> = Server::new(Pool::new(2), BatchPolicy::default());
+/// server
+///     .register("toy", "double", |xs: &[f32]| xs.iter().map(|x| x * 2.0).collect())
+///     .unwrap();
+/// let client = server.client();
+/// assert_eq!(client.infer("toy", "double", 21.0), Ok(42.0));
+/// ```
+pub struct Server<I: Send + 'static, O: Send + 'static> {
+    inner: Arc<Inner<I, O>>,
+    scheduler: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
+    /// Starts a server (and its scheduler thread) over `pool`.
+    pub fn new(pool: Pool, policy: BatchPolicy) -> Self {
+        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+        let inner = Arc::new(Inner {
+            pool,
+            policy,
+            registry: RwLock::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            tick: Mutex::new(false),
+            tick_cv: Condvar::new(),
+        });
+        let sched = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("serve-scheduler".into())
+                .spawn(move || inner.scheduler_loop())
+                .expect("failed to spawn scheduler")
+        };
+        Server {
+            inner,
+            scheduler: Mutex::new(Some(sched)),
+        }
+    }
+
+    /// Registers a batch inference function under `(model, scenario)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DuplicateRegistration`] if the key is taken,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn register(
+        &self,
+        model: &str,
+        scenario: &str,
+        infer: impl Fn(&[I]) -> Vec<O> + Send + Sync + 'static,
+    ) -> Result<(), ServeError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let key = (model.to_string(), scenario.to_string());
+        let mut reg = self.inner.registry.write().expect("registry poisoned");
+        if reg.contains_key(&key) {
+            return Err(ServeError::DuplicateRegistration {
+                model: model.to_string(),
+                scenario: scenario.to_string(),
+            });
+        }
+        reg.insert(
+            key,
+            Arc::new(Registration {
+                infer: Arc::new(infer),
+                queue: Mutex::new(Vec::new()),
+                stats: StatsCollector::default(),
+                batch_sizes: Mutex::new(Vec::new()),
+            }),
+        );
+        Ok(())
+    }
+
+    /// A cheap cloneable handle for submitting requests.
+    pub fn client(&self) -> Client<I, O> {
+        Client {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Registered `(model, scenario)` keys, sorted.
+    pub fn registrations(&self) -> Vec<(String, String)> {
+        let mut keys: Vec<_> = self
+            .inner
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Latency statistics for one registration (`None` if unknown).
+    pub fn stats(&self, model: &str, scenario: &str) -> Option<StatsSnapshot> {
+        let key = (model.to_string(), scenario.to_string());
+        self.inner
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .get(&key)
+            .map(|r| r.stats.snapshot())
+    }
+
+    /// Sizes of the batches dispatched so far for one registration
+    /// (`None` if unknown). Diagnostic surface for policy verification.
+    pub fn batch_sizes(&self, model: &str, scenario: &str) -> Option<Vec<usize>> {
+        let key = (model.to_string(), scenario.to_string());
+        self.inner
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .get(&key)
+            .map(|r| r.batch_sizes.lock().expect("batch sizes poisoned").clone())
+    }
+
+    /// Stops accepting requests, flushes every queued request, waits for
+    /// in-flight batches, and joins the scheduler.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.wake_scheduler();
+        if let Some(h) = self
+            .scheduler
+            .lock()
+            .expect("scheduler handle poisoned")
+            .take()
+        {
+            let _ = h.join();
+        }
+        // Defense in depth: the scheduler drained everything it could see
+        // and clients withdraw entries they enqueue after the flag, but if
+        // anything slipped through both nets, fail it rather than leave a
+        // `Client::infer` blocked forever.
+        let regs: Vec<Arc<Registration<I, O>>> = self
+            .inner
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .values()
+            .map(Arc::clone)
+            .collect();
+        for reg in regs {
+            for p in reg.queue.lock().expect("queue poisoned").drain(..) {
+                p.slot.fulfill(Err(ServeError::ShuttingDown));
+            }
+        }
+    }
+}
+
+impl<I: Send + 'static, O: Send + 'static> Drop for Server<I, O> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<I: Send + 'static, O: Send + 'static> std::fmt::Debug for Server<I, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("registrations", &self.registrations().len())
+            .field("policy", &self.inner.policy)
+            .finish()
+    }
+}
+
+/// Synchronous request handle onto a [`Server`].
+pub struct Client<I: Send + 'static, O: Send + 'static> {
+    inner: Arc<Inner<I, O>>,
+}
+
+impl<I: Send + 'static, O: Send + 'static> Clone for Client<I, O> {
+    fn clone(&self) -> Self {
+        Client {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<I: Send + 'static, O: Send + 'static> Client<I, O> {
+    /// Submits one request and blocks until its response arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] for an unregistered key,
+    /// [`ServeError::ShuttingDown`] once shutdown began, and
+    /// [`ServeError::InferenceFailed`] if the batch function misbehaved.
+    pub fn infer(&self, model: &str, scenario: &str, input: I) -> Result<O, ServeError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let key = (model.to_string(), scenario.to_string());
+        let reg = self
+            .inner
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .get(&key)
+            .map(Arc::clone)
+            .ok_or_else(|| ServeError::UnknownModel {
+                model: model.to_string(),
+                scenario: scenario.to_string(),
+            })?;
+        let slot = Arc::new(Slot::new());
+        {
+            let mut q = reg.queue.lock().expect("queue poisoned");
+            q.push(Pending {
+                input,
+                enqueued: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+        }
+        // Wake the scheduler out of its nap: it decides whether the queue
+        // is due (full batch) or needs a max_wait timer.
+        self.inner.wake_scheduler();
+        // Close the shutdown race: if the flag flipped between the check
+        // above and our enqueue, the scheduler may already have done its
+        // final sweep and exited — nobody would ever dispatch us. Any
+        // enqueue that happened before the flag was visible is seen by the
+        // scheduler's draining pass (both sides go through the queue
+        // mutex), so it suffices to withdraw our own entry when the flag
+        // is set now; if it is no longer queued it was drained into a
+        // batch and the wait below will be fulfilled.
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            let mut q = reg.queue.lock().expect("queue poisoned");
+            if let Some(pos) = q.iter().position(|p| Arc::ptr_eq(&p.slot, &slot)) {
+                q.remove(pos);
+                return Err(ServeError::ShuttingDown);
+            }
+        }
+        slot.wait()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server(max_batch: usize, max_wait_ms: u64) -> Server<u64, u64> {
+        Server::new(
+            Pool::new(4),
+            BatchPolicy {
+                max_batch,
+                max_wait: Duration::from_millis(max_wait_ms),
+            },
+        )
+    }
+
+    /// Fires `n` concurrent `infer` calls against one registration and
+    /// returns the responses.
+    fn fire(server: &Server<u64, u64>, model: &str, scenario: &str, n: u64) -> Vec<u64> {
+        let mut joins = Vec::new();
+        for i in 0..n {
+            let client = server.client();
+            let (model, scenario) = (model.to_string(), scenario.to_string());
+            joins.push(std::thread::spawn(move || {
+                client.infer(&model, &scenario, i).expect("infer failed")
+            }));
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn responses_match_requests() {
+        let server = test_server(4, 1);
+        server
+            .register("m", "s", |xs: &[u64]| xs.iter().map(|x| x * 10).collect())
+            .unwrap();
+        let mut out = fire(&server, "m", "s", 32);
+        out.sort_unstable();
+        assert_eq!(out, (0..32).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batching_respects_max_batch() {
+        let server = test_server(4, 50);
+        server
+            .register("m", "s", |xs: &[u64]| {
+                // Slow enough that a burst piles up behind the first batch.
+                std::thread::sleep(Duration::from_millis(5));
+                xs.to_vec()
+            })
+            .unwrap();
+        let _ = fire(&server, "m", "s", 23);
+        let sizes = server.batch_sizes("m", "s").unwrap();
+        assert_eq!(sizes.iter().sum::<usize>(), 23);
+        assert!(
+            sizes.iter().all(|&s| s <= 4),
+            "batch exceeded max_batch: {sizes:?}"
+        );
+        assert!(
+            sizes.iter().any(|&s| s > 1),
+            "burst of 23 should produce at least one multi-request batch: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn max_wait_flushes_partial_batches() {
+        // max_batch 64 can never fill from one request; only the max_wait
+        // timer can dispatch it.
+        let server = test_server(64, 5);
+        server.register("m", "s", |xs: &[u64]| xs.to_vec()).unwrap();
+        let t0 = Instant::now();
+        let out = server.client().infer("m", "s", 7).unwrap();
+        let waited = t0.elapsed();
+        assert_eq!(out, 7);
+        assert!(
+            waited >= Duration::from_millis(4),
+            "partial batch left before max_wait: {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_secs(2),
+            "partial batch never flushed: {waited:?}"
+        );
+        assert_eq!(server.batch_sizes("m", "s").unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn models_and_scenarios_are_isolated() {
+        let server = test_server(8, 1);
+        server
+            .register("a", "x2", |xs: &[u64]| xs.iter().map(|x| x * 2).collect())
+            .unwrap();
+        server
+            .register("a", "x3", |xs: &[u64]| xs.iter().map(|x| x * 3).collect())
+            .unwrap();
+        server
+            .register("b", "x2", |xs: &[u64]| xs.iter().map(|x| x * 5).collect())
+            .unwrap();
+        let c = server.client();
+        assert_eq!(c.infer("a", "x2", 4), Ok(8));
+        assert_eq!(c.infer("a", "x3", 4), Ok(12));
+        assert_eq!(c.infer("b", "x2", 4), Ok(20));
+        assert_eq!(server.registrations().len(), 3);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_keys_error() {
+        let server = test_server(4, 1);
+        server.register("m", "s", |xs: &[u64]| xs.to_vec()).unwrap();
+        assert!(matches!(
+            server.register("m", "s", |xs: &[u64]| xs.to_vec()),
+            Err(ServeError::DuplicateRegistration { .. })
+        ));
+        assert!(matches!(
+            server.client().infer("m", "nope", 1),
+            Err(ServeError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn panicking_batch_fn_fails_requests_not_server() {
+        let server = test_server(4, 1);
+        server
+            .register("m", "boom", |_: &[u64]| panic!("kaboom"))
+            .unwrap();
+        server
+            .register("m", "ok", |xs: &[u64]| xs.to_vec())
+            .unwrap();
+        assert_eq!(
+            server.client().infer("m", "boom", 1),
+            Err(ServeError::InferenceFailed)
+        );
+        // The server keeps serving other registrations afterwards.
+        assert_eq!(server.client().infer("m", "ok", 9), Ok(9));
+    }
+
+    #[test]
+    fn stats_accumulate_with_ordered_percentiles() {
+        let server = test_server(4, 1);
+        server.register("m", "s", |xs: &[u64]| xs.to_vec()).unwrap();
+        let _ = fire(&server, "m", "s", 16);
+        let snap = server.stats("m", "s").unwrap();
+        assert_eq!(snap.count, 16);
+        assert!(snap.mean_s > 0.0);
+        assert!(snap.p50_s <= snap.p99_s, "p50 must not exceed p99");
+    }
+
+    #[test]
+    fn shutdown_flushes_and_rejects_new_requests() {
+        let server = test_server(64, 1000);
+        server.register("m", "s", |xs: &[u64]| xs.to_vec()).unwrap();
+        // A request parked far from both triggers (max_batch 64, 1 s wait):
+        // shutdown must force-flush it rather than strand the client.
+        let client = server.client();
+        let waiter = std::thread::spawn(move || client.infer("m", "s", 3));
+        std::thread::sleep(Duration::from_millis(20));
+        server.shutdown();
+        assert_eq!(waiter.join().unwrap(), Ok(3));
+        assert_eq!(
+            server.client().infer("m", "s", 4),
+            Err(ServeError::ShuttingDown)
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Latency/throughput accounting for the batch server.
+//!
+//! Each `(model, scenario)` registration owns one [`StatsCollector`]; the
+//! dispatcher records a sample per request (enqueue → response, i.e. queue
+//! wait plus batch execution). Snapshots expose count, mean and p50/p99
+//! tail latency — the numbers `BENCH_serve.json` reports.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Samples kept per collector before reservoir-thinning kicks in: beyond
+/// this, every second sample is dropped and subsequent samples are
+/// recorded at half the rate (repeatedly, so memory stays bounded at
+/// ~`MAX_SAMPLES` regardless of traffic volume).
+const MAX_SAMPLES: usize = 1 << 16;
+
+/// Point-in-time summary of one registration's latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests completed (all of them, independent of sample thinning).
+    pub count: u64,
+    /// Mean latency in seconds (over all completed requests).
+    pub mean_s: f64,
+    /// Median latency in seconds (over retained samples).
+    pub p50_s: f64,
+    /// 99th-percentile latency in seconds (over retained samples).
+    pub p99_s: f64,
+}
+
+impl StatsSnapshot {
+    /// An all-zero snapshot (no traffic yet).
+    pub fn empty() -> Self {
+        StatsSnapshot {
+            count: 0,
+            mean_s: 0.0,
+            p50_s: 0.0,
+            p99_s: 0.0,
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatsState {
+    samples: Vec<f64>,
+    /// Record every `2^thin_shift`-th sample (doubles at each thinning).
+    thin_shift: u32,
+    seen_since_kept: u64,
+    count: u64,
+    sum_s: f64,
+}
+
+/// Thread-safe latency accumulator with bounded memory.
+#[derive(Default)]
+pub struct StatsCollector {
+    state: Mutex<StatsState>,
+}
+
+impl StatsCollector {
+    /// Records one completed request's latency.
+    pub fn record(&self, latency: Duration) {
+        let secs = latency.as_secs_f64();
+        let mut st = self.state.lock().expect("stats poisoned");
+        st.count += 1;
+        st.sum_s += secs;
+        st.seen_since_kept += 1;
+        if st.seen_since_kept >= (1u64 << st.thin_shift) {
+            st.seen_since_kept = 0;
+            st.samples.push(secs);
+            if st.samples.len() >= MAX_SAMPLES {
+                // Thin: keep every second retained sample, halve the
+                // future retention rate.
+                let mut keep = false;
+                st.samples.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                st.thin_shift += 1;
+            }
+        }
+    }
+
+    /// Summarizes the samples recorded so far.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let st = self.state.lock().expect("stats poisoned");
+        if st.count == 0 {
+            return StatsSnapshot::empty();
+        }
+        let mut sorted = st.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        StatsSnapshot {
+            count: st.count,
+            mean_s: st.sum_s / st.count as f64,
+            p50_s: percentile(&sorted, 50.0),
+            p99_s: percentile(&sorted, 99.0),
+        }
+    }
+}
+
+impl std::fmt::Debug for StatsCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("StatsCollector")
+            .field("count", &snap.count)
+            .field("mean_s", &snap.mean_s)
+            .finish()
+    }
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** slice: the smallest
+/// element with at least `q`% of the data at or below it. Monotone in `q`
+/// by construction; returns 0.0 on an empty slice.
+///
+/// `vendor/criterion` carries an intentional copy of this function (the
+/// offline stub must stay dependency-free); keep the rank rule in sync so
+/// "p99" means the same thing in every JSON artifact.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 100.0);
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_monotone_and_bounded() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for q in 0..=100 {
+            let p = percentile(&sorted, f64::from(q));
+            assert!(p >= prev, "percentile must be monotone in q");
+            assert!((1.0..=100.0).contains(&p));
+            prev = p;
+        }
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 1.0), 7.5);
+    }
+
+    #[test]
+    fn snapshot_reports_mean_and_tails() {
+        let c = StatsCollector::default();
+        for ms in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 100] {
+            c.record(Duration::from_millis(ms));
+        }
+        let s = c.snapshot();
+        assert_eq!(s.count, 10);
+        assert!((s.mean_s - 0.0145).abs() < 1e-9, "mean {}", s.mean_s);
+        assert!(s.p50_s <= s.p99_s, "percentiles must be ordered");
+        assert!((s.p99_s - 0.1).abs() < 1e-9, "p99 captures the outlier");
+    }
+
+    #[test]
+    fn thinning_bounds_memory_but_keeps_count() {
+        let c = StatsCollector::default();
+        let n = (MAX_SAMPLES * 2 + 123) as u64;
+        for _ in 0..n {
+            c.record(Duration::from_micros(10));
+        }
+        let s = c.snapshot();
+        assert_eq!(s.count, n);
+        let retained = c.state.lock().unwrap().samples.len();
+        assert!(retained < MAX_SAMPLES, "retained {retained}");
+        assert!((s.p50_s - 1e-5).abs() < 1e-9);
+    }
+}

@@ -4,9 +4,12 @@
 //!
 //! Measurement model: each benchmark is warmed up briefly, then timed in
 //! batches until ~`CRITERION_TARGET_MS` (default 300 ms) of samples are
-//! collected; the mean ns/iteration is printed. No statistics beyond the
-//! mean, no plots, no baselines — just honest wall-clock numbers suitable
-//! for coarse regression tracking.
+//! collected. Each batch yields one ns/iteration sample; the mean plus the
+//! p50/p99 sample percentiles are printed and retrievable through
+//! [`Bencher::stats`] / [`BenchStats::from_ns_samples`], so bench binaries
+//! can report tail latency in their JSON artifacts. No plots, no baselines
+//! — just honest wall-clock numbers suitable for coarse regression
+//! tracking.
 
 #![forbid(unsafe_code)]
 
@@ -17,40 +20,112 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Summary of one benchmark's per-batch ns/iteration samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchStats {
+    /// Mean ns per iteration over all timed iterations.
+    pub mean_ns: f64,
+    /// Median of the per-batch ns/iteration samples.
+    pub p50_ns: f64,
+    /// 99th percentile of the per-batch ns/iteration samples.
+    pub p99_ns: f64,
+    /// Number of per-batch samples behind the percentiles.
+    pub samples: usize,
+}
+
+impl BenchStats {
+    /// Builds stats from raw per-batch `(elapsed, iters)` samples.
+    /// Returns `None` when no samples were collected.
+    fn from_batches(batches: &[(Duration, u64)]) -> Option<Self> {
+        if batches.is_empty() {
+            return None;
+        }
+        let total_ns: f64 = batches.iter().map(|(d, _)| d.as_nanos() as f64).sum();
+        let total_iters: f64 = batches.iter().map(|(_, i)| *i as f64).sum();
+        let mut per_iter: Vec<f64> = batches
+            .iter()
+            .map(|(d, i)| d.as_nanos() as f64 / (*i).max(1) as f64)
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        Some(BenchStats {
+            mean_ns: total_ns / total_iters.max(1.0),
+            p50_ns: percentile(&per_iter, 50.0),
+            p99_ns: percentile(&per_iter, 99.0),
+            samples: per_iter.len(),
+        })
+    }
+
+    /// Summarizes an arbitrary set of ns samples (helper for bench
+    /// binaries that do their own timing but want consistent tails).
+    pub fn from_ns_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(BenchStats {
+            mean_ns: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ns: percentile(&sorted, 50.0),
+            p99_ns: percentile(&sorted, 99.0),
+            samples: sorted.len(),
+        })
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (monotone in `q`).
+///
+/// Intentionally duplicates `serve::stats::percentile`: the vendored stub
+/// must stay dependency-free (and nothing in the workspace may depend on
+/// a vendor crate for library code), so the two copies cannot share a
+/// definition. Keep the rank rule (nearest-rank, ceil) in sync with that
+/// one so "p99" means the same thing in every JSON artifact.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 100.0);
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 /// Per-benchmark timing driver.
 pub struct Bencher {
-    /// Nanoseconds per iteration measured by the last `iter` call.
-    ns_per_iter: f64,
+    stats: Option<BenchStats>,
     target: Duration,
 }
 
 impl Bencher {
     fn new(target: Duration) -> Self {
         Bencher {
-            ns_per_iter: f64::NAN,
+            stats: None,
             target,
         }
     }
 
-    /// Times `f`, storing mean ns/iteration.
+    /// Times `f`, collecting per-batch ns/iteration samples.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warmup and batch-size calibration.
         let t0 = Instant::now();
         black_box(f());
         let one = t0.elapsed().max(Duration::from_nanos(1));
-        let batch = (self.target.as_nanos() / 20 / one.as_nanos()).clamp(1, 1_000_000) as u64;
+        // Aim for ~64 batches over the target interval so the percentile
+        // estimates have a sample set behind them.
+        let batch = (self.target.as_nanos() / 64 / one.as_nanos()).clamp(1, 1_000_000) as u64;
         let deadline = Instant::now() + self.target;
-        let mut iters = 0u64;
-        let mut elapsed = Duration::ZERO;
+        let mut batches: Vec<(Duration, u64)> = Vec::new();
         while Instant::now() < deadline {
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(f());
             }
-            elapsed += t.elapsed();
-            iters += batch;
+            batches.push((t.elapsed(), batch));
         }
-        self.ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+        self.stats = BenchStats::from_batches(&batches);
+    }
+
+    /// The stats measured by the last [`Bencher::iter`] call.
+    pub fn stats(&self) -> Option<BenchStats> {
+        self.stats
     }
 }
 
@@ -72,14 +147,19 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    /// Runs one named benchmark and prints its mean time per iteration.
+    /// Runs one named benchmark and prints its mean and p50/p99 time per
+    /// iteration.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher::new(self.target);
         f(&mut b);
-        if b.ns_per_iter.is_finite() {
-            println!("{name:<40} {:>14.1} ns/iter", b.ns_per_iter);
-        } else {
-            println!("{name:<40} (no measurement: Bencher::iter was not called)");
+        match b.stats {
+            Some(s) => {
+                println!(
+                    "{name:<40} {:>13.1} ns/iter  (p50 {:>13.1}, p99 {:>13.1}, {} samples)",
+                    s.mean_ns, s.p50_ns, s.p99_ns, s.samples
+                );
+            }
+            None => println!("{name:<40} (no measurement: Bencher::iter was not called)"),
         }
         self
     }
@@ -104,4 +184,42 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_monotone_and_exact_on_ranks() {
+        let sorted: Vec<f64> = (1..=200).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 100.0);
+        assert_eq!(percentile(&sorted, 99.0), 198.0);
+        let mut prev = 0.0;
+        for q in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            let p = percentile(&sorted, q);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn bench_stats_capture_mean_and_tails() {
+        let s = BenchStats::from_ns_samples(&[10.0, 20.0, 30.0, 40.0, 1000.0]).unwrap();
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.p50_ns, 30.0);
+        assert_eq!(s.p99_ns, 1000.0);
+        assert!((s.mean_ns - 220.0).abs() < 1e-9);
+        assert!(BenchStats::from_ns_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn bencher_records_stats() {
+        let mut b = Bencher::new(Duration::from_millis(20));
+        b.iter(|| black_box((0..100).sum::<u64>()));
+        let s = b.stats().expect("stats recorded");
+        assert!(s.mean_ns > 0.0);
+        assert!(s.p50_ns <= s.p99_ns);
+        assert!(s.samples >= 1);
+    }
 }
