@@ -1,0 +1,215 @@
+//! GEMM kernel benchmark: naive dot-product loop vs the zero-skip ikj
+//! loop vs the shared cache-blocked kernel vs the packed (code-decoding)
+//! kernel, plus a batch-amortization study, writing `BENCH_gemm.json` at
+//! the workspace root.
+//!
+//! Two questions this answers with numbers:
+//!
+//! 1. **Kernel shape** — how much the blocked panel kernel gains over the
+//!    retired baselines on a square layer-sized product, and what the old
+//!    per-MAC `a == 0.0` branch cost on dense data (the satellite fix in
+//!    `Tensor::matmul`).
+//! 2. **Batch amortization** — what stacking a serving micro-batch into
+//!    one GEMM buys at batch 1/4/16, dense and packed: the per-panel
+//!    weight transpose/decode is paid once per batch instead of once per
+//!    input, which is the `forward_batch` win on rank-1 layers.
+//!
+//! Environment knobs: `GEMM_BENCH_SIZE` (square size, default 256),
+//! `GEMM_BENCH_DIM` (batch-study layer width, default 512),
+//! `GEMM_BENCH_REPS` (best-of repetitions, default 5), `GEMM_BENCH_ITERS`
+//! (timed iterations per rep in the batch study, default 20). CI runs the
+//! smoke configuration (tiny sizes); defaults produce the README numbers.
+
+use dnn::tensor::{QTensor, Tensor};
+use lp::format::LpParams;
+use std::time::Instant;
+
+/// The seed repo's `matmul` inner loop (ikj with the per-MAC zero-skip
+/// branch), preserved here as a measured baseline only. Takes `b` in
+/// `[K,N]` layout like the old `matmul`.
+fn ikj_zero_skip(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Best-of-`reps` wall time of `f`, with the result kept live.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(r);
+    }
+    best
+}
+
+struct BatchRow {
+    batch: usize,
+    per_input_dense_us: f64,
+    batched_dense_us: f64,
+    batched_packed_us: f64,
+}
+
+fn main() {
+    let size = bench::env_usize("GEMM_BENCH_SIZE", 256);
+    let dim = bench::env_usize("GEMM_BENCH_DIM", 512);
+    let reps = bench::env_usize("GEMM_BENCH_REPS", 5);
+    let iters = bench::env_usize("GEMM_BENCH_ITERS", 20);
+
+    // ------------------------------------------------------------------
+    // Part 1: kernel comparison on a size³ product.
+    // ------------------------------------------------------------------
+    let a = bench::pseudo_tensor(&[size, size], 0.1);
+    let bt = bench::pseudo_tensor(&[size, size], 0.7); // [N,K] layout for matmul_t
+    let q = LpParams::clamped(8, 2, 3, 0.0);
+    let packed = QTensor::quantize(&bt, &q);
+    let dequant = packed.dequantize();
+    // [K,N] copy of bt for the ikj baseline (same values, same product).
+    let mut b_kn = Tensor::zeros(&[size, size]);
+    for j in 0..size {
+        for p in 0..size {
+            b_kn.data_mut()[p * size + j] = bt.data()[j * size + p];
+        }
+    }
+
+    // Correctness gates before timing: the blocked kernel must be
+    // bit-identical to the naive one, and the packed kernel to the
+    // dense kernel over the decoded weights.
+    let blocked_out = a.matmul_t(&bt);
+    let naive_out = a.matmul_t_naive(&bt);
+    assert_eq!(
+        blocked_out.data(),
+        naive_out.data(),
+        "blocked kernel diverged from naive"
+    );
+    assert_eq!(
+        a.matmul_t_packed(&packed).data(),
+        a.matmul_t(&dequant).data(),
+        "packed kernel diverged from dense-on-decoded"
+    );
+
+    let naive_s = best_of(reps, || a.matmul_t_naive(&bt));
+    let zero_skip_s = best_of(reps, || ikj_zero_skip(&a, &b_kn));
+    let blocked_s = best_of(reps, || a.matmul_t(&bt));
+    let packed_s = best_of(reps, || a.matmul_t_packed(&packed));
+    let blocked_speedup = naive_s / blocked_s.max(1e-12);
+    let zero_skip_cost = zero_skip_s / blocked_s.max(1e-12);
+    println!(
+        "gemm {size}x{size}x{size}: naive {:.2} ms, ikj_zero_skip {:.2} ms, \
+         blocked {:.2} ms ({blocked_speedup:.2}x vs naive), packed {:.2} ms",
+        naive_s * 1e3,
+        zero_skip_s * 1e3,
+        blocked_s * 1e3,
+        packed_s * 1e3
+    );
+
+    // ------------------------------------------------------------------
+    // Part 2: batch amortization on a [dim, dim] linear layer.
+    // ------------------------------------------------------------------
+    let w = bench::pseudo_tensor(&[dim, dim], 0.3);
+    let wq = QTensor::quantize(&w, &q);
+    let wd = wq.dequantize(); // dense f32 copy of the same quantized values
+    let mut rows = Vec::new();
+    for batch in [1usize, 4, 16] {
+        let stacked = bench::pseudo_tensor(&[batch, dim], 0.9);
+        let singles: Vec<Tensor> = (0..batch)
+            .map(|i| Tensor::from_vec(&[1, dim], stacked.data()[i * dim..(i + 1) * dim].to_vec()))
+            .collect();
+        let per_input = best_of(reps, || {
+            for _ in 0..iters {
+                for s in &singles {
+                    std::hint::black_box(s.matmul_t(&wd));
+                }
+            }
+        });
+        let batched_dense = best_of(reps, || {
+            for _ in 0..iters {
+                std::hint::black_box(stacked.matmul_t(&wd));
+            }
+        });
+        let batched_packed = best_of(reps, || {
+            for _ in 0..iters {
+                std::hint::black_box(stacked.matmul_t_packed(&wq));
+            }
+        });
+        let scale = 1e6 / (iters * batch) as f64; // µs per input
+        let row = BatchRow {
+            batch,
+            per_input_dense_us: per_input * scale,
+            batched_dense_us: batched_dense * scale,
+            batched_packed_us: batched_packed * scale,
+        };
+        println!(
+            "batch {batch:>2} on [{dim},{dim}]: per-input {:.1} us/item, \
+             batched dense {:.1} us/item, batched packed {:.1} us/item",
+            row.per_input_dense_us, row.batched_dense_us, row.batched_packed_us
+        );
+        rows.push(row);
+    }
+
+    // Fail loudly on broken measurements before writing the artifact.
+    bench::check_metric("naive_s", naive_s);
+    bench::check_metric("ikj_zero_skip_s", zero_skip_s);
+    bench::check_metric("blocked_s", blocked_s);
+    bench::check_metric("packed_s", packed_s);
+    bench::check_metric("blocked_speedup_vs_naive", blocked_speedup);
+    bench::check_metric("zero_skip_cost_vs_blocked", zero_skip_cost);
+    for r in &rows {
+        bench::check_metric("per_input_dense_us", r.per_input_dense_us);
+        bench::check_metric("batched_dense_us", r.batched_dense_us);
+        bench::check_metric("batched_packed_us", r.batched_packed_us);
+    }
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"size\": {size},\n"));
+    out.push_str("  \"kernels\": {\n");
+    out.push_str(&format!("    \"naive_s\": {naive_s:.6},\n"));
+    out.push_str(&format!("    \"ikj_zero_skip_s\": {zero_skip_s:.6},\n"));
+    out.push_str(&format!("    \"blocked_s\": {blocked_s:.6},\n"));
+    out.push_str(&format!("    \"packed_s\": {packed_s:.6},\n"));
+    out.push_str(&format!(
+        "    \"blocked_speedup_vs_naive\": {blocked_speedup:.3},\n"
+    ));
+    out.push_str(&format!(
+        "    \"zero_skip_cost_vs_blocked\": {zero_skip_cost:.3}\n"
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"batch_study\": {\n");
+    out.push_str(&format!("    \"dim\": {dim},\n"));
+    out.push_str("    \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"batch\": {}, \"per_input_dense_us\": {:.3}, \
+             \"batched_dense_us\": {:.3}, \"batched_packed_us\": {:.3}, \
+             \"batched_dense_speedup\": {:.3}, \"batched_packed_speedup\": {:.3}}}{}\n",
+            r.batch,
+            r.per_input_dense_us,
+            r.batched_dense_us,
+            r.batched_packed_us,
+            r.per_input_dense_us / r.batched_dense_us.max(1e-12),
+            r.per_input_dense_us / r.batched_packed_us.max(1e-12),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    ]\n  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    std::fs::write(path, &out).expect("could not write BENCH_gemm.json");
+    println!("wrote BENCH_gemm.json");
+}

@@ -8,38 +8,39 @@
 //!    candidate) timed on the retired spawn-per-call
 //!    `dnn::data::par_map_scoped` baseline and on the pooled
 //!    work-stealing executor.
-//! 2. **Multi-model serving** — two models × two quantization scenarios
-//!    registered on one batching server (shared weight caches per model),
-//!    hammered by concurrent synchronous clients; reports requests/s and
-//!    per-registration mean/p50/p99 latency.
+//! 2. **Batched vs per-input serving** — the same model + scheme served
+//!    two ways on identical load: the retired per-input fan-out over a
+//!    fake-quantized **f32 copy** (`ServedModel::register_per_input`) and
+//!    the packed batched hot path (`ServedModel::register`: `u16` codes,
+//!    one stacked GEMM per layer via `Model::forward_batch`). Reports
+//!    req/s for both and the resident-weight-bytes delta.
+//! 3. **Multi-model serving** — two models × two quantization scenarios
+//!    (plus a duplicate scenario proving code sharing) registered on one
+//!    batching server, hammered by concurrent synchronous clients;
+//!    reports requests/s, per-registration mean/p50/p99 latency, and the
+//!    pool's per-worker executed/stolen counters.
 //!
 //! Environment knobs (all optional): `SERVE_BENCH_REQUESTS` (total
-//! requests, default 240), `SERVE_BENCH_CLIENTS` (client threads, default
-//! 8), `SERVE_BENCH_CANDIDATES` (candidates in the executor comparison,
-//! default 6), `SERVE_BENCH_CALIB` (calibration images per candidate,
-//! default 16), `SERVE_BENCH_CHUNK` (images per fan-out call, default 4),
-//! `SERVE_BENCH_REPS` (interleaved A/B repetitions, default 7), and
-//! `SERVE_THREADS` (pool size — the scoped baseline follows the same
-//! setting, see `dnn::data::par_map_scoped`). CI runs this in smoke mode
-//! with tiny counts; the defaults produce a meaningful measurement.
+//! requests in phase 3, default 240), `SERVE_BENCH_CLIENTS` (client
+//! threads, default 8), `SERVE_BENCH_CANDIDATES` (candidates in the
+//! executor comparison, default 6), `SERVE_BENCH_CALIB` (calibration
+//! images per candidate, default 16), `SERVE_BENCH_CHUNK` (images per
+//! fan-out call, default 4), `SERVE_BENCH_REPS` (interleaved A/B
+//! repetitions, default 7), `SERVE_BENCH_AB_REQUESTS` /
+//! `SERVE_BENCH_AB_CLIENTS` (phase-2 load, defaults 600 / 16), and
+//! `SERVE_THREADS` (pool size). CI runs this in smoke mode with tiny
+//! counts; the defaults produce a meaningful measurement.
 
 use dnn::data;
-use dnn::graph::{Model, QuantScheme};
+use dnn::graph::{Model, Op, QuantScheme};
 use dnn::serving::ServedModel;
 use dnn::Tensor;
 use serve::pool::Pool;
 use serve::server::{BatchPolicy, Server};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(default)
-}
 
 /// One LPQ-candidate-evaluation pass: quantize the model's weights under
 /// `scheme` (through its weight cache) and fan the calibration images
@@ -93,6 +94,68 @@ fn time_sweeps(
     (best[0], best[1])
 }
 
+/// An MLP whose layers see rank-1 inputs — the workload where batching
+/// amortizes weight traversal hardest (every per-input GEMM is `m = 1`).
+fn mlp_model() -> Model {
+    let dims = [256usize, 512, 512, 100];
+    let mut m = Model::new("mlp_256", &[dims[0]], dims[3]);
+    let mut x = m.input_node();
+    for li in 0..dims.len() - 1 {
+        let (inf, outf) = (dims[li], dims[li + 1]);
+        let w: Vec<f32> = (0..inf * outf)
+            .map(|i| ((i as f32 * 0.3719 + li as f32).sin()) * (1.6 / (inf as f32).sqrt()))
+            .collect();
+        x = m.push(
+            Op::Linear {
+                weight: Tensor::from_vec(&[outf, inf], w).into(),
+                bias: vec![0.01; outf],
+            },
+            &[x],
+        );
+        if li + 2 < dims.len() {
+            x = m.push(Op::Relu, &[x]);
+        }
+    }
+    m.set_output(x);
+    m
+}
+
+/// Hammers one `(model, scenario)` registration with `clients` concurrent
+/// synchronous clients issuing `requests` total requests; returns req/s.
+fn hammer(
+    server: &Server<Tensor, Tensor>,
+    combos: &[(String, String)],
+    inputs: &[Tensor],
+    clients: usize,
+    requests: usize,
+) -> (f64, f64) {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let mut joins = Vec::new();
+    for _ in 0..clients {
+        let client = server.client();
+        let counter = Arc::clone(&counter);
+        let combos = combos.to_vec();
+        let inputs = inputs.to_vec();
+        joins.push(std::thread::spawn(move || loop {
+            let i = counter.fetch_add(1, Ordering::Relaxed);
+            if i >= requests {
+                break;
+            }
+            let (model, scenario) = &combos[i % combos.len()];
+            let input = inputs[i % inputs.len()].clone();
+            client
+                .infer(model, scenario, input)
+                .expect("request failed");
+        }));
+    }
+    for j in joins {
+        j.join().expect("client thread panicked");
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    (wall_s, requests as f64 / wall_s.max(1e-12))
+}
+
 struct ServingRow {
     model: String,
     scenario: String,
@@ -102,12 +165,26 @@ struct ServingRow {
     p99_ms: f64,
 }
 
+struct AbResult {
+    requests: usize,
+    clients: usize,
+    per_input_rps: f64,
+    batched_rps: f64,
+    mean_batch: f64,
+}
+
+struct MemoryResult {
+    scenarios: usize,
+    dense_equiv_bytes: usize,
+    packed_bytes: usize,
+}
+
 fn main() {
-    let requests = env_usize("SERVE_BENCH_REQUESTS", 240);
-    let clients = env_usize("SERVE_BENCH_CLIENTS", 8);
-    let candidates = env_usize("SERVE_BENCH_CANDIDATES", 6);
-    let calib_n = env_usize("SERVE_BENCH_CALIB", 16);
-    let chunk = env_usize("SERVE_BENCH_CHUNK", 4);
+    let requests = bench::env_usize("SERVE_BENCH_REQUESTS", 240);
+    let clients = bench::env_usize("SERVE_BENCH_CLIENTS", 8);
+    let candidates = bench::env_usize("SERVE_BENCH_CANDIDATES", 6);
+    let calib_n = bench::env_usize("SERVE_BENCH_CALIB", 16);
+    let chunk = bench::env_usize("SERVE_BENCH_CHUNK", 4);
     let pool = Pool::global();
     println!(
         "serve_throughput: {} pool workers, {requests} requests, {clients} clients",
@@ -137,7 +214,7 @@ fn main() {
     for s in &schemes {
         let _ = evaluate_candidate(&model, s, &calib[..1.min(calib.len())], chunk, true);
     }
-    let reps = env_usize("SERVE_BENCH_REPS", 7);
+    let reps = bench::env_usize("SERVE_BENCH_REPS", 7);
     let (scoped_s, pooled_s) = time_sweeps(&model, &schemes, &calib, chunk, reps);
     let speedup = scoped_s / pooled_s.max(1e-12);
     println!(
@@ -148,7 +225,77 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // Part 2: multi-model multi-scenario serving.
+    // Part 2: batched packed serving vs per-input f32 fan-out, same model,
+    // same scheme, same load. max_batch 4 with more clients than batch
+    // slots keeps several batches in flight, so both paths saturate the
+    // pool and the delta isolates the hot path itself.
+    // ------------------------------------------------------------------
+    let ab_requests = bench::env_usize("SERVE_BENCH_AB_REQUESTS", 600);
+    let ab_clients = bench::env_usize("SERVE_BENCH_AB_CLIENTS", 16);
+    let ab_policy = BatchPolicy {
+        max_batch: 4,
+        max_wait: Duration::from_millis(2),
+    };
+    let mlp = ServedModel::new(mlp_model());
+    let mlp_inputs: Vec<Tensor> = (0..16)
+        .map(|s| bench::pseudo_tensor(&[256], s as f32 * 1.77))
+        .collect();
+    let mlp_combo = vec![("mlp_256".to_string(), "lp8".to_string())];
+    let per_input_rps = {
+        let server: Server<Tensor, Tensor> = Server::new(pool.clone(), ab_policy);
+        mlp.register_per_input(&server, "lp8", bench::uniform_lp_scheme(mlp.model(), 8))
+            .expect("per-input registration failed");
+        // Warm up outside the timed window.
+        let _ = hammer(&server, &mlp_combo, &mlp_inputs, ab_clients, ab_clients * 2);
+        let (_, rps) = hammer(&server, &mlp_combo, &mlp_inputs, ab_clients, ab_requests);
+        server.shutdown();
+        rps
+    };
+    let (batched_rps, mean_batch) = {
+        let server: Server<Tensor, Tensor> = Server::new(pool.clone(), ab_policy);
+        mlp.register(&server, "lp8", bench::uniform_lp_scheme(mlp.model(), 8))
+            .expect("batched registration failed");
+        // Warm up against a twin registration (cache-shared codes, same
+        // model) so the timed registration's bounded batch-size log holds
+        // *only* the timed window's dispatches — an index into the log
+        // would misalign if the log's overflow drain fired mid-run.
+        mlp.register(
+            &server,
+            "lp8_warmup",
+            bench::uniform_lp_scheme(mlp.model(), 8),
+        )
+        .expect("warmup registration failed");
+        let warm_combo = vec![("mlp_256".to_string(), "lp8_warmup".to_string())];
+        let _ = hammer(
+            &server,
+            &warm_combo,
+            &mlp_inputs,
+            ab_clients,
+            ab_clients * 2,
+        );
+        let (_, rps) = hammer(&server, &mlp_combo, &mlp_inputs, ab_clients, ab_requests);
+        let sizes = server.batch_sizes("mlp_256", "lp8").expect("batch sizes");
+        let mean_batch = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
+        server.shutdown();
+        (rps, mean_batch)
+    };
+    let ab = AbResult {
+        requests: ab_requests,
+        clients: ab_clients,
+        per_input_rps,
+        batched_rps,
+        mean_batch,
+    };
+    println!(
+        "batched vs per-input (mlp_256, {ab_clients} clients, max_batch 4): \
+         per-input {per_input_rps:.0} req/s, batched packed {batched_rps:.0} req/s \
+         ({:.2}x), mean dispatched batch {mean_batch:.2}",
+        batched_rps / per_input_rps.max(1e-12)
+    );
+
+    // ------------------------------------------------------------------
+    // Part 3: multi-model multi-scenario serving on the packed batched
+    // path, with resident-weight accounting.
     // ------------------------------------------------------------------
     let server: Server<Tensor, Tensor> = Server::new(
         pool.clone(),
@@ -161,31 +308,34 @@ fn main() {
     let scenario_bits = [("lp8", 8u32), ("lp4", 4u32)];
     let mut combos: Vec<(String, String)> = Vec::new();
     let mut served_models = Vec::new();
+    let mut packed_models: Vec<Arc<Model>> = Vec::new();
     for name in model_names {
         let m = bench::model(name);
         let served = ServedModel::new(m);
         for (scenario, bits) in scenario_bits {
             let scheme = bench::uniform_lp_scheme(served.model(), bits);
-            served
+            let packed = served
                 .register(&server, scenario, scheme)
                 .expect("registration failed");
+            packed_models.push(packed);
             combos.push((name.to_string(), scenario.to_string()));
         }
         served_models.push(served);
     }
-    // Cache-reuse evidence: re-registering the lp8 scheme under a new
-    // scenario name must not grow the model's weight cache (every layer
-    // restores from cache instead of re-quantizing).
+    // Code-sharing evidence: re-registering the lp8 scheme under a new
+    // scenario name must not grow the model's weight cache, and the new
+    // packed model must hold the *same* code buffers.
     let first = &served_models[0];
     let before = first.cache_len();
     let mirror = bench::uniform_lp_scheme(first.model(), 8);
-    first
+    let mirror_model = first
         .register(&server, "lp8_mirror", mirror)
         .expect("mirror registration failed");
+    packed_models.push(mirror_model);
     let after = first.cache_len();
     assert_eq!(
         before, after,
-        "identical scenario must reuse cached quantized weights"
+        "identical scenario must reuse cached packed weights"
     );
     println!(
         "weight-cache reuse: {} entries before and after registering a \
@@ -195,32 +345,40 @@ fn main() {
         first.model().num_quant_layers()
     );
 
-    let inputs: Vec<Tensor> = data::synthetic_images(16, &dnn::models::INPUT_SHAPE, 99);
-    let counter = Arc::new(AtomicUsize::new(0));
-    let t0 = Instant::now();
-    let mut joins = Vec::new();
-    for _ in 0..clients {
-        let client = server.client();
-        let counter = Arc::clone(&counter);
-        let combos = combos.clone();
-        let inputs = inputs.clone();
-        joins.push(std::thread::spawn(move || loop {
-            let i = counter.fetch_add(1, Ordering::Relaxed);
-            if i >= requests {
-                break;
+    // Resident weight bytes: the retired path materialized one f32 copy
+    // per scenario; the packed path holds u16 codes shared across
+    // scenarios with the same codec key (dedupe by code-buffer identity).
+    let dense_equiv_bytes: usize = packed_models.iter().map(|m| m.num_params() * 4).sum();
+    let mut seen = HashSet::new();
+    let mut packed_bytes = 0usize;
+    for m in &packed_models {
+        for s in m.layer_storages() {
+            match s.as_packed() {
+                Some(q) => {
+                    if seen.insert(q.codes_ptr()) {
+                        packed_bytes += q.resident_bytes();
+                    }
+                }
+                None => packed_bytes += s.resident_bytes(),
             }
-            let (model, scenario) = &combos[i % combos.len()];
-            let input = inputs[i % inputs.len()].clone();
-            client
-                .infer(model, scenario, input)
-                .expect("request failed");
-        }));
+        }
     }
-    for j in joins {
-        j.join().expect("client thread panicked");
-    }
-    let wall_s = t0.elapsed().as_secs_f64();
-    let rps = requests as f64 / wall_s.max(1e-12);
+    let memory = MemoryResult {
+        scenarios: packed_models.len(),
+        dense_equiv_bytes,
+        packed_bytes,
+    };
+    println!(
+        "resident weights over {} scenario registrations: f32-copy equivalent \
+         {:.2} MB, packed codes {:.2} MB ({:.2}x smaller)",
+        memory.scenarios,
+        memory.dense_equiv_bytes as f64 / 1e6,
+        memory.packed_bytes as f64 / 1e6,
+        memory.dense_equiv_bytes as f64 / memory.packed_bytes.max(1) as f64
+    );
+
+    let inputs: Vec<Tensor> = data::synthetic_images(16, &dnn::models::INPUT_SHAPE, 99);
+    let (wall_s, rps) = hammer(&server, &combos, &inputs, clients, requests);
     println!("served {requests} requests in {wall_s:.3}s = {rps:.1} req/s");
 
     let mut rows = Vec::new();
@@ -246,6 +404,25 @@ fn main() {
     }
     server.shutdown();
 
+    let pool_stats = pool.stats();
+    println!(
+        "pool counters: {} tasks executed ({} stolen) across {} workers + external",
+        pool_stats.total_executed(),
+        pool_stats.total_stolen(),
+        pool_stats.workers.len()
+    );
+
+    // Fail loudly on broken measurements before writing the artifact.
+    bench::check_metric("scoped_threads_s", scoped_s);
+    bench::check_metric("pooled_s", pooled_s);
+    bench::check_metric("per_input_rps", ab.per_input_rps);
+    bench::check_metric("batched_rps", ab.batched_rps);
+    bench::check_metric("mean_batch", ab.mean_batch);
+    bench::check_metric("requests_per_s", rps);
+    bench::check_metric("dense_equiv_bytes", memory.dense_equiv_bytes as f64);
+    bench::check_metric("packed_bytes", memory.packed_bytes as f64);
+    bench::check_metric("pool_executed", pool_stats.total_executed() as f64);
+
     write_json(
         pool.threads(),
         candidates,
@@ -253,11 +430,14 @@ fn main() {
         chunk,
         scoped_s,
         pooled_s,
+        &ab,
+        &memory,
         requests,
         wall_s,
         rps,
         (before, first.model().num_quant_layers()),
         &rows,
+        &pool_stats,
     );
     println!("wrote BENCH_serve.json");
 }
@@ -270,11 +450,14 @@ fn write_json(
     chunk: usize,
     scoped_s: f64,
     pooled_s: f64,
+    ab: &AbResult,
+    memory: &MemoryResult,
     requests: usize,
     wall_s: f64,
     rps: f64,
     cache: (usize, usize),
     rows: &[ServingRow],
+    pool_stats: &serve::pool::PoolStats,
 ) {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"pool_threads\": {threads},\n"));
@@ -287,6 +470,43 @@ fn write_json(
     out.push_str(&format!(
         "    \"pool_speedup\": {:.3}\n",
         scoped_s / pooled_s.max(1e-12)
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"batched_vs_per_input\": {\n");
+    out.push_str("    \"model\": \"mlp_256\",\n");
+    out.push_str(&format!("    \"requests\": {},\n", ab.requests));
+    out.push_str(&format!("    \"clients\": {},\n", ab.clients));
+    out.push_str("    \"max_batch\": 4,\n");
+    out.push_str(&format!(
+        "    \"per_input_f32_rps\": {:.1},\n",
+        ab.per_input_rps
+    ));
+    out.push_str(&format!(
+        "    \"batched_packed_rps\": {:.1},\n",
+        ab.batched_rps
+    ));
+    out.push_str(&format!(
+        "    \"batched_speedup\": {:.3},\n",
+        ab.batched_rps / ab.per_input_rps.max(1e-12)
+    ));
+    out.push_str(&format!(
+        "    \"mean_dispatched_batch\": {:.2}\n",
+        ab.mean_batch
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"resident_weight_bytes\": {\n");
+    out.push_str(&format!(
+        "    \"scenario_registrations\": {},\n",
+        memory.scenarios
+    ));
+    out.push_str(&format!(
+        "    \"dense_f32_equivalent\": {},\n",
+        memory.dense_equiv_bytes
+    ));
+    out.push_str(&format!("    \"packed_codes\": {},\n", memory.packed_bytes));
+    out.push_str(&format!(
+        "    \"reduction\": {:.3}\n",
+        memory.dense_equiv_bytes as f64 / memory.packed_bytes.max(1) as f64
     ));
     out.push_str("  },\n");
     out.push_str("  \"serving\": {\n");
@@ -312,7 +532,35 @@ fn write_json(
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    out.push_str("    ]\n  }\n}\n");
+    out.push_str("    ]\n  },\n");
+    out.push_str("  \"pool\": {\n");
+    out.push_str(&format!(
+        "    \"total_executed\": {},\n",
+        pool_stats.total_executed()
+    ));
+    out.push_str(&format!(
+        "    \"total_stolen\": {},\n",
+        pool_stats.total_stolen()
+    ));
+    out.push_str("    \"workers\": [\n");
+    for (i, w) in pool_stats.workers.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"executed\": {}, \"stolen\": {}}}{}\n",
+            w.executed,
+            w.stolen,
+            if i + 1 == pool_stats.workers.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"external\": {{\"executed\": {}, \"stolen\": {}}}\n",
+        pool_stats.external.executed, pool_stats.external.stolen
+    ));
+    out.push_str("  }\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     match std::fs::write(path, &out) {
         Ok(()) => {}

@@ -155,6 +155,43 @@ pub fn model(name: &str) -> Model {
     models::by_name(name)
 }
 
+/// Deterministic pseudo-random tensor (seeded sine series) shared by the
+/// bench binaries' synthetic GEMM/serving inputs.
+pub fn pseudo_tensor(shape: &[usize], seed: f32) -> dnn::Tensor {
+    let len = shape.iter().product();
+    dnn::Tensor::from_vec(
+        shape,
+        (0..len)
+            .map(|i| ((i as f32 * 0.61803 + seed).sin()) * 0.8)
+            .collect(),
+    )
+}
+
+/// Positive-integer environment knob shared by the bench binaries:
+/// `default` unless `key` parses to a positive integer.
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Guard for benchmark JSON fields: a metric that is NaN, infinite, zero
+/// or negative means the bench is broken (a timer that never ran, a
+/// division by zero, an empty sample set) — fail the run loudly instead
+/// of writing a silently-wrong artifact.
+///
+/// # Panics
+///
+/// Panics unless `value` is finite and strictly positive.
+pub fn check_metric(name: &str, value: f64) {
+    assert!(
+        value.is_finite() && value > 0.0,
+        "bench metric {name} = {value} is not finite-positive; refusing to write broken JSON"
+    );
+}
+
 /// The quick/paper preset name currently selected by the environment.
 pub fn preset_name() -> &'static str {
     match std::env::var("LPQ_PRESET").as_deref() {

@@ -10,11 +10,131 @@
 //! *intermediate representations* that LPQ's contrastive fitness compares
 //! against the full-precision model.
 
-use crate::tensor::{softmax_rows, Tensor};
+use crate::tensor::{softmax_rows, QTensor, Tensor};
 use lp::codec::BoundedCache;
 use lp::Quantizer;
+use std::borrow::Cow;
 use std::fmt;
 use std::sync::Arc;
+
+/// How a weighted layer's parameters are resident in memory.
+///
+/// `Dense` is the full-precision (or fake-quantized) `f32` tensor;
+/// `Packed` stores the layer as `u16` codes plus the shared decode table
+/// ([`QTensor`]) — half the bytes, `Arc`-shared across clones, decoded
+/// inside the GEMM kernel rather than materialized. Packed storage is
+/// produced by [`Model::quantize_weights_packed`] and is what the serving
+/// path runs on.
+#[derive(Clone, Debug)]
+pub enum WeightStorage {
+    /// Dense row-major `f32` weights.
+    Dense(Tensor),
+    /// Quantized `u16` codes + shared decode table.
+    Packed(QTensor),
+}
+
+impl From<Tensor> for WeightStorage {
+    fn from(t: Tensor) -> Self {
+        WeightStorage::Dense(t)
+    }
+}
+
+impl From<QTensor> for WeightStorage {
+    fn from(q: QTensor) -> Self {
+        WeightStorage::Packed(q)
+    }
+}
+
+impl WeightStorage {
+    /// The stored tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        match self {
+            WeightStorage::Dense(t) => t.shape(),
+            WeightStorage::Packed(q) => q.shape(),
+        }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            WeightStorage::Dense(t) => t.len(),
+            WeightStorage::Packed(q) => q.len(),
+        }
+    }
+
+    /// Whether the storage has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the weights are stored as packed codes.
+    pub fn is_packed(&self) -> bool {
+        matches!(self, WeightStorage::Packed(_))
+    }
+
+    /// The dense tensor, if stored densely.
+    pub fn as_dense(&self) -> Option<&Tensor> {
+        match self {
+            WeightStorage::Dense(t) => Some(t),
+            WeightStorage::Packed(_) => None,
+        }
+    }
+
+    /// Mutable dense tensor, if stored densely.
+    pub fn as_dense_mut(&mut self) -> Option<&mut Tensor> {
+        match self {
+            WeightStorage::Dense(t) => Some(t),
+            WeightStorage::Packed(_) => None,
+        }
+    }
+
+    /// The packed tensor, if stored as codes.
+    pub fn as_packed(&self) -> Option<&QTensor> {
+        match self {
+            WeightStorage::Packed(q) => Some(q),
+            WeightStorage::Dense(_) => None,
+        }
+    }
+
+    /// A dense view: borrowed for dense storage, decoded on the fly for
+    /// packed storage (used by the non-GEMM kernels, e.g. depthwise
+    /// convolution, whose weights are tiny).
+    pub fn to_dense(&self) -> Cow<'_, Tensor> {
+        match self {
+            WeightStorage::Dense(t) => Cow::Borrowed(t),
+            WeightStorage::Packed(q) => Cow::Owned(q.dequantize()),
+        }
+    }
+
+    /// A reshaped view: dense storage copies (as [`Tensor::reshaped`]),
+    /// packed storage shares the code buffer.
+    pub fn reshaped(&self, shape: &[usize]) -> WeightStorage {
+        match self {
+            WeightStorage::Dense(t) => WeightStorage::Dense(t.reshaped(shape)),
+            WeightStorage::Packed(q) => WeightStorage::Packed(q.reshaped(shape)),
+        }
+    }
+
+    /// Resident bytes held by this storage: 4 per element dense, 2 per
+    /// element packed. Packed clones share their bytes — dedupe with
+    /// [`QTensor::codes_ptr`] when aggregating across models.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            WeightStorage::Dense(t) => t.len() * std::mem::size_of::<f32>(),
+            WeightStorage::Packed(q) => q.resident_bytes(),
+        }
+    }
+}
+
+/// `x[M,K] × w[N,K]ᵀ` dispatching on the weight storage: dense weights run
+/// the blocked kernel directly, packed weights decode codes panel-wise
+/// inside it. Both paths are bit-identical for equal weight values.
+fn matmul_t_storage(x: &Tensor, w: &WeightStorage) -> Tensor {
+    match w {
+        WeightStorage::Dense(t) => x.matmul_t(t),
+        WeightStorage::Packed(q) => x.matmul_t_packed(q),
+    }
+}
 
 /// A graph operator. Weighted variants ([`Op::Conv2d`], [`Op::DwConv2d`],
 /// [`Op::Linear`], [`Op::PatchEmbed`]) are the paper's "layers": they are
@@ -27,7 +147,7 @@ pub enum Op {
     /// 2-D convolution; weight `[out, in, k, k]` over input `[in, H, W]`.
     Conv2d {
         /// Filter bank `[out, in, k, k]`.
-        weight: Tensor,
+        weight: WeightStorage,
         /// Per-output-channel bias (batch-norm folded).
         bias: Vec<f32>,
         /// Spatial stride.
@@ -38,7 +158,7 @@ pub enum Op {
     /// Depthwise 2-D convolution; weight `[c, k, k]` over input `[c, H, W]`.
     DwConv2d {
         /// Per-channel filters `[c, k, k]`.
-        weight: Tensor,
+        weight: WeightStorage,
         /// Per-channel bias.
         bias: Vec<f32>,
         /// Spatial stride.
@@ -50,7 +170,7 @@ pub enum Op {
     /// `[T, in]`.
     Linear {
         /// Weight matrix `[out, in]`.
-        weight: Tensor,
+        weight: WeightStorage,
         /// Bias of length `out`.
         bias: Vec<f32>,
     },
@@ -59,7 +179,7 @@ pub enum Op {
     /// producing `[T+1, dim]`.
     PatchEmbed {
         /// Projection `[dim, C·p·p]`.
-        weight: Tensor,
+        weight: WeightStorage,
         /// Bias of length `dim`.
         bias: Vec<f32>,
         /// Patch side length.
@@ -93,7 +213,7 @@ pub enum Op {
     /// `[(g/2)², out]`. Weighted (counts as a quantizable layer).
     TokenMerge {
         /// Projection `[out, 4·D]`.
-        weight: Tensor,
+        weight: WeightStorage,
         /// Bias of length `out`.
         bias: Vec<f32>,
         /// Input grid side `g` (token count must be `g²`).
@@ -127,8 +247,8 @@ impl Op {
         )
     }
 
-    /// Immutable access to the weight tensor, if any.
-    pub fn weight(&self) -> Option<&Tensor> {
+    /// Immutable access to the weight storage, if any.
+    pub fn storage(&self) -> Option<&WeightStorage> {
         match self {
             Op::Conv2d { weight, .. }
             | Op::DwConv2d { weight, .. }
@@ -139,8 +259,8 @@ impl Op {
         }
     }
 
-    /// Mutable access to the weight tensor, if any.
-    pub fn weight_mut(&mut self) -> Option<&mut Tensor> {
+    /// Mutable access to the weight storage, if any.
+    pub fn storage_mut(&mut self) -> Option<&mut WeightStorage> {
         match self {
             Op::Conv2d { weight, .. }
             | Op::DwConv2d { weight, .. }
@@ -149,6 +269,19 @@ impl Op {
             | Op::TokenMerge { weight, .. } => Some(weight),
             _ => None,
         }
+    }
+
+    /// Immutable access to the **dense** weight tensor, if any. `None` for
+    /// unweighted ops *and* for packed layers — callers that must handle
+    /// both storages use [`Op::storage`].
+    pub fn weight(&self) -> Option<&Tensor> {
+        self.storage().and_then(WeightStorage::as_dense)
+    }
+
+    /// Mutable access to the dense weight tensor, if any (see
+    /// [`Op::weight`] for the packed-layer caveat).
+    pub fn weight_mut(&mut self) -> Option<&mut Tensor> {
+        self.storage_mut().and_then(WeightStorage::as_dense_mut)
     }
 
     /// Short kind name for diagnostics.
@@ -195,6 +328,11 @@ pub struct Node {
 #[derive(Debug)]
 pub struct WeightCache {
     map: BoundedCache<(usize, String), Vec<f32>>,
+    /// Packed-code side: one [`QTensor`] per `(layer, format)`. Hits clone
+    /// the `QTensor`, which *shares* the `Arc`'d code buffer — so every
+    /// scenario of a model that agrees on a layer's codec key holds the
+    /// same resident codes, not a copy.
+    packed: BoundedCache<(usize, String), QTensor>,
 }
 
 /// Entries kept before the cache is flushed wholesale (continuous scale
@@ -205,6 +343,7 @@ impl Default for WeightCache {
     fn default() -> Self {
         WeightCache {
             map: BoundedCache::new(MAX_CACHED_WEIGHTS),
+            packed: BoundedCache::new(MAX_CACHED_WEIGHTS),
         }
     }
 }
@@ -225,14 +364,43 @@ impl WeightCache {
         self.map.insert(key, data.to_vec());
     }
 
-    /// Number of cached layer tensors (diagnostics).
+    /// Packs `w` (a layer's original weights) into codes with `q`, sharing
+    /// the code buffer with every earlier packing of this `(layer,
+    /// format)` pair.
+    ///
+    /// Same contract as [`WeightCache::apply`]: keys are `(ordinal,
+    /// codec_key)`, **not** weight values, so a cache is only valid for
+    /// one model's original weights. The shape guard below is defense in
+    /// depth against the most detectable misuse, not a license to share a
+    /// cache across models.
+    fn apply_packed(&self, layer: usize, q: &(dyn Quantizer + Send + Sync), w: &Tensor) -> QTensor {
+        let key = (layer, q.codec_key());
+        if let Some(hit) = self.packed.get(&key) {
+            if hit.shape() == w.shape() {
+                return (*hit).clone();
+            }
+        }
+        let fresh = QTensor::quantize(w, q);
+        let stored = self.packed.insert(key, fresh.clone());
+        // `insert` keeps a pre-existing entry for the key; only adopt it
+        // when it actually matches this tensor's shape (a mismatch means
+        // another model with differently-shaped layers shares this cache —
+        // same guard as the dense path above).
+        if stored.shape() == w.shape() {
+            (*stored).clone()
+        } else {
+            fresh
+        }
+    }
+
+    /// Number of cached layer tensors, dense and packed (diagnostics).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.map.len() + self.packed.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 }
 
@@ -330,7 +498,7 @@ pub struct ForwardTrace {
 /// let mut m = Model::new("tiny", &[4], 2);
 /// let x = m.input_node();
 /// let w = Tensor::from_vec(&[2, 4], vec![0.1; 8]);
-/// let fc = m.push(Op::Linear { weight: w, bias: vec![0.0; 2] }, &[x]);
+/// let fc = m.push(Op::Linear { weight: w.into(), bias: vec![0.0; 2] }, &[x]);
 /// m.set_output(fc);
 /// let out = m.forward(&Tensor::from_vec(&[4], vec![1.0; 4]));
 /// assert_eq!(out.shape(), &[2]);
@@ -463,8 +631,25 @@ impl Model {
         self.nodes
             .iter()
             .filter(|n| n.op.is_weighted())
-            .map(|n| n.op.weight().map(Tensor::len).unwrap_or(0))
+            .map(|n| n.op.storage().map(WeightStorage::len).unwrap_or(0))
             .collect()
+    }
+
+    /// Weight storage of each weighted layer, in weighted-layer order.
+    pub fn layer_storages(&self) -> Vec<&WeightStorage> {
+        self.nodes.iter().filter_map(|n| n.op.storage()).collect()
+    }
+
+    /// Bytes of weight storage resident in this model instance: 4 per
+    /// dense element, 2 per packed element. Packed layers cloned from a
+    /// shared [`WeightCache`] report the same bytes in every sharing
+    /// model — aggregate with [`QTensor::codes_ptr`] dedup to count them
+    /// once.
+    pub fn resident_weight_bytes(&self) -> usize {
+        self.layer_storages()
+            .iter()
+            .map(|s| s.resident_bytes())
+            .sum()
     }
 
     /// Total parameter count over weighted layers.
@@ -472,12 +657,26 @@ impl Model {
         self.layer_param_counts().iter().sum()
     }
 
-    /// Immutable view of each weighted layer's flat weights.
+    /// Immutable view of each weighted layer's flat weights, one entry
+    /// per weighted layer in ordinal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weighted layer is packed ([`WeightStorage::Packed`])
+    /// — the ordinal alignment callers index by cannot be kept with
+    /// code-only layers; use [`Model::layer_storages`] on packed models.
     pub fn layer_weights(&self) -> Vec<&[f32]> {
         self.nodes
             .iter()
             .filter(|n| n.op.is_weighted())
-            .filter_map(|n| n.op.weight().map(Tensor::data))
+            .map(|n| {
+                n.op.weight()
+                    .expect(
+                        "layer_weights requires dense storage; packed models \
+                         expose layers via layer_storages",
+                    )
+                    .data()
+            })
             .collect()
     }
 
@@ -495,7 +694,9 @@ impl Model {
     /// # Panics
     ///
     /// Panics if the scheme's length does not match the weighted-layer
-    /// count.
+    /// count, or if the scheme asks to quantize a layer that is already
+    /// packed — re-quantization must start from the original dense model
+    /// (silently keeping the old codes would misreport the scheme).
     pub fn quantize_weights(&self, scheme: &QuantScheme) -> Model {
         assert_eq!(
             scheme.weights.len(),
@@ -507,8 +708,62 @@ impl Model {
         for node in &mut m.nodes {
             if node.op.is_weighted() {
                 if let Some(q) = &scheme.weights[li] {
-                    if let Some(w) = node.op.weight_mut() {
-                        scheme.cache.apply(li, q.as_ref(), w.data_mut());
+                    match node.op.storage_mut() {
+                        Some(WeightStorage::Dense(w)) => {
+                            scheme.cache.apply(li, q.as_ref(), w.data_mut());
+                        }
+                        Some(WeightStorage::Packed(_)) => panic!(
+                            "cannot re-quantize packed layer {li}; \
+                             quantize from the original dense model"
+                        ),
+                        None => {}
+                    }
+                }
+                li += 1;
+            }
+        }
+        m
+    }
+
+    /// Returns a copy of this model with each quantized layer's weights
+    /// stored as **packed codes** ([`WeightStorage::Packed`]) instead of a
+    /// fake-quantized `f32` copy: `u16` codes plus the shared decode
+    /// table, decoded inside the GEMM kernel at forward time. Layers whose
+    /// scheme entry is `None` stay dense full-precision.
+    ///
+    /// Packing goes through the scheme's [`WeightCache`], so models (e.g.
+    /// serving scenarios) that share a cache and agree on a layer's codec
+    /// key share one resident code buffer. Forward passes over the packed
+    /// model are bit-identical to passes over
+    /// [`Model::quantize_weights`]'s dense copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme's length does not match the weighted-layer
+    /// count, or if the scheme asks to quantize a layer that is already
+    /// packed (see [`Model::quantize_weights`]).
+    pub fn quantize_weights_packed(&self, scheme: &QuantScheme) -> Model {
+        assert_eq!(
+            scheme.weights.len(),
+            self.num_quant_layers(),
+            "scheme length must match weighted-layer count"
+        );
+        let mut m = self.clone();
+        let mut li = 0usize;
+        for node in &mut m.nodes {
+            if node.op.is_weighted() {
+                if let Some(q) = &scheme.weights[li] {
+                    if let Some(ws) = node.op.storage_mut() {
+                        match ws {
+                            WeightStorage::Dense(t) => {
+                                let packed = scheme.cache.apply_packed(li, q.as_ref(), t);
+                                *ws = WeightStorage::Packed(packed);
+                            }
+                            WeightStorage::Packed(_) => panic!(
+                                "cannot re-quantize packed layer {li}; \
+                                 quantize from the original dense model"
+                            ),
+                        }
                     }
                 }
                 li += 1;
@@ -591,9 +846,136 @@ impl Model {
             irs,
         }
     }
+
+    /// True batched forward pass: evaluates the whole micro-batch through
+    /// the graph at once, stacking every GEMM-backed weighted layer
+    /// (linear, convolution im2col, patch embedding, token merging) into
+    /// **one** matrix product per layer, so the batch amortizes weight
+    /// traversal — and, for packed weights, per-panel code decoding —
+    /// instead of just scheduling.
+    ///
+    /// Outputs are **bit-identical** to calling [`Model::forward`] on each
+    /// input: the shared GEMM kernel computes each output row from its own
+    /// left-hand row with an accumulation order independent of how many
+    /// rows are stacked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's shape does not match
+    /// [`Model::input_shape`].
+    pub fn forward_batch(&self, inputs: &[Tensor]) -> Vec<Tensor> {
+        self.forward_batch_quant(inputs, None)
+    }
+
+    /// [`Model::forward_batch`] with per-layer activation quantization:
+    /// `act_scheme`'s `activations` entries are applied batch-wise to each
+    /// weighted layer's outputs through the same cached codec tables the
+    /// single-input path uses (bit-identical to per-input
+    /// [`Model::forward_traced`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-shape mismatch or scheme-length mismatch.
+    pub fn forward_batch_quant(
+        &self,
+        inputs: &[Tensor],
+        act_scheme: Option<&QuantScheme>,
+    ) -> Vec<Tensor> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        for input in inputs {
+            assert_eq!(
+                input.shape(),
+                &self.input_shape[..],
+                "input shape mismatch for model {}",
+                self.name
+            );
+        }
+        if let Some(s) = act_scheme {
+            assert_eq!(
+                s.activations.len(),
+                self.num_quant_layers(),
+                "activation scheme length must match weighted-layer count"
+            );
+        }
+        let b = inputs.len();
+        let mut values: Vec<Option<Vec<Tensor>>> = vec![None; self.nodes.len()];
+        values[0] = Some(inputs.to_vec());
+        let mut li = 0usize;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if idx == 0 {
+                continue;
+            }
+            let args: Vec<Vec<&Tensor>> = (0..b)
+                .map(|e| {
+                    node.inputs
+                        .iter()
+                        .map(|&i| &values[i].as_ref().expect("node input evaluated before use")[e])
+                        .collect()
+                })
+                .collect();
+            let mut outs = eval_op_batch(&node.op, &args);
+            if node.op.is_weighted() {
+                if let Some(s) = act_scheme {
+                    if let Some(q) = &s.activations[li] {
+                        for t in &mut outs {
+                            q.quantize_slice(t.data_mut());
+                        }
+                    }
+                }
+                li += 1;
+            }
+            values[idx] = Some(outs);
+        }
+        values[self.output]
+            .take()
+            .expect("output node was not evaluated")
+    }
 }
 
-/// Evaluates one operator on its input tensors.
+/// Evaluates one operator on a whole batch of input sets (`args[e]` is
+/// element `e`'s operand list). GEMM-backed weighted ops stack the batch
+/// into one matrix product; everything else evaluates per element.
+fn eval_op_batch(op: &Op, args: &[Vec<&Tensor>]) -> Vec<Tensor> {
+    let first = || args.iter().map(|a| a[0]).collect::<Vec<&Tensor>>();
+    match op {
+        Op::Conv2d {
+            weight,
+            bias,
+            stride,
+            pad,
+        } => conv2d_batch(&first(), weight, bias, *stride, *pad),
+        Op::DwConv2d {
+            weight,
+            bias,
+            stride,
+            pad,
+        } => {
+            // Not GEMM-backed; decode a packed weight once for the batch.
+            let w = weight.to_dense();
+            first()
+                .iter()
+                .map(|x| dwconv2d(x, &w, bias, *stride, *pad))
+                .collect()
+        }
+        Op::Linear { weight, bias } => linear_batch(&first(), weight, bias),
+        Op::PatchEmbed {
+            weight,
+            bias,
+            patch,
+            cls,
+            pos,
+        } => patch_embed_batch(&first(), weight, bias, *patch, cls, pos),
+        Op::TokenMerge { weight, bias, grid } => token_merge_batch(&first(), weight, bias, *grid),
+        _ => args.iter().map(|a| eval_op(op, a)).collect(),
+    }
+}
+
+/// Evaluates one operator on its input tensors. Weighted GEMM-backed ops
+/// delegate to the batch helpers with a single element, so the per-input
+/// and batched paths are the same code (and bit-identical by
+/// construction).
 fn eval_op(op: &Op, inputs: &[&Tensor]) -> Tensor {
     match op {
         Op::Input => unreachable!("input nodes are seeded, not evaluated"),
@@ -602,21 +984,27 @@ fn eval_op(op: &Op, inputs: &[&Tensor]) -> Tensor {
             bias,
             stride,
             pad,
-        } => conv2d(inputs[0], weight, bias, *stride, *pad),
+        } => conv2d_batch(&inputs[..1], weight, bias, *stride, *pad)
+            .pop()
+            .expect("one output per input"),
         Op::DwConv2d {
             weight,
             bias,
             stride,
             pad,
-        } => dwconv2d(inputs[0], weight, bias, *stride, *pad),
-        Op::Linear { weight, bias } => linear(inputs[0], weight, bias),
+        } => dwconv2d(inputs[0], &weight.to_dense(), bias, *stride, *pad),
+        Op::Linear { weight, bias } => linear_batch(&inputs[..1], weight, bias)
+            .pop()
+            .expect("one output per input"),
         Op::PatchEmbed {
             weight,
             bias,
             patch,
             cls,
             pos,
-        } => patch_embed(inputs[0], weight, bias, *patch, cls, pos),
+        } => patch_embed_batch(&inputs[..1], weight, bias, *patch, cls, pos)
+            .pop()
+            .expect("one output per input"),
         Op::Relu => {
             let mut t = inputs[0].clone();
             for v in t.data_mut() {
@@ -637,7 +1025,11 @@ fn eval_op(op: &Op, inputs: &[&Tensor]) -> Tensor {
         Op::Add => inputs[0].add(inputs[1]),
         Op::LayerNorm { gamma, beta } => layer_norm(inputs[0], gamma, beta),
         Op::Mha { heads } => mha(inputs[0], inputs[1], inputs[2], *heads),
-        Op::TokenMerge { weight, bias, grid } => token_merge(inputs[0], weight, bias, *grid),
+        Op::TokenMerge { weight, bias, grid } => {
+            token_merge_batch(&inputs[..1], weight, bias, *grid)
+                .pop()
+                .expect("one output per input")
+        }
         Op::MaxPool { k, stride } => max_pool(inputs[0], *k, *stride),
         Op::GlobalAvgPool => global_avg_pool(inputs[0]),
         Op::MeanTokens => mean_tokens(inputs[0]),
@@ -652,15 +1044,54 @@ fn out_dim(dim: usize, k: usize, stride: usize, pad: usize) -> usize {
     (dim + 2 * pad - k) / stride + 1
 }
 
-/// im2col-based 2-D convolution.
-fn conv2d(x: &Tensor, w: &Tensor, bias: &[f32], stride: usize, pad: usize) -> Tensor {
-    let (c_in, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-    let (c_out, c_in_w, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
-    assert_eq!(c_in, c_in_w, "conv2d channel mismatch");
-    assert_eq!(bias.len(), c_out, "conv2d bias length mismatch");
-    let oh = out_dim(h, kh, stride, pad);
-    let ow = out_dim(wd, kw, stride, pad);
-    // Build the patch matrix [oh*ow, c_in*kh*kw].
+/// Stacks per-element `(rows, row_data)` blocks into one `[ΣR, cols]`
+/// product against `w` and re-splits the result rows per element — the
+/// one-GEMM-per-layer core of [`Model::forward_batch`]. The blocked
+/// kernel computes each output row from its own left-hand row only, so
+/// the stacked product is bit-identical to one GEMM per element.
+fn stacked_matmul_t<S: AsRef<[f32]> + Into<Vec<f32>>>(
+    mut parts: Vec<(usize, S)>,
+    cols: usize,
+    w: &WeightStorage,
+) -> Vec<Vec<f32>> {
+    let out_f = w.shape()[0];
+    if parts.len() == 1 {
+        // Single-input fast path (every `Model::forward` GEMM): move the
+        // lone buffer into the GEMM and hand its product back whole — no
+        // stacking copy, no re-slicing copy.
+        let (r, d) = parts.pop().expect("one part");
+        let prod = matmul_t_storage(&Tensor::from_vec(&[r, cols], d.into()), w);
+        return vec![prod.into_data()];
+    }
+    let total: usize = parts.iter().map(|(r, _)| r).sum();
+    let mut stacked = Vec::with_capacity(total * cols);
+    for (_, d) in &parts {
+        stacked.extend_from_slice(d.as_ref());
+    }
+    let prod = matmul_t_storage(&Tensor::from_vec(&[total, cols], stacked), w);
+    let pd = prod.data();
+    let mut out = Vec::with_capacity(parts.len());
+    let mut off = 0usize;
+    for (r, _) in &parts {
+        out.push(pd[off * out_f..(off + r) * out_f].to_vec());
+        off += r;
+    }
+    out
+}
+
+/// Extracts the im2col patch matrix `[oh*ow, c_in*kh*kw]` of one image.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    x: &Tensor,
+    c_in: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) -> Vec<f32> {
+    let (h, wd) = (x.shape()[1], x.shape()[2]);
     let patch_len = c_in * kh * kw;
     let mut patches = vec![0.0f32; oh * ow * patch_len];
     let xd = x.data();
@@ -685,18 +1116,49 @@ fn conv2d(x: &Tensor, w: &Tensor, bias: &[f32], stride: usize, pad: usize) -> Te
             }
         }
     }
-    let pm = Tensor::from_vec(&[oh * ow, patch_len], patches);
+    patches
+}
+
+/// im2col-based 2-D convolution over a batch: all images' patch matrices
+/// run through one stacked GEMM against the (possibly packed) filters.
+fn conv2d_batch(
+    xs: &[&Tensor],
+    w: &WeightStorage,
+    bias: &[f32],
+    stride: usize,
+    pad: usize,
+) -> Vec<Tensor> {
+    let (c_out, c_in_w, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    assert_eq!(bias.len(), c_out, "conv2d bias length mismatch");
+    let patch_len = c_in_w * kh * kw;
     let wm = w.reshaped(&[c_out, patch_len]);
-    let prod = pm.matmul_t(&wm); // [oh*ow, c_out]
-                                 // Transpose to [c_out, oh, ow] and add bias.
-    let mut out = vec![0.0f32; c_out * oh * ow];
-    let pd = prod.data();
-    for pos in 0..oh * ow {
-        for co in 0..c_out {
-            out[co * oh * ow + pos] = pd[pos * c_out + co] + bias[co];
-        }
-    }
-    Tensor::from_vec(&[c_out, oh, ow], out)
+    let parts: Vec<(usize, Vec<f32>)> = xs
+        .iter()
+        .map(|x| {
+            let (c_in, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+            assert_eq!(c_in, c_in_w, "conv2d channel mismatch");
+            let oh = out_dim(h, kh, stride, pad);
+            let ow = out_dim(wd, kw, stride, pad);
+            (oh * ow, im2col(x, c_in, kh, kw, stride, pad, oh, ow))
+        })
+        .collect();
+    let prods = stacked_matmul_t(parts, patch_len, &wm);
+    xs.iter()
+        .zip(prods)
+        .map(|(x, pd)| {
+            let (h, wd) = (x.shape()[1], x.shape()[2]);
+            let oh = out_dim(h, kh, stride, pad);
+            let ow = out_dim(wd, kw, stride, pad);
+            // Transpose [oh*ow, c_out] to [c_out, oh, ow] and add bias.
+            let mut out = vec![0.0f32; c_out * oh * ow];
+            for pos in 0..oh * ow {
+                for co in 0..c_out {
+                    out[co * oh * ow + pos] = pd[pos * c_out + co] + bias[co];
+                }
+            }
+            Tensor::from_vec(&[c_out, oh, ow], out)
+        })
+        .collect()
 }
 
 /// Depthwise convolution: weight `[c, k, k]`.
@@ -735,94 +1197,118 @@ fn dwconv2d(x: &Tensor, w: &Tensor, bias: &[f32], stride: usize, pad: usize) -> 
     Tensor::from_vec(&[c, oh, ow], out)
 }
 
-/// Linear layer on rank-1 `[in]` or rank-2 `[T, in]` input.
-fn linear(x: &Tensor, w: &Tensor, bias: &[f32]) -> Tensor {
+/// Linear layer over a batch of rank-1 `[in]` or rank-2 `[T, in]` inputs:
+/// every element's rows join one stacked GEMM against the weights.
+fn linear_batch(xs: &[&Tensor], w: &WeightStorage, bias: &[f32]) -> Vec<Tensor> {
     let (out_f, in_f) = (w.shape()[0], w.shape()[1]);
     assert_eq!(bias.len(), out_f, "linear bias length mismatch");
-    match x.shape().len() {
-        1 => {
-            assert_eq!(x.len(), in_f, "linear input length mismatch");
-            let xm = x.reshaped(&[1, in_f]);
-            let mut prod = xm.matmul_t(w);
-            for (v, b) in prod.data_mut().iter_mut().zip(bias) {
-                *v += b;
+    // Activations are borrowed straight into the stacked GEMM buffer —
+    // one copy, not two, on the hottest path in the crate.
+    let parts: Vec<(usize, &[f32])> = xs
+        .iter()
+        .map(|x| match x.shape().len() {
+            1 => {
+                assert_eq!(x.len(), in_f, "linear input length mismatch");
+                (1, x.data())
             }
-            prod.reshaped(&[out_f])
-        }
-        2 => {
-            assert_eq!(x.shape()[1], in_f, "linear input feature mismatch");
-            let t = x.shape()[0];
-            let mut prod = x.matmul_t(w);
-            for row in prod.data_mut().chunks_mut(out_f) {
+            2 => {
+                assert_eq!(x.shape()[1], in_f, "linear input feature mismatch");
+                (x.shape()[0], x.data())
+            }
+            r => panic!("linear expects rank-1 or rank-2 input, got rank-{r}"),
+        })
+        .collect();
+    let prods = stacked_matmul_t(parts, in_f, w);
+    xs.iter()
+        .zip(prods)
+        .map(|(x, mut pd)| {
+            for row in pd.chunks_mut(out_f) {
                 for (v, b) in row.iter_mut().zip(bias) {
                     *v += b;
                 }
             }
-            prod.reshaped(&[t, out_f])
-        }
-        r => panic!("linear expects rank-1 or rank-2 input, got rank-{r}"),
-    }
+            if x.shape().len() == 1 {
+                Tensor::from_vec(&[out_f], pd)
+            } else {
+                Tensor::from_vec(&[x.shape()[0], out_f], pd)
+            }
+        })
+        .collect()
 }
 
-fn patch_embed(
-    x: &Tensor,
-    w: &Tensor,
+/// ViT patch embedding over a batch: all images' patch matrices share one
+/// stacked projection GEMM.
+fn patch_embed_batch(
+    xs: &[&Tensor],
+    w: &WeightStorage,
     bias: &[f32],
     patch: usize,
     cls: &[f32],
     pos: &Tensor,
-) -> Tensor {
-    let (c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-    assert!(
-        h % patch == 0 && wd % patch == 0,
-        "image dims must be divisible by patch size"
-    );
+) -> Vec<Tensor> {
     let (dim, plen) = (w.shape()[0], w.shape()[1]);
-    assert_eq!(plen, c * patch * patch, "patch embed weight shape mismatch");
-    let (ph, pw) = (h / patch, wd / patch);
-    let tokens = ph * pw;
-    // Extract flattened patches [tokens, c·p·p].
-    let mut pm = vec![0.0f32; tokens * plen];
-    let xd = x.data();
-    for py in 0..ph {
-        for px in 0..pw {
-            let row = (py * pw + px) * plen;
-            for ch in 0..c {
-                for dy in 0..patch {
-                    for dx in 0..patch {
-                        pm[row + ch * patch * patch + dy * patch + dx] =
-                            xd[ch * h * wd + (py * patch + dy) * wd + (px * patch + dx)];
+    let parts: Vec<(usize, Vec<f32>)> = xs
+        .iter()
+        .map(|x| {
+            let (c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+            assert!(
+                h % patch == 0 && wd % patch == 0,
+                "image dims must be divisible by patch size"
+            );
+            assert_eq!(plen, c * patch * patch, "patch embed weight shape mismatch");
+            let (ph, pw) = (h / patch, wd / patch);
+            let tokens = ph * pw;
+            // Extract flattened patches [tokens, c·p·p].
+            let mut pm = vec![0.0f32; tokens * plen];
+            let xd = x.data();
+            for py in 0..ph {
+                for px in 0..pw {
+                    let row = (py * pw + px) * plen;
+                    for ch in 0..c {
+                        for dy in 0..patch {
+                            for dx in 0..patch {
+                                pm[row + ch * patch * patch + dy * patch + dx] =
+                                    xd[ch * h * wd + (py * patch + dy) * wd + (px * patch + dx)];
+                            }
+                        }
                     }
                 }
             }
-        }
-    }
-    let pm = Tensor::from_vec(&[tokens, plen], pm);
-    let proj = pm.matmul_t(w); // [tokens, dim]
-                               // Prepend the cls token (when present: an empty `cls` means a
-                               // hierarchical model without one), add bias and positional embedding.
+            (tokens, pm)
+        })
+        .collect();
+    let token_counts: Vec<usize> = parts.iter().map(|(t, _)| *t).collect();
+    let prods = stacked_matmul_t(parts, plen, w);
+    // Prepend the cls token (when present: an empty `cls` means a
+    // hierarchical model without one), add bias and positional embedding.
     let with_cls = !cls.is_empty();
     if with_cls {
         assert_eq!(cls.len(), dim, "cls token length mismatch");
     }
-    let total = tokens + usize::from(with_cls);
-    assert_eq!(pos.shape(), &[total, dim], "positional embedding shape");
-    let mut out = vec![0.0f32; total * dim];
-    let skip = if with_cls {
-        out[..dim].copy_from_slice(cls);
-        1
-    } else {
-        0
-    };
-    for t in 0..tokens {
-        for d in 0..dim {
-            out[(t + skip) * dim + d] = proj.data()[t * dim + d] + bias[d];
-        }
-    }
-    for (o, p) in out.iter_mut().zip(pos.data()) {
-        *o += p;
-    }
-    Tensor::from_vec(&[total, dim], out)
+    token_counts
+        .into_iter()
+        .zip(prods)
+        .map(|(tokens, proj)| {
+            let total = tokens + usize::from(with_cls);
+            assert_eq!(pos.shape(), &[total, dim], "positional embedding shape");
+            let mut out = vec![0.0f32; total * dim];
+            let skip = if with_cls {
+                out[..dim].copy_from_slice(cls);
+                1
+            } else {
+                0
+            };
+            for t in 0..tokens {
+                for d in 0..dim {
+                    out[(t + skip) * dim + d] = proj[t * dim + d] + bias[d];
+                }
+            }
+            for (o, p) in out.iter_mut().zip(pos.data()) {
+                *o += p;
+            }
+            Tensor::from_vec(&[total, dim], out)
+        })
+        .collect()
 }
 
 fn layer_norm(x: &Tensor, gamma: &[f32], beta: &[f32]) -> Tensor {
@@ -879,37 +1365,48 @@ fn mha(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize) -> Tensor {
     Tensor::from_vec(&[t, d], out)
 }
 
-/// Swin patch merging: 2×2 token groups concatenated then projected.
-fn token_merge(x: &Tensor, w: &Tensor, bias: &[f32], grid: usize) -> Tensor {
-    let (t, d) = (x.shape()[0], x.shape()[1]);
-    assert_eq!(t, grid * grid, "token count must equal grid^2");
+/// Swin patch merging over a batch: 2×2 token groups concatenated, then
+/// one stacked projection GEMM for the whole batch.
+fn token_merge_batch(xs: &[&Tensor], w: &WeightStorage, bias: &[f32], grid: usize) -> Vec<Tensor> {
+    let (out_f, in_f) = (w.shape()[0], w.shape()[1]);
+    assert_eq!(bias.len(), out_f, "token_merge bias length mismatch");
     assert!(
         grid.is_multiple_of(2),
         "grid side must be even for 2x2 merging"
     );
-    let (out_f, in_f) = (w.shape()[0], w.shape()[1]);
-    assert_eq!(in_f, 4 * d, "token_merge weight must be [out, 4*D]");
-    assert_eq!(bias.len(), out_f, "token_merge bias length mismatch");
     let og = grid / 2;
-    let mut grouped = vec![0.0f32; og * og * 4 * d];
-    for gy in 0..og {
-        for gx in 0..og {
-            let row = (gy * og + gx) * 4 * d;
-            for (slot, (dy, dx)) in [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate() {
-                let tok = (2 * gy + dy) * grid + (2 * gx + dx);
-                grouped[row + slot * d..row + (slot + 1) * d]
-                    .copy_from_slice(&x.data()[tok * d..(tok + 1) * d]);
+    let parts: Vec<(usize, Vec<f32>)> = xs
+        .iter()
+        .map(|x| {
+            let (t, d) = (x.shape()[0], x.shape()[1]);
+            assert_eq!(t, grid * grid, "token count must equal grid^2");
+            assert_eq!(in_f, 4 * d, "token_merge weight must be [out, 4*D]");
+            let mut grouped = vec![0.0f32; og * og * 4 * d];
+            for gy in 0..og {
+                for gx in 0..og {
+                    let row = (gy * og + gx) * 4 * d;
+                    for (slot, (dy, dx)) in [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate() {
+                        let tok = (2 * gy + dy) * grid + (2 * gx + dx);
+                        grouped[row + slot * d..row + (slot + 1) * d]
+                            .copy_from_slice(&x.data()[tok * d..(tok + 1) * d]);
+                    }
+                }
             }
-        }
-    }
-    let gm = Tensor::from_vec(&[og * og, 4 * d], grouped);
-    let mut out = gm.matmul_t(w);
-    for row in out.data_mut().chunks_mut(out_f) {
-        for (v, b) in row.iter_mut().zip(bias) {
-            *v += b;
-        }
-    }
-    out
+            (og * og, grouped)
+        })
+        .collect();
+    let prods = stacked_matmul_t(parts, in_f, w);
+    prods
+        .into_iter()
+        .map(|mut pd| {
+            for row in pd.chunks_mut(out_f) {
+                for (v, b) in row.iter_mut().zip(bias) {
+                    *v += b;
+                }
+            }
+            Tensor::from_vec(&[og * og, out_f], pd)
+        })
+        .collect()
 }
 
 fn max_pool(x: &Tensor, k: usize, stride: usize) -> Tensor {
@@ -971,6 +1468,31 @@ mod tests {
                 .map(|i| ((i as f32 * 0.611).sin()) * scale)
                 .collect(),
         )
+    }
+
+    /// Single-input shims over the batch kernels (the pre-batching test
+    /// call shape).
+    fn conv2d(x: &Tensor, w: &Tensor, bias: &[f32], stride: usize, pad: usize) -> Tensor {
+        conv2d_batch(&[x], &w.clone().into(), bias, stride, pad)
+            .pop()
+            .unwrap()
+    }
+
+    fn linear(x: &Tensor, w: &Tensor, bias: &[f32]) -> Tensor {
+        linear_batch(&[x], &w.clone().into(), bias).pop().unwrap()
+    }
+
+    fn patch_embed(
+        x: &Tensor,
+        w: &Tensor,
+        bias: &[f32],
+        patch: usize,
+        cls: &[f32],
+        pos: &Tensor,
+    ) -> Tensor {
+        patch_embed_batch(&[x], &w.clone().into(), bias, patch, cls, pos)
+            .pop()
+            .unwrap()
     }
 
     #[test]
@@ -1127,7 +1649,7 @@ mod tests {
         let w1 = Tensor::from_vec(&[5, 4], (0..20).map(|i| (i as f32) * 0.05).collect());
         let l1 = m.push(
             Op::Linear {
-                weight: w1,
+                weight: w1.into(),
                 bias: vec![0.0; 5],
             },
             &[x],
@@ -1136,7 +1658,7 @@ mod tests {
         let w2 = Tensor::from_vec(&[3, 5], (0..15).map(|i| (i as f32) * -0.03).collect());
         let l2 = m.push(
             Op::Linear {
-                weight: w2,
+                weight: w2.into(),
                 bias: vec![0.1; 3],
             },
             &[r],
@@ -1154,7 +1676,7 @@ mod tests {
         let x = m.input_node();
         let l1 = m.push(
             Op::Linear {
-                weight: Tensor::from_vec(&[4, 4], vec![0.2; 16]),
+                weight: Tensor::from_vec(&[4, 4], vec![0.2; 16]).into(),
                 bias: vec![0.0; 4],
             },
             &[x],
@@ -1162,7 +1684,7 @@ mod tests {
         let r = m.push(Op::Relu, &[l1]);
         let l2 = m.push(
             Op::Linear {
-                weight: Tensor::from_vec(&[2, 4], vec![0.1; 8]),
+                weight: Tensor::from_vec(&[2, 4], vec![0.1; 8]).into(),
                 bias: vec![0.0; 2],
             },
             &[r],
@@ -1181,7 +1703,7 @@ mod tests {
         let x = m.input_node();
         let l = m.push(
             Op::Linear {
-                weight: Tensor::from_vec(&[2, 4], vec![0.3; 8]),
+                weight: Tensor::from_vec(&[2, 4], vec![0.3; 8]).into(),
                 bias: vec![0.0; 2],
             },
             &[x],
@@ -1203,7 +1725,7 @@ mod tests {
         let x = m.input_node();
         let l = m.push(
             Op::Linear {
-                weight: Tensor::from_vec(&[2, 4], vec![0.37; 8]),
+                weight: Tensor::from_vec(&[2, 4], vec![0.37; 8]).into(),
                 bias: vec![0.0; 2],
             },
             &[x],
@@ -1236,7 +1758,8 @@ mod tests {
         let x = m.input_node();
         let l = m.push(
             Op::Linear {
-                weight: Tensor::from_vec(&[2, 4], (0..8).map(|i| i as f32 * 0.11 - 0.4).collect()),
+                weight: Tensor::from_vec(&[2, 4], (0..8).map(|i| i as f32 * 0.11 - 0.4).collect())
+                    .into(),
                 bias: vec![0.0; 2],
             },
             &[x],
@@ -1262,7 +1785,7 @@ mod tests {
         let x = m.input_node();
         let l = m.push(
             Op::Linear {
-                weight: Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]),
+                weight: Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]).into(),
                 bias: vec![0.0; 2],
             },
             &[x],
@@ -1286,7 +1809,7 @@ mod tests {
         let x = m.input_node();
         let l1 = m.push(
             Op::Linear {
-                weight: Tensor::from_vec(&[2, 2], vec![0.1; 4]),
+                weight: Tensor::from_vec(&[2, 2], vec![0.1; 4]).into(),
                 bias: vec![0.0; 2],
             },
             &[x],
@@ -1294,7 +1817,7 @@ mod tests {
         m.end_block();
         let l2 = m.push(
             Op::Linear {
-                weight: Tensor::from_vec(&[2, 2], vec![0.1; 4]),
+                weight: Tensor::from_vec(&[2, 2], vec![0.1; 4]).into(),
                 bias: vec![0.0; 2],
             },
             &[l1],
@@ -1312,7 +1835,7 @@ mod tests {
         let x = m.input_node();
         let l = m.push(
             Op::Linear {
-                weight: Tensor::from_vec(&[2, 4], vec![0.1; 8]),
+                weight: Tensor::from_vec(&[2, 4], vec![0.1; 8]).into(),
                 bias: vec![0.0; 2],
             },
             &[x],
@@ -1337,5 +1860,198 @@ mod tests {
         assert!(g.data()[0].abs() < 1e-3); // gelu(−10) ≈ 0
         assert_eq!(g.data()[1], 0.0);
         assert!((g.data()[2] - 10.0).abs() < 1e-3); // gelu(10) ≈ 10
+    }
+
+    /// A small model touching every GEMM-backed weighted op plus the
+    /// per-element fallbacks (relu, layer norm).
+    fn mixed_mlp() -> Model {
+        let mut m = Model::new("mixed", &[6], 3);
+        let x = m.input_node();
+        let l1 = m.push(
+            Op::Linear {
+                weight: seq_tensor(&[8, 6], 0.4).into(),
+                bias: (0..8).map(|i| i as f32 * 0.01).collect(),
+            },
+            &[x],
+        );
+        let r = m.push(Op::Relu, &[l1]);
+        let ln = m.push(
+            Op::LayerNorm {
+                gamma: vec![1.0; 8],
+                beta: vec![0.05; 8],
+            },
+            &[r],
+        );
+        let l2 = m.push(
+            Op::Linear {
+                weight: seq_tensor(&[3, 8], 0.3).into(),
+                bias: vec![0.1, -0.1, 0.0],
+            },
+            &[ln],
+        );
+        m.set_output(l2);
+        m
+    }
+
+    fn batch_inputs(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| seq_tensor(&[6], 0.7 + i as f32 * 0.13))
+            .collect()
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_to_singles() {
+        let m = mixed_mlp();
+        for b in [1usize, 3, 7] {
+            let inputs = batch_inputs(b);
+            let batched = m.forward_batch(&inputs);
+            assert_eq!(batched.len(), b);
+            for (input, got) in inputs.iter().zip(&batched) {
+                let want = m.forward(input);
+                assert_eq!(got.shape(), want.shape());
+                for (x, y) in got.data().iter().zip(want.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+        assert!(m.forward_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn forward_batch_applies_activation_quantization() {
+        let m = mixed_mlp();
+        let mut scheme = QuantScheme::identity(2);
+        scheme.activations[0] = Some(Arc::new(LpParams::new(6, 1, 3, 0.0).unwrap()));
+        scheme.activations[1] = Some(Arc::new(LpParams::new(8, 2, 3, 0.0).unwrap()));
+        let inputs = batch_inputs(4);
+        let batched = m.forward_batch_quant(&inputs, Some(&scheme));
+        for (input, got) in inputs.iter().zip(&batched) {
+            let want = m.forward_traced(input, Some(&scheme), false).output;
+            for (x, y) in got.data().iter().zip(want.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_forward_matches_fake_quantized_dense_forward() {
+        let m = mixed_mlp();
+        let mut scheme = QuantScheme::identity(2);
+        scheme.weights[0] = Some(Arc::new(LpParams::new(8, 2, 3, 0.0).unwrap()));
+        scheme.weights[1] = Some(Arc::new(LpParams::new(4, 1, 3, 0.5).unwrap()));
+        let dense = m.quantize_weights(&scheme);
+        let packed = m.quantize_weights_packed(&scheme);
+        assert!(packed.layer_storages().iter().all(|s| s.is_packed()));
+        let inputs = batch_inputs(5);
+        let want = dense.forward_batch(&inputs);
+        let got = packed.forward_batch(&inputs);
+        for (g, w) in got.iter().zip(&want) {
+            for (x, y) in g.data().iter().zip(w.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Singles agree too (same kernels, batch of one).
+        for input in &inputs {
+            assert_eq!(packed.forward(input).data(), dense.forward(input).data());
+        }
+    }
+
+    #[test]
+    fn packed_layers_halve_resident_bytes_and_share_codes() {
+        let m = mixed_mlp();
+        let mut scheme = QuantScheme::identity(2);
+        for w in &mut scheme.weights {
+            *w = Some(Arc::new(LpParams::new(8, 2, 3, 0.0).unwrap()));
+        }
+        let dense_bytes = m.resident_weight_bytes();
+        assert_eq!(dense_bytes, m.num_params() * 4);
+        let cache = scheme.weight_cache();
+        let p1 = m.quantize_weights_packed(&scheme);
+        assert_eq!(p1.resident_weight_bytes() * 2, dense_bytes);
+        assert_eq!(cache.len(), 2, "one packed entry per layer");
+        // A second packing through the same cache shares the code buffers.
+        let p2 = m.quantize_weights_packed(&scheme);
+        assert_eq!(cache.len(), 2);
+        let ptrs = |model: &Model| -> Vec<usize> {
+            model
+                .layer_storages()
+                .iter()
+                .map(|s| s.as_packed().unwrap().codes_ptr())
+                .collect()
+        };
+        assert_eq!(ptrs(&p1), ptrs(&p2), "shared cache must share codes");
+    }
+
+    #[test]
+    fn packed_cache_shape_mismatch_yields_fresh_codes_not_stale_entry() {
+        // Sharing a WeightCache across models violates its documented
+        // contract (keys are ordinals + formats, not weight values); this
+        // exercises the defense-in-depth shape guard for that misuse: the
+        // second packing must not adopt the first model's cached codes
+        // when the shapes disagree.
+        let build = |shape: &[usize], scale: f32| {
+            let mut m = Model::new("t", &[shape[1]], shape[0]);
+            let x = m.input_node();
+            let l = m.push(
+                Op::Linear {
+                    weight: seq_tensor(shape, scale).into(),
+                    bias: vec![0.0; shape[0]],
+                },
+                &[x],
+            );
+            m.set_output(l);
+            m
+        };
+        let a = build(&[2, 4], 0.5);
+        let b = build(&[3, 5], 0.5);
+        let q: Arc<dyn Quantizer + Send + Sync> = Arc::new(LpParams::new(8, 2, 3, 0.0).unwrap());
+        let mut scheme = QuantScheme::identity(1);
+        scheme.weights[0] = Some(q);
+        let cache = scheme.weight_cache();
+        let pa = a.quantize_weights_packed(&scheme);
+        let pb = b.quantize_weights_packed(&scheme.clone().with_shared_cache(cache));
+        let qb = pb.layer_storages()[0].as_packed().unwrap().clone();
+        assert_eq!(qb.shape(), &[3, 5], "b must keep its own shape");
+        // And the values must be b's quantized weights, not a's.
+        let want = b.quantize_weights(&QuantScheme::new(
+            scheme.weights.clone(),
+            scheme.activations.clone(),
+        ));
+        assert_eq!(
+            qb.dequantize().data(),
+            want.layer_storages()[0].as_dense().unwrap().data()
+        );
+        drop(pa);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot re-quantize packed layer")]
+    fn requantizing_a_packed_layer_panics() {
+        let m = mixed_mlp();
+        let mut lp8 = QuantScheme::identity(2);
+        let mut lp4 = QuantScheme::identity(2);
+        for (a, b) in lp8.weights.iter_mut().zip(&mut lp4.weights) {
+            *a = Some(Arc::new(LpParams::new(8, 2, 3, 0.0).unwrap()));
+            *b = Some(Arc::new(LpParams::new(4, 1, 3, 0.0).unwrap()));
+        }
+        let packed = m.quantize_weights_packed(&lp8);
+        // Silently keeping the lp8 codes would misreport the scheme.
+        let _ = packed.quantize_weights_packed(&lp4);
+    }
+
+    #[test]
+    fn quantize_weights_packed_leaves_none_layers_dense() {
+        let m = mixed_mlp();
+        let mut scheme = QuantScheme::identity(2);
+        scheme.weights[1] = Some(Arc::new(LpParams::new(8, 2, 3, 0.0).unwrap()));
+        let p = m.quantize_weights_packed(&scheme);
+        let storages = p.layer_storages();
+        assert!(!storages[0].is_packed());
+        assert!(storages[1].is_packed());
+        // The dense full-precision layer is untouched.
+        assert_eq!(
+            storages[0].as_dense().unwrap().data(),
+            m.layer_storages()[0].as_dense().unwrap().data()
+        );
     }
 }

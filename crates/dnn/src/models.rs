@@ -105,7 +105,7 @@ impl Builder {
         let bias = self.sample_bias(c_out);
         self.m.push(
             Op::Conv2d {
-                weight: Tensor::from_vec(&[c_out, c_in, k, k], w),
+                weight: Tensor::from_vec(&[c_out, c_in, k, k], w).into(),
                 bias,
                 stride,
                 pad,
@@ -119,7 +119,7 @@ impl Builder {
         let bias = self.sample_bias(c);
         self.m.push(
             Op::DwConv2d {
-                weight: Tensor::from_vec(&[c, k, k], w),
+                weight: Tensor::from_vec(&[c, k, k], w).into(),
                 bias,
                 stride,
                 pad,
@@ -133,7 +133,7 @@ impl Builder {
         let bias = self.sample_bias(out_f);
         self.m.push(
             Op::Linear {
-                weight: Tensor::from_vec(&[out_f, in_f], w),
+                weight: Tensor::from_vec(&[out_f, in_f], w).into(),
                 bias,
             },
             &[x],
@@ -184,7 +184,7 @@ impl Builder {
         };
         self.m.push(
             Op::PatchEmbed {
-                weight,
+                weight: weight.into(),
                 bias,
                 patch,
                 cls,
@@ -220,7 +220,14 @@ impl Builder {
             self.sample_weights(d_out * fan_in, fan_in),
         );
         let bias = self.sample_bias(d_out);
-        self.m.push(Op::TokenMerge { weight, bias, grid }, &[x])
+        self.m.push(
+            Op::TokenMerge {
+                weight: weight.into(),
+                bias,
+                grid,
+            },
+            &[x],
+        )
     }
 
     fn finish(mut self, output: usize, baseline_top1: f64) -> Model {

@@ -3,18 +3,21 @@
 //!
 //! A [`ServedModel`] wraps one full-precision model plus a single
 //! [`WeightCache`] shared by **every** quantization scenario registered
-//! from it. Registering a scenario quantizes the weights once, through
-//! that cache — so a second scenario that reuses a layer's `(ordinal,
-//! format)` pair restores the cached tensor with a `memcpy` instead of
-//! re-quantizing, and scenarios with identical schemes re-quantize
-//! nothing at all. The process-wide `lp::codec` decode-table cache is
-//! shared the same way (it is keyed globally), so scenarios across
-//! *different* models also reuse each other's tables.
+//! from it. Registering a scenario packs the weights once into `u16`
+//! codes ([`Model::quantize_weights_packed`]) through that cache — so a
+//! second scenario that reuses a layer's `(ordinal, format)` pair holds
+//! the *same* `Arc`-shared code buffer, not a copy, and scenarios with
+//! identical schemes add zero resident weight bytes. The process-wide
+//! `lp::codec` decode-table cache is shared the same way (it is keyed
+//! globally), so scenarios across *different* models also reuse each
+//! other's tables.
 //!
-//! The registered batch function fans the micro-batch out per input on the
-//! global work-stealing pool; activation quantizers from the scheme are
-//! applied during each forward pass, exactly like
-//! [`data::quantized_accuracy`](crate::data::quantized_accuracy).
+//! The registered batch function hands the **whole micro-batch** to
+//! [`Model::forward_batch_quant`]: one stacked GEMM per weighted layer,
+//! codes decoded panel-wise inside the kernel, scheme activations applied
+//! batch-wise — bit-identical to per-input fake-quantized forwards (the
+//! retired per-input fan-out survives as
+//! [`ServedModel::register_per_input`], the benchmark baseline).
 
 use crate::graph::{Model, QuantScheme, WeightCache};
 use crate::tensor::Tensor;
@@ -62,10 +65,15 @@ impl ServedModel {
     }
 
     /// Registers one quantization scenario of this model on `server` under
-    /// `(model_name, scenario)`. Weights are quantized **now**, through
-    /// the model's shared cache; each request batch then runs
-    /// fake-quantized forward passes (scheme activations applied) fanned
-    /// out on the global pool.
+    /// `(model_name, scenario)`, on the packed batched hot path: weights
+    /// are packed **now** into `u16` codes through the model's shared
+    /// cache (scenarios agreeing on a layer's codec key share one code
+    /// buffer), and each request batch runs through
+    /// [`Model::forward_batch_quant`] — one stacked GEMM per layer with
+    /// scheme activations applied batch-wise.
+    ///
+    /// Returns the packed model so callers can account for resident
+    /// weight bytes ([`Model::resident_weight_bytes`]).
     ///
     /// # Errors
     ///
@@ -76,21 +84,51 @@ impl ServedModel {
     ///
     /// Panics if the scheme's length does not match the model's
     /// weighted-layer count (same contract as
-    /// [`Model::quantize_weights`]).
+    /// [`Model::quantize_weights_packed`]).
     pub fn register(
         &self,
         server: &TensorServer,
         scenario: &str,
         scheme: QuantScheme,
-    ) -> Result<(), ServeError> {
+    ) -> Result<Arc<Model>, ServeError> {
+        let scheme = scheme.with_shared_cache(Arc::clone(&self.cache));
+        let quantized = Arc::new(self.model.quantize_weights_packed(&scheme));
+        let scheme = Arc::new(scheme);
+        let handle = Arc::clone(&quantized);
+        server.register(self.model.name(), scenario, move |batch: &[Tensor]| {
+            quantized.forward_batch_quant(batch, Some(&scheme))
+        })?;
+        Ok(handle)
+    }
+
+    /// The pre-packing registration path, kept as the measured baseline
+    /// for `BENCH_serve.json`: materializes a fake-quantized **f32 copy**
+    /// of the weights ([`Model::quantize_weights`]) and fans each request
+    /// batch out **per input** on the global work-stealing pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError`] from registration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on scheme-length mismatch.
+    pub fn register_per_input(
+        &self,
+        server: &TensorServer,
+        scenario: &str,
+        scheme: QuantScheme,
+    ) -> Result<Arc<Model>, ServeError> {
         let scheme = scheme.with_shared_cache(Arc::clone(&self.cache));
         let quantized = Arc::new(self.model.quantize_weights(&scheme));
         let scheme = Arc::new(scheme);
+        let handle = Arc::clone(&quantized);
         server.register(self.model.name(), scenario, move |batch: &[Tensor]| {
             serve::pool::par_map_pooled(batch, |x| {
                 quantized.forward_traced(x, Some(&scheme), false).output
             })
-        })
+        })?;
+        Ok(handle)
     }
 }
 
@@ -114,7 +152,7 @@ mod tests {
         );
         let l1 = m.push(
             Op::Linear {
-                weight: w1,
+                weight: w1.into(),
                 bias: vec![0.01; 16],
             },
             &[x],
@@ -126,7 +164,7 @@ mod tests {
         );
         let l2 = m.push(
             Op::Linear {
-                weight: w2,
+                weight: w2.into(),
                 bias: vec![0.0; 4],
             },
             &[r],
@@ -199,6 +237,58 @@ mod tests {
         let qm = served.model().quantize_weights(&scheme);
         let want = qm.forward_traced(&input, Some(&scheme), false).output;
         assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn duplicate_scenarios_share_resident_codes() {
+        let served = ServedModel::new(tiny_model());
+        let server = test_server();
+        let layers = served.model().num_quant_layers();
+        let a = served
+            .register(&server, "lp8", lp_scheme(layers, 8, 0.0))
+            .unwrap();
+        let b = served
+            .register(&server, "lp8_twin", lp_scheme(layers, 8, 0.0))
+            .unwrap();
+        // Packed storage, half the dense bytes, and the twin scenario
+        // holds the *same* code buffers (zero additional resident bytes).
+        assert_eq!(
+            a.resident_weight_bytes() * 2,
+            served.model().num_params() * 4
+        );
+        let ptrs = |m: &Model| -> Vec<usize> {
+            m.layer_storages()
+                .iter()
+                .map(|s| s.as_packed().expect("packed layer").codes_ptr())
+                .collect()
+        };
+        assert_eq!(ptrs(&a), ptrs(&b));
+        // A different format mints its own codes.
+        let c = served
+            .register(&server, "lp4", lp_scheme(layers, 4, 0.0))
+            .unwrap();
+        assert_ne!(ptrs(&a), ptrs(&c));
+    }
+
+    #[test]
+    fn batched_serving_matches_per_input_baseline() {
+        let served = ServedModel::new(tiny_model());
+        let server = test_server();
+        let layers = served.model().num_quant_layers();
+        served
+            .register(&server, "packed", lp_scheme(layers, 8, 0.0))
+            .unwrap();
+        served
+            .register_per_input(&server, "fanout", lp_scheme(layers, 8, 0.0))
+            .unwrap();
+        let client = server.client();
+        for i in 0..6 {
+            let input =
+                Tensor::from_vec(&[8], (0..8).map(|j| (i + j) as f32 * 0.07 - 0.2).collect());
+            let packed = client.infer("tiny_mlp", "packed", input.clone()).unwrap();
+            let fanout = client.infer("tiny_mlp", "fanout", input).unwrap();
+            assert_eq!(packed.data(), fanout.data());
+        }
     }
 
     #[test]

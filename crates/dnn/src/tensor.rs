@@ -1,8 +1,38 @@
-//! Dense `f32` tensors and the handful of linear-algebra kernels the model
-//! zoo needs. Deliberately minimal: row-major storage, explicit shapes,
+//! Dense `f32` tensors, packed quantized tensors ([`QTensor`]), and the
+//! GEMM kernels the model zoo needs. Row-major storage, explicit shapes,
 //! no broadcasting beyond what the ops require.
+//!
+//! ## The blocked GEMM kernel
+//!
+//! Every matrix product in the crate funnels into one cache-blocked
+//! kernel ([`gemm_t_panels`]): the right-hand operand is packed (or, for
+//! packed weights, *decoded*) tile by tile into a `[kb, nb]` panel that
+//! stays L1-resident, and the inner loop is a vectorizable
+//! `out_row += a * panel_row` saxpy with no serial dependency chain — the
+//! bottleneck of the retired dot-product loop (kept as
+//! [`Tensor::matmul_t_naive`], the benchmark baseline; see
+//! `BENCH_gemm.json`). Products are accumulated into each output element
+//! strictly in ascending-`k` order, one rounding per product — exactly the
+//! order of the naive kernel — so the blocked path is **bit-identical** to
+//! it, and row `i` of the output depends only on row `i` of the left
+//! operand, which is what makes batched forwards bit-identical to
+//! per-input forwards.
+//!
+//! ## Packed weights
+//!
+//! A [`QTensor`] stores `u16` codes from `lp::codec::quantize_batch` plus
+//! the shared [`DecodeTable`] that decodes them — 2 bytes per element
+//! instead of 4, and the code buffer is `Arc`-shared so clones (e.g. the
+//! same weights registered under several serving scenarios) cost nothing.
+//! [`Tensor::matmul_t_packed`] decodes codes through the table *inside*
+//! the blocked loop, into the same panel layout the dense kernel uses, so
+//! packed forwards are bit-identical to forwards over the dequantized
+//! `f32` copy.
 
+use lp::codec::{self, DecodeTable};
+use lp::Quantizer;
 use std::fmt;
+use std::sync::Arc;
 
 /// A dense row-major `f32` tensor.
 ///
@@ -126,7 +156,14 @@ impl Tensor {
         }
     }
 
-    /// Matrix multiplication `self[M,K] × rhs[K,N] → [M,N]`.
+    /// Matrix multiplication `self[M,K] × rhs[K,N] → [M,N]`, on the shared
+    /// blocked kernel.
+    ///
+    /// The former per-MAC `a == 0.0` sparsity shortcut is gone: on dense
+    /// layers it was a branch per multiply for nothing (BENCH_gemm.json's
+    /// `ikj_zero_skip` row quantifies the cost), and real sparsity is
+    /// better exploited at the format level (LP's zero code) than in the
+    /// inner loop.
     ///
     /// # Panics
     ///
@@ -139,20 +176,14 @@ impl Tensor {
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order: streams rhs rows, vectorizes the inner j loop.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+        let bd = &rhs.data;
+        // rhs is [K,N]: a panel row is a contiguous slice of a rhs row.
+        gemm_t_panels(m, k, n, &self.data, &mut out, |jc, nb, pc, kb, panel| {
+            for p in 0..kb {
+                let src = &bd[(pc + p) * n + jc..(pc + p) * n + jc + nb];
+                panel[p * nb..(p + 1) * nb].copy_from_slice(src);
             }
-        }
+        });
         Tensor {
             shape: vec![m, n],
             data: out,
@@ -160,13 +191,82 @@ impl Tensor {
     }
 
     /// Matrix multiplication with the second operand transposed:
-    /// `self[M,K] × rhs[N,K]ᵀ → [M,N]`. This is the natural layout for
-    /// linear layers stored as `[out, in]`.
+    /// `self[M,K] × rhs[N,K]ᵀ → [M,N]`, on the shared blocked kernel. This
+    /// is the natural layout for linear layers stored as `[out, in]`.
+    ///
+    /// Bit-identical to [`Tensor::matmul_t_naive`] (same per-element
+    /// accumulation order), several times faster on layer-sized operands.
     ///
     /// # Panics
     ///
     /// Panics unless both operands are rank-2 with matching `K`.
     pub fn matmul_t(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_t lhs must be rank-2");
+        assert_eq!(rhs.shape.len(), 2, "matmul_t rhs must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul_t inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let bd = &rhs.data;
+        // rhs is [N,K]: packing a panel transposes a [nb, kb] block.
+        gemm_t_panels(m, k, n, &self.data, &mut out, |jc, nb, pc, kb, panel| {
+            for j in 0..nb {
+                let src = &bd[(jc + j) * k + pc..(jc + j) * k + pc + kb];
+                for (p, &v) in src.iter().enumerate() {
+                    panel[p * nb + j] = v;
+                }
+            }
+        });
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// `self[M,K] × rhs[N,K]ᵀ → [M,N]` over **packed** weights: codes are
+    /// decoded through the table into the blocked kernel's panel scratch,
+    /// so the `f32` weight matrix is never materialized — the panel
+    /// (≤ [`GEMM_KC`]·[`GEMM_NC`] floats) is the only decoded state, reused
+    /// across all `M` left-hand rows of the batch.
+    ///
+    /// Bit-identical to `self.matmul_t(&rhs.dequantize())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is rank-2 and `rhs` is rank-2 with matching
+    /// `K`.
+    pub fn matmul_t_packed(&self, rhs: &QTensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_t lhs must be rank-2");
+        assert_eq!(rhs.shape().len(), 2, "matmul_t rhs must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
+        assert_eq!(k, k2, "matmul_t inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let codes = rhs.codes();
+        let values = rhs.table().values();
+        gemm_t_panels(m, k, n, &self.data, &mut out, |jc, nb, pc, kb, panel| {
+            for j in 0..nb {
+                let src = &codes[(jc + j) * k + pc..(jc + j) * k + pc + kb];
+                for (p, &c) in src.iter().enumerate() {
+                    panel[p * nb + j] = values[usize::from(c)];
+                }
+            }
+        });
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// The pre-blocking `matmul_t` (row × row dot products, one serial
+    /// accumulator). Kept as the measured baseline for `BENCH_gemm.json`
+    /// and the bit-identity reference for the blocked kernel; not used by
+    /// any forward path.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching `K`.
+    pub fn matmul_t_naive(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2, "matmul_t lhs must be rank-2");
         assert_eq!(rhs.shape.len(), 2, "matmul_t rhs must be rank-2");
         let (m, k) = (self.shape[0], self.shape[1]);
@@ -212,6 +312,201 @@ impl Tensor {
             return 0.0;
         }
         self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+}
+
+/// K-depth of one GEMM panel tile.
+pub const GEMM_KC: usize = 128;
+/// Output-column width of one GEMM panel tile. `KC × NC` floats (32 KB)
+/// bound the panel to L1-cache size.
+pub const GEMM_NC: usize = 64;
+
+/// The shared cache-blocked GEMM core: `out[M,N] += A[M,K] · Bᵀ`, with the
+/// right-hand operand delivered panel-wise by `fill`.
+///
+/// `fill(jc, nb, pc, kb, panel)` must write `panel[p * nb + j] =
+/// B[jc + j][pc + p]` for `p < kb, j < nb` — a `[kb, nb]` transposed tile.
+/// Dense callers copy, packed callers decode `u16` codes through their
+/// table; the compute loop is identical either way, which is what makes
+/// packed and dense forwards bit-identical.
+///
+/// Accumulation order per output element is strictly ascending `k`, one
+/// product rounded into `out` at a time — the same order as the naive
+/// dot-product kernel, and independent of `M`, so results never depend on
+/// how many left-hand rows are stacked into one call.
+fn gemm_t_panels<F>(m: usize, k: usize, n: usize, a: &[f32], out: &mut [f32], mut fill: F)
+where
+    F: FnMut(usize, usize, usize, usize, &mut [f32]),
+{
+    let mut panel = vec![0.0f32; GEMM_KC.min(k.max(1)) * GEMM_NC.min(n.max(1))];
+    let mut jc = 0;
+    while jc < n {
+        let nb = GEMM_NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kb = GEMM_KC.min(k - pc);
+            fill(jc, nb, pc, kb, &mut panel[..kb * nb]);
+            for i in 0..m {
+                let a_tile = &a[i * k + pc..i * k + pc + kb];
+                let o_row = &mut out[i * n + jc..i * n + jc + nb];
+                for (p, &av) in a_tile.iter().enumerate() {
+                    let b_row = &panel[p * nb..(p + 1) * nb];
+                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            pc += kb;
+        }
+        jc += nb;
+    }
+}
+
+/// A quantized tensor stored as `u16` table codes plus the shared
+/// [`DecodeTable`] that decodes them — the paper's "weights live as narrow
+/// words, decoded in the datapath" storage model. 2 bytes per element
+/// instead of 4, and the code buffer is `Arc`-shared: cloning (or
+/// [`QTensor::reshaped`]) costs a pointer bump, so serving scenarios that
+/// agree on a layer's codec key share one resident copy of its codes.
+///
+/// # Examples
+///
+/// ```
+/// use dnn::tensor::{QTensor, Tensor};
+/// use lp::format::LpParams;
+///
+/// let w = Tensor::from_vec(&[2, 4], vec![0.3, -0.7, 0.1, 0.9, -0.2, 0.4, -1.1, 0.6]);
+/// let q = LpParams::clamped(8, 2, 3, 0.0);
+/// let packed = QTensor::quantize(&w, &q);
+/// assert_eq!(packed.shape(), &[2, 4]);
+/// assert_eq!(packed.resident_bytes(), 16); // u16 codes: half of f32
+/// // Decoding reproduces the fake-quantized f32 tensor exactly.
+/// let mut fq = w.clone();
+/// use lp::Quantizer;
+/// q.quantize_slice(fq.data_mut());
+/// assert_eq!(packed.dequantize().data(), fq.data());
+/// ```
+#[derive(Clone)]
+pub struct QTensor {
+    shape: Vec<usize>,
+    codes: Arc<[u16]>,
+    table: Arc<DecodeTable>,
+}
+
+impl fmt::Debug for QTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QTensor{:?} [{} @ {} bits]",
+            self.shape,
+            self.table.codec_key(),
+            self.table.bits()
+        )
+    }
+}
+
+impl QTensor {
+    /// Quantizes a dense tensor into codes through `q`'s cached decode
+    /// table (`lp::codec::quantize_batch`).
+    pub fn quantize<Q: Quantizer + ?Sized>(t: &Tensor, q: &Q) -> QTensor {
+        let (codes, table) = codec::quantize_batch(q, t.data());
+        QTensor {
+            shape: t.shape().to_vec(),
+            codes: codes.into(),
+            table,
+        }
+    }
+
+    /// Assembles a `QTensor` from parts (codes must index into `table`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code count does not match the shape's element count
+    /// or any code is out of range for the table.
+    pub fn from_parts(shape: &[usize], codes: Arc<[u16]>, table: Arc<DecodeTable>) -> QTensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            codes.len(),
+            "shape {shape:?} does not match code count {}",
+            codes.len()
+        );
+        assert!(
+            codes.iter().all(|&c| usize::from(c) < table.len()),
+            "code out of range for decode table"
+        );
+        QTensor {
+            shape: shape.to_vec(),
+            codes,
+            table,
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The packed codes.
+    pub fn codes(&self) -> &[u16] {
+        &self.codes
+    }
+
+    /// The decode table the codes index into.
+    pub fn table(&self) -> &Arc<DecodeTable> {
+        &self.table
+    }
+
+    /// Stable identity of the shared code buffer — two `QTensor`s with the
+    /// same `codes_ptr` hold the *same* resident memory (used to account
+    /// for cross-scenario sharing without double counting).
+    pub fn codes_ptr(&self) -> usize {
+        self.codes.as_ptr() as usize
+    }
+
+    /// Bytes of resident storage held by the codes (2 per element). Shared
+    /// clones count the same bytes; dedupe by [`QTensor::codes_ptr`] when
+    /// aggregating.
+    pub fn resident_bytes(&self) -> usize {
+        self.codes.len() * std::mem::size_of::<u16>()
+    }
+
+    /// Decodes back to a dense `f32` tensor (bit-identical to the
+    /// fake-quantized copy the codes were measured from, modulo the
+    /// collapsed sign of flushed zeros).
+    pub fn dequantize(&self) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.table.dequantize_batch(&self.codes),
+        }
+    }
+
+    /// Returns a reshaped view sharing the same codes (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshaped(&self, shape: &[usize]) -> QTensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.codes.len(),
+            "cannot reshape {:?} to {shape:?}",
+            self.shape
+        );
+        QTensor {
+            shape: shape.to_vec(),
+            codes: Arc::clone(&self.codes),
+            table: Arc::clone(&self.table),
+        }
     }
 }
 
@@ -344,5 +639,101 @@ mod tests {
         let r = t.reshaped(&[3, 2]);
         assert_eq!(r.shape(), &[3, 2]);
         assert_eq!(r.data(), t.data());
+    }
+
+    fn pseudo_tensor(shape: &[usize], seed: f32) -> Tensor {
+        let len = shape.iter().product();
+        Tensor::from_vec(
+            shape,
+            (0..len)
+                .map(|i| ((i as f32 * 0.7391 + seed).sin()) * 1.3)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn blocked_matmul_t_is_bit_identical_to_naive() {
+        // Sizes straddling the tile boundaries (KC = 128, NC = 64),
+        // including degenerate m = 1 and exact-multiple shapes.
+        for (m, k, n) in [
+            (1usize, 300usize, 70usize),
+            (5, 128, 64),
+            (7, 129, 65),
+            (3, 1, 1),
+            (2, 257, 130),
+        ] {
+            let a = pseudo_tensor(&[m, k], 0.1);
+            let b = pseudo_tensor(&[n, k], 0.7);
+            let fast = a.matmul_t(&b);
+            let naive = a.matmul_t_naive(&b);
+            assert_eq!(fast.shape(), naive.shape());
+            for (i, (x, y)) in fast.data().iter().zip(naive.data()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n}) elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_matmul_t_bitwise() {
+        // matmul(a, b) and matmul_t(a, bᵀ) share the kernel and must agree
+        // bit-for-bit (identical panel contents, identical order).
+        let (m, k, n) = (6usize, 150, 90);
+        let a = pseudo_tensor(&[m, k], 0.3);
+        let b = pseudo_tensor(&[k, n], 0.9);
+        let mut bt = Tensor::zeros(&[n, k]);
+        for i in 0..k {
+            for j in 0..n {
+                bt.data_mut()[j * k + i] = b.data()[i * n + j];
+            }
+        }
+        let c1 = a.matmul(&b);
+        let c2 = a.matmul_t(&bt);
+        for (x, y) in c1.data().iter().zip(c2.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn packed_matmul_matches_dense_on_decoded_weights() {
+        use lp::format::LpParams;
+        let (m, k, n) = (9usize, 140, 70);
+        let a = pseudo_tensor(&[m, k], 0.2);
+        let w = pseudo_tensor(&[n, k], 0.5);
+        let q = LpParams::clamped(8, 2, 3, 0.0);
+        let packed = QTensor::quantize(&w, &q);
+        let dense = packed.dequantize();
+        let c_packed = a.matmul_t_packed(&packed);
+        let c_dense = a.matmul_t(&dense);
+        for (x, y) in c_packed.data().iter().zip(c_dense.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn qtensor_roundtrip_shares_codes_and_halves_bytes() {
+        use lp::format::LpParams;
+        let w = pseudo_tensor(&[8, 16], 0.4);
+        let q = LpParams::clamped(8, 2, 3, 0.0);
+        let packed = QTensor::quantize(&w, &q);
+        assert_eq!(packed.len(), 128);
+        assert_eq!(packed.resident_bytes() * 2, w.len() * 4);
+        // Reshape and clone share the code buffer.
+        let r = packed.reshaped(&[16, 8]);
+        assert_eq!(r.codes_ptr(), packed.codes_ptr());
+        assert_eq!(packed.clone().codes_ptr(), packed.codes_ptr());
+        // Decoding equals in-place fake quantization.
+        let mut fq = w.clone();
+        use lp::Quantizer;
+        q.quantize_slice(fq.data_mut());
+        assert_eq!(packed.dequantize().data(), fq.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match code count")]
+    fn qtensor_from_parts_checks_shape() {
+        use lp::format::LpParams;
+        let q = LpParams::clamped(8, 2, 3, 0.0);
+        let table = lp::Quantizer::decode_table(&q);
+        let _ = QTensor::from_parts(&[3], vec![0u16; 2].into(), table);
     }
 }

@@ -1,0 +1,207 @@
+//! Property suite for the packed-weights + batched-GEMM hot path:
+//!
+//! * [`Model::forward_batch`] over `B` stacked inputs is **bit-identical**
+//!   to `B` single [`Model::forward`] calls (the blocked kernel computes
+//!   each output row from its own left-hand row, in a `k`-ascending
+//!   accumulation order independent of how many rows are stacked);
+//! * packed-weight forwards ([`Model::quantize_weights_packed`]) are
+//!   bit-identical to fake-quantized `f32` forwards
+//!   ([`Model::quantize_weights`]) for **all 7 format families**.
+
+use dnn::graph::{Model, Op, QuantScheme};
+use dnn::tensor::Tensor;
+use lp::quantizer::{fit_quantizer, FormatKind};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn vecf(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    // `+ 0.0` normalizes a sampled -0.0 to +0.0: packed codes collapse the
+    // sign of flushed zeros, which is observable only through a layer
+    // *parameter* that is exactly -0.0.
+    prop::collection::vec((-1.5f32..1.5).prop_map(|v| v + 0.0), n)
+}
+
+/// A small random MLP: linear → relu → linear → layer-norm → linear.
+fn mlp(w1: Vec<f32>, w2: Vec<f32>, w3: Vec<f32>, b: Vec<f32>) -> Model {
+    let mut m = Model::new("p_mlp", &[5], 3);
+    let x = m.input_node();
+    let l1 = m.push(
+        Op::Linear {
+            weight: Tensor::from_vec(&[7, 5], w1).into(),
+            bias: b[..7].to_vec(),
+        },
+        &[x],
+    );
+    let r = m.push(Op::Relu, &[l1]);
+    let l2 = m.push(
+        Op::Linear {
+            weight: Tensor::from_vec(&[6, 7], w2).into(),
+            bias: b[7..13].to_vec(),
+        },
+        &[r],
+    );
+    let ln = m.push(
+        Op::LayerNorm {
+            gamma: vec![1.0; 6],
+            beta: vec![0.02; 6],
+        },
+        &[l2],
+    );
+    let l3 = m.push(
+        Op::Linear {
+            weight: Tensor::from_vec(&[3, 6], w3).into(),
+            bias: b[13..16].to_vec(),
+        },
+        &[ln],
+    );
+    m.set_output(l3);
+    m
+}
+
+/// A small random CNN: conv → relu → depthwise conv → global-avg-pool →
+/// linear (exercises the im2col stacked GEMM and the decoded-dense path).
+fn cnn(wc: Vec<f32>, wd: Vec<f32>, wl: Vec<f32>, b: Vec<f32>) -> Model {
+    let mut m = Model::new("p_cnn", &[2, 6, 6], 3);
+    let x = m.input_node();
+    let c = m.push(
+        Op::Conv2d {
+            weight: Tensor::from_vec(&[4, 2, 3, 3], wc).into(),
+            bias: b[..4].to_vec(),
+            stride: 1,
+            pad: 1,
+        },
+        &[x],
+    );
+    let r = m.push(Op::Relu, &[c]);
+    let d = m.push(
+        Op::DwConv2d {
+            weight: Tensor::from_vec(&[4, 3, 3], wd).into(),
+            bias: b[4..8].to_vec(),
+            stride: 1,
+            pad: 1,
+        },
+        &[r],
+    );
+    let g = m.push(Op::GlobalAvgPool, &[d]);
+    let l = m.push(
+        Op::Linear {
+            weight: Tensor::from_vec(&[3, 4], wl).into(),
+            bias: b[8..11].to_vec(),
+        },
+        &[g],
+    );
+    m.set_output(l);
+    m
+}
+
+fn assert_bitwise_eq(got: &Tensor, want: &Tensor, ctx: &str) {
+    assert_eq!(got.shape(), want.shape(), "{ctx}: shape");
+    for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: elem {i}: {x:?} vs {y:?}");
+    }
+}
+
+/// Per-layer fitted scheme of one format family over a model's weights.
+fn fitted_scheme(m: &Model, kind: FormatKind, bits: u32) -> QuantScheme {
+    let weights = m.layer_weights();
+    let mut scheme = QuantScheme::identity(m.num_quant_layers());
+    for (i, w) in scheme.weights.iter_mut().enumerate() {
+        *w = Some(Arc::from(fit_quantizer(kind, bits, weights[i]).unwrap()));
+    }
+    scheme
+}
+
+proptest! {
+    #[test]
+    fn batched_forward_is_bit_identical_to_singles_mlp(
+        w1 in vecf(35), w2 in vecf(42), w3 in vecf(18), b in vecf(16),
+        xs in prop::collection::vec(vecf(5), 1..5),
+    ) {
+        let m = mlp(w1, w2, w3, b);
+        let inputs: Vec<Tensor> = xs.into_iter().map(|d| Tensor::from_vec(&[5], d)).collect();
+        let batched = m.forward_batch(&inputs);
+        for (input, got) in inputs.iter().zip(&batched) {
+            assert_bitwise_eq(got, &m.forward(input), "mlp batch-vs-single");
+        }
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_singles_cnn(
+        wc in vecf(72), wd in vecf(36), wl in vecf(12), b in vecf(11),
+        xs in prop::collection::vec(vecf(72), 1..4),
+    ) {
+        let m = cnn(wc, wd, wl, b);
+        let inputs: Vec<Tensor> = xs
+            .into_iter()
+            .map(|d| Tensor::from_vec(&[2, 6, 6], d))
+            .collect();
+        let batched = m.forward_batch(&inputs);
+        for (input, got) in inputs.iter().zip(&batched) {
+            assert_bitwise_eq(got, &m.forward(input), "cnn batch-vs-single");
+        }
+    }
+
+    #[test]
+    fn packed_forward_matches_fake_quant_for_all_formats_mlp(
+        w1 in vecf(35), w2 in vecf(42), w3 in vecf(18), b in vecf(16),
+        x in vecf(5),
+    ) {
+        let m = mlp(w1, w2, w3, b);
+        let inputs = [Tensor::from_vec(&[5], x)];
+        for kind in FormatKind::ALL {
+            let scheme = fitted_scheme(&m, kind, 6);
+            let dense = m.quantize_weights(&scheme);
+            let packed = m.quantize_weights_packed(&scheme);
+            let want = dense.forward(&inputs[0]);
+            assert_bitwise_eq(
+                &packed.forward(&inputs[0]),
+                &want,
+                &format!("{kind} packed single"),
+            );
+            assert_bitwise_eq(
+                &packed.forward_batch(&inputs)[0],
+                &want,
+                &format!("{kind} packed batched"),
+            );
+        }
+    }
+
+    #[test]
+    fn packed_forward_matches_fake_quant_for_all_formats_cnn(
+        wc in vecf(72), wd in vecf(36), wl in vecf(12), b in vecf(11),
+        x in vecf(72),
+    ) {
+        let m = cnn(wc, wd, wl, b);
+        let input = Tensor::from_vec(&[2, 6, 6], x);
+        for kind in FormatKind::ALL {
+            let scheme = fitted_scheme(&m, kind, 6);
+            let dense = m.quantize_weights(&scheme);
+            let packed = m.quantize_weights_packed(&scheme);
+            assert_bitwise_eq(
+                &packed.forward(&input),
+                &dense.forward(&input),
+                &format!("{kind} packed cnn"),
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_t_is_bit_identical_to_naive_kernel(
+        m in 1usize..6, k in 1usize..200, n in 1usize..90,
+        seed in 0u64..1000,
+    ) {
+        let fill = |len: usize, salt: u64| -> Vec<f32> {
+            (0..len)
+                .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(seed + salt)
+                    % 10007) as f32 / 10007.0 - 0.5) * 3.0)
+                .collect()
+        };
+        let a = Tensor::from_vec(&[m, k], fill(m * k, 1));
+        let b = Tensor::from_vec(&[n, k], fill(n * k, 2));
+        let fast = a.matmul_t(&b);
+        let naive = a.matmul_t_naive(&b);
+        for (x, y) in fast.data().iter().zip(naive.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -61,7 +61,7 @@ proptest! {
         let mut m = Model::new("t", &[4], 2);
         let x = m.input_node();
         let w = Tensor::from_vec(&[2, 4], data.clone());
-        let l = m.push(Op::Linear { weight: w, bias: vec![0.0; 2] }, &[x]);
+        let l = m.push(Op::Linear { weight: w.into(), bias: vec![0.0; 2] }, &[x]);
         m.set_output(l);
         let mut scheme = QuantScheme::identity(1);
         let sf = LpParams::fit_sf(&data);

@@ -31,9 +31,53 @@
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
+
+/// Per-participant task counters (lock-free; incremented as tasks are
+/// claimed in [`PoolInner::find_task`]).
+#[derive(Default)]
+struct Counters {
+    executed: AtomicU64,
+    stolen: AtomicU64,
+}
+
+/// Executed/stolen task counts for one pool participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this participant claimed and ran (own deque, injector, or
+    /// steals — `stolen` is the subset taken from a sibling's deque).
+    pub executed: u64,
+    /// Tasks this participant stole from another worker's deque.
+    pub stolen: u64,
+}
+
+/// Point-in-time snapshot of the pool's scheduling counters: one row per
+/// worker plus an `external` row for non-worker threads that helped while
+/// waiting on a [`Pool::scope`]. Steal traffic is the observable that
+/// makes scheduler regressions visible in `BENCH_serve.json` directly
+/// (a dead work-stealing path shows up as `total_stolen == 0` under a
+/// skewed load, long before it shows up as throughput).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Counters per worker thread, by worker index.
+    pub workers: Vec<WorkerStats>,
+    /// Counters for non-worker threads helping from `scope`/`par_map`.
+    pub external: WorkerStats,
+}
+
+impl PoolStats {
+    /// Total tasks executed by every participant.
+    pub fn total_executed(&self) -> u64 {
+        self.workers.iter().map(|w| w.executed).sum::<u64>() + self.external.executed
+    }
+
+    /// Total tasks that moved between deques (stolen).
+    pub fn total_stolen(&self) -> u64 {
+        self.workers.iter().map(|w| w.stolen).sum::<u64>() + self.external.stolen
+    }
+}
 
 /// A unit of queued work. The `'static` bound is what scoped APIs erase —
 /// see the safety argument in [`Scope::spawn`].
@@ -70,18 +114,31 @@ struct PoolInner {
     shutdown: AtomicBool,
     /// Round-robin cursor so thieves don't all hammer deque 0.
     steal_cursor: AtomicUsize,
+    /// One counter row per worker plus a trailing row for external
+    /// (non-worker) helpers.
+    counters: Vec<Counters>,
 }
 
 impl PoolInner {
+    /// The counter row for a participant (`None` = external helper).
+    fn counters_of(&self, own: Option<usize>) -> &Counters {
+        &self.counters[own.unwrap_or(self.deques.len())]
+    }
+
     /// Pops the next task: own deque back (workers only), then injector
-    /// front, then steal a sibling's front.
+    /// front, then steal a sibling's front. Tallies the claim into the
+    /// participant's [`Counters`] row.
     fn find_task(&self, own: Option<usize>) -> Option<Task> {
         if let Some(i) = own {
             if let Some(t) = self.deques[i].lock().expect("deque poisoned").pop_back() {
+                self.counters[i].executed.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
         }
         if let Some(t) = self.injector.lock().expect("injector poisoned").pop_front() {
+            self.counters_of(own)
+                .executed
+                .fetch_add(1, Ordering::Relaxed);
             return Some(t);
         }
         let n = self.deques.len();
@@ -96,6 +153,9 @@ impl PoolInner {
                 .expect("deque poisoned")
                 .pop_front()
             {
+                let row = self.counters_of(own);
+                row.executed.fetch_add(1, Ordering::Relaxed);
+                row.stolen.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
         }
@@ -215,6 +275,7 @@ impl Pool {
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
             steal_cursor: AtomicUsize::new(0),
+            counters: (0..=threads).map(|_| Counters::default()).collect(),
         });
         let handles = (0..threads)
             .map(|i| {
@@ -244,6 +305,22 @@ impl Pool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.owner.inner.deques.len()
+    }
+
+    /// Snapshot of the per-worker executed/stolen counters (plus the
+    /// external-helper row). Counters are cumulative for the pool's
+    /// lifetime.
+    pub fn stats(&self) -> PoolStats {
+        let inner = &self.owner.inner;
+        let read = |c: &Counters| WorkerStats {
+            executed: c.executed.load(Ordering::Relaxed),
+            stolen: c.stolen.load(Ordering::Relaxed),
+        };
+        let threads = inner.deques.len();
+        PoolStats {
+            workers: inner.counters[..threads].iter().map(read).collect(),
+            external: read(&inner.counters[threads]),
+        }
     }
 
     /// Runs a detached `'static` task on the pool (fire-and-forget).
@@ -592,6 +669,52 @@ mod tests {
         let pool = Pool::new(3);
         let _ = pool.par_map(&(0..32).collect::<Vec<usize>>(), |&x| x);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn stats_count_every_executed_task() {
+        let pool = Pool::new(3);
+        let items: Vec<usize> = (0..100).collect();
+        let _ = pool.par_map(&items, |&x| x + 1);
+        let stats = pool.stats();
+        // par_map spawns `threads.min(n) - 1` helper tasks; every one of
+        // them was claimed through find_task and counted exactly once.
+        assert_eq!(stats.total_executed(), 2, "helpers spawned by par_map");
+        assert_eq!(stats.workers.len(), 3);
+        assert!(stats.total_stolen() <= stats.total_executed());
+    }
+
+    #[test]
+    fn skewed_spawns_register_steals() {
+        // Four spawner tasks each enqueue 8 sleepy children and then hold
+        // their thread for 30 ms. At most one spawner runs on the helping
+        // caller (children → injector); the other ≥ 3 run on workers, so
+        // their children sit in worker deques whose owners are asleep —
+        // the only way those children execute in time is theft, which the
+        // counters must record.
+        let pool = Pool::new(4);
+        let done = AtomicUsize::new(0);
+        let done_ref = &done;
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        s.spawn(|| {
+                            std::thread::sleep(Duration::from_millis(3));
+                            done_ref.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(30));
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 32);
+        let stats = pool.stats();
+        assert_eq!(stats.total_executed(), 36);
+        assert!(
+            stats.total_stolen() >= 1,
+            "deque-local children of sleeping owners must be stolen: {stats:?}"
+        );
     }
 
     #[test]

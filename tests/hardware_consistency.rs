@@ -57,7 +57,8 @@ fn functional_gemm_reproduces_dnn_linear_layer() {
         .expect("has a linear layer");
     let (w, out_f, in_f) = match &node.op {
         dnn::graph::Op::Linear { weight, .. } => {
-            (weight.data().to_vec(), weight.shape()[0], weight.shape()[1])
+            let dense = weight.to_dense();
+            (dense.data().to_vec(), weight.shape()[0], weight.shape()[1])
         }
         _ => unreachable!(),
     };
