@@ -14,29 +14,43 @@
 //!    the packed batched hot path (`ServedModel::register`: `u16` codes,
 //!    one stacked GEMM per layer via `Model::forward_batch`). Reports
 //!    req/s for both and the resident-weight-bytes delta.
-//! 3. **Multi-model serving** — two models × two quantization scenarios
+//! 3. **Async vs sync front-end** (`async_vs_sync`) — the same packed
+//!    batched registration driven two ways at the same offered load:
+//!    thread-per-request synchronous `Client`s (one blocked OS thread per
+//!    outstanding request) vs **one** driver thread holding the whole
+//!    window in flight as tickets through the completion-queue
+//!    [`serve::async_front::AsyncClient`]. A second, capped registration
+//!    is then deliberately overloaded to show admission control shedding
+//!    (`ServeError::Rejected`) with bounded queue depth and p99.
+//! 4. **Multi-model serving** — two models × two quantization scenarios
 //!    (plus a duplicate scenario proving code sharing) registered on one
 //!    batching server, hammered by concurrent synchronous clients;
-//!    reports requests/s, per-registration mean/p50/p99 latency, and the
-//!    pool's per-worker executed/stolen counters.
+//!    reports requests/s, per-registration mean/p50/p99 latency plus
+//!    submitted/shed/queue-depth counters, and the pool's per-worker
+//!    executed/stolen counters.
 //!
 //! Environment knobs (all optional): `SERVE_BENCH_REQUESTS` (total
-//! requests in phase 3, default 240), `SERVE_BENCH_CLIENTS` (client
+//! requests in phase 4, default 240), `SERVE_BENCH_CLIENTS` (client
 //! threads, default 8), `SERVE_BENCH_CANDIDATES` (candidates in the
 //! executor comparison, default 6), `SERVE_BENCH_CALIB` (calibration
 //! images per candidate, default 16), `SERVE_BENCH_CHUNK` (images per
 //! fan-out call, default 4), `SERVE_BENCH_REPS` (interleaved A/B
 //! repetitions, default 7), `SERVE_BENCH_AB_REQUESTS` /
-//! `SERVE_BENCH_AB_CLIENTS` (phase-2 load, defaults 600 / 16), and
-//! `SERVE_THREADS` (pool size). CI runs this in smoke mode with tiny
-//! counts; the defaults produce a meaningful measurement.
+//! `SERVE_BENCH_AB_CLIENTS` (phase-2 load, defaults 600 / 16),
+//! `SERVE_BENCH_INFLIGHT` (phase-3 in-flight window = sync client
+//! threads, default 1536), `SERVE_BENCH_ASYNC_REQUESTS` (phase-3 total,
+//! default 4096), `SERVE_BENCH_QUEUE_CAP` / `SERVE_BENCH_SHED_OFFERED`
+//! (phase-3 overload study, defaults 64 / 2048), and `SERVE_THREADS`
+//! (pool size). CI runs this in smoke mode with tiny counts; the defaults
+//! produce a meaningful measurement. Every knob's resolved value is
+//! recorded in the JSON (`config`), so runs are self-describing.
 
 use dnn::data;
 use dnn::graph::{Model, Op, QuantScheme};
 use dnn::serving::ServedModel;
 use dnn::Tensor;
 use serve::pool::Pool;
-use serve::server::{BatchPolicy, Server};
+use serve::server::{AdmissionPolicy, BatchPolicy, ServeError, Server};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -156,6 +170,112 @@ fn hammer(
     (wall_s, requests as f64 / wall_s.max(1e-12))
 }
 
+/// Drives one registration with `threads` synchronous clients — one
+/// blocked OS thread per outstanding request, the baseline concurrency
+/// model — issuing `total` requests; returns req/s.
+fn sync_thread_per_request(
+    server: &Server<Tensor, Tensor>,
+    model: &str,
+    scenario: &str,
+    inputs: &[Tensor],
+    threads: usize,
+    total: usize,
+) -> f64 {
+    let counter = Arc::new(AtomicUsize::new(0));
+    // Share the input set across the (possibly thousands of) client
+    // threads; the per-request `.clone()` below makes the owned tensor.
+    let inputs: Arc<[Tensor]> = inputs.into();
+    let t0 = Instant::now();
+    let mut joins = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let client = server.client();
+        let counter = Arc::clone(&counter);
+        let (model, scenario) = (model.to_string(), scenario.to_string());
+        let inputs = Arc::clone(&inputs);
+        let builder = std::thread::Builder::new().stack_size(512 * 1024);
+        joins.push(
+            builder
+                .spawn(move || loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    client
+                        .infer(&model, &scenario, inputs[i % inputs.len()].clone())
+                        .expect("sync request failed");
+                })
+                .expect("spawn sync client"),
+        );
+    }
+    for j in joins {
+        j.join().expect("sync client panicked");
+    }
+    total as f64 / t0.elapsed().as_secs_f64().max(1e-12)
+}
+
+/// Drives the same registration from **one** thread through the
+/// completion-queue front-end, keeping up to `window` tickets in flight;
+/// returns `(req/s, max observed in-flight tickets)`.
+fn async_single_driver(
+    server: &Server<Tensor, Tensor>,
+    model: &str,
+    scenario: &str,
+    inputs: &[Tensor],
+    window: usize,
+    total: usize,
+) -> (f64, usize) {
+    let cq = server.async_client();
+    let ep = cq.endpoint(model, scenario).expect("endpoint");
+    let mut submitted = 0usize;
+    let mut completed = 0usize;
+    let mut max_inflight = 0usize;
+    let t0 = Instant::now();
+    while completed < total {
+        // Top the window up: outstanding = in flight + completed-but-not-
+        // yet-harvested. Submission never blocks.
+        while submitted < total && cq.in_flight() + cq.completed_waiting() < window {
+            ep.submit(inputs[submitted % inputs.len()].clone())
+                .expect("uncapped registration must admit");
+            submitted += 1;
+            max_inflight = max_inflight.max(cq.in_flight());
+        }
+        // Harvest: block for one completion, then drain whatever else is
+        // already done without blocking.
+        let c = cq
+            .wait(Duration::from_secs(60))
+            .expect("completion lost — reactor starved");
+        c.result.expect("async request failed");
+        completed += 1;
+        while let Some(c) = cq.poll() {
+            c.result.expect("async request failed");
+            completed += 1;
+        }
+    }
+    (
+        total as f64 / t0.elapsed().as_secs_f64().max(1e-12),
+        max_inflight,
+    )
+}
+
+struct ShedResult {
+    queue_cap: usize,
+    offered: usize,
+    accepted: usize,
+    shed: usize,
+    p99_ms: f64,
+    max_queue_depth: usize,
+}
+
+struct AsyncVsSync {
+    total: usize,
+    window: usize,
+    sync_rps: f64,
+    async_rps: f64,
+    max_inflight: usize,
+    throughput_queue_cap: usize,
+    shed: ShedResult,
+}
+
 struct ServingRow {
     model: String,
     scenario: String,
@@ -163,11 +283,15 @@ struct ServingRow {
     mean_ms: f64,
     p50_ms: f64,
     p99_ms: f64,
+    submitted: u64,
+    shed: u64,
+    max_queue_depth: usize,
 }
 
 struct AbResult {
     requests: usize,
     clients: usize,
+    policy: BatchPolicy,
     per_input_rps: f64,
     batched_rps: f64,
     mean_batch: f64,
@@ -282,6 +406,7 @@ fn main() {
     let ab = AbResult {
         requests: ab_requests,
         clients: ab_clients,
+        policy: ab_policy,
         per_input_rps,
         batched_rps,
         mean_batch,
@@ -294,7 +419,147 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // Part 3: multi-model multi-scenario serving on the packed batched
+    // Part 3: async completion-queue front-end vs thread-per-request
+    // synchronous clients, same registration, same offered load — then an
+    // overload study on a capped registration to exercise load shedding.
+    // ------------------------------------------------------------------
+    let window = bench::env_usize("SERVE_BENCH_INFLIGHT", 1536);
+    let async_total = bench::env_usize("SERVE_BENCH_ASYNC_REQUESTS", 4096);
+    let queue_cap = bench::env_usize("SERVE_BENCH_QUEUE_CAP", 64);
+    let shed_offered = bench::env_usize("SERVE_BENCH_SHED_OFFERED", 2048);
+    let avs = {
+        let server: Server<Tensor, Tensor> = Server::new(pool.clone(), ab_policy);
+        // Throughput registration: cap well above the window so the
+        // comparison itself never sheds. (The codes are shared with the
+        // part-2 registrations through the model's weight cache — packing
+        // here costs nothing.)
+        let throughput_cap = window * 2;
+        mlp.register_async(
+            &server,
+            "lp8_async",
+            bench::uniform_lp_scheme(mlp.model(), 8),
+            AdmissionPolicy::capped(throughput_cap),
+        )
+        .expect("async registration failed");
+        // Warm both faces briefly outside the timed windows, scaled down
+        // from the real window so tiny smoke configurations (window <
+        // cap-sized warm-up loads) cannot trip admission control.
+        let warm_window = (window / 4).clamp(1, 64);
+        let _ = sync_thread_per_request(
+            &server,
+            "mlp_256",
+            "lp8_async",
+            &mlp_inputs,
+            warm_window,
+            warm_window * 2,
+        );
+        let _ = async_single_driver(
+            &server,
+            "mlp_256",
+            "lp8_async",
+            &mlp_inputs,
+            warm_window,
+            warm_window * 2,
+        );
+        let sync_rps = sync_thread_per_request(
+            &server,
+            "mlp_256",
+            "lp8_async",
+            &mlp_inputs,
+            window,
+            async_total,
+        );
+        let (async_rps, max_inflight) = async_single_driver(
+            &server,
+            "mlp_256",
+            "lp8_async",
+            &mlp_inputs,
+            window,
+            async_total,
+        );
+
+        // Overload study: a burst far beyond the cap must be shed with the
+        // typed error while accepted requests keep bounded queue depth
+        // (and therefore bounded p99).
+        mlp.register_async(
+            &server,
+            "lp8_shed",
+            bench::uniform_lp_scheme(mlp.model(), 8),
+            AdmissionPolicy::capped(queue_cap),
+        )
+        .expect("capped registration failed");
+        let cq = server.async_client();
+        let ep = cq.endpoint("mlp_256", "lp8_shed").expect("endpoint");
+        let mut accepted = 0usize;
+        let mut shed = 0usize;
+        for i in 0..shed_offered {
+            match ep.submit(mlp_inputs[i % mlp_inputs.len()].clone()) {
+                Ok(_) => accepted += 1,
+                Err(ServeError::Rejected { .. }) => shed += 1,
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        for _ in 0..accepted {
+            cq.wait(Duration::from_secs(60))
+                .expect("shed-study completion lost")
+                .result
+                .expect("accepted request failed");
+        }
+        let snap = server.stats("mlp_256", "lp8_shed").expect("shed stats");
+        assert!(
+            shed > 0,
+            "offered {shed_offered} must overrun cap {queue_cap}"
+        );
+        assert_eq!(snap.shed, shed as u64, "stats must count every shed");
+        assert!(
+            snap.max_queue_depth <= queue_cap,
+            "cap must bound queue depth: {} > {queue_cap}",
+            snap.max_queue_depth
+        );
+        server.shutdown();
+        AsyncVsSync {
+            total: async_total,
+            window,
+            sync_rps,
+            async_rps,
+            max_inflight,
+            throughput_queue_cap: throughput_cap,
+            shed: ShedResult {
+                queue_cap,
+                offered: shed_offered,
+                accepted,
+                shed,
+                p99_ms: snap.p99_s * 1e3,
+                max_queue_depth: snap.max_queue_depth,
+            },
+        }
+    };
+    println!(
+        "async vs sync (mlp_256, window {}, {} requests): sync thread-per-request \
+         {:.0} req/s ({} OS threads), async completion-queue {:.0} req/s \
+         (1 driver thread, max {} tickets in flight) = {:.2}x",
+        avs.window,
+        avs.total,
+        avs.sync_rps,
+        avs.window,
+        avs.async_rps,
+        avs.max_inflight,
+        avs.async_rps / avs.sync_rps.max(1e-12)
+    );
+    println!(
+        "load shedding (cap {}): offered {} in a burst, accepted {}, shed {} \
+         ({:.1}%), accepted p99 {:.3} ms, max queue depth {}",
+        avs.shed.queue_cap,
+        avs.shed.offered,
+        avs.shed.accepted,
+        avs.shed.shed,
+        100.0 * avs.shed.shed as f64 / avs.shed.offered.max(1) as f64,
+        avs.shed.p99_ms,
+        avs.shed.max_queue_depth
+    );
+
+    // ------------------------------------------------------------------
+    // Part 4: multi-model multi-scenario serving on the packed batched
     // path, with resident-weight accounting.
     // ------------------------------------------------------------------
     let server: Server<Tensor, Tensor> = Server::new(
@@ -395,6 +660,9 @@ fn main() {
             mean_ms: snap.mean_s * 1e3,
             p50_ms: snap.p50_s * 1e3,
             p99_ms: snap.p99_s * 1e3,
+            submitted: snap.submitted,
+            shed: snap.shed,
+            max_queue_depth: snap.max_queue_depth,
         };
         println!(
             "{:<10} {:<10} {:>7} {:>10.3} {:>10.3} {:>10.3}",
@@ -418,6 +686,11 @@ fn main() {
     bench::check_metric("per_input_rps", ab.per_input_rps);
     bench::check_metric("batched_rps", ab.batched_rps);
     bench::check_metric("mean_batch", ab.mean_batch);
+    bench::check_metric("sync_rps", avs.sync_rps);
+    bench::check_metric("async_rps", avs.async_rps);
+    bench::check_metric("max_inflight", avs.max_inflight as f64);
+    bench::check_metric("shed_count", avs.shed.shed as f64);
+    bench::check_metric("shed_p99_ms", avs.shed.p99_ms);
     bench::check_metric("requests_per_s", rps);
     bench::check_metric("dense_equiv_bytes", memory.dense_equiv_bytes as f64);
     bench::check_metric("packed_bytes", memory.packed_bytes as f64);
@@ -431,6 +704,7 @@ fn main() {
         scoped_s,
         pooled_s,
         &ab,
+        &avs,
         &memory,
         requests,
         wall_s,
@@ -451,6 +725,7 @@ fn write_json(
     scoped_s: f64,
     pooled_s: f64,
     ab: &AbResult,
+    avs: &AsyncVsSync,
     memory: &MemoryResult,
     requests: usize,
     wall_s: f64,
@@ -461,6 +736,42 @@ fn write_json(
 ) {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"pool_threads\": {threads},\n"));
+    // Run configuration, so every artifact is self-describing: the thread
+    // count, batching policy, load, and queue caps that produced it.
+    out.push_str("  \"config\": {\n");
+    // Validate rather than quote: SERVE_THREADS is numeric or absent, and
+    // embedding an arbitrary env string could break the JSON.
+    out.push_str(&format!(
+        "    \"serve_threads_env\": {},\n",
+        std::env::var("SERVE_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or_else(|| "null".to_string(), |n| n.to_string())
+    ));
+    out.push_str(&format!("    \"pool_threads\": {threads},\n"));
+    out.push_str(&format!("    \"ab_max_batch\": {},\n", ab.policy.max_batch));
+    out.push_str(&format!(
+        "    \"ab_max_wait_ms\": {},\n",
+        ab.policy.max_wait.as_millis()
+    ));
+    out.push_str(&format!("    \"ab_requests\": {},\n", ab.requests));
+    out.push_str(&format!("    \"ab_clients\": {},\n", ab.clients));
+    out.push_str(&format!("    \"async_inflight_window\": {},\n", avs.window));
+    out.push_str(&format!("    \"async_requests\": {},\n", avs.total));
+    out.push_str(&format!(
+        "    \"async_throughput_queue_cap\": {},\n",
+        avs.throughput_queue_cap
+    ));
+    out.push_str(&format!(
+        "    \"shed_queue_cap\": {},\n",
+        avs.shed.queue_cap
+    ));
+    out.push_str(&format!("    \"shed_offered\": {},\n", avs.shed.offered));
+    out.push_str(&format!("    \"serving_requests\": {requests},\n"));
+    out.push_str(&format!("    \"lpq_candidates\": {candidates},\n"));
+    out.push_str(&format!("    \"lpq_calibration_images\": {calib},\n"));
+    out.push_str(&format!("    \"lpq_micro_batch\": {chunk}\n"));
+    out.push_str("  },\n");
     out.push_str("  \"lpq_candidate_eval\": {\n");
     out.push_str(&format!("    \"candidates\": {candidates},\n"));
     out.push_str(&format!("    \"calibration_images\": {calib},\n"));
@@ -476,7 +787,7 @@ fn write_json(
     out.push_str("    \"model\": \"mlp_256\",\n");
     out.push_str(&format!("    \"requests\": {},\n", ab.requests));
     out.push_str(&format!("    \"clients\": {},\n", ab.clients));
-    out.push_str("    \"max_batch\": 4,\n");
+    out.push_str(&format!("    \"max_batch\": {},\n", ab.policy.max_batch));
     out.push_str(&format!(
         "    \"per_input_f32_rps\": {:.1},\n",
         ab.per_input_rps
@@ -493,6 +804,51 @@ fn write_json(
         "    \"mean_dispatched_batch\": {:.2}\n",
         ab.mean_batch
     ));
+    out.push_str("  },\n");
+    out.push_str("  \"async_vs_sync\": {\n");
+    out.push_str("    \"model\": \"mlp_256\",\n");
+    out.push_str(&format!("    \"requests\": {},\n", avs.total));
+    out.push_str(&format!("    \"inflight_window\": {},\n", avs.window));
+    out.push_str("    \"async_driver_threads\": 1,\n");
+    out.push_str(&format!("    \"sync_client_threads\": {},\n", avs.window));
+    out.push_str(&format!(
+        "    \"sync_thread_per_request_rps\": {:.1},\n",
+        avs.sync_rps
+    ));
+    out.push_str(&format!(
+        "    \"async_completion_queue_rps\": {:.1},\n",
+        avs.async_rps
+    ));
+    out.push_str(&format!(
+        "    \"async_over_sync\": {:.3},\n",
+        avs.async_rps / avs.sync_rps.max(1e-12)
+    ));
+    out.push_str(&format!(
+        "    \"max_inflight_tickets\": {},\n",
+        avs.max_inflight
+    ));
+    out.push_str(&format!(
+        "    \"throughput_queue_cap\": {},\n",
+        avs.throughput_queue_cap
+    ));
+    out.push_str("    \"load_shedding\": {\n");
+    out.push_str(&format!("      \"queue_cap\": {},\n", avs.shed.queue_cap));
+    out.push_str(&format!("      \"offered_burst\": {},\n", avs.shed.offered));
+    out.push_str(&format!("      \"accepted\": {},\n", avs.shed.accepted));
+    out.push_str(&format!("      \"shed\": {},\n", avs.shed.shed));
+    out.push_str(&format!(
+        "      \"shed_fraction\": {:.4},\n",
+        avs.shed.shed as f64 / avs.shed.offered.max(1) as f64
+    ));
+    out.push_str(&format!(
+        "      \"accepted_p99_ms\": {:.3},\n",
+        avs.shed.p99_ms
+    ));
+    out.push_str(&format!(
+        "      \"max_queue_depth\": {}\n",
+        avs.shed.max_queue_depth
+    ));
+    out.push_str("    }\n");
     out.push_str("  },\n");
     out.push_str("  \"resident_weight_bytes\": {\n");
     out.push_str(&format!(
@@ -522,13 +878,17 @@ fn write_json(
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "      {{\"model\": \"{}\", \"scenario\": \"{}\", \"count\": {}, \
-             \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+             \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"submitted\": {}, \"shed\": {}, \"max_queue_depth\": {}}}{}\n",
             r.model,
             r.scenario,
             r.count,
             r.mean_ms,
             r.p50_ms,
             r.p99_ms,
+            r.submitted,
+            r.shed,
+            r.max_queue_depth,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

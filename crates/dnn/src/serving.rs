@@ -18,10 +18,17 @@
 //! batch-wise — bit-identical to per-input fake-quantized forwards (the
 //! retired per-input fan-out survives as
 //! [`ServedModel::register_per_input`], the benchmark baseline).
+//!
+//! Registrations serve both server faces: blocked synchronous
+//! [`Client`](serve::server::Client) calls and ticketed asynchronous
+//! submission ([`serve::async_front::AsyncClient`]). Use
+//! [`ServedModel::register_async`] to attach the queue cap that makes the
+//! async face safe under overload (load shedding instead of unbounded
+//! queues).
 
 use crate::graph::{Model, QuantScheme, WeightCache};
 use crate::tensor::Tensor;
-use serve::server::{ServeError, Server};
+use serve::server::{AdmissionPolicy, ServeError, Server};
 use std::sync::Arc;
 
 /// The request/response server type the model glue targets.
@@ -91,13 +98,49 @@ impl ServedModel {
         scenario: &str,
         scheme: QuantScheme,
     ) -> Result<Arc<Model>, ServeError> {
+        self.register_async(server, scenario, scheme, AdmissionPolicy::default())
+    }
+
+    /// The asynchronous serving registration path: identical packed
+    /// batched hot path, plus an explicit [`AdmissionPolicy`] — the queue
+    /// cap that makes high-fan-in async submission safe. A driver pushing
+    /// tickets through [`serve::async_front::AsyncClient`] faster than
+    /// the pool drains them is shed with [`ServeError::Rejected`]
+    /// instead of growing the queue (and p99) without bound; sheds are
+    /// counted per registration in
+    /// [`StatsSnapshot::shed`](serve::stats::StatsSnapshot::shed).
+    ///
+    /// [`ServedModel::register`] is this with an unbounded queue — the
+    /// right default for cooperating synchronous clients, which
+    /// self-limit at one in-flight request per thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError`] from registration (duplicate key or
+    /// shutdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme's length does not match the model's
+    /// weighted-layer count (same contract as
+    /// [`Model::quantize_weights_packed`]).
+    pub fn register_async(
+        &self,
+        server: &TensorServer,
+        scenario: &str,
+        scheme: QuantScheme,
+        admission: AdmissionPolicy,
+    ) -> Result<Arc<Model>, ServeError> {
         let scheme = scheme.with_shared_cache(Arc::clone(&self.cache));
         let quantized = Arc::new(self.model.quantize_weights_packed(&scheme));
         let scheme = Arc::new(scheme);
         let handle = Arc::clone(&quantized);
-        server.register(self.model.name(), scenario, move |batch: &[Tensor]| {
-            quantized.forward_batch_quant(batch, Some(&scheme))
-        })?;
+        server.register_with(
+            self.model.name(),
+            scenario,
+            admission,
+            move |batch: &[Tensor]| quantized.forward_batch_quant(batch, Some(&scheme)),
+        )?;
         Ok(handle)
     }
 
@@ -288,6 +331,69 @@ mod tests {
             let packed = client.infer("tiny_mlp", "packed", input.clone()).unwrap();
             let fanout = client.infer("tiny_mlp", "fanout", input).unwrap();
             assert_eq!(packed.data(), fanout.data());
+        }
+    }
+
+    #[test]
+    fn async_registration_serves_tickets_and_sheds_at_cap() {
+        use serve::server::ServeError;
+
+        let served = ServedModel::new(tiny_model());
+        let server = test_server();
+        let layers = served.model().num_quant_layers();
+        let scheme = lp_scheme(layers, 8, 0.0);
+        served
+            .register_async(&server, "lp8", scheme.clone(), AdmissionPolicy::capped(256))
+            .unwrap();
+
+        // Async submissions produce the same tensors as the sync client
+        // (one shared registration, one shared hot path).
+        let cq = server.async_client();
+        let inputs: Vec<Tensor> = (0..12)
+            .map(|i| Tensor::from_vec(&[8], (0..8).map(|j| (i * j) as f32 * 0.05 - 0.2).collect()))
+            .collect();
+        let mut by_ticket = std::collections::HashMap::new();
+        for input in &inputs {
+            let want = server
+                .client()
+                .infer("tiny_mlp", "lp8", input.clone())
+                .unwrap();
+            let t = cq.submit("tiny_mlp", "lp8", input.clone()).unwrap();
+            by_ticket.insert(t, want);
+        }
+        for _ in 0..by_ticket.len() {
+            let c = cq
+                .wait(std::time::Duration::from_secs(10))
+                .expect("completion lost");
+            let want = by_ticket.remove(&c.ticket).expect("unknown ticket");
+            assert_eq!(c.result.unwrap().data(), want.data());
+        }
+
+        // A tiny cap on a second scenario sheds a burst with the typed
+        // error and counts it in the registration's stats.
+        served
+            .register_async(&server, "lp8_capped", scheme, AdmissionPolicy::capped(2))
+            .unwrap();
+        let mut shed = 0;
+        for i in 0..64 {
+            let input = Tensor::from_vec(&[8], vec![i as f32 * 0.01; 8]);
+            match cq.submit("tiny_mlp", "lp8_capped", input) {
+                Ok(_) => {}
+                Err(ServeError::Rejected { cap, .. }) => {
+                    assert_eq!(cap, 2);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(shed > 0, "burst of 64 must overrun cap 2");
+        assert_eq!(
+            server.stats("tiny_mlp", "lp8_capped").unwrap().shed,
+            shed as u64
+        );
+        // Drain accepted completions so shutdown has nothing to strand.
+        while cq.in_flight() + cq.completed_waiting() > 0 {
+            let _ = cq.wait(std::time::Duration::from_secs(10));
         }
     }
 

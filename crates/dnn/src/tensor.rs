@@ -5,7 +5,7 @@
 //! ## The blocked GEMM kernel
 //!
 //! Every matrix product in the crate funnels into one cache-blocked
-//! kernel ([`gemm_t_panels`]): the right-hand operand is packed (or, for
+//! kernel (the private `gemm_t_panels`): the right-hand operand is packed (or, for
 //! packed weights, *decoded*) tile by tile into a `[kb, nb]` panel that
 //! stays L1-resident, and the inner loop is a vectorizable
 //! `out_row += a * panel_row` saxpy with no serial dependency chain — the

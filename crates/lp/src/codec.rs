@@ -490,7 +490,30 @@ pub fn cached_table_count() -> usize {
 
 /// Batch-quantizes `xs` through the cached table of `q`, returning the
 /// `u16` codes together with the table that decodes them — the
-/// tensor-granular API the `dnn`/`lpa` crates build on.
+/// tensor-granular API the `dnn`/`lpa` crates build on (packed serving
+/// weights are exactly these codes plus the shared table).
+///
+/// # Examples
+///
+/// ```
+/// use lp::codec::{dequantize_batch, quantize_batch};
+/// use lp::format::LpParams;
+/// use lp::Quantizer;
+///
+/// let lp8 = LpParams::clamped(8, 2, 3, 0.0);
+/// let xs = [0.0_f32, 0.37, -1.25, 7.0];
+/// let (codes, table) = quantize_batch(&lp8, &xs);
+/// assert_eq!(codes.len(), xs.len());
+///
+/// // Decoding a code yields the representable value the scalar
+/// // quantizer would have produced — the table path is bit-identical
+/// // to the reference path by construction.
+/// let decoded = dequantize_batch(&codes, &table);
+/// for (&x, &d) in xs.iter().zip(&decoded) {
+///     assert_eq!(d, lp8.quantize(f64::from(x)) as f32);
+/// }
+/// assert_eq!(decoded[0], 0.0, "signed zero round-trips");
+/// ```
 pub fn quantize_batch<Q: Quantizer + ?Sized>(q: &Q, xs: &[f32]) -> (Vec<u16>, Arc<DecodeTable>) {
     let table = cached_table(q);
     let codes = table.quantize_batch(xs);

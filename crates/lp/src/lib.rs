@@ -21,7 +21,7 @@
 //!
 //! ## Modules
 //!
-//! * [`format`] — the bit-exact LP codec ([`LpParams`], [`LpWord`])
+//! * [`format`](mod@format) — the bit-exact LP codec ([`LpParams`], [`LpWord`])
 //! * [`codec`] — the table-driven batch quantization codec
 //!   ([`DecodeTable`], `quantize_batch`): every ≤16-bit format collapses
 //!   into a sorted decode table + branch-light binary search, replacing
@@ -32,8 +32,8 @@
 //! * [`arith`] — log-domain arithmetic and the 8-bit log↔linear converters
 //!   used by the LPA accelerator datapath
 //! * [`accuracy`] — decimal-accuracy metrics (Fig. 1(b) of the paper)
-//! * [`quantizer`] — a uniform [`Quantizer`](quantizer::Quantizer) trait over
-//!   every format, with tensor-adaptive parameter fitting
+//! * [`quantizer`] — a uniform [`Quantizer`](trait@quantizer::Quantizer) trait
+//!   over every format, with tensor-adaptive parameter fitting
 //!
 //! ## Quick example
 //!

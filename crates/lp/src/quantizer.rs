@@ -4,8 +4,8 @@
 //! `bench` crate uses for the format-comparison figures.
 //!
 //! The hot path is [`Quantizer::quantize_slice`], which routes through the
-//! lazily-cached [`DecodeTable`](crate::codec::DecodeTable) of
-//! [`lp::codec`](crate::codec) — a sorted-value binary search instead of
+//! lazily-cached [`DecodeTable`] of the
+//! [`crate::codec`] module — a sorted-value binary search instead of
 //! per-element transcendentals. The scalar [`Quantizer::quantize`] remains
 //! the semantic reference (and is what the table is measured from).
 

@@ -10,19 +10,32 @@
 //! * [`server`] — a multi-model micro-batching inference server generic
 //!   over request/response payloads: per-`(model, scenario)` queues, a
 //!   max-batch/max-wait scheduler dispatching micro-batches onto the pool,
-//!   synchronous [`server::Client`] handles, and per-registration
-//!   [`stats`] (count, mean, p50/p99 latency).
+//!   synchronous [`server::Client`] handles, per-registration admission
+//!   control ([`server::AdmissionPolicy`] queue caps with load shedding),
+//!   and per-registration [`stats`] (count, mean, p50/p99 latency, shed /
+//!   queue-depth backpressure counters).
+//!
+//! On top of the server sits [`async_front`] — the poll/completion-queue
+//! asynchronous face: [`async_front::AsyncClient::submit`] returns a
+//! [`async_front::Ticket`] without blocking, completions are harvested
+//! from a completion queue or awaited as hand-rolled futures under
+//! [`async_front::reactor`], so a single driver thread sustains thousands
+//! of in-flight requests where the synchronous [`server::Client`] needs a
+//! blocked OS thread each (`async_vs_sync` in `BENCH_serve.json`).
 //!
 //! `dnn::serving` supplies the glue that registers quantized DNN models
 //! here with weight caches shared across scenarios; see
-//! `crates/bench/src/bin/serve_throughput.rs` for the end-to-end driver.
+//! `crates/bench/src/bin/serve_throughput.rs` for the end-to-end driver
+//! and `ARCHITECTURE.md` at the repo root for the life of a request.
 
 #![warn(missing_docs)]
 
+pub mod async_front;
 pub mod pool;
 pub mod server;
 pub mod stats;
 
+pub use async_front::{reactor, AsyncClient, Completion, InferFuture, Ticket};
 pub use pool::{par_map_pooled, Pool};
-pub use server::{BatchPolicy, Client, ServeError, Server};
+pub use server::{AdmissionPolicy, BatchPolicy, Client, ServeError, Server};
 pub use stats::{percentile, StatsCollector, StatsSnapshot};

@@ -22,13 +22,28 @@
 //!
 //! [`Client::infer`] is synchronous: it enqueues the request and blocks the
 //! *calling* thread until its response is ready. Call it from request
-//! threads, not from inside pool tasks.
+//! threads, not from inside pool tasks. For thousands of in-flight
+//! requests from one thread, use the asynchronous front-end instead
+//! ([`Server::async_client`] → [`crate::async_front`]): both faces share
+//! the queues, the batching scheduler and the statistics — they differ
+//! only in how a finished response reaches the caller (condvar slot vs
+//! completion queue / future).
+//!
+//! ## Admission control
+//!
+//! Every registration carries an [`AdmissionPolicy`]. When its `queue_cap`
+//! of **outstanding** (accepted, unfulfilled) requests is reached, further
+//! submissions are refused with [`ServeError::Rejected`] instead of
+//! growing the backlog without bound — load shedding keeps the wait of
+//! accepted requests (and thus p99 latency) bounded under overload, and
+//! the shed count is visible in [`StatsSnapshot`].
 
+use crate::async_front::AsyncClient;
 use crate::pool::Pool;
 use crate::stats::{StatsCollector, StatsSnapshot};
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -68,6 +83,18 @@ pub enum ServeError {
         /// Registered scenario name.
         scenario: String,
     },
+    /// The submission was refused at admission: the registration already
+    /// held `cap` outstanding requests ([`AdmissionPolicy`]). This is
+    /// *load shedding* — retry later or slow down; the request was never
+    /// enqueued and consumed no server resources.
+    Rejected {
+        /// Model name of the overloaded registration.
+        model: String,
+        /// Scenario name of the overloaded registration.
+        scenario: String,
+        /// The queue cap that was reached.
+        cap: usize,
+    },
     /// The batch function panicked or returned a malformed batch.
     InferenceFailed,
     /// The server is shutting down and no longer accepts requests.
@@ -83,6 +110,16 @@ impl std::fmt::Display for ServeError {
             ServeError::DuplicateRegistration { model, scenario } => {
                 write!(f, "({model}, {scenario}) is already registered")
             }
+            ServeError::Rejected {
+                model,
+                scenario,
+                cap,
+            } => {
+                write!(
+                    f,
+                    "({model}, {scenario}) shed the request: backlog at cap {cap}"
+                )
+            }
             ServeError::InferenceFailed => write!(f, "batch inference failed"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
         }
@@ -91,8 +128,49 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Admission control for one registration.
+///
+/// `queue_cap` bounds the registration's **outstanding** requests:
+/// accepted but not yet fulfilled, whether still queued or already
+/// dispatched to the pool. A submission that would exceed the cap is
+/// refused with [`ServeError::Rejected`] and counted in
+/// [`StatsSnapshot::shed`](crate::stats::StatsSnapshot::shed).
+///
+/// Counting outstanding (not merely queued) requests is what makes the
+/// bound real: an accepted request has at most `queue_cap - 1` requests
+/// of its registration ahead of it anywhere in the system, so its wait
+/// is bounded by `ceil(queue_cap / max_batch)` batch executions (plus
+/// pool contention from *other* registrations) no matter how far the
+/// offered load exceeds capacity — overload moves the excess into shed
+/// counts, not into p99 (`async_vs_sync.load_shedding` in
+/// `BENCH_serve.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Maximum outstanding (accepted, unfulfilled) requests the
+    /// registration may hold. `usize::MAX` (the default) means
+    /// unbounded — never shed.
+    pub queue_cap: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            queue_cap: usize::MAX,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// An admission policy shedding load beyond `queue_cap` outstanding
+    /// requests.
+    pub fn capped(queue_cap: usize) -> Self {
+        assert!(queue_cap >= 1, "queue_cap must be at least 1");
+        AdmissionPolicy { queue_cap }
+    }
+}
+
 /// One-shot response cell a blocked client waits on.
-struct Slot<O> {
+pub(crate) struct Slot<O> {
     cell: Mutex<Option<Result<O, ServeError>>>,
     ready: Condvar,
 }
@@ -121,18 +199,58 @@ impl<O> Slot<O> {
     }
 }
 
+/// How a finished response reaches its submitter — the one point where
+/// the synchronous and asynchronous front-ends diverge. The scheduler and
+/// dispatch path are completer-agnostic: they fulfill whatever completer
+/// rode in with the request.
+pub(crate) enum Completer<O> {
+    /// Synchronous [`Client::infer`]: wake the condvar the caller blocks
+    /// on.
+    Sync(Arc<Slot<O>>),
+    /// Asynchronous ticket: push onto the submitter's completion queue.
+    Queue(Arc<crate::async_front::CqShared<O>>),
+    /// Hand-rolled future: store the result and wake the task's waker.
+    Future(Arc<crate::async_front::FutShared<O>>),
+}
+
+impl<O> Completer<O> {
+    /// Delivers the response for request `id`.
+    fn fulfill(&self, id: u64, r: Result<O, ServeError>) {
+        match self {
+            Completer::Sync(slot) => slot.fulfill(r),
+            Completer::Queue(cq) => cq.complete(id, r),
+            Completer::Future(fut) => fut.complete(r),
+        }
+    }
+}
+
 /// A queued request.
 struct Pending<I, O> {
+    /// Process-unique request id (the ticket number on the async path).
+    id: u64,
     input: I,
     enqueued: Instant,
-    slot: Arc<Slot<O>>,
+    completer: Completer<O>,
 }
+
+/// Process-wide request id source (ids are unique across servers, so a
+/// ticket can never be confused between completion queues).
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(0);
 
 /// The batch inference function type for one registration.
 pub type InferFn<I, O> = Arc<dyn Fn(&[I]) -> Vec<O> + Send + Sync>;
 
-struct Registration<I, O> {
+pub(crate) struct Registration<I, O> {
+    /// The `(model, scenario)` key, kept for error construction.
+    key: (String, String),
     infer: InferFn<I, O>,
+    admission: AdmissionPolicy,
+    /// Accepted requests not yet fulfilled — queued **or** dispatched.
+    /// Admission gates on this (not on queue length) so the cap bounds
+    /// the whole per-registration backlog; incremented only via a
+    /// guarded `fetch_update` in [`Inner::submit_to`], decremented once
+    /// per fulfilled/withdrawn request.
+    outstanding: AtomicUsize,
     queue: Mutex<Vec<Pending<I, O>>>,
     stats: StatsCollector,
     /// Most recent batch sizes dispatched (diagnostics; lets tests assert
@@ -148,7 +266,7 @@ const MAX_BATCH_SIZE_SAMPLES: usize = 4096;
 /// Registration table keyed by `(model, scenario)`.
 type Registry<I, O> = HashMap<(String, String), Arc<Registration<I, O>>>;
 
-struct Inner<I, O> {
+pub(crate) struct Inner<I, O> {
     pool: Pool,
     policy: BatchPolicy,
     registry: RwLock<Registry<I, O>>,
@@ -167,6 +285,99 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
     fn wake_scheduler(&self) {
         *self.tick.lock().expect("tick poisoned") = true;
         self.tick_cv.notify_all();
+    }
+
+    /// Resolves `(model, scenario)` to its registration.
+    pub(crate) fn lookup(
+        &self,
+        model: &str,
+        scenario: &str,
+    ) -> Result<Arc<Registration<I, O>>, ServeError> {
+        let key = (model.to_string(), scenario.to_string());
+        self.registry
+            .read()
+            .expect("registry poisoned")
+            .get(&key)
+            .map(Arc::clone)
+            .ok_or_else(|| ServeError::UnknownModel {
+                model: model.to_string(),
+                scenario: scenario.to_string(),
+            })
+    }
+
+    /// Admits one request into `reg`'s queue — the single submission path
+    /// both front-ends share. Applies admission control (sheds with
+    /// [`ServeError::Rejected`] at the queue cap), wakes the scheduler,
+    /// and closes the shutdown race; returns the request id whose
+    /// completer will be fulfilled.
+    pub(crate) fn submit_to(
+        &self,
+        reg: &Arc<Registration<I, O>>,
+        input: I,
+        completer: Completer<O>,
+    ) -> Result<u64, ServeError> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        // Admission gate: claim an outstanding slot if one is free. The
+        // guarded increment makes the cap exact under concurrent
+        // submitters, and counting *outstanding* (not queued) requests
+        // means the scheduler draining the queue into the pool cannot
+        // defeat the cap — slots free up only when requests finish.
+        let cap = reg.admission.queue_cap;
+        if reg
+            .outstanding
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .is_err()
+        {
+            reg.stats.record_shed();
+            return Err(ServeError::Rejected {
+                model: reg.key.0.clone(),
+                scenario: reg.key.1.clone(),
+                cap,
+            });
+        }
+        let id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+        let depth = {
+            let mut q = reg.queue.lock().expect("queue poisoned");
+            q.push(Pending {
+                id,
+                input,
+                enqueued: Instant::now(),
+                completer,
+            });
+            q.len()
+        };
+        // Stats take their own lock; record outside the queue lock so a
+        // stats convoy can never stall the scheduler or other submitters.
+        reg.stats.record_enqueue(depth);
+        // Wake the scheduler out of its nap: it decides whether the queue
+        // is due (full batch) or needs a max_wait timer.
+        self.wake_scheduler();
+        // Close the shutdown race: if the flag flipped between the check
+        // above and our enqueue, the scheduler may already have done its
+        // final sweep and exited — nobody would ever dispatch us. Any
+        // enqueue that happened before the flag was visible is seen by the
+        // scheduler's draining pass (both sides go through the queue
+        // mutex), so it suffices to withdraw our own entry when the flag
+        // is set now; if it is no longer queued it was drained into a
+        // batch and its completer will be fulfilled.
+        if self.shutdown.load(Ordering::Acquire) {
+            let withdrawn = {
+                let mut q = reg.queue.lock().expect("queue poisoned");
+                q.iter()
+                    .position(|p| p.id == id)
+                    .map(|pos| q.remove(pos))
+                    .is_some()
+            };
+            if withdrawn {
+                reg.outstanding.fetch_sub(1, Ordering::AcqRel);
+                return Err(ServeError::ShuttingDown);
+            }
+        }
+        Ok(id)
     }
 
     /// Drains one due batch from `reg`, if any, and dispatches it onto the
@@ -195,25 +406,29 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         let inner = Arc::clone(self);
         self.pool.spawn(move || {
             let mut owned: Vec<I> = Vec::with_capacity(batch.len());
-            let mut waiters: Vec<(Instant, Arc<Slot<O>>)> = Vec::with_capacity(batch.len());
+            let mut waiters: Vec<(u64, Instant, Completer<O>)> = Vec::with_capacity(batch.len());
             for p in batch {
                 owned.push(p.input);
-                waiters.push((p.enqueued, p.slot));
+                waiters.push((p.id, p.enqueued, p.completer));
             }
             let result = panic::catch_unwind(AssertUnwindSafe(|| (reg.infer)(&owned)));
+            let fulfilled = waiters.len();
             match result {
                 Ok(outputs) if outputs.len() == owned.len() => {
-                    for ((enqueued, slot), out) in waiters.into_iter().zip(outputs) {
+                    for ((id, enqueued, completer), out) in waiters.into_iter().zip(outputs) {
                         reg.stats.record(enqueued.elapsed());
-                        slot.fulfill(Ok(out));
+                        completer.fulfill(id, Ok(out));
                     }
                 }
                 _ => {
-                    for (_, slot) in waiters {
-                        slot.fulfill(Err(ServeError::InferenceFailed));
+                    for (id, _, completer) in waiters {
+                        completer.fulfill(id, Err(ServeError::InferenceFailed));
                     }
                 }
             }
+            // Release the admission slots only after delivery, so the cap
+            // is never momentarily exceeded.
+            reg.outstanding.fetch_sub(fulfilled, Ordering::AcqRel);
             inner.inflight.fetch_sub(1, Ordering::AcqRel);
             inner.wake_scheduler();
         });
@@ -310,7 +525,9 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
         }
     }
 
-    /// Registers a batch inference function under `(model, scenario)`.
+    /// Registers a batch inference function under `(model, scenario)`
+    /// with an unbounded queue (no load shedding) — see
+    /// [`Server::register_with`] for admission control.
     ///
     /// # Errors
     ///
@@ -320,6 +537,25 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
         &self,
         model: &str,
         scenario: &str,
+        infer: impl Fn(&[I]) -> Vec<O> + Send + Sync + 'static,
+    ) -> Result<(), ServeError> {
+        self.register_with(model, scenario, AdmissionPolicy::default(), infer)
+    }
+
+    /// Registers a batch inference function under `(model, scenario)`
+    /// with an explicit [`AdmissionPolicy`]: submissions beyond
+    /// `admission.queue_cap` outstanding requests are refused with
+    /// [`ServeError::Rejected`] and counted as shed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DuplicateRegistration`] if the key is taken,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn register_with(
+        &self,
+        model: &str,
+        scenario: &str,
+        admission: AdmissionPolicy,
         infer: impl Fn(&[I]) -> Vec<O> + Send + Sync + 'static,
     ) -> Result<(), ServeError> {
         if self.inner.shutdown.load(Ordering::Acquire) {
@@ -334,9 +570,12 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
             });
         }
         reg.insert(
-            key,
+            key.clone(),
             Arc::new(Registration {
+                key,
                 infer: Arc::new(infer),
+                admission,
+                outstanding: AtomicUsize::new(0),
                 queue: Mutex::new(Vec::new()),
                 stats: StatsCollector::default(),
                 batch_sizes: Mutex::new(Vec::new()),
@@ -350,6 +589,16 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
         Client {
             inner: Arc::clone(&self.inner),
         }
+    }
+
+    /// An asynchronous front-end handle with its own completion queue:
+    /// [`AsyncClient::submit`] returns a
+    /// [`Ticket`](crate::async_front::Ticket) immediately, and finished
+    /// responses are harvested with
+    /// [`AsyncClient::poll`] / [`AsyncClient::wait`] — one thread can keep
+    /// thousands of requests in flight. See [`crate::async_front`].
+    pub fn async_client(&self) -> AsyncClient<I, O> {
+        AsyncClient::new(Arc::clone(&self.inner))
     }
 
     /// Registered `(model, scenario)` keys, sorted.
@@ -415,9 +664,16 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
             .map(Arc::clone)
             .collect();
         for reg in regs {
-            for p in reg.queue.lock().expect("queue poisoned").drain(..) {
-                p.slot.fulfill(Err(ServeError::ShuttingDown));
+            let stranded: Vec<Pending<I, O>> = reg
+                .queue
+                .lock()
+                .expect("queue poisoned")
+                .drain(..)
+                .collect();
+            for p in &stranded {
+                p.completer.fulfill(p.id, Err(ServeError::ShuttingDown));
             }
+            reg.outstanding.fetch_sub(stranded.len(), Ordering::AcqRel);
         }
     }
 }
@@ -437,7 +693,26 @@ impl<I: Send + 'static, O: Send + 'static> std::fmt::Debug for Server<I, O> {
     }
 }
 
-/// Synchronous request handle onto a [`Server`].
+/// Synchronous request handle onto a [`Server`]: one blocked OS thread
+/// per outstanding request. The measured baseline the async front-end is
+/// compared against in `BENCH_serve.json` (`async_vs_sync`).
+///
+/// # Examples
+///
+/// ```
+/// use serve::pool::Pool;
+/// use serve::server::{BatchPolicy, Server};
+///
+/// let server: Server<u64, u64> = Server::new(Pool::new(2), BatchPolicy::default());
+/// server
+///     .register("echo", "x10", |xs: &[u64]| xs.iter().map(|x| x * 10).collect())
+///     .unwrap();
+///
+/// let client = server.client();
+/// assert_eq!(client.infer("echo", "x10", 7), Ok(70));
+/// // Unregistered keys fail fast, without enqueuing anything:
+/// assert!(client.infer("echo", "nope", 7).is_err());
+/// ```
 pub struct Client<I: Send + 'static, O: Send + 'static> {
     inner: Arc<Inner<I, O>>,
 }
@@ -456,51 +731,14 @@ impl<I: Send + 'static, O: Send + 'static> Client<I, O> {
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`] for an unregistered key,
-    /// [`ServeError::ShuttingDown`] once shutdown began, and
+    /// [`ServeError::Rejected`] when the registration's queue cap sheds
+    /// the request, [`ServeError::ShuttingDown`] once shutdown began, and
     /// [`ServeError::InferenceFailed`] if the batch function misbehaved.
     pub fn infer(&self, model: &str, scenario: &str, input: I) -> Result<O, ServeError> {
-        if self.inner.shutdown.load(Ordering::Acquire) {
-            return Err(ServeError::ShuttingDown);
-        }
-        let key = (model.to_string(), scenario.to_string());
-        let reg = self
-            .inner
-            .registry
-            .read()
-            .expect("registry poisoned")
-            .get(&key)
-            .map(Arc::clone)
-            .ok_or_else(|| ServeError::UnknownModel {
-                model: model.to_string(),
-                scenario: scenario.to_string(),
-            })?;
+        let reg = self.inner.lookup(model, scenario)?;
         let slot = Arc::new(Slot::new());
-        {
-            let mut q = reg.queue.lock().expect("queue poisoned");
-            q.push(Pending {
-                input,
-                enqueued: Instant::now(),
-                slot: Arc::clone(&slot),
-            });
-        }
-        // Wake the scheduler out of its nap: it decides whether the queue
-        // is due (full batch) or needs a max_wait timer.
-        self.inner.wake_scheduler();
-        // Close the shutdown race: if the flag flipped between the check
-        // above and our enqueue, the scheduler may already have done its
-        // final sweep and exited — nobody would ever dispatch us. Any
-        // enqueue that happened before the flag was visible is seen by the
-        // scheduler's draining pass (both sides go through the queue
-        // mutex), so it suffices to withdraw our own entry when the flag
-        // is set now; if it is no longer queued it was drained into a
-        // batch and the wait below will be fulfilled.
-        if self.inner.shutdown.load(Ordering::Acquire) {
-            let mut q = reg.queue.lock().expect("queue poisoned");
-            if let Some(pos) = q.iter().position(|p| Arc::ptr_eq(&p.slot, &slot)) {
-                q.remove(pos);
-                return Err(ServeError::ShuttingDown);
-            }
-        }
+        self.inner
+            .submit_to(&reg, input, Completer::Sync(Arc::clone(&slot)))?;
         slot.wait()
     }
 }

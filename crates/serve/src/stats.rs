@@ -3,7 +3,9 @@
 //! Each `(model, scenario)` registration owns one [`StatsCollector`]; the
 //! dispatcher records a sample per request (enqueue → response, i.e. queue
 //! wait plus batch execution). Snapshots expose count, mean and p50/p99
-//! tail latency — the numbers `BENCH_serve.json` reports.
+//! tail latency plus the backpressure counters the admission-control
+//! layer feeds (accepted submissions, shed requests, queue-depth
+//! high-water mark) — the numbers `BENCH_serve.json` reports.
 
 use std::sync::Mutex;
 use std::time::Duration;
@@ -25,6 +27,14 @@ pub struct StatsSnapshot {
     pub p50_s: f64,
     /// 99th-percentile latency in seconds (over retained samples).
     pub p99_s: f64,
+    /// Requests admitted into the queue (accepted submissions).
+    pub submitted: u64,
+    /// Requests refused at admission because the registration's queue cap
+    /// was reached ([`crate::server::ServeError::Rejected`]).
+    pub shed: u64,
+    /// Largest queue depth observed at any admission, including the
+    /// admitted request itself — the backpressure high-water mark.
+    pub max_queue_depth: usize,
 }
 
 impl StatsSnapshot {
@@ -35,6 +45,9 @@ impl StatsSnapshot {
             mean_s: 0.0,
             p50_s: 0.0,
             p99_s: 0.0,
+            submitted: 0,
+            shed: 0,
+            max_queue_depth: 0,
         }
     }
 }
@@ -47,6 +60,9 @@ struct StatsState {
     seen_since_kept: u64,
     count: u64,
     sum_s: f64,
+    submitted: u64,
+    shed: u64,
+    max_queue_depth: usize,
 }
 
 /// Thread-safe latency accumulator with bounded memory.
@@ -79,19 +95,36 @@ impl StatsCollector {
         }
     }
 
+    /// Records one admitted submission and the queue depth it observed
+    /// (including itself). Fed by the server's admission check.
+    pub fn record_enqueue(&self, depth: usize) {
+        let mut st = self.state.lock().expect("stats poisoned");
+        st.submitted += 1;
+        st.max_queue_depth = st.max_queue_depth.max(depth);
+    }
+
+    /// Records one request refused at admission (queue cap reached).
+    pub fn record_shed(&self) {
+        self.state.lock().expect("stats poisoned").shed += 1;
+    }
+
     /// Summarizes the samples recorded so far.
     pub fn snapshot(&self) -> StatsSnapshot {
         let st = self.state.lock().expect("stats poisoned");
-        if st.count == 0 {
-            return StatsSnapshot::empty();
-        }
         let mut sorted = st.samples.clone();
         sorted.sort_by(f64::total_cmp);
         StatsSnapshot {
             count: st.count,
-            mean_s: st.sum_s / st.count as f64,
+            mean_s: if st.count == 0 {
+                0.0
+            } else {
+                st.sum_s / st.count as f64
+            },
             p50_s: percentile(&sorted, 50.0),
             p99_s: percentile(&sorted, 99.0),
+            submitted: st.submitted,
+            shed: st.shed,
+            max_queue_depth: st.max_queue_depth,
         }
     }
 }
@@ -154,6 +187,24 @@ mod tests {
         assert!((s.mean_s - 0.0145).abs() < 1e-9, "mean {}", s.mean_s);
         assert!(s.p50_s <= s.p99_s, "percentiles must be ordered");
         assert!((s.p99_s - 0.1).abs() < 1e-9, "p99 captures the outlier");
+    }
+
+    #[test]
+    fn backpressure_counters_accumulate() {
+        let c = StatsCollector::default();
+        assert_eq!(c.snapshot(), StatsSnapshot::empty());
+        c.record_enqueue(3);
+        c.record_enqueue(7);
+        c.record_enqueue(2);
+        c.record_shed();
+        c.record_shed();
+        let s = c.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.max_queue_depth, 7, "high-water mark, not last depth");
+        // Sheds alone (nothing completed) must not fake latency numbers.
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_s, 0.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification accepted by [`vec`]: a fixed length or a range.
+/// Length specification accepted by [`vec()`]: a fixed length or a range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
