@@ -22,12 +22,22 @@
 //!    [`serve::async_front::AsyncClient`]. A second, capped registration
 //!    is then deliberately overloaded to show admission control shedding
 //!    (`ServeError::Rejected`) with bounded queue depth and p99.
-//! 4. **Multi-model serving** — two models × two quantization scenarios
+//! 4. **Policy study** (`policy_study`) — the pluggable scheduling layer
+//!    on dedicated sleep-calibrated servers, so the numbers measure the
+//!    *scheduler* rather than GEMM speed: (a) three scenarios at WFQ
+//!    weights 1/2/4 under full saturation, whose measured throughput
+//!    shares must land within ±20% of the configured weights; (b) a
+//!    strict-priority pair where class-0 probes overtake a deep class-5
+//!    backlog (p99 ratio + starvation counter); (c) an overloaded
+//!    deadline scenario whose expired requests are shed with
+//!    `DeadlineExpired` at dispatch while the p99 of *accepted* requests
+//!    stays under the budget.
+//! 5. **Multi-model serving** — two models × two quantization scenarios
 //!    (plus a duplicate scenario proving code sharing) registered on one
 //!    batching server, hammered by concurrent synchronous clients;
 //!    reports requests/s, per-registration mean/p50/p99 latency plus
-//!    submitted/shed/queue-depth counters, and the pool's per-worker
-//!    executed/stolen counters.
+//!    submitted/per-reason-shed/queue-depth counters, and the pool's
+//!    per-worker executed/stolen counters.
 //!
 //! Environment knobs (all optional): `SERVE_BENCH_REQUESTS` (total
 //! requests in phase 4, default 240), `SERVE_BENCH_CLIENTS` (client
@@ -40,17 +50,25 @@
 //! `SERVE_BENCH_INFLIGHT` (phase-3 in-flight window = sync client
 //! threads, default 1536), `SERVE_BENCH_ASYNC_REQUESTS` (phase-3 total,
 //! default 4096), `SERVE_BENCH_QUEUE_CAP` / `SERVE_BENCH_SHED_OFFERED`
-//! (phase-3 overload study, defaults 64 / 2048), and `SERVE_THREADS`
-//! (pool size). CI runs this in smoke mode with tiny counts; the defaults
-//! produce a meaningful measurement. Every knob's resolved value is
-//! recorded in the JSON (`config`), so runs are self-describing.
+//! (phase-3 overload study, defaults 64 / 2048),
+//! `SERVE_BENCH_WFQ_BACKLOG` (phase-4 per-scenario backlog, default
+//! 1200), `SERVE_BENCH_PRIO_BACKLOG` / `SERVE_BENCH_PRIO_PROBES`
+//! (phase-4 strict-priority study, defaults 60 / 20),
+//! `SERVE_BENCH_DEADLINE_BUDGET_MS` / `SERVE_BENCH_DEADLINE_BURST`
+//! (phase-4 deadline study, defaults 1000 / 4096), and `SERVE_THREADS`
+//! (pool size; the phase-4 studies run on their own fixed 2-worker /
+//! 1-worker pools so their shares and sheds are box-independent). CI runs
+//! this in smoke mode with tiny counts; the defaults produce a meaningful
+//! measurement. Every knob's resolved value is recorded in the JSON
+//! (`config`), so runs are self-describing.
 
 use dnn::data;
 use dnn::graph::{Model, Op, QuantScheme};
 use dnn::serving::ServedModel;
 use dnn::Tensor;
 use serve::pool::Pool;
-use serve::server::{AdmissionPolicy, BatchPolicy, ServeError, Server};
+use serve::server::{BatchPolicy, ScenarioSpec, ServeError, Server};
+use serve::{StrictPriority, WeightedFair};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -285,6 +303,8 @@ struct ServingRow {
     p99_ms: f64,
     submitted: u64,
     shed: u64,
+    shed_deadline: u64,
+    passed_over: u64,
     max_queue_depth: usize,
 }
 
@@ -301,6 +321,277 @@ struct MemoryResult {
     scenarios: usize,
     dense_equiv_bytes: usize,
     packed_bytes: usize,
+}
+
+struct WfqStudy {
+    weights: [u32; 3],
+    backlog: usize,
+    counts: [u64; 3],
+    shares: [f64; 3],
+    expected: [f64; 3],
+    max_rel_err: f64,
+}
+
+struct PrioStudy {
+    low_backlog: usize,
+    probes: usize,
+    high_p99_ms: f64,
+    low_p99_ms: f64,
+    low_passed_over: u64,
+}
+
+struct DeadlineStudy {
+    budget_ms: u64,
+    offered: usize,
+    completed: u64,
+    shed_deadline: u64,
+    accepted_p99_ms: f64,
+}
+
+struct PolicyStudy {
+    wfq: WfqStudy,
+    prio: PrioStudy,
+    deadline: DeadlineStudy,
+}
+
+/// A batch function that sleeps a fixed time and echoes its inputs --
+/// box-independent service time, so the policy studies measure the
+/// scheduler, not the GEMM kernels.
+fn sleepy(ms: u64) -> impl Fn(&[u64]) -> Vec<u64> + Send + Sync + 'static {
+    move |xs: &[u64]| {
+        std::thread::sleep(Duration::from_millis(ms));
+        xs.to_vec()
+    }
+}
+
+/// Weighted-fair shares: three scenarios at weights 1/2/4 on a dedicated
+/// 2-worker pool, every queue saturated with `backlog` requests;
+/// completion counts are sampled mid-flight (before any queue can empty)
+/// and must split in proportion to the weights.
+fn wfq_study(backlog: usize) -> WfqStudy {
+    let weights = [1u32, 2, 4];
+    let scenarios = ["wfq_w1", "wfq_w2", "wfq_w4"];
+    let server: Server<u64, u64> = Server::with_policy(
+        Pool::new(2),
+        BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+        },
+        Box::new(WeightedFair::default()),
+    );
+    for (scenario, &w) in scenarios.iter().zip(&weights) {
+        server
+            .register(ScenarioSpec::new("policy", scenario).weight(w), sleepy(1))
+            .expect("wfq registration failed");
+    }
+    let cq = server.async_client();
+    for scenario in &scenarios {
+        let ep = cq.endpoint("policy", scenario).expect("endpoint");
+        for i in 0..backlog {
+            ep.submit(i as u64).expect("unbounded queue must admit");
+        }
+    }
+    // Cut off at `backlog` total completions: the weight-4 scenario owns
+    // 4/7 of that, safely below its own backlog -- no queue runs dry
+    // inside the measurement window.
+    let cutoff = backlog as u64;
+    let stall_deadline = Instant::now() + Duration::from_secs(60);
+    let counts = loop {
+        let c: Vec<u64> = scenarios
+            .iter()
+            .map(|s| server.stats("policy", s).expect("stats").count)
+            .collect();
+        if c.iter().sum::<u64>() >= cutoff {
+            break c;
+        }
+        assert!(
+            Instant::now() < stall_deadline,
+            "wfq study made no progress: counts {c:?} below cutoff {cutoff}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    server.shutdown();
+    let total: u64 = counts.iter().sum();
+    let mut shares = [0.0f64; 3];
+    let mut expected = [0.0f64; 3];
+    let weight_sum: u32 = weights.iter().sum();
+    let mut max_rel_err = 0.0f64;
+    for i in 0..3 {
+        shares[i] = counts[i] as f64 / total.max(1) as f64;
+        expected[i] = f64::from(weights[i]) / f64::from(weight_sum);
+        max_rel_err = max_rel_err.max((shares[i] - expected[i]).abs() / expected[i]);
+    }
+    WfqStudy {
+        weights,
+        backlog,
+        counts: [counts[0], counts[1], counts[2]],
+        shares,
+        expected,
+        max_rel_err,
+    }
+}
+
+/// Strict priority: class-0 probes fired into a deep class-5 backlog on
+/// a single-worker pool. The probes' p99 stays at the scale of one
+/// in-flight low batch; the backlog's p99 is the whole queue -- and every
+/// bypass is visible in the low class's starvation counter.
+fn prio_study(low_backlog: usize, probes: usize) -> PrioStudy {
+    let server: Server<u64, u64> = Server::with_policy(
+        Pool::new(1),
+        BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::from_millis(0),
+        },
+        Box::new(StrictPriority),
+    );
+    server
+        .register(ScenarioSpec::new("policy", "low").priority(5), sleepy(5))
+        .expect("low registration failed");
+    server
+        .register(
+            ScenarioSpec::new("policy", "high").priority(0),
+            |xs: &[u64]| xs.to_vec(),
+        )
+        .expect("high registration failed");
+    let cq_low = server.async_client();
+    let ep_low = cq_low.endpoint("policy", "low").expect("endpoint");
+    for i in 0..low_backlog {
+        ep_low.submit(i as u64).expect("unbounded queue must admit");
+    }
+    std::thread::sleep(Duration::from_millis(12));
+    let cq_high = server.async_client();
+    for i in 0..probes {
+        cq_high
+            .submit("policy", "high", i as u64)
+            .expect("probe submit failed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for _ in 0..probes {
+        cq_high
+            .wait(Duration::from_secs(60))
+            .expect("probe completion lost")
+            .result
+            .expect("probe failed");
+    }
+    let high = server.stats("policy", "high").expect("high stats");
+    // Flush the remaining backlog so the low class's p99 covers the full
+    // queue it actually sat in.
+    server.shutdown();
+    let low = server.stats("policy", "low").expect("low stats");
+    PrioStudy {
+        low_backlog,
+        probes,
+        high_p99_ms: high.p99_s * 1e3,
+        low_p99_ms: low.p99_s * 1e3,
+        low_passed_over: low.passed_over,
+    }
+}
+
+/// Deadline shedding under a worker stall. Phase one serves a fast
+/// burst from an empty queue (every request completes far inside the
+/// budget). Phase two plugs every pool slot with long-running batches
+/// from a second registration and then offers the overload burst to the
+/// deadline registration: by the time a slot frees, the whole backlog
+/// has outwaited the budget and is shed with `DeadlineExpired` at
+/// dispatch. The two phases are separated by more than the budget, so
+/// accepted-request latencies sit far below it -- the `accepted_p99 <
+/// budget` invariant is structural, not a timing race.
+fn deadline_study(budget_ms: u64, offered: usize) -> DeadlineStudy {
+    let workers = 2;
+    let server: Server<u64, u64> = Server::new(
+        Pool::new(workers),
+        BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(0),
+        },
+    );
+    server
+        .register(
+            ScenarioSpec::new("policy", "deadline").deadline(Duration::from_millis(budget_ms)),
+            sleepy(1),
+        )
+        .expect("deadline registration failed");
+    // The plug: single-request batches that each occupy a dispatch slot
+    // for longer than the whole budget, so the first slot frees only
+    // after every queued burst request has expired. The pacing target is
+    // 2 batches per worker, so 2 * workers plugs stall every slot.
+    let plugs = 2 * workers;
+    server
+        .register(
+            ScenarioSpec::new("policy", "plug").max_batch(1),
+            sleepy(budget_ms + 200),
+        )
+        .expect("plug registration failed");
+    let cq = server.async_client();
+    let ep = cq.endpoint("policy", "deadline").expect("endpoint");
+    // Phase 1: a fast burst against an idle server -- drains in a small
+    // fraction of the budget (4 requests per 1ms batch, 2 workers).
+    let fast = 400usize.min(offered);
+    for i in 0..fast {
+        ep.submit(i as u64).expect("unbounded queue must admit");
+    }
+    let mut completed = 0u64;
+    for _ in 0..fast {
+        let c = cq.wait(Duration::from_secs(60)).expect("fast burst lost");
+        c.result
+            .expect("fast burst must complete inside the budget");
+        completed += 1;
+    }
+    // Phase 2: plug every dispatch slot, then pile up the overload
+    // burst. The plugs execute two-deep per worker, so the first slot
+    // frees only after the queued burst has aged past the budget -- the
+    // next drain sheds it wholesale.
+    let cq_plug = server.async_client();
+    for _ in 0..plugs {
+        cq_plug
+            .submit("policy", "plug", 0)
+            .expect("plug submit failed");
+    }
+    // Wait until every plug batch is actually dispatched (the batch-size
+    // log records a dispatch as it happens) before offering the burst:
+    // otherwise the Fifo scheduler, seeing both queues due, would keep
+    // feeding the earlier-registered deadline queue and the plugs would
+    // never stall it.
+    while server
+        .batch_size_stats("policy", "plug")
+        .expect("plug stats")
+        .count
+        < plugs as u64
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let burst = offered.saturating_sub(fast).max(1);
+    for i in 0..burst {
+        ep.submit(i as u64).expect("unbounded queue must admit");
+    }
+    let mut shed = 0u64;
+    for _ in 0..burst {
+        let c = cq
+            .wait(Duration::from_secs(60))
+            .expect("deadline-study completion lost");
+        match c.result {
+            Ok(_) => completed += 1,
+            Err(ServeError::DeadlineExpired { .. }) => shed += 1,
+            Err(e) => panic!("unexpected deadline-study error: {e}"),
+        }
+    }
+    for _ in 0..plugs {
+        cq_plug
+            .wait(Duration::from_secs(60))
+            .expect("plug completion lost")
+            .result
+            .expect("plug failed");
+    }
+    let snap = server.stats("policy", "deadline").expect("deadline stats");
+    server.shutdown();
+    assert_eq!(snap.shed_deadline, shed, "stats must count every shed");
+    DeadlineStudy {
+        budget_ms,
+        offered,
+        completed,
+        shed_deadline: shed,
+        accepted_p99_ms: snap.p99_s * 1e3,
+    }
 }
 
 fn main() {
@@ -398,8 +689,12 @@ fn main() {
             ab_clients * 2,
         );
         let (_, rps) = hammer(&server, &mlp_combo, &mlp_inputs, ab_clients, ab_requests);
-        let sizes = server.batch_sizes("mlp_256", "lp8").expect("batch sizes");
-        let mean_batch = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
+        // Exact through any thinning: the batch-size log is a reservoir
+        // with exact count/sum.
+        let mean_batch = server
+            .batch_size_stats("mlp_256", "lp8")
+            .expect("batch sizes")
+            .mean();
         server.shutdown();
         (rps, mean_batch)
     };
@@ -434,11 +729,10 @@ fn main() {
         // part-2 registrations through the model's weight cache — packing
         // here costs nothing.)
         let throughput_cap = window * 2;
-        mlp.register_async(
+        mlp.register_spec(
             &server,
-            "lp8_async",
+            ScenarioSpec::new("", "lp8_async").queue_cap(throughput_cap),
             bench::uniform_lp_scheme(mlp.model(), 8),
-            AdmissionPolicy::capped(throughput_cap),
         )
         .expect("async registration failed");
         // Warm both faces briefly outside the timed windows, scaled down
@@ -481,11 +775,10 @@ fn main() {
         // Overload study: a burst far beyond the cap must be shed with the
         // typed error while accepted requests keep bounded queue depth
         // (and therefore bounded p99).
-        mlp.register_async(
+        mlp.register_spec(
             &server,
-            "lp8_shed",
+            ScenarioSpec::new("", "lp8_shed").queue_cap(queue_cap),
             bench::uniform_lp_scheme(mlp.model(), 8),
-            AdmissionPolicy::capped(queue_cap),
         )
         .expect("capped registration failed");
         let cq = server.async_client();
@@ -559,7 +852,78 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // Part 4: multi-model multi-scenario serving on the packed batched
+    // Part 4: the pluggable scheduling layer, on dedicated fixed-size
+    // pools with sleep-calibrated batch functions (box-independent).
+    // ------------------------------------------------------------------
+    let wfq_backlog = bench::env_usize("SERVE_BENCH_WFQ_BACKLOG", 1200);
+    let prio_backlog = bench::env_usize("SERVE_BENCH_PRIO_BACKLOG", 60);
+    let prio_probes = bench::env_usize("SERVE_BENCH_PRIO_PROBES", 20);
+    let deadline_budget_ms = bench::env_usize("SERVE_BENCH_DEADLINE_BUDGET_MS", 1000) as u64;
+    let deadline_burst = bench::env_usize("SERVE_BENCH_DEADLINE_BURST", 4096);
+    let policy = PolicyStudy {
+        wfq: wfq_study(wfq_backlog),
+        prio: prio_study(prio_backlog, prio_probes),
+        deadline: deadline_study(deadline_budget_ms, deadline_burst),
+    };
+    println!(
+        "policy_study wfq (weights {:?}, backlog {} each): counts {:?}, \
+         shares [{:.3}, {:.3}, {:.3}] vs expected [{:.3}, {:.3}, {:.3}], \
+         max rel err {:.3}",
+        policy.wfq.weights,
+        policy.wfq.backlog,
+        policy.wfq.counts,
+        policy.wfq.shares[0],
+        policy.wfq.shares[1],
+        policy.wfq.shares[2],
+        policy.wfq.expected[0],
+        policy.wfq.expected[1],
+        policy.wfq.expected[2],
+        policy.wfq.max_rel_err
+    );
+    assert!(
+        policy.wfq.max_rel_err <= 0.20,
+        "WFQ throughput shares must track weights within 20%: rel err {:.3}",
+        policy.wfq.max_rel_err
+    );
+    println!(
+        "policy_study strict_priority ({} low backlog, {} class-0 probes): \
+         high p99 {:.1} ms vs low p99 {:.1} ms, low passed_over {}",
+        policy.prio.low_backlog,
+        policy.prio.probes,
+        policy.prio.high_p99_ms,
+        policy.prio.low_p99_ms,
+        policy.prio.low_passed_over
+    );
+    assert!(
+        policy.prio.high_p99_ms < policy.prio.low_p99_ms,
+        "class 0 must not wait behind the class-5 backlog"
+    );
+    assert!(
+        policy.prio.low_passed_over > 0,
+        "bypasses must be visible in the starvation counter"
+    );
+    println!(
+        "policy_study deadline (budget {} ms, burst {}): completed {}, \
+         shed {} expired at dispatch, accepted p99 {:.1} ms",
+        policy.deadline.budget_ms,
+        policy.deadline.offered,
+        policy.deadline.completed,
+        policy.deadline.shed_deadline,
+        policy.deadline.accepted_p99_ms
+    );
+    assert!(
+        policy.deadline.shed_deadline > 0,
+        "the overload burst must shed expired work"
+    );
+    assert!(
+        policy.deadline.accepted_p99_ms < policy.deadline.budget_ms as f64,
+        "accepted p99 {:.1} ms must stay under the {} ms budget",
+        policy.deadline.accepted_p99_ms,
+        policy.deadline.budget_ms
+    );
+
+    // ------------------------------------------------------------------
+    // Part 5: multi-model multi-scenario serving on the packed batched
     // path, with resident-weight accounting.
     // ------------------------------------------------------------------
     let server: Server<Tensor, Tensor> = Server::new(
@@ -662,6 +1026,8 @@ fn main() {
             p99_ms: snap.p99_s * 1e3,
             submitted: snap.submitted,
             shed: snap.shed,
+            shed_deadline: snap.shed_deadline,
+            passed_over: snap.passed_over,
             max_queue_depth: snap.max_queue_depth,
         };
         println!(
@@ -692,6 +1058,14 @@ fn main() {
     bench::check_metric("shed_count", avs.shed.shed as f64);
     bench::check_metric("shed_p99_ms", avs.shed.p99_ms);
     bench::check_metric("requests_per_s", rps);
+    for (i, &share) in policy.wfq.shares.iter().enumerate() {
+        bench::check_metric(&format!("wfq_share_w{}", policy.wfq.weights[i]), share);
+    }
+    bench::check_metric("prio_high_p99_ms", policy.prio.high_p99_ms);
+    bench::check_metric("prio_low_p99_ms", policy.prio.low_p99_ms);
+    bench::check_metric("prio_low_passed_over", policy.prio.low_passed_over as f64);
+    bench::check_metric("deadline_shed_count", policy.deadline.shed_deadline as f64);
+    bench::check_metric("deadline_accepted_p99_ms", policy.deadline.accepted_p99_ms);
     bench::check_metric("dense_equiv_bytes", memory.dense_equiv_bytes as f64);
     bench::check_metric("packed_bytes", memory.packed_bytes as f64);
     bench::check_metric("pool_executed", pool_stats.total_executed() as f64);
@@ -705,6 +1079,7 @@ fn main() {
         pooled_s,
         &ab,
         &avs,
+        &policy,
         &memory,
         requests,
         wall_s,
@@ -726,6 +1101,7 @@ fn write_json(
     pooled_s: f64,
     ab: &AbResult,
     avs: &AsyncVsSync,
+    policy: &PolicyStudy,
     memory: &MemoryResult,
     requests: usize,
     wall_s: f64,
@@ -767,6 +1143,20 @@ fn write_json(
         avs.shed.queue_cap
     ));
     out.push_str(&format!("    \"shed_offered\": {},\n", avs.shed.offered));
+    out.push_str(&format!("    \"wfq_backlog\": {},\n", policy.wfq.backlog));
+    out.push_str(&format!(
+        "    \"prio_backlog\": {},\n",
+        policy.prio.low_backlog
+    ));
+    out.push_str(&format!("    \"prio_probes\": {},\n", policy.prio.probes));
+    out.push_str(&format!(
+        "    \"deadline_budget_ms\": {},\n",
+        policy.deadline.budget_ms
+    ));
+    out.push_str(&format!(
+        "    \"deadline_burst\": {},\n",
+        policy.deadline.offered
+    ));
     out.push_str(&format!("    \"serving_requests\": {requests},\n"));
     out.push_str(&format!("    \"lpq_candidates\": {candidates},\n"));
     out.push_str(&format!("    \"lpq_calibration_images\": {calib},\n"));
@@ -850,6 +1240,80 @@ fn write_json(
     ));
     out.push_str("    }\n");
     out.push_str("  },\n");
+    out.push_str("  \"policy_study\": {\n");
+    out.push_str("    \"wfq\": {\n");
+    out.push_str("      \"policy\": \"weighted_fair\",\n");
+    out.push_str(&format!(
+        "      \"weights\": [{}, {}, {}],\n",
+        policy.wfq.weights[0], policy.wfq.weights[1], policy.wfq.weights[2]
+    ));
+    out.push_str(&format!(
+        "      \"backlog_per_scenario\": {},\n",
+        policy.wfq.backlog
+    ));
+    out.push_str(&format!(
+        "      \"counts\": [{}, {}, {}],\n",
+        policy.wfq.counts[0], policy.wfq.counts[1], policy.wfq.counts[2]
+    ));
+    out.push_str(&format!(
+        "      \"shares\": [{:.4}, {:.4}, {:.4}],\n",
+        policy.wfq.shares[0], policy.wfq.shares[1], policy.wfq.shares[2]
+    ));
+    out.push_str(&format!(
+        "      \"expected_shares\": [{:.4}, {:.4}, {:.4}],\n",
+        policy.wfq.expected[0], policy.wfq.expected[1], policy.wfq.expected[2]
+    ));
+    out.push_str(&format!(
+        "      \"max_rel_err\": {:.4},\n",
+        policy.wfq.max_rel_err
+    ));
+    out.push_str("      \"tolerance\": 0.20\n");
+    out.push_str("    },\n");
+    out.push_str("    \"strict_priority\": {\n");
+    out.push_str("      \"policy\": \"strict_priority\",\n");
+    out.push_str("      \"low_class\": 5,\n");
+    out.push_str("      \"high_class\": 0,\n");
+    out.push_str(&format!(
+        "      \"low_backlog\": {},\n",
+        policy.prio.low_backlog
+    ));
+    out.push_str(&format!("      \"high_probes\": {},\n", policy.prio.probes));
+    out.push_str(&format!(
+        "      \"high_p99_ms\": {:.3},\n",
+        policy.prio.high_p99_ms
+    ));
+    out.push_str(&format!(
+        "      \"low_p99_ms\": {:.3},\n",
+        policy.prio.low_p99_ms
+    ));
+    out.push_str(&format!(
+        "      \"low_passed_over\": {}\n",
+        policy.prio.low_passed_over
+    ));
+    out.push_str("    },\n");
+    out.push_str("    \"deadline\": {\n");
+    out.push_str(&format!(
+        "      \"budget_ms\": {},\n",
+        policy.deadline.budget_ms
+    ));
+    out.push_str(&format!(
+        "      \"offered_burst\": {},\n",
+        policy.deadline.offered
+    ));
+    out.push_str(&format!(
+        "      \"completed\": {},\n",
+        policy.deadline.completed
+    ));
+    out.push_str(&format!(
+        "      \"shed_deadline\": {},\n",
+        policy.deadline.shed_deadline
+    ));
+    out.push_str(&format!(
+        "      \"accepted_p99_ms\": {:.3}\n",
+        policy.deadline.accepted_p99_ms
+    ));
+    out.push_str("    }\n");
+    out.push_str("  },\n");
     out.push_str("  \"resident_weight_bytes\": {\n");
     out.push_str(&format!(
         "    \"scenario_registrations\": {},\n",
@@ -879,7 +1343,8 @@ fn write_json(
         out.push_str(&format!(
             "      {{\"model\": \"{}\", \"scenario\": \"{}\", \"count\": {}, \
              \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-             \"submitted\": {}, \"shed\": {}, \"max_queue_depth\": {}}}{}\n",
+             \"submitted\": {}, \"shed\": {}, \"shed_deadline\": {}, \
+             \"passed_over\": {}, \"max_queue_depth\": {}}}{}\n",
             r.model,
             r.scenario,
             r.count,
@@ -888,6 +1353,8 @@ fn write_json(
             r.p99_ms,
             r.submitted,
             r.shed,
+            r.shed_deadline,
+            r.passed_over,
             r.max_queue_depth,
             if i + 1 == rows.len() { "" } else { "," }
         ));

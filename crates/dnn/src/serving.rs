@@ -21,14 +21,16 @@
 //!
 //! Registrations serve both server faces: blocked synchronous
 //! [`Client`](serve::server::Client) calls and ticketed asynchronous
-//! submission ([`serve::async_front::AsyncClient`]). Use
-//! [`ServedModel::register_async`] to attach the queue cap that makes the
-//! async face safe under overload (load shedding instead of unbounded
-//! queues).
+//! submission ([`serve::async_front::AsyncClient`]). Every serving knob —
+//! admission cap, priority class, weighted-fair weight, deadline budget,
+//! batch override — rides a [`ScenarioSpec`] through
+//! [`ServedModel::register_spec`], the one registration path;
+//! [`ServedModel::register`] is the all-defaults shorthand and the old
+//! `register_async` signature survives as a deprecated shim.
 
 use crate::graph::{Model, QuantScheme, WeightCache};
 use crate::tensor::Tensor;
-use serve::server::{AdmissionPolicy, ServeError, Server};
+use serve::server::{AdmissionPolicy, ScenarioSpec, ServeError, Server};
 use std::sync::Arc;
 
 /// The request/response server type the model glue targets.
@@ -71,16 +73,57 @@ impl ServedModel {
         self.cache.len()
     }
 
-    /// Registers one quantization scenario of this model on `server` under
-    /// `(model_name, scenario)`, on the packed batched hot path: weights
-    /// are packed **now** into `u16` codes through the model's shared
-    /// cache (scenarios agreeing on a layer's codec key share one code
-    /// buffer), and each request batch runs through
-    /// [`Model::forward_batch_quant`] — one stacked GEMM per layer with
-    /// scheme activations applied batch-wise.
+    /// Registers one quantization scenario of this model on `server`
+    /// under the full [`ScenarioSpec`] control surface — admission cap,
+    /// priority class, weighted-fair weight, deadline budget and batch
+    /// override all ride the spec; the spec's model name is replaced by
+    /// this model's (the scenario name is the spec's). This is **the**
+    /// registration path; [`ServedModel::register`] is the all-defaults
+    /// shorthand.
+    ///
+    /// The hot path is packed and batched: weights are packed **now**
+    /// into `u16` codes through the model's shared cache (scenarios
+    /// agreeing on a layer's codec key share one code buffer), and each
+    /// request batch runs through [`Model::forward_batch_quant`] — one
+    /// stacked GEMM per layer with scheme activations applied batch-wise.
     ///
     /// Returns the packed model so callers can account for resident
     /// weight bytes ([`Model::resident_weight_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError`] from registration (duplicate key or
+    /// shutdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme's length does not match the model's
+    /// weighted-layer count (same contract as
+    /// [`Model::quantize_weights_packed`]).
+    pub fn register_spec(
+        &self,
+        server: &TensorServer,
+        spec: ScenarioSpec,
+        scheme: QuantScheme,
+    ) -> Result<Arc<Model>, ServeError> {
+        let spec = spec.with_model(self.model.name());
+        let scheme = scheme.with_shared_cache(Arc::clone(&self.cache));
+        let quantized = Arc::new(self.model.quantize_weights_packed(&scheme));
+        let scheme = Arc::new(scheme);
+        let handle = Arc::clone(&quantized);
+        server.register(spec, move |batch: &[Tensor]| {
+            quantized.forward_batch_quant(batch, Some(&scheme))
+        })?;
+        Ok(handle)
+    }
+
+    /// Registers one quantization scenario with an all-defaults spec
+    /// (unbounded queue, priority class 0, weight 1, no deadline) —
+    /// shorthand for [`ServedModel::register_spec`] with
+    /// `ScenarioSpec::new(_, scenario)`. The right default for
+    /// cooperating synchronous clients, which self-limit at one
+    /// in-flight request per thread; high-fan-in async drivers should
+    /// pass a spec with a [`queue_cap`](ScenarioSpec::queue_cap).
     ///
     /// # Errors
     ///
@@ -98,21 +141,12 @@ impl ServedModel {
         scenario: &str,
         scheme: QuantScheme,
     ) -> Result<Arc<Model>, ServeError> {
-        self.register_async(server, scenario, scheme, AdmissionPolicy::default())
+        self.register_spec(server, ScenarioSpec::new("", scenario), scheme)
     }
 
-    /// The asynchronous serving registration path: identical packed
-    /// batched hot path, plus an explicit [`AdmissionPolicy`] — the queue
-    /// cap that makes high-fan-in async submission safe. A driver pushing
-    /// tickets through [`serve::async_front::AsyncClient`] faster than
-    /// the pool drains them is shed with [`ServeError::Rejected`]
-    /// instead of growing the queue (and p99) without bound; sheds are
-    /// counted per registration in
-    /// [`StatsSnapshot::shed`](serve::stats::StatsSnapshot::shed).
-    ///
-    /// [`ServedModel::register`] is this with an unbounded queue — the
-    /// right default for cooperating synchronous clients, which
-    /// self-limit at one in-flight request per thread.
+    /// Deprecated shim for the old capped-registration entry point:
+    /// identical behavior to [`ServedModel::register_spec`] with
+    /// `ScenarioSpec::new(_, scenario).admission(admission)`.
     ///
     /// # Errors
     ///
@@ -121,9 +155,11 @@ impl ServedModel {
     ///
     /// # Panics
     ///
-    /// Panics if the scheme's length does not match the model's
-    /// weighted-layer count (same contract as
-    /// [`Model::quantize_weights_packed`]).
+    /// Panics on scheme-length mismatch.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `ScenarioSpec` (e.g. `.queue_cap(n)`) and call `register_spec`"
+    )]
     pub fn register_async(
         &self,
         server: &TensorServer,
@@ -131,17 +167,11 @@ impl ServedModel {
         scheme: QuantScheme,
         admission: AdmissionPolicy,
     ) -> Result<Arc<Model>, ServeError> {
-        let scheme = scheme.with_shared_cache(Arc::clone(&self.cache));
-        let quantized = Arc::new(self.model.quantize_weights_packed(&scheme));
-        let scheme = Arc::new(scheme);
-        let handle = Arc::clone(&quantized);
-        server.register_with(
-            self.model.name(),
-            scenario,
-            admission,
-            move |batch: &[Tensor]| quantized.forward_batch_quant(batch, Some(&scheme)),
-        )?;
-        Ok(handle)
+        self.register_spec(
+            server,
+            ScenarioSpec::new("", scenario).admission(admission),
+            scheme,
+        )
     }
 
     /// The pre-packing registration path, kept as the measured baseline
@@ -166,11 +196,14 @@ impl ServedModel {
         let quantized = Arc::new(self.model.quantize_weights(&scheme));
         let scheme = Arc::new(scheme);
         let handle = Arc::clone(&quantized);
-        server.register(self.model.name(), scenario, move |batch: &[Tensor]| {
-            serve::pool::par_map_pooled(batch, |x| {
-                quantized.forward_traced(x, Some(&scheme), false).output
-            })
-        })?;
+        server.register(
+            ScenarioSpec::new(self.model.name(), scenario),
+            move |batch: &[Tensor]| {
+                serve::pool::par_map_pooled(batch, |x| {
+                    quantized.forward_traced(x, Some(&scheme), false).output
+                })
+            },
+        )?;
         Ok(handle)
     }
 }
@@ -343,7 +376,11 @@ mod tests {
         let layers = served.model().num_quant_layers();
         let scheme = lp_scheme(layers, 8, 0.0);
         served
-            .register_async(&server, "lp8", scheme.clone(), AdmissionPolicy::capped(256))
+            .register_spec(
+                &server,
+                ScenarioSpec::new("", "lp8").queue_cap(256),
+                scheme.clone(),
+            )
             .unwrap();
 
         // Async submissions produce the same tensors as the sync client
@@ -370,7 +407,9 @@ mod tests {
         }
 
         // A tiny cap on a second scenario sheds a burst with the typed
-        // error and counts it in the registration's stats.
+        // error and counts it in the registration's stats — through the
+        // deprecated shim, which must delegate to the spec path intact.
+        #[allow(deprecated)]
         served
             .register_async(&server, "lp8_capped", scheme, AdmissionPolicy::capped(2))
             .unwrap();

@@ -151,11 +151,13 @@ impl<O> FutShared<O> {
 ///
 /// ```
 /// use serve::pool::Pool;
-/// use serve::server::{BatchPolicy, Server};
+/// use serve::server::{BatchPolicy, ScenarioSpec, Server};
 ///
 /// let server: Server<u64, u64> = Server::new(Pool::new(2), BatchPolicy::default());
 /// server
-///     .register("echo", "x2", |xs: &[u64]| xs.iter().map(|x| x * 2).collect())
+///     .register(ScenarioSpec::new("echo", "x2"), |xs: &[u64]| {
+///         xs.iter().map(|x| x * 2).collect()
+///     })
 ///     .unwrap();
 ///
 /// let cq = server.async_client();
@@ -423,11 +425,13 @@ pub mod reactor {
     /// ```
     /// use serve::async_front::reactor;
     /// use serve::pool::Pool;
-    /// use serve::server::{BatchPolicy, Server};
+    /// use serve::server::{BatchPolicy, ScenarioSpec, Server};
     ///
     /// let server: Server<u64, u64> = Server::new(Pool::new(2), BatchPolicy::default());
     /// server
-    ///     .register("echo", "inc", |xs: &[u64]| xs.iter().map(|x| x + 1).collect())
+    ///     .register(ScenarioSpec::new("echo", "inc"), |xs: &[u64]| {
+    ///         xs.iter().map(|x| x + 1).collect()
+    ///     })
     ///     .unwrap();
     /// let cq = server.async_client();
     /// let fut = cq.submit_future("echo", "inc", 41).unwrap();
@@ -538,7 +542,7 @@ pub mod reactor {
 mod tests {
     use super::*;
     use crate::pool::Pool;
-    use crate::server::{AdmissionPolicy, BatchPolicy, Server};
+    use crate::server::{BatchPolicy, ScenarioSpec, Server};
     use std::collections::HashSet;
 
     fn test_server(max_batch: usize, max_wait_ms: u64) -> Server<u64, u64> {
@@ -555,7 +559,9 @@ mod tests {
     fn single_thread_drives_a_large_inflight_window() {
         let server = test_server(64, 1);
         server
-            .register("m", "s", |xs: &[u64]| xs.iter().map(|x| x * 3).collect())
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| {
+                xs.iter().map(|x| x * 3).collect()
+            })
             .unwrap();
         let cq = server.async_client();
         const N: u64 = 1500;
@@ -583,7 +589,9 @@ mod tests {
     fn endpoint_submission_matches_named_submission() {
         let server = test_server(8, 1);
         server
-            .register("m", "s", |xs: &[u64]| xs.iter().map(|x| x + 7).collect())
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| {
+                xs.iter().map(|x| x + 7).collect()
+            })
             .unwrap();
         let cq = server.async_client();
         let ep = cq.endpoint("m", "s").unwrap();
@@ -620,10 +628,13 @@ mod tests {
         );
         const CAP: usize = 8;
         server
-            .register_with("m", "s", AdmissionPolicy::capped(CAP), |xs: &[u64]| {
-                std::thread::sleep(Duration::from_millis(3));
-                xs.to_vec()
-            })
+            .register(
+                ScenarioSpec::new("m", "s").queue_cap(CAP),
+                |xs: &[u64]| {
+                    std::thread::sleep(Duration::from_millis(3));
+                    xs.to_vec()
+                },
+            )
             .unwrap();
         let cq = server.async_client();
         let mut accepted = 0usize;
@@ -669,7 +680,7 @@ mod tests {
             },
         );
         server
-            .register_with("m", "s", AdmissionPolicy::capped(1), |xs: &[u64]| {
+            .register(ScenarioSpec::new("m", "s").queue_cap(1), |xs: &[u64]| {
                 std::thread::sleep(Duration::from_millis(20));
                 xs.to_vec()
             })
@@ -688,7 +699,9 @@ mod tests {
     fn futures_resolve_under_reactor() {
         let server = test_server(16, 1);
         server
-            .register("m", "s", |xs: &[u64]| xs.iter().map(|x| x * x).collect())
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| {
+                xs.iter().map(|x| x * x).collect()
+            })
             .unwrap();
         let cq = server.async_client();
         let futs: Vec<InferFuture<u64>> = (0..100u64)
@@ -706,7 +719,9 @@ mod tests {
     #[test]
     fn shutdown_fails_inflight_tickets_instead_of_hanging() {
         let server = test_server(1024, 10_000);
-        server.register("m", "s", |xs: &[u64]| xs.to_vec()).unwrap();
+        server
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| xs.to_vec())
+            .unwrap();
         let cq = server.async_client();
         // Parked far from both batch triggers; only shutdown's flush can
         // complete them.
@@ -737,7 +752,9 @@ mod tests {
     #[test]
     fn wait_times_out_when_nothing_is_inflight() {
         let server = test_server(4, 1);
-        server.register("m", "s", |xs: &[u64]| xs.to_vec()).unwrap();
+        server
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| xs.to_vec())
+            .unwrap();
         let cq = server.async_client();
         let t0 = Instant::now();
         assert!(cq.wait(Duration::from_millis(30)).is_none());

@@ -8,12 +8,20 @@
 //!   [`pool::Pool::par_map`]). This replaces the scoped-thread-per-call
 //!   fan-out that `dnn::data::par_map` used to spawn.
 //! * [`server`] — a multi-model micro-batching inference server generic
-//!   over request/response payloads: per-`(model, scenario)` queues, a
-//!   max-batch/max-wait scheduler dispatching micro-batches onto the pool,
-//!   synchronous [`server::Client`] handles, per-registration admission
-//!   control ([`server::AdmissionPolicy`] queue caps with load shedding),
-//!   and per-registration [`stats`] (count, mean, p50/p99 latency, shed /
-//!   queue-depth backpressure counters).
+//!   over request/response payloads: per-`(model, scenario)` queues
+//!   described by a builder-style [`server::ScenarioSpec`] (admission
+//!   cap, priority class, weighted-fair weight, deadline budget, batch
+//!   override) and registered through the single
+//!   [`server::Server::register`] entry point; a max-batch/max-wait
+//!   scheduler consulting a pluggable [`sched::SchedPolicy`]
+//!   ([`sched::Fifo`] | [`sched::StrictPriority`] |
+//!   [`sched::WeightedFair`]) to pick which due queue to drain onto the
+//!   pool; synchronous [`server::Client`] handles; per-registration
+//!   admission control ([`server::AdmissionPolicy`] queue caps) and
+//!   deadline budgets, each shedding with its own typed error; and
+//!   per-registration [`stats`] (count, mean, p50/p99 latency,
+//!   per-reason shed / queue-depth / starvation counters, plus
+//!   per-priority-class aggregation).
 //!
 //! On top of the server sits [`async_front`] — the poll/completion-queue
 //! asynchronous face: [`async_front::AsyncClient::submit`] returns a
@@ -32,10 +40,12 @@
 
 pub mod async_front;
 pub mod pool;
+pub mod sched;
 pub mod server;
 pub mod stats;
 
 pub use async_front::{reactor, AsyncClient, Completion, InferFuture, Ticket};
 pub use pool::{par_map_pooled, Pool};
-pub use server::{AdmissionPolicy, BatchPolicy, Client, ServeError, Server};
-pub use stats::{percentile, StatsCollector, StatsSnapshot};
+pub use sched::{DueEntry, Fifo, SchedPolicy, StrictPriority, WeightedFair};
+pub use server::{AdmissionPolicy, BatchPolicy, Client, ScenarioSpec, ServeError, Server};
+pub use stats::{percentile, Reservoir, ReservoirSnapshot, StatsCollector, StatsSnapshot};

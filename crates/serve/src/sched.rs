@@ -1,0 +1,287 @@
+//! Pluggable scheduling policies for the batch server.
+//!
+//! The scheduler thread in [`crate::server`] repeatedly builds the list
+//! of registrations that have a **due** micro-batch (a full batch waiting,
+//! or a partial one whose oldest request hit its `max_wait`) and asks a
+//! [`SchedPolicy`] which one to dispatch next. The policy sees one
+//! [`DueEntry`] per due registration — its stable id, priority class, WFQ
+//! weight and queue occupancy — and nothing else, so policies are pure
+//! picking strategies with no access to queues or payloads.
+//!
+//! Three implementations ship:
+//!
+//! * [`Fifo`] — rotating scan order (ascending registration order,
+//!   resuming past the last pick): every due queue is served in turn,
+//!   the same no-starvation service the pre-policy flush-all scheduler
+//!   gave. The default.
+//! * [`StrictPriority`] — always the due registration with the smallest
+//!   [`priority class`](crate::server::ScenarioSpec::priority) value
+//!   (class 0 is the most urgent). Lower classes can starve under
+//!   sustained high-class load — by design; the server surfaces the
+//!   [`passed_over`](crate::stats::StatsSnapshot::passed_over) counter so
+//!   starvation is visible in stats rather than silent.
+//! * [`WeightedFair`] — deficit round robin over per-registration
+//!   [`weights`](crate::server::ScenarioSpec::weight): under saturation,
+//!   each registration's throughput share converges to
+//!   `weight / Σ weights` (the `policy_study` section of
+//!   `BENCH_serve.json` measures this within ±20%).
+//!
+//! Policies are consulted only when at least one registration is due, so
+//! an idle policy costs nothing; and the scheduler reports every
+//! dispatched batch back via [`SchedPolicy::charge`], which is how DRR
+//! accounts spent credit.
+
+use std::collections::HashMap;
+
+/// One due registration, as presented to a [`SchedPolicy`]. Entries are
+/// handed to [`SchedPolicy::pick`] sorted by ascending `id` (registration
+/// order), and `id` is stable for the lifetime of a registration —
+/// policies may key internal state on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DueEntry {
+    /// Stable per-server registration id (ascending registration order).
+    pub id: u64,
+    /// Priority class from the registration's
+    /// [`ScenarioSpec`](crate::server::ScenarioSpec); **smaller is more
+    /// urgent** (class 0 outranks class 1).
+    pub priority: u8,
+    /// Weighted-fair share weight (≥ 1) from the registration's spec.
+    pub weight: u32,
+    /// Requests currently waiting in the registration's queue.
+    pub queued: usize,
+    /// Size of the batch a dispatch would drain now
+    /// (`min(queued, max_batch)`).
+    pub next_batch: usize,
+}
+
+/// A scheduling policy: picks which due registration's queue the
+/// scheduler drains next.
+///
+/// Implementations must be `Send` (the policy lives on the scheduler
+/// thread) and should be O(due-list) per pick — `pick` runs once per
+/// dispatched batch.
+pub trait SchedPolicy: Send {
+    /// Short stable name, recorded in server diagnostics and
+    /// `BENCH_serve.json`.
+    fn name(&self) -> &'static str;
+
+    /// Picks the index (into `due`) of the registration to dispatch next.
+    /// `due` is non-empty and sorted by ascending [`DueEntry::id`]. An
+    /// out-of-range return is clamped by the scheduler.
+    fn pick(&mut self, due: &[DueEntry]) -> usize;
+
+    /// Feedback after a dispatch: registration `id` (as previously
+    /// returned from [`SchedPolicy::pick`]) dispatched a batch of `n`
+    /// requests. Policies that meter throughput (DRR) charge credit here;
+    /// stateless policies ignore it.
+    fn charge(&mut self, _id: u64, _n: usize) {}
+}
+
+/// Rotating scan order: picks the first due registration past the last
+/// one served (ascending registration order, wrapping), so every due
+/// queue gets a dispatch each cycle. This is the service guarantee the
+/// pre-policy scheduler gave by flushing *every* due queue per pass —
+/// a fixed pick of the first due entry would instead starve
+/// later-registered queues once dispatch became paced. With a single
+/// active registration the order is exactly the legacy one. The default
+/// policy.
+#[derive(Debug, Default, Clone)]
+pub struct Fifo {
+    /// Id of the last registration served; the next pick resumes after
+    /// it.
+    cursor: Option<u64>,
+}
+
+impl SchedPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn pick(&mut self, due: &[DueEntry]) -> usize {
+        let idx = match self.cursor {
+            Some(c) => due.iter().position(|e| e.id > c).unwrap_or(0),
+            None => 0,
+        };
+        self.cursor = Some(due[idx].id);
+        idx
+    }
+}
+
+/// Strict priority classes: the due registration with the smallest
+/// `priority` value always wins; ties fall back to registration order.
+/// High-class traffic therefore never waits behind a backlog of a lower
+/// class — and a saturated high class starves lower ones, which the
+/// server makes visible through the per-registration
+/// [`passed_over`](crate::stats::StatsSnapshot::passed_over) counter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StrictPriority;
+
+impl SchedPolicy for StrictPriority {
+    fn name(&self) -> &'static str {
+        "strict_priority"
+    }
+
+    fn pick(&mut self, due: &[DueEntry]) -> usize {
+        due.iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.priority)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Deficit round robin over per-registration weights.
+///
+/// Each due registration accumulates `weight` credits (measured in
+/// requests) per round-robin visit; a registration is served when its
+/// credit covers its next batch, and the dispatched batch size is charged
+/// against the credit. Under saturation every due queue is visited
+/// equally often, so served requests converge to shares proportional to
+/// the weights — without ever starving a weight-1 queue the way strict
+/// priority would.
+///
+/// Credit state is pruned to the currently-due set on every pick (the
+/// standard DRR "reset the deficit when the queue empties" rule,
+/// approximated on due-ness), so departed or idle registrations do not
+/// hoard credit and the map cannot grow beyond the live registration
+/// count.
+#[derive(Debug, Default)]
+pub struct WeightedFair {
+    deficit: HashMap<u64, f64>,
+    /// Id of the last registration served, so each pick resumes the round
+    /// robin *after* it.
+    cursor: Option<u64>,
+}
+
+impl SchedPolicy for WeightedFair {
+    fn name(&self) -> &'static str {
+        "weighted_fair"
+    }
+
+    fn pick(&mut self, due: &[DueEntry]) -> usize {
+        // Reset credit for queues that are no longer due (emptied,
+        // deregistered, or below their dispatch threshold).
+        self.deficit.retain(|id, _| due.iter().any(|e| e.id == *id));
+        let n = due.len();
+        // Resume the ring just past the cursor.
+        let start = match self.cursor {
+            Some(c) => due.iter().position(|e| e.id > c).unwrap_or(0),
+            None => 0,
+        };
+        // Each full cycle awards every due queue its quantum; weight ≥ 1
+        // guarantees some queue eventually covers its (finite) next
+        // batch, so this terminates.
+        loop {
+            for k in 0..n {
+                let idx = (start + k) % n;
+                let e = &due[idx];
+                let credit = self.deficit.entry(e.id).or_insert(0.0);
+                *credit += f64::from(e.weight.max(1));
+                if *credit >= e.next_batch as f64 {
+                    self.cursor = Some(e.id);
+                    return idx;
+                }
+            }
+        }
+    }
+
+    fn charge(&mut self, id: u64, n: usize) {
+        if let Some(credit) = self.deficit.get_mut(&id) {
+            *credit -= n as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, priority: u8, weight: u32, queued: usize) -> DueEntry {
+        DueEntry {
+            id,
+            priority,
+            weight,
+            queued,
+            next_batch: queued.min(4),
+        }
+    }
+
+    /// Simulates a saturated scheduler: every registration always has a
+    /// full batch due; returns per-registration dispatched request
+    /// counts after `rounds` picks.
+    fn simulate(policy: &mut dyn SchedPolicy, entries: &[DueEntry], rounds: usize) -> Vec<usize> {
+        let mut served = vec![0usize; entries.len()];
+        for _ in 0..rounds {
+            let i = policy.pick(entries).min(entries.len() - 1);
+            served[i] += entries[i].next_batch;
+            policy.charge(entries[i].id, entries[i].next_batch);
+        }
+        served
+    }
+
+    #[test]
+    fn fifo_rotates_over_due_queues() {
+        let mut p = Fifo::default();
+        let due = [entry(3, 0, 1, 8), entry(7, 0, 1, 8)];
+        // Round robin: neither due queue can be starved by the other.
+        assert_eq!(p.pick(&due), 0);
+        assert_eq!(p.pick(&due), 1);
+        assert_eq!(p.pick(&due), 0);
+        // A single due queue is always picked (the legacy order).
+        let solo = [entry(7, 0, 1, 8)];
+        assert_eq!(p.pick(&solo), 0);
+        assert_eq!(p.name(), "fifo");
+    }
+
+    #[test]
+    fn strict_priority_prefers_smallest_class_with_stable_ties() {
+        let mut p = StrictPriority;
+        let due = [entry(1, 2, 1, 8), entry(2, 0, 1, 8), entry(3, 1, 1, 8)];
+        assert_eq!(p.pick(&due), 1, "class 0 outranks classes 1 and 2");
+        let tied = [entry(1, 1, 1, 8), entry(2, 1, 1, 8)];
+        assert_eq!(p.pick(&tied), 0, "ties break by registration order");
+    }
+
+    #[test]
+    fn weighted_fair_shares_track_weights_exactly_under_saturation() {
+        let mut p = WeightedFair::default();
+        let due = [
+            entry(1, 0, 1, 100),
+            entry(2, 0, 2, 100),
+            entry(3, 0, 4, 100),
+        ];
+        let served = simulate(&mut p, &due, 700);
+        let total: usize = served.iter().sum();
+        for (i, w) in [1.0f64, 2.0, 4.0].iter().enumerate() {
+            let share = served[i] as f64 / total as f64;
+            let expect = w / 7.0;
+            assert!(
+                (share - expect).abs() / expect < 0.05,
+                "share {i}: {share:.3} vs {expect:.3} (served {served:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_fair_never_starves_weight_one() {
+        let mut p = WeightedFair::default();
+        let due = [entry(1, 0, 1, 100), entry(2, 0, 64, 100)];
+        let served = simulate(&mut p, &due, 650);
+        assert!(
+            served[0] > 0,
+            "weight-1 queue must still be served: {served:?}"
+        );
+    }
+
+    #[test]
+    fn weighted_fair_resets_credit_when_a_queue_leaves_the_due_set() {
+        let mut p = WeightedFair::default();
+        let both = [entry(1, 0, 1, 100), entry(2, 0, 8, 100)];
+        let _ = simulate(&mut p, &both, 50);
+        // Queue 2 disappears (drained/deregistered): its credit is pruned
+        // and queue 1 is served without cycling forever.
+        let solo = [entry(1, 0, 1, 100)];
+        assert_eq!(p.pick(&solo), 0);
+        assert!(!p.deficit.contains_key(&2), "departed credit pruned");
+    }
+}

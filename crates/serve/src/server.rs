@@ -2,21 +2,32 @@
 //!
 //! Registrations are keyed by `(model, scenario)` — a scenario being one
 //! quantization configuration of a model (e.g. `"lp8"`, `"lp4"`). Each
-//! registration supplies a **batch inference function** `&[I] -> Vec<O>`;
-//! the server owns the queues, the batching policy and the statistics, and
-//! stays fully generic over the tensor types so the runtime layer carries
-//! no model dependencies (`dnn::serving` provides the glue that registers
-//! quantized DNN models with shared weight caches).
+//! registration is described by a [`ScenarioSpec`] (admission policy,
+//! priority class, weighted-fair weight, deadline budget, batch-policy
+//! override) and supplies a **batch inference function** `&[I] -> Vec<O>`
+//! through the single entry point [`Server::register`]; the server owns
+//! the queues, the batching and scheduling policies and the statistics,
+//! and stays fully generic over the tensor types so the runtime layer
+//! carries no model dependencies (`dnn::serving` provides the glue that
+//! registers quantized DNN models with shared weight caches).
 //!
-//! ## Batching
+//! ## Batching and scheduling
 //!
-//! Requests accumulate in a per-registration queue. A scheduler thread
-//! drains a queue into a micro-batch as soon as **either** `max_batch`
-//! requests are waiting **or** the oldest request has waited `max_wait`,
-//! and dispatches the batch onto the work-stealing [`Pool`] — so batches
-//! from different `(model, scenario)` streams execute concurrently, and a
-//! batch function may itself fan out per-item work on the same pool
-//! (nested use is deadlock-free by the pool's help-while-waiting design).
+//! Requests accumulate in a per-registration queue. A queue is **due**
+//! as soon as **either** `max_batch` requests are waiting **or** the
+//! oldest request has waited `max_wait` (per-registration overrides via
+//! [`ScenarioSpec::batch`], otherwise the server default). The scheduler
+//! thread consults a pluggable [`SchedPolicy`]
+//! to pick *which* due registration to drain next — [`Fifo`] (the
+//! default, scan order), [`StrictPriority`](crate::sched::StrictPriority)
+//! (classes, most-urgent first) or
+//! [`WeightedFair`](crate::sched::WeightedFair) (deficit round robin) —
+//! and dispatches the drained micro-batch onto the work-stealing
+//! [`Pool`]. Dispatch is *paced*: the scheduler keeps at most a couple of
+//! batches per pool worker in flight, so backlog waits in the
+//! registration queues where the policy can still reorder it (and where
+//! deadline budgets can shed it), not in the pool's FIFO run queue where
+//! it could not.
 //!
 //! ## Clients
 //!
@@ -25,22 +36,25 @@
 //! threads, not from inside pool tasks. For thousands of in-flight
 //! requests from one thread, use the asynchronous front-end instead
 //! ([`Server::async_client`] → [`crate::async_front`]): both faces share
-//! the queues, the batching scheduler and the statistics — they differ
+//! the queues, the scheduling policy and the statistics — they differ
 //! only in how a finished response reaches the caller (condvar slot vs
 //! completion queue / future).
 //!
-//! ## Admission control
+//! ## Admission control and deadlines
 //!
 //! Every registration carries an [`AdmissionPolicy`]. When its `queue_cap`
 //! of **outstanding** (accepted, unfulfilled) requests is reached, further
 //! submissions are refused with [`ServeError::Rejected`] instead of
-//! growing the backlog without bound — load shedding keeps the wait of
-//! accepted requests (and thus p99 latency) bounded under overload, and
-//! the shed count is visible in [`StatsSnapshot`].
+//! growing the backlog without bound. A [`ScenarioSpec::deadline`] budget
+//! additionally sheds *accepted* requests at dispatch when they have
+//! already waited longer than the budget — [`ServeError::DeadlineExpired`]
+//! — so a stale request never wastes a batch slot. The two shed reasons
+//! are counted separately in [`StatsSnapshot`].
 
 use crate::async_front::AsyncClient;
 use crate::pool::Pool;
-use crate::stats::{StatsCollector, StatsSnapshot};
+use crate::sched::{DueEntry, Fifo, SchedPolicy};
+use crate::stats::{Reservoir, ReservoirSnapshot, StatsCollector, StatsSnapshot};
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -65,6 +79,14 @@ impl Default for BatchPolicy {
         }
     }
 }
+
+/// Batches each registration may have in flight per pool worker before
+/// the scheduler stops dispatching and lets backlog queue: enough to
+/// double-buffer every worker (no idle gap between batches) without
+/// flushing whole queues into the pool's FIFO run queue, where the
+/// scheduling policy could no longer reorder them and deadline budgets
+/// could no longer shed them.
+const INFLIGHT_BATCHES_PER_WORKER: usize = 2;
 
 /// Serving errors surfaced to clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +117,27 @@ pub enum ServeError {
         /// The queue cap that was reached.
         cap: usize,
     },
+    /// The request was accepted but waited in the queue longer than the
+    /// registration's [`ScenarioSpec::deadline`] budget; the scheduler
+    /// shed it at dispatch rather than spend a batch slot on a response
+    /// nobody is still waiting for. Counted in
+    /// [`StatsSnapshot::shed_deadline`], separately from cap-shedding.
+    DeadlineExpired {
+        /// Model name of the registration.
+        model: String,
+        /// Scenario name of the registration.
+        scenario: String,
+        /// The deadline budget that expired.
+        budget: Duration,
+    },
+    /// The registration was removed ([`Server::deregister`]) while this
+    /// request was queued, or the submission raced a deregistration.
+    Deregistered {
+        /// Model name of the removed registration.
+        model: String,
+        /// Scenario name of the removed registration.
+        scenario: String,
+    },
     /// The batch function panicked or returned a malformed batch.
     InferenceFailed,
     /// The server is shutting down and no longer accepts requests.
@@ -119,6 +162,20 @@ impl std::fmt::Display for ServeError {
                     f,
                     "({model}, {scenario}) shed the request: backlog at cap {cap}"
                 )
+            }
+            ServeError::DeadlineExpired {
+                model,
+                scenario,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "({model}, {scenario}) shed the request: deadline budget {budget:?} expired \
+                     before dispatch"
+                )
+            }
+            ServeError::Deregistered { model, scenario } => {
+                write!(f, "({model}, {scenario}) was deregistered")
             }
             ServeError::InferenceFailed => write!(f, "batch inference failed"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
@@ -166,6 +223,180 @@ impl AdmissionPolicy {
     pub fn capped(queue_cap: usize) -> Self {
         assert!(queue_cap >= 1, "queue_cap must be at least 1");
         AdmissionPolicy { queue_cap }
+    }
+}
+
+/// Builder-style description of one `(model, scenario)` registration —
+/// the single control-plane surface for every serving knob: admission
+/// cap, priority class, weighted-fair weight, deadline budget and
+/// batch-policy override. Pass it to [`Server::register`].
+///
+/// Every knob defaults to the pre-spec behavior (unbounded queue, one
+/// priority class, weight 1, no deadline, server-wide batch policy), so
+/// `ScenarioSpec::new(model, scenario)` is exactly the old plain
+/// registration.
+///
+/// # Examples
+///
+/// ```
+/// use serve::server::ScenarioSpec;
+/// use std::time::Duration;
+///
+/// let spec = ScenarioSpec::new("resnet18", "lp4")
+///     .queue_cap(256)                         // shed beyond 256 outstanding
+///     .priority(1)                            // class 1 (0 is most urgent)
+///     .weight(4)                              // 4x share under WeightedFair
+///     .deadline(Duration::from_millis(50))    // shed if queued > 50ms
+///     .max_batch(16);                         // per-scenario batch override
+/// assert_eq!(spec.model(), "resnet18");
+/// assert_eq!(spec.scenario(), "lp4");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    model: String,
+    scenario: String,
+    admission: AdmissionPolicy,
+    priority: u8,
+    weight: u32,
+    deadline: Option<Duration>,
+    /// Each batch knob overrides independently: an unset half falls back
+    /// to the server-wide policy at registration, so `.max_batch(n)`
+    /// alone cannot silently change the effective `max_wait`.
+    batch_max: Option<usize>,
+    batch_wait: Option<Duration>,
+}
+
+impl ScenarioSpec {
+    /// A spec with every knob at its default (unbounded queue, priority
+    /// class 0, weight 1, no deadline, server-wide batch policy).
+    pub fn new(model: &str, scenario: &str) -> Self {
+        ScenarioSpec {
+            model: model.to_string(),
+            scenario: scenario.to_string(),
+            admission: AdmissionPolicy::default(),
+            priority: 0,
+            weight: 1,
+            deadline: None,
+            batch_max: None,
+            batch_wait: None,
+        }
+    }
+
+    /// Replaces the model name (used by glue layers that derive the name
+    /// from the model object rather than the caller).
+    pub fn with_model(mut self, model: &str) -> Self {
+        self.model = model.to_string();
+        self
+    }
+
+    /// Sets the full admission policy.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Shorthand for [`ScenarioSpec::admission`] with
+    /// [`AdmissionPolicy::capped`]: shed submissions beyond `cap`
+    /// outstanding requests.
+    pub fn queue_cap(self, cap: usize) -> Self {
+        self.admission(AdmissionPolicy::capped(cap))
+    }
+
+    /// Sets the strict-priority class. **Smaller is more urgent**: under
+    /// [`StrictPriority`](crate::sched::StrictPriority), class 0 is
+    /// always dispatched before class 1. Ignored by [`Fifo`] and
+    /// [`WeightedFair`](crate::sched::WeightedFair).
+    pub fn priority(mut self, class: u8) -> Self {
+        self.priority = class;
+        self
+    }
+
+    /// Sets the weighted-fair share weight (≥ 1). Under
+    /// [`WeightedFair`](crate::sched::WeightedFair), saturated
+    /// registrations receive throughput proportional to their weights.
+    /// Ignored by [`Fifo`] and
+    /// [`StrictPriority`](crate::sched::StrictPriority).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is 0.
+    pub fn weight(mut self, weight: u32) -> Self {
+        assert!(weight >= 1, "weight must be at least 1");
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the deadline budget: an accepted request that has already
+    /// waited longer than `budget` when the scheduler drains it is shed
+    /// with [`ServeError::DeadlineExpired`] instead of dispatched.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Overrides both halves of the server-wide [`BatchPolicy`] for this
+    /// registration.
+    pub fn batch(self, policy: BatchPolicy) -> Self {
+        self.max_batch(policy.max_batch).max_wait(policy.max_wait)
+    }
+
+    /// Overrides only `max_batch`; the server's `max_wait` still applies
+    /// (resolved at registration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is 0.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        self.batch_max = Some(max_batch);
+        self
+    }
+
+    /// Overrides only `max_wait`; the server's `max_batch` still applies
+    /// (resolved at registration).
+    pub fn max_wait(mut self, max_wait: Duration) -> Self {
+        self.batch_wait = Some(max_wait);
+        self
+    }
+
+    /// The model name.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// The scenario name.
+    pub fn scenario(&self) -> &str {
+        &self.scenario
+    }
+
+    /// The admission policy.
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        self.admission
+    }
+
+    /// The strict-priority class (smaller = more urgent).
+    pub fn priority_class(&self) -> u8 {
+        self.priority
+    }
+
+    /// The weighted-fair weight.
+    pub fn wfq_weight(&self) -> u32 {
+        self.weight
+    }
+
+    /// The deadline budget, if any.
+    pub fn deadline_budget(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The `max_batch` override, if any.
+    pub fn max_batch_override(&self) -> Option<usize> {
+        self.batch_max
+    }
+
+    /// The `max_wait` override, if any.
+    pub fn max_wait_override(&self) -> Option<Duration> {
+        self.batch_wait
     }
 }
 
@@ -224,6 +455,9 @@ impl<O> Completer<O> {
     }
 }
 
+/// A drained run of queued requests (an expired prefix or a micro-batch).
+type Drained<I, O> = Vec<Pending<I, O>>;
+
 /// A queued request.
 struct Pending<I, O> {
     /// Process-unique request id (the ticket number on the async path).
@@ -243,8 +477,24 @@ pub type InferFn<I, O> = Arc<dyn Fn(&[I]) -> Vec<O> + Send + Sync>;
 pub(crate) struct Registration<I, O> {
     /// The `(model, scenario)` key, kept for error construction.
     key: (String, String),
+    /// Stable per-server registration id (ascending registration order);
+    /// the identity scheduling policies key their state on.
+    seq: u64,
     infer: InferFn<I, O>,
     admission: AdmissionPolicy,
+    /// Strict-priority class (smaller = more urgent).
+    priority: u8,
+    /// Weighted-fair weight (≥ 1).
+    weight: u32,
+    /// Deadline budget: queued requests older than this are shed at
+    /// dispatch with [`ServeError::DeadlineExpired`].
+    deadline: Option<Duration>,
+    /// Effective batch policy (spec override or the server default,
+    /// resolved once at registration).
+    batch: BatchPolicy,
+    /// Set by [`Server::deregister`]: refuses new submissions and hides
+    /// the queue from the scheduler while the deregistration drain runs.
+    closed: AtomicBool,
     /// Accepted requests not yet fulfilled — queued **or** dispatched.
     /// Admission gates on this (not on queue length) so the cap bounds
     /// the whole per-registration backlog; incremented only via a
@@ -253,27 +503,62 @@ pub(crate) struct Registration<I, O> {
     outstanding: AtomicUsize,
     queue: Mutex<Vec<Pending<I, O>>>,
     stats: StatsCollector,
-    /// Most recent batch sizes dispatched (diagnostics; lets tests assert
-    /// the batching policy without instrumenting the inference function).
-    /// Bounded: only the last [`MAX_BATCH_SIZE_SAMPLES`] are retained so a
-    /// long-running server does not grow without limit.
-    batch_sizes: Mutex<Vec<usize>>,
+    /// Batch sizes dispatched (diagnostics; lets tests assert the
+    /// batching policy without instrumenting the inference function).
+    /// A thinning [`Reservoir`] — bounded memory on long-running
+    /// servers, exact count/sum throughout.
+    batch_sizes: Reservoir,
 }
 
-/// Retained entries in each registration's batch-size diagnostic log.
-const MAX_BATCH_SIZE_SAMPLES: usize = 4096;
+impl<I, O> Registration<I, O> {
+    /// Reconstructs the registration's spec (diagnostics surface).
+    fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            model: self.key.0.clone(),
+            scenario: self.key.1.clone(),
+            admission: self.admission,
+            priority: self.priority,
+            weight: self.weight,
+            deadline: self.deadline,
+            batch_max: Some(self.batch.max_batch),
+            batch_wait: Some(self.batch.max_wait),
+        }
+    }
+
+    /// Whether the queue holds a due batch, and its scheduling facts if
+    /// so. `force` (shutdown drain) makes any non-empty queue due.
+    fn due_entry(&self, force: bool) -> Option<DueEntry> {
+        if self.closed.load(Ordering::Acquire) {
+            return None;
+        }
+        let q = self.queue.lock().expect("queue poisoned");
+        let len = q.len();
+        let due = len >= self.batch.max_batch
+            || (len > 0 && (force || q[0].enqueued.elapsed() >= self.batch.max_wait));
+        due.then(|| DueEntry {
+            id: self.seq,
+            priority: self.priority,
+            weight: self.weight,
+            queued: len,
+            next_batch: len.min(self.batch.max_batch),
+        })
+    }
+}
 
 /// Registration table keyed by `(model, scenario)`.
 type Registry<I, O> = HashMap<(String, String), Arc<Registration<I, O>>>;
 
-pub(crate) struct Inner<I, O> {
-    pool: Pool,
-    policy: BatchPolicy,
-    registry: RwLock<Registry<I, O>>,
-    shutdown: AtomicBool,
+/// Scheduler signaling shared between submitters, the scheduler thread
+/// and dispatched batch tasks. Kept in its own `Arc`, **separate from
+/// [`Inner`]**, so a batch task running on a pool worker never holds the
+/// pool handle itself: if it did, a worker could drop the last `Pool`
+/// handle and try to join its own thread during pool teardown.
+struct SchedSignal {
+    /// Batches dispatched to the pool and not yet completed (the pacing
+    /// gauge).
     inflight: AtomicUsize,
     /// Scheduler wakeup channel. The bool is a dirty flag: set by
-    /// [`Inner::wake_scheduler`], consumed by the scheduler before it
+    /// [`SchedSignal::wake`], consumed by the scheduler before it
     /// waits — so a wakeup fired between the scheduler's queue scan and
     /// its wait is never lost (it would otherwise nap up to its idle
     /// timeout with a request already queued).
@@ -281,10 +566,29 @@ pub(crate) struct Inner<I, O> {
     tick_cv: Condvar,
 }
 
-impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
-    fn wake_scheduler(&self) {
+impl SchedSignal {
+    fn wake(&self) {
         *self.tick.lock().expect("tick poisoned") = true;
         self.tick_cv.notify_all();
+    }
+}
+
+pub(crate) struct Inner<I, O> {
+    pool: Pool,
+    policy: BatchPolicy,
+    /// Name of the scheduling policy (the policy itself lives on the
+    /// scheduler thread).
+    sched_name: &'static str,
+    registry: RwLock<Registry<I, O>>,
+    /// Source of stable registration ids ([`Registration::seq`]).
+    reg_seq: AtomicU64,
+    shutdown: AtomicBool,
+    signal: Arc<SchedSignal>,
+}
+
+impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
+    fn wake_scheduler(&self) {
+        self.signal.wake();
     }
 
     /// Resolves `(model, scenario)` to its registration.
@@ -308,8 +612,8 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
     /// Admits one request into `reg`'s queue — the single submission path
     /// both front-ends share. Applies admission control (sheds with
     /// [`ServeError::Rejected`] at the queue cap), wakes the scheduler,
-    /// and closes the shutdown race; returns the request id whose
-    /// completer will be fulfilled.
+    /// and closes the shutdown/deregistration races; returns the request
+    /// id whose completer will be fulfilled.
     pub(crate) fn submit_to(
         &self,
         reg: &Arc<Registration<I, O>>,
@@ -318,6 +622,12 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
     ) -> Result<u64, ServeError> {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
+        }
+        if reg.closed.load(Ordering::Acquire) {
+            return Err(ServeError::Deregistered {
+                model: reg.key.0.clone(),
+                scenario: reg.key.1.clone(),
+            });
         }
         // Admission gate: claim an outstanding slot if one is free. The
         // guarded increment makes the cap exact under concurrent
@@ -356,15 +666,16 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         // Wake the scheduler out of its nap: it decides whether the queue
         // is due (full batch) or needs a max_wait timer.
         self.wake_scheduler();
-        // Close the shutdown race: if the flag flipped between the check
-        // above and our enqueue, the scheduler may already have done its
-        // final sweep and exited — nobody would ever dispatch us. Any
-        // enqueue that happened before the flag was visible is seen by the
-        // scheduler's draining pass (both sides go through the queue
-        // mutex), so it suffices to withdraw our own entry when the flag
-        // is set now; if it is no longer queued it was drained into a
-        // batch and its completer will be fulfilled.
-        if self.shutdown.load(Ordering::Acquire) {
+        // Close the shutdown/deregistration races: if either flag flipped
+        // between the checks above and our enqueue, the final drain may
+        // already have swept the queue — nobody would ever dispatch us.
+        // Any enqueue that happened before the flag was visible is seen
+        // by the draining pass (both sides go through the queue mutex),
+        // so it suffices to withdraw our own entry when a flag is set
+        // now; if it is no longer queued it was drained (into a batch or
+        // by the final sweep) and its completer will be fulfilled.
+        let shutting_down = self.shutdown.load(Ordering::Acquire);
+        if shutting_down || reg.closed.load(Ordering::Acquire) {
             let withdrawn = {
                 let mut q = reg.queue.lock().expect("queue poisoned");
                 q.iter()
@@ -374,36 +685,76 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
             };
             if withdrawn {
                 reg.outstanding.fetch_sub(1, Ordering::AcqRel);
-                return Err(ServeError::ShuttingDown);
+                return Err(if shutting_down {
+                    ServeError::ShuttingDown
+                } else {
+                    ServeError::Deregistered {
+                        model: reg.key.0.clone(),
+                        scenario: reg.key.1.clone(),
+                    }
+                });
             }
         }
         Ok(id)
     }
 
-    /// Drains one due batch from `reg`, if any, and dispatches it onto the
-    /// pool. Returns whether a batch was dispatched.
-    fn dispatch_due(self: &Arc<Self>, reg: &Arc<Registration<I, O>>, force: bool) -> bool {
-        let batch: Vec<Pending<I, O>> = {
+    /// Sheds `reg`'s expired queue prefix (requests older than the
+    /// deadline budget), then drains and dispatches one due batch if the
+    /// remaining queue still holds one. Returns
+    /// `(requests shed, dispatched batch size if any)`.
+    fn drain_one(
+        self: &Arc<Self>,
+        reg: &Arc<Registration<I, O>>,
+        force: bool,
+    ) -> (usize, Option<usize>) {
+        let (expired, batch): (Drained<I, O>, Option<Drained<I, O>>) = {
             let mut q = reg.queue.lock().expect("queue poisoned");
-            let due = q.len() >= self.policy.max_batch
-                || (!q.is_empty() && (force || q[0].enqueued.elapsed() >= self.policy.max_wait));
-            if !due {
-                return false;
-            }
-            let take = q.len().min(self.policy.max_batch);
-            q.drain(..take).collect()
+            // The queue is FIFO and the budget uniform, so expiry is
+            // monotone from the front: the expired entries are exactly a
+            // prefix.
+            let n_exp = match reg.deadline {
+                Some(budget) => q
+                    .iter()
+                    .take_while(|p| p.enqueued.elapsed() >= budget)
+                    .count(),
+                None => 0,
+            };
+            let expired: Drained<I, O> = q.drain(..n_exp).collect();
+            // Re-evaluate due-ness on what is left: shedding may have
+            // taken the queue below both triggers.
+            let len = q.len();
+            let due = len >= reg.batch.max_batch
+                || (len > 0 && (force || q[0].enqueued.elapsed() >= reg.batch.max_wait));
+            let batch = due.then(|| {
+                let take = len.min(reg.batch.max_batch);
+                q.drain(..take).collect()
+            });
+            (expired, batch)
         };
-        {
-            let mut sizes = reg.batch_sizes.lock().expect("batch sizes poisoned");
-            if sizes.len() >= MAX_BATCH_SIZE_SAMPLES {
-                // Keep the recent half; amortized O(1) per dispatch.
-                sizes.drain(..MAX_BATCH_SIZE_SAMPLES / 2);
+        let n_exp = expired.len();
+        if n_exp > 0 {
+            let budget = reg.deadline.expect("expiry implies a deadline");
+            for p in expired {
+                reg.stats.record_shed_deadline();
+                p.completer.fulfill(
+                    p.id,
+                    Err(ServeError::DeadlineExpired {
+                        model: reg.key.0.clone(),
+                        scenario: reg.key.1.clone(),
+                        budget,
+                    }),
+                );
             }
-            sizes.push(batch.len());
+            reg.outstanding.fetch_sub(n_exp, Ordering::AcqRel);
         }
-        self.inflight.fetch_add(1, Ordering::AcqRel);
+        let Some(batch) = batch else {
+            return (n_exp, None);
+        };
+        let n = batch.len();
+        reg.batch_sizes.record(n as f64);
+        self.signal.inflight.fetch_add(1, Ordering::AcqRel);
         let reg = Arc::clone(reg);
-        let inner = Arc::clone(self);
+        let signal = Arc::clone(&self.signal);
         self.pool.spawn(move || {
             let mut owned: Vec<I> = Vec::with_capacity(batch.len());
             let mut waiters: Vec<(u64, Instant, Completer<O>)> = Vec::with_capacity(batch.len());
@@ -429,45 +780,101 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
             // Release the admission slots only after delivery, so the cap
             // is never momentarily exceeded.
             reg.outstanding.fetch_sub(fulfilled, Ordering::AcqRel);
-            inner.inflight.fetch_sub(1, Ordering::AcqRel);
-            inner.wake_scheduler();
+            signal.inflight.fetch_sub(1, Ordering::AcqRel);
+            signal.wake();
         });
-        true
+        (n_exp, Some(n))
     }
 
-    fn scheduler_loop(self: Arc<Self>) {
+    fn scheduler_loop(self: Arc<Self>, mut policy: Box<dyn SchedPolicy>) {
+        let inflight_target = (self.pool.threads() * INFLIGHT_BATCHES_PER_WORKER).max(1);
         loop {
             let draining = self.shutdown.load(Ordering::Acquire);
-            let regs: Vec<Arc<Registration<I, O>>> = self
+            let mut regs: Vec<Arc<Registration<I, O>>> = self
                 .registry
                 .read()
                 .expect("registry poisoned")
                 .values()
                 .map(Arc::clone)
                 .collect();
+            // Stable scan order: the policy sees entries sorted by
+            // registration id, and Fifo drains in registration order.
+            regs.sort_unstable_by_key(|r| r.seq);
+            // Pick-and-dispatch until nothing is due or the in-flight
+            // pacing target is reached (backlog then waits in the
+            // registration queues, where the policy can reorder it).
+            // The due list is rebuilt from scratch per dispatch — one
+            // short queue-lock per registration — because age-based
+            // due-ness changes with no event to observe; at realistic
+            // registration counts the rescan is nanoseconds against a
+            // batch execution.
+            loop {
+                if self.signal.inflight.load(Ordering::Acquire) >= inflight_target {
+                    break;
+                }
+                let mut due_idx: Vec<usize> = Vec::new();
+                let mut entries: Vec<DueEntry> = Vec::new();
+                for (i, reg) in regs.iter().enumerate() {
+                    if let Some(e) = reg.due_entry(draining) {
+                        due_idx.push(i);
+                        entries.push(e);
+                    }
+                }
+                if entries.is_empty() {
+                    break;
+                }
+                let choice = policy.pick(&entries).min(entries.len() - 1);
+                let picked = &regs[due_idx[choice]];
+                // A `None` dispatch is a shed-only drain (the whole due
+                // prefix had expired) or a pick that raced to not-due (a
+                // concurrent deregistration emptied it). Keep scanning
+                // either way — other queues may still be due, and the
+                // race cannot spin: entries only leave a queue through a
+                // drain, and a closed registration drops out of the next
+                // due scan.
+                let (_shed, dispatched) = self.drain_one(picked, draining);
+                if let Some(n) = dispatched {
+                    policy.charge(entries[choice].id, n);
+                    // Starvation accounting: every other due queue just
+                    // watched a dispatch go elsewhere.
+                    for (k, &i) in due_idx.iter().enumerate() {
+                        if k != choice {
+                            regs[i].stats.record_passed_over();
+                        }
+                    }
+                }
+            }
+            // Sleep planning: nothing due (or pacing is at target) —
+            // find the nearest max_wait expiry among non-empty queues.
             let mut queued = false;
             let mut nearest: Option<Duration> = None;
             for reg in &regs {
-                // Flush every batch that is already due (possibly several
-                // full ones from a burst).
-                while self.dispatch_due(reg, draining) {}
                 let q = reg.queue.lock().expect("queue poisoned");
                 if let Some(front) = q.first() {
                     queued = true;
                     let age = front.enqueued.elapsed();
-                    let left = self.policy.max_wait.saturating_sub(age);
+                    let left = reg.batch.max_wait.saturating_sub(age);
                     nearest = Some(nearest.map_or(left, |n| n.min(left)));
                 }
             }
-            if draining && !queued && self.inflight.load(Ordering::Acquire) == 0 {
+            if draining && !queued && self.signal.inflight.load(Ordering::Acquire) == 0 {
                 return;
             }
-            let mut dirty = self.tick.lock().expect("tick poisoned");
+            let at_capacity = self.signal.inflight.load(Ordering::Acquire) >= inflight_target;
+            let mut dirty = self.signal.tick.lock().expect("tick poisoned");
             if !*dirty {
-                let timeout = nearest
-                    .unwrap_or(Duration::from_millis(50))
-                    .max(Duration::from_micros(100));
+                // At the pacing target the max_wait timer is moot (no
+                // dispatch can happen until a batch completes, which
+                // wakes us); otherwise wake for the nearest due time.
+                let timeout = if at_capacity {
+                    Duration::from_millis(50)
+                } else {
+                    nearest
+                        .unwrap_or(Duration::from_millis(50))
+                        .max(Duration::from_micros(100))
+                };
                 let (guard, _) = self
+                    .signal
                     .tick_cv
                     .wait_timeout(dirty, timeout)
                     .expect("tick poisoned");
@@ -485,11 +892,13 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
 ///
 /// ```
 /// use serve::pool::Pool;
-/// use serve::server::{BatchPolicy, Server};
+/// use serve::server::{BatchPolicy, ScenarioSpec, Server};
 ///
 /// let server: Server<f32, f32> = Server::new(Pool::new(2), BatchPolicy::default());
 /// server
-///     .register("toy", "double", |xs: &[f32]| xs.iter().map(|x| x * 2.0).collect())
+///     .register(ScenarioSpec::new("toy", "double"), |xs: &[f32]| {
+///         xs.iter().map(|x| x * 2.0).collect()
+///     })
 ///     .unwrap();
 /// let client = server.client();
 /// assert_eq!(client.infer("toy", "double", 21.0), Ok(42.0));
@@ -500,57 +909,112 @@ pub struct Server<I: Send + 'static, O: Send + 'static> {
 }
 
 impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
-    /// Starts a server (and its scheduler thread) over `pool`.
+    /// Starts a server (and its scheduler thread) over `pool` with the
+    /// default [`Fifo`] scheduling policy — behaviorally identical to the
+    /// pre-policy server.
     pub fn new(pool: Pool, policy: BatchPolicy) -> Self {
+        Server::with_policy(pool, policy, Box::new(Fifo::default()))
+    }
+
+    /// Starts a server whose scheduler consults `sched` to pick which due
+    /// registration to drain next — [`Fifo`],
+    /// [`StrictPriority`](crate::sched::StrictPriority),
+    /// [`WeightedFair`](crate::sched::WeightedFair), or any custom
+    /// [`SchedPolicy`].
+    pub fn with_policy(pool: Pool, policy: BatchPolicy, sched: Box<dyn SchedPolicy>) -> Self {
         assert!(policy.max_batch >= 1, "max_batch must be at least 1");
         let inner = Arc::new(Inner {
             pool,
             policy,
+            sched_name: sched.name(),
             registry: RwLock::new(HashMap::new()),
+            reg_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            inflight: AtomicUsize::new(0),
-            tick: Mutex::new(false),
-            tick_cv: Condvar::new(),
+            signal: Arc::new(SchedSignal {
+                inflight: AtomicUsize::new(0),
+                tick: Mutex::new(false),
+                tick_cv: Condvar::new(),
+            }),
         });
-        let sched = {
+        let sched_thread = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("serve-scheduler".into())
-                .spawn(move || inner.scheduler_loop())
+                .spawn(move || inner.scheduler_loop(sched))
                 .expect("failed to spawn scheduler")
         };
         Server {
             inner,
-            scheduler: Mutex::new(Some(sched)),
+            scheduler: Mutex::new(Some(sched_thread)),
         }
     }
 
-    /// Registers a batch inference function under `(model, scenario)`
-    /// with an unbounded queue (no load shedding) — see
-    /// [`Server::register_with`] for admission control.
+    /// Registers a batch inference function under `spec` — the single
+    /// registration entry point. Every control-plane knob (admission cap,
+    /// priority class, WFQ weight, deadline budget, batch override) rides
+    /// the [`ScenarioSpec`].
     ///
     /// # Errors
     ///
-    /// [`ServeError::DuplicateRegistration`] if the key is taken,
-    /// [`ServeError::ShuttingDown`] after shutdown began.
+    /// [`ServeError::DuplicateRegistration`] if the `(model, scenario)`
+    /// key is taken, [`ServeError::ShuttingDown`] after shutdown began.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ScenarioSpec::batch`] override has `max_batch == 0`.
     pub fn register(
         &self,
-        model: &str,
-        scenario: &str,
+        spec: ScenarioSpec,
         infer: impl Fn(&[I]) -> Vec<O> + Send + Sync + 'static,
     ) -> Result<(), ServeError> {
-        self.register_with(model, scenario, AdmissionPolicy::default(), infer)
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let batch = BatchPolicy {
+            max_batch: spec.batch_max.unwrap_or(self.inner.policy.max_batch),
+            max_wait: spec.batch_wait.unwrap_or(self.inner.policy.max_wait),
+        };
+        assert!(batch.max_batch >= 1, "max_batch must be at least 1");
+        let key = (spec.model.clone(), spec.scenario.clone());
+        let mut reg = self.inner.registry.write().expect("registry poisoned");
+        if reg.contains_key(&key) {
+            return Err(ServeError::DuplicateRegistration {
+                model: spec.model,
+                scenario: spec.scenario,
+            });
+        }
+        reg.insert(
+            key.clone(),
+            Arc::new(Registration {
+                key,
+                seq: self.inner.reg_seq.fetch_add(1, Ordering::Relaxed),
+                infer: Arc::new(infer),
+                admission: spec.admission,
+                priority: spec.priority,
+                weight: spec.weight,
+                deadline: spec.deadline,
+                batch,
+                closed: AtomicBool::new(false),
+                outstanding: AtomicUsize::new(0),
+                queue: Mutex::new(Vec::new()),
+                stats: StatsCollector::default(),
+                batch_sizes: Reservoir::default(),
+            }),
+        );
+        Ok(())
     }
 
     /// Registers a batch inference function under `(model, scenario)`
-    /// with an explicit [`AdmissionPolicy`]: submissions beyond
-    /// `admission.queue_cap` outstanding requests are refused with
-    /// [`ServeError::Rejected`] and counted as shed.
+    /// with an explicit [`AdmissionPolicy`].
     ///
     /// # Errors
     ///
     /// [`ServeError::DuplicateRegistration`] if the key is taken,
     /// [`ServeError::ShuttingDown`] after shutdown began.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `ScenarioSpec` and call `Server::register(spec, infer)`"
+    )]
     pub fn register_with(
         &self,
         model: &str,
@@ -558,29 +1022,63 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
         admission: AdmissionPolicy,
         infer: impl Fn(&[I]) -> Vec<O> + Send + Sync + 'static,
     ) -> Result<(), ServeError> {
-        if self.inner.shutdown.load(Ordering::Acquire) {
-            return Err(ServeError::ShuttingDown);
-        }
+        self.register(
+            ScenarioSpec::new(model, scenario).admission(admission),
+            infer,
+        )
+    }
+
+    /// Removes the `(model, scenario)` registration and releases its
+    /// slot: new submissions fail (typed), requests still queued are
+    /// failed with [`ServeError::Deregistered`] (exactly one completion
+    /// each, never dropped), and batches already dispatched to the pool
+    /// run to completion normally. The key may be re-registered
+    /// immediately; handles resolved before the deregistration (e.g.
+    /// [`crate::async_front::Endpoint`]) keep pointing at the removed
+    /// registration and get [`ServeError::Deregistered`] on submit.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] if no such registration exists.
+    pub fn deregister(&self, model: &str, scenario: &str) -> Result<(), ServeError> {
         let key = (model.to_string(), scenario.to_string());
-        let mut reg = self.inner.registry.write().expect("registry poisoned");
-        if reg.contains_key(&key) {
-            return Err(ServeError::DuplicateRegistration {
+        let reg = self
+            .inner
+            .registry
+            .write()
+            .expect("registry poisoned")
+            .remove(&key)
+            .ok_or_else(|| ServeError::UnknownModel {
                 model: model.to_string(),
                 scenario: scenario.to_string(),
-            });
+            })?;
+        // Close first, then drain: submit_to re-checks `closed` after its
+        // enqueue and withdraws, so every request is either withdrawn by
+        // its submitter, drained (and failed) here, or was already
+        // dispatched — exactly one completion in every case.
+        reg.closed.store(true, Ordering::Release);
+        let stranded: Vec<Pending<I, O>> = reg
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .drain(..)
+            .collect();
+        for p in &stranded {
+            p.completer.fulfill(
+                p.id,
+                Err(ServeError::Deregistered {
+                    model: model.to_string(),
+                    scenario: scenario.to_string(),
+                }),
+            );
         }
-        reg.insert(
-            key.clone(),
-            Arc::new(Registration {
-                key,
-                infer: Arc::new(infer),
-                admission,
-                outstanding: AtomicUsize::new(0),
-                queue: Mutex::new(Vec::new()),
-                stats: StatsCollector::default(),
-                batch_sizes: Mutex::new(Vec::new()),
-            }),
-        );
+        if !stranded.is_empty() {
+            reg.outstanding.fetch_sub(stranded.len(), Ordering::AcqRel);
+        }
+        // The registration set changed under the scheduler; wake it so a
+        // pass whose wakeup was already consumed re-plans against the
+        // remaining queues instead of napping out its timeout.
+        self.inner.wake_scheduler();
         Ok(())
     }
 
@@ -615,6 +1113,25 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
         keys
     }
 
+    /// The name of the scheduling policy this server runs
+    /// (`"fifo"`, `"strict_priority"`, `"weighted_fair"`, …).
+    pub fn sched_policy_name(&self) -> &'static str {
+        self.inner.sched_name
+    }
+
+    /// The effective [`ScenarioSpec`] of one registration (`None` if
+    /// unknown). The batch field carries the *resolved* policy (override
+    /// or server default).
+    pub fn spec(&self, model: &str, scenario: &str) -> Option<ScenarioSpec> {
+        let key = (model.to_string(), scenario.to_string());
+        self.inner
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .get(&key)
+            .map(|r| r.spec())
+    }
+
     /// Latency statistics for one registration (`None` if unknown).
     pub fn stats(&self, model: &str, scenario: &str) -> Option<StatsSnapshot> {
         let key = (model.to_string(), scenario.to_string());
@@ -626,16 +1143,45 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
             .map(|r| r.stats.snapshot())
     }
 
+    /// Latency statistics aggregated **per priority class**, ascending
+    /// (class 0 — the most urgent — first): counts and shed counters sum
+    /// across the registrations of a class, percentiles are computed over
+    /// the union of their samples. The surface for "is my high class
+    /// actually faster" questions under
+    /// [`StrictPriority`](crate::sched::StrictPriority).
+    pub fn stats_by_class(&self) -> Vec<(u8, StatsSnapshot)> {
+        let registry = self.inner.registry.read().expect("registry poisoned");
+        let mut by_class: HashMap<u8, Vec<&StatsCollector>> = HashMap::new();
+        for reg in registry.values() {
+            by_class.entry(reg.priority).or_default().push(&reg.stats);
+        }
+        let mut out: Vec<(u8, StatsSnapshot)> = by_class
+            .into_iter()
+            .map(|(class, collectors)| (class, StatsCollector::merged(collectors)))
+            .collect();
+        out.sort_unstable_by_key(|(class, _)| *class);
+        out
+    }
+
     /// Sizes of the batches dispatched so far for one registration
-    /// (`None` if unknown). Diagnostic surface for policy verification.
+    /// (`None` if unknown). Diagnostic surface for policy verification;
+    /// beyond ~65k dispatches the log thins (see
+    /// [`Server::batch_size_stats`] for exact count/mean throughout).
     pub fn batch_sizes(&self, model: &str, scenario: &str) -> Option<Vec<usize>> {
+        self.batch_size_stats(model, scenario)
+            .map(|snap| snap.samples.iter().map(|&s| s as usize).collect())
+    }
+
+    /// Exact dispatch count and batch-size sum/mean for one registration
+    /// (`None` if unknown) — unaffected by sample thinning.
+    pub fn batch_size_stats(&self, model: &str, scenario: &str) -> Option<ReservoirSnapshot> {
         let key = (model.to_string(), scenario.to_string());
         self.inner
             .registry
             .read()
             .expect("registry poisoned")
             .get(&key)
-            .map(|r| r.batch_sizes.lock().expect("batch sizes poisoned").clone())
+            .map(|r| r.batch_sizes.snapshot())
     }
 
     /// Stops accepting requests, flushes every queued request, waits for
@@ -689,6 +1235,7 @@ impl<I: Send + 'static, O: Send + 'static> std::fmt::Debug for Server<I, O> {
         f.debug_struct("Server")
             .field("registrations", &self.registrations().len())
             .field("policy", &self.inner.policy)
+            .field("sched", &self.inner.sched_name)
             .finish()
     }
 }
@@ -701,11 +1248,13 @@ impl<I: Send + 'static, O: Send + 'static> std::fmt::Debug for Server<I, O> {
 ///
 /// ```
 /// use serve::pool::Pool;
-/// use serve::server::{BatchPolicy, Server};
+/// use serve::server::{BatchPolicy, ScenarioSpec, Server};
 ///
 /// let server: Server<u64, u64> = Server::new(Pool::new(2), BatchPolicy::default());
 /// server
-///     .register("echo", "x10", |xs: &[u64]| xs.iter().map(|x| x * 10).collect())
+///     .register(ScenarioSpec::new("echo", "x10"), |xs: &[u64]| {
+///         xs.iter().map(|x| x * 10).collect()
+///     })
 ///     .unwrap();
 ///
 /// let client = server.client();
@@ -732,7 +1281,10 @@ impl<I: Send + 'static, O: Send + 'static> Client<I, O> {
     ///
     /// [`ServeError::UnknownModel`] for an unregistered key,
     /// [`ServeError::Rejected`] when the registration's queue cap sheds
-    /// the request, [`ServeError::ShuttingDown`] once shutdown began, and
+    /// the request, [`ServeError::DeadlineExpired`] when the request
+    /// outwaited the registration's deadline budget,
+    /// [`ServeError::Deregistered`] if the registration was removed,
+    /// [`ServeError::ShuttingDown`] once shutdown began, and
     /// [`ServeError::InferenceFailed`] if the batch function misbehaved.
     pub fn infer(&self, model: &str, scenario: &str, input: I) -> Result<O, ServeError> {
         let reg = self.inner.lookup(model, scenario)?;
@@ -775,7 +1327,9 @@ mod tests {
     fn responses_match_requests() {
         let server = test_server(4, 1);
         server
-            .register("m", "s", |xs: &[u64]| xs.iter().map(|x| x * 10).collect())
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| {
+                xs.iter().map(|x| x * 10).collect()
+            })
             .unwrap();
         let mut out = fire(&server, "m", "s", 32);
         out.sort_unstable();
@@ -786,7 +1340,7 @@ mod tests {
     fn batching_respects_max_batch() {
         let server = test_server(4, 50);
         server
-            .register("m", "s", |xs: &[u64]| {
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| {
                 // Slow enough that a burst piles up behind the first batch.
                 std::thread::sleep(Duration::from_millis(5));
                 xs.to_vec()
@@ -803,6 +1357,47 @@ mod tests {
             sizes.iter().any(|&s| s > 1),
             "burst of 23 should produce at least one multi-request batch: {sizes:?}"
         );
+        let snap = server.batch_size_stats("m", "s").unwrap();
+        assert_eq!(snap.count as usize, sizes.len());
+        assert_eq!(snap.sum as usize, 23);
+    }
+
+    #[test]
+    fn per_registration_batch_override_wins() {
+        // Server default max_batch 16; the spec overrides only max_batch
+        // to 2 — the server's max_wait must survive untouched.
+        let server = test_server(16, 50);
+        server
+            .register(ScenarioSpec::new("m", "s").max_batch(2), |xs: &[u64]| {
+                std::thread::sleep(Duration::from_millis(5));
+                xs.to_vec()
+            })
+            .unwrap();
+        let _ = fire(&server, "m", "s", 11);
+        let sizes = server.batch_sizes("m", "s").unwrap();
+        assert_eq!(sizes.iter().sum::<usize>(), 11);
+        assert!(
+            sizes.iter().all(|&s| s <= 2),
+            "spec max_batch must override the server default: {sizes:?}"
+        );
+        let spec = server.spec("m", "s").unwrap();
+        assert_eq!(spec.max_batch_override(), Some(2));
+        assert_eq!(
+            spec.max_wait_override(),
+            Some(Duration::from_millis(50)),
+            "a max_batch-only override must keep the SERVER's max_wait"
+        );
+        // And symmetrically: a max_wait-only override keeps the server's
+        // max_batch.
+        server
+            .register(
+                ScenarioSpec::new("m", "w").max_wait(Duration::from_millis(1)),
+                |xs: &[u64]| xs.to_vec(),
+            )
+            .unwrap();
+        let spec = server.spec("m", "w").unwrap();
+        assert_eq!(spec.max_batch_override(), Some(16));
+        assert_eq!(spec.max_wait_override(), Some(Duration::from_millis(1)));
     }
 
     #[test]
@@ -810,7 +1405,9 @@ mod tests {
         // max_batch 64 can never fill from one request; only the max_wait
         // timer can dispatch it.
         let server = test_server(64, 5);
-        server.register("m", "s", |xs: &[u64]| xs.to_vec()).unwrap();
+        server
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| xs.to_vec())
+            .unwrap();
         let t0 = Instant::now();
         let out = server.client().infer("m", "s", 7).unwrap();
         let waited = t0.elapsed();
@@ -830,13 +1427,19 @@ mod tests {
     fn models_and_scenarios_are_isolated() {
         let server = test_server(8, 1);
         server
-            .register("a", "x2", |xs: &[u64]| xs.iter().map(|x| x * 2).collect())
+            .register(ScenarioSpec::new("a", "x2"), |xs: &[u64]| {
+                xs.iter().map(|x| x * 2).collect()
+            })
             .unwrap();
         server
-            .register("a", "x3", |xs: &[u64]| xs.iter().map(|x| x * 3).collect())
+            .register(ScenarioSpec::new("a", "x3"), |xs: &[u64]| {
+                xs.iter().map(|x| x * 3).collect()
+            })
             .unwrap();
         server
-            .register("b", "x2", |xs: &[u64]| xs.iter().map(|x| x * 5).collect())
+            .register(ScenarioSpec::new("b", "x2"), |xs: &[u64]| {
+                xs.iter().map(|x| x * 5).collect()
+            })
             .unwrap();
         let c = server.client();
         assert_eq!(c.infer("a", "x2", 4), Ok(8));
@@ -848,9 +1451,11 @@ mod tests {
     #[test]
     fn unknown_and_duplicate_keys_error() {
         let server = test_server(4, 1);
-        server.register("m", "s", |xs: &[u64]| xs.to_vec()).unwrap();
+        server
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| xs.to_vec())
+            .unwrap();
         assert!(matches!(
-            server.register("m", "s", |xs: &[u64]| xs.to_vec()),
+            server.register(ScenarioSpec::new("m", "s"), |xs: &[u64]| xs.to_vec()),
             Err(ServeError::DuplicateRegistration { .. })
         ));
         assert!(matches!(
@@ -860,13 +1465,43 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_register_with_still_caps_the_queue() {
+        // The shim delegates to ScenarioSpec: same admission behavior,
+        // same typed shed error.
+        let server = Server::new(
+            Pool::new(1),
+            BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::from_millis(0),
+            },
+        );
+        server
+            .register_with("m", "s", AdmissionPolicy::capped(1), |xs: &[u64]| {
+                std::thread::sleep(Duration::from_millis(20));
+                xs.to_vec()
+            })
+            .unwrap();
+        let cq = server.async_client();
+        while cq.submit("m", "s", 1).is_ok() {}
+        assert!(matches!(
+            server.client().infer("m", "s", 2),
+            Err(ServeError::Rejected { cap: 1, .. })
+        ));
+        assert_eq!(
+            server.spec("m", "s").unwrap().admission_policy(),
+            AdmissionPolicy::capped(1)
+        );
+    }
+
+    #[test]
     fn panicking_batch_fn_fails_requests_not_server() {
         let server = test_server(4, 1);
         server
-            .register("m", "boom", |_: &[u64]| panic!("kaboom"))
+            .register(ScenarioSpec::new("m", "boom"), |_: &[u64]| panic!("kaboom"))
             .unwrap();
         server
-            .register("m", "ok", |xs: &[u64]| xs.to_vec())
+            .register(ScenarioSpec::new("m", "ok"), |xs: &[u64]| xs.to_vec())
             .unwrap();
         assert_eq!(
             server.client().infer("m", "boom", 1),
@@ -879,7 +1514,9 @@ mod tests {
     #[test]
     fn stats_accumulate_with_ordered_percentiles() {
         let server = test_server(4, 1);
-        server.register("m", "s", |xs: &[u64]| xs.to_vec()).unwrap();
+        server
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| xs.to_vec())
+            .unwrap();
         let _ = fire(&server, "m", "s", 16);
         let snap = server.stats("m", "s").unwrap();
         assert_eq!(snap.count, 16);
@@ -888,9 +1525,42 @@ mod tests {
     }
 
     #[test]
+    fn stats_by_class_groups_registrations() {
+        let server = test_server(4, 1);
+        server
+            .register(ScenarioSpec::new("m", "hi").priority(0), |xs: &[u64]| {
+                xs.to_vec()
+            })
+            .unwrap();
+        server
+            .register(
+                ScenarioSpec::new("m", "lo_a").priority(3),
+                |xs: &[u64]| xs.to_vec(),
+            )
+            .unwrap();
+        server
+            .register(
+                ScenarioSpec::new("m", "lo_b").priority(3),
+                |xs: &[u64]| xs.to_vec(),
+            )
+            .unwrap();
+        let _ = fire(&server, "m", "hi", 4);
+        let _ = fire(&server, "m", "lo_a", 3);
+        let _ = fire(&server, "m", "lo_b", 5);
+        let by_class = server.stats_by_class();
+        assert_eq!(by_class.len(), 2);
+        assert_eq!(by_class[0].0, 0);
+        assert_eq!(by_class[0].1.count, 4);
+        assert_eq!(by_class[1].0, 3);
+        assert_eq!(by_class[1].1.count, 8, "class 3 merges both scenarios");
+    }
+
+    #[test]
     fn shutdown_flushes_and_rejects_new_requests() {
         let server = test_server(64, 1000);
-        server.register("m", "s", |xs: &[u64]| xs.to_vec()).unwrap();
+        server
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| xs.to_vec())
+            .unwrap();
         // A request parked far from both triggers (max_batch 64, 1 s wait):
         // shutdown must force-flush it rather than strand the client.
         let client = server.client();
@@ -902,5 +1572,32 @@ mod tests {
             server.client().infer("m", "s", 4),
             Err(ServeError::ShuttingDown)
         );
+    }
+
+    #[test]
+    fn deregister_releases_slot_and_fails_lookups() {
+        let server = test_server(4, 1);
+        server
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| xs.to_vec())
+            .unwrap();
+        assert_eq!(server.client().infer("m", "s", 5), Ok(5));
+        server.deregister("m", "s").unwrap();
+        assert!(matches!(
+            server.client().infer("m", "s", 6),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            server.deregister("m", "s"),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        // The slot is free again: re-registering the key succeeds and
+        // serves (with fresh stats).
+        server
+            .register(ScenarioSpec::new("m", "s"), |xs: &[u64]| {
+                xs.iter().map(|x| x + 100).collect()
+            })
+            .unwrap();
+        assert_eq!(server.client().infer("m", "s", 5), Ok(105));
+        assert_eq!(server.stats("m", "s").unwrap().count, 1);
     }
 }

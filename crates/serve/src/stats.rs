@@ -3,18 +3,112 @@
 //! Each `(model, scenario)` registration owns one [`StatsCollector`]; the
 //! dispatcher records a sample per request (enqueue → response, i.e. queue
 //! wait plus batch execution). Snapshots expose count, mean and p50/p99
-//! tail latency plus the backpressure counters the admission-control
-//! layer feeds (accepted submissions, shed requests, queue-depth
-//! high-water mark) — the numbers `BENCH_serve.json` reports.
+//! tail latency plus the backpressure counters the admission-control and
+//! scheduling layers feed: accepted submissions, requests shed **per
+//! reason** (queue cap vs expired deadline), the queue-depth high-water
+//! mark, and the scheduler's pass-over (starvation) counter — the numbers
+//! `BENCH_serve.json` reports.
+//!
+//! The bounded-memory sample store is factored out as [`Reservoir`]: an
+//! exact count/sum plus a thinning sample vector. The latency collector
+//! and the server's per-registration batch-size diagnostics share it, so
+//! nothing in the serving stack grows memory per request.
 
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// Samples kept per collector before reservoir-thinning kicks in: beyond
-/// this, every second sample is dropped and subsequent samples are
-/// recorded at half the rate (repeatedly, so memory stays bounded at
-/// ~`MAX_SAMPLES` regardless of traffic volume).
+/// Samples kept per reservoir before thinning kicks in: beyond this,
+/// every second sample is dropped and subsequent samples are recorded at
+/// half the rate (repeatedly, so memory stays bounded at ~`MAX_SAMPLES`
+/// regardless of traffic volume).
 const MAX_SAMPLES: usize = 1 << 16;
+
+/// A bounded-memory sample accumulator: exact `count`/`sum` over every
+/// recorded value, plus a thinning reservoir of retained samples for
+/// percentile estimates. Once [`MAX_SAMPLES`] samples are retained, every
+/// second one is dropped and the retention rate halves — memory stays
+/// bounded forever while count, sum (and therefore mean) remain exact.
+#[derive(Default, Debug)]
+struct ReservoirState {
+    samples: Vec<f64>,
+    /// Record every `2^thin_shift`-th sample (doubles at each thinning).
+    thin_shift: u32,
+    seen_since_kept: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl ReservoirState {
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.seen_since_kept += 1;
+        if self.seen_since_kept >= (1u64 << self.thin_shift) {
+            self.seen_since_kept = 0;
+            self.samples.push(value);
+            if self.samples.len() >= MAX_SAMPLES {
+                // Thin: keep every second retained sample, halve the
+                // future retention rate.
+                let mut keep = false;
+                self.samples.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.thin_shift += 1;
+            }
+        }
+    }
+}
+
+/// Thread-safe bounded-memory sample log: exact count/sum plus a
+/// thinning sample store (beyond ~65k retained samples, every second one
+/// is dropped and the retention rate halves). Used for per-registration
+/// batch-size diagnostics; the latency side of [`StatsCollector`] embeds
+/// the same state machine.
+#[derive(Default, Debug)]
+pub struct Reservoir {
+    state: Mutex<ReservoirState>,
+}
+
+/// Point-in-time copy of a [`Reservoir`]: exact count and sum, plus the
+/// retained (possibly thinned) samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReservoirSnapshot {
+    /// Values recorded (all of them, independent of sample thinning).
+    pub count: u64,
+    /// Exact sum over all recorded values.
+    pub sum: f64,
+    /// Retained samples (every value until thinning kicks in at ~65k).
+    pub samples: Vec<f64>,
+}
+
+impl ReservoirSnapshot {
+    /// Exact mean over **all** recorded values (0.0 if none).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Reservoir {
+    /// Records one value.
+    pub fn record(&self, value: f64) {
+        self.state.lock().expect("reservoir poisoned").record(value);
+    }
+
+    /// Copies out the current count/sum/samples.
+    pub fn snapshot(&self) -> ReservoirSnapshot {
+        let st = self.state.lock().expect("reservoir poisoned");
+        ReservoirSnapshot {
+            count: st.count,
+            sum: st.sum,
+            samples: st.samples.clone(),
+        }
+    }
+}
 
 /// Point-in-time summary of one registration's latency distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,11 +124,24 @@ pub struct StatsSnapshot {
     /// Requests admitted into the queue (accepted submissions).
     pub submitted: u64,
     /// Requests refused at admission because the registration's queue cap
-    /// was reached ([`crate::server::ServeError::Rejected`]).
+    /// was reached ([`crate::server::ServeError::Rejected`]). One shed
+    /// *reason* of [`StatsSnapshot::shed_total`].
     pub shed: u64,
+    /// Accepted requests shed at dispatch because their deadline budget
+    /// had already expired
+    /// ([`crate::server::ServeError::DeadlineExpired`]) — counted
+    /// separately from cap-shedding so overload diagnosis can tell "queue
+    /// full at the door" from "waited too long inside".
+    pub shed_deadline: u64,
     /// Largest queue depth observed at any admission, including the
     /// admitted request itself — the backpressure high-water mark.
     pub max_queue_depth: usize,
+    /// Times the scheduler found this registration's queue due but the
+    /// scheduling policy picked another registration instead — the
+    /// starvation counter. Under
+    /// [`StrictPriority`](crate::sched::StrictPriority) this counts
+    /// exactly the dispatches a lower class ceded to a higher one.
+    pub passed_over: u64,
 }
 
 impl StatsSnapshot {
@@ -47,22 +154,48 @@ impl StatsSnapshot {
             p99_s: 0.0,
             submitted: 0,
             shed: 0,
+            shed_deadline: 0,
             max_queue_depth: 0,
+            passed_over: 0,
         }
+    }
+
+    /// Requests shed for any reason (admission cap + expired deadline).
+    pub fn shed_total(&self) -> u64 {
+        self.shed + self.shed_deadline
     }
 }
 
 #[derive(Default)]
 struct StatsState {
-    samples: Vec<f64>,
-    /// Record every `2^thin_shift`-th sample (doubles at each thinning).
-    thin_shift: u32,
-    seen_since_kept: u64,
-    count: u64,
-    sum_s: f64,
+    latency: ReservoirState,
     submitted: u64,
     shed: u64,
+    shed_deadline: u64,
     max_queue_depth: usize,
+    passed_over: u64,
+}
+
+impl StatsState {
+    fn snapshot_with(&self, sorted_samples: Vec<f64>) -> StatsSnapshot {
+        let mut sorted = sorted_samples;
+        sorted.sort_by(f64::total_cmp);
+        StatsSnapshot {
+            count: self.latency.count,
+            mean_s: if self.latency.count == 0 {
+                0.0
+            } else {
+                self.latency.sum / self.latency.count as f64
+            },
+            p50_s: percentile(&sorted, 50.0),
+            p99_s: percentile(&sorted, 99.0),
+            submitted: self.submitted,
+            shed: self.shed,
+            shed_deadline: self.shed_deadline,
+            max_queue_depth: self.max_queue_depth,
+            passed_over: self.passed_over,
+        }
+    }
 }
 
 /// Thread-safe latency accumulator with bounded memory.
@@ -74,25 +207,11 @@ pub struct StatsCollector {
 impl StatsCollector {
     /// Records one completed request's latency.
     pub fn record(&self, latency: Duration) {
-        let secs = latency.as_secs_f64();
-        let mut st = self.state.lock().expect("stats poisoned");
-        st.count += 1;
-        st.sum_s += secs;
-        st.seen_since_kept += 1;
-        if st.seen_since_kept >= (1u64 << st.thin_shift) {
-            st.seen_since_kept = 0;
-            st.samples.push(secs);
-            if st.samples.len() >= MAX_SAMPLES {
-                // Thin: keep every second retained sample, halve the
-                // future retention rate.
-                let mut keep = false;
-                st.samples.retain(|_| {
-                    keep = !keep;
-                    keep
-                });
-                st.thin_shift += 1;
-            }
-        }
+        self.state
+            .lock()
+            .expect("stats poisoned")
+            .latency
+            .record(latency.as_secs_f64());
     }
 
     /// Records one admitted submission and the queue depth it observed
@@ -108,24 +227,53 @@ impl StatsCollector {
         self.state.lock().expect("stats poisoned").shed += 1;
     }
 
+    /// Records one accepted request shed at dispatch because its deadline
+    /// budget expired while it waited.
+    pub fn record_shed_deadline(&self) {
+        self.state.lock().expect("stats poisoned").shed_deadline += 1;
+    }
+
+    /// Records one scheduling round in which this registration had a due
+    /// batch but the policy dispatched another registration instead.
+    pub fn record_passed_over(&self) {
+        self.state.lock().expect("stats poisoned").passed_over += 1;
+    }
+
     /// Summarizes the samples recorded so far.
     pub fn snapshot(&self) -> StatsSnapshot {
         let st = self.state.lock().expect("stats poisoned");
-        let mut sorted = st.samples.clone();
-        sorted.sort_by(f64::total_cmp);
-        StatsSnapshot {
-            count: st.count,
-            mean_s: if st.count == 0 {
-                0.0
-            } else {
-                st.sum_s / st.count as f64
-            },
-            p50_s: percentile(&sorted, 50.0),
-            p99_s: percentile(&sorted, 99.0),
-            submitted: st.submitted,
-            shed: st.shed,
-            max_queue_depth: st.max_queue_depth,
+        let samples = st.latency.samples.clone();
+        st.snapshot_with(samples)
+    }
+
+    /// Merges several collectors into one snapshot: counts and sheds sum,
+    /// the depth high-water mark is the max, and percentiles are computed
+    /// over the union of every collector's retained samples **weighted by
+    /// each collector's thinning rate** (a sample retained at thin shift
+    /// `k` stands for `2^k` requests) — so a heavily-thinned high-traffic
+    /// registration is not drowned out by a low-traffic one's denser
+    /// samples. This is how the server aggregates **per-priority-class**
+    /// latency across the registrations sharing a class.
+    pub fn merged<'a>(collectors: impl IntoIterator<Item = &'a StatsCollector>) -> StatsSnapshot {
+        let mut acc = StatsState::default();
+        let mut weighted: Vec<(f64, u64)> = Vec::new();
+        for c in collectors {
+            let st = c.state.lock().expect("stats poisoned");
+            acc.latency.count += st.latency.count;
+            acc.latency.sum += st.latency.sum;
+            acc.submitted += st.submitted;
+            acc.shed += st.shed;
+            acc.shed_deadline += st.shed_deadline;
+            acc.passed_over += st.passed_over;
+            acc.max_queue_depth = acc.max_queue_depth.max(st.max_queue_depth);
+            let w = 1u64 << st.latency.thin_shift;
+            weighted.extend(st.latency.samples.iter().map(|&v| (v, w)));
         }
+        weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut snap = acc.snapshot_with(Vec::new());
+        snap.p50_s = weighted_percentile(&weighted, 50.0);
+        snap.p99_s = weighted_percentile(&weighted, 99.0);
+        snap
     }
 }
 
@@ -153,6 +301,28 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     let q = q.clamp(0.0, 100.0);
     let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Nearest-rank percentile over **ascending-sorted** `(value, weight)`
+/// pairs: the smallest value whose cumulative weight reaches `q`% of the
+/// total weight. With all weights 1 this is exactly [`percentile`];
+/// [`StatsCollector::merged`] uses it to combine reservoirs thinned at
+/// different rates without biasing toward the denser one.
+fn weighted_percentile(sorted: &[(f64, u64)], q: f64) -> f64 {
+    let total: u64 = sorted.iter().map(|&(_, w)| w).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 100.0);
+    let rank = (((q / 100.0) * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for &(v, w) in sorted {
+        cum += w;
+        if cum >= rank {
+            return v;
+        }
+    }
+    sorted.last().map_or(0.0, |&(v, _)| v)
 }
 
 #[cfg(test)]
@@ -190,7 +360,7 @@ mod tests {
     }
 
     #[test]
-    fn backpressure_counters_accumulate() {
+    fn backpressure_counters_accumulate_per_reason() {
         let c = StatsCollector::default();
         assert_eq!(c.snapshot(), StatsSnapshot::empty());
         c.record_enqueue(3);
@@ -198,9 +368,16 @@ mod tests {
         c.record_enqueue(2);
         c.record_shed();
         c.record_shed();
+        c.record_shed_deadline();
+        c.record_passed_over();
+        c.record_passed_over();
+        c.record_passed_over();
         let s = c.snapshot();
         assert_eq!(s.submitted, 3);
-        assert_eq!(s.shed, 2);
+        assert_eq!(s.shed, 2, "cap sheds counted on their own");
+        assert_eq!(s.shed_deadline, 1, "deadline sheds counted separately");
+        assert_eq!(s.shed_total(), 3);
+        assert_eq!(s.passed_over, 3);
         assert_eq!(s.max_queue_depth, 7, "high-water mark, not last depth");
         // Sheds alone (nothing completed) must not fake latency numbers.
         assert_eq!(s.count, 0);
@@ -216,8 +393,76 @@ mod tests {
         }
         let s = c.snapshot();
         assert_eq!(s.count, n);
-        let retained = c.state.lock().unwrap().samples.len();
+        let retained = c.state.lock().unwrap().latency.samples.len();
         assert!(retained < MAX_SAMPLES, "retained {retained}");
         assert!((s.p50_s - 1e-5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservoir_thins_but_mean_stays_exact() {
+        let r = Reservoir::default();
+        let n = (MAX_SAMPLES * 2 + 7) as u64;
+        for i in 0..n {
+            r.record((i % 10) as f64);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.count, n);
+        assert!(snap.samples.len() < MAX_SAMPLES);
+        // count/sum are exact through thinning, so the mean is too.
+        assert!((snap.mean() - 4.5).abs() < 1e-3, "mean {}", snap.mean());
+    }
+
+    #[test]
+    fn merged_weights_samples_by_thinning_rate() {
+        // Collector A: high traffic, thinned (each retained sample
+        // stands for several requests). Collector B: low traffic, dense
+        // samples, much slower. B is under 1% of the real class traffic,
+        // so the merged p99 must stay at A's latency — an unweighted
+        // union would let B's denser samples fake a slow class.
+        let a = StatsCollector::default();
+        let n = (MAX_SAMPLES * 2) as u64;
+        for _ in 0..n {
+            a.record(Duration::from_millis(1));
+        }
+        assert!(a.state.lock().unwrap().latency.thin_shift >= 1);
+        let b = StatsCollector::default();
+        for _ in 0..600 {
+            b.record(Duration::from_millis(100));
+        }
+        let retained_a = a.state.lock().unwrap().latency.samples.len();
+        assert!(
+            600 > retained_a / 100,
+            "test setup: B must exceed 1% of retained-but-unweighted samples"
+        );
+        let m = StatsCollector::merged([&a, &b]);
+        assert_eq!(m.count, n + 600);
+        assert!(
+            (m.p99_s - 0.001).abs() < 1e-9,
+            "p99 must track the 99%-of-traffic collector, got {}",
+            m.p99_s
+        );
+    }
+
+    #[test]
+    fn merged_combines_counts_and_samples() {
+        let a = StatsCollector::default();
+        let b = StatsCollector::default();
+        a.record(Duration::from_millis(1));
+        a.record(Duration::from_millis(2));
+        b.record(Duration::from_millis(100));
+        a.record_enqueue(4);
+        b.record_enqueue(9);
+        b.record_shed();
+        b.record_shed_deadline();
+        a.record_passed_over();
+        let m = StatsCollector::merged([&a, &b]);
+        assert_eq!(m.count, 3);
+        assert_eq!(m.submitted, 2);
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.shed_deadline, 1);
+        assert_eq!(m.passed_over, 1);
+        assert_eq!(m.max_queue_depth, 9);
+        assert!((m.mean_s - (0.001 + 0.002 + 0.1) / 3.0).abs() < 1e-9);
+        assert!((m.p99_s - 0.1).abs() < 1e-9, "p99 spans both collectors");
     }
 }
