@@ -4,11 +4,17 @@
 //!
 //! 1. criterion-style microbenches of the raw encode/decode primitives;
 //! 2. the headline scalar-vs-table comparison — `quantize_slice` on a
-//!    1M-element tensor for every 8-bit format, scalar reference path vs
-//!    the `lp::codec` decode-table path — written to `BENCH_codec.json`
-//!    so the perf trajectory is machine-trackable across PRs.
+//!    layer-sized tensor for every 8-bit format, scalar reference path vs
+//!    the `lp::codec` decode-table path vs the production batch dispatch
+//!    (vectorized table path; SIMD uniform-grid override for INT/Fixed) —
+//!    written to `BENCH_codec.json` so the perf trajectory is
+//!    machine-trackable across PRs.
 //!
-//! Run with `cargo bench --bench codec`.
+//! Run with `cargo bench --bench codec`. `CODEC_BENCH_ELEMS` sets the
+//! comparison tensor size (default 1,000,000; CI smoke runs use a small
+//! value so the gate is correctness + metric sanity, not throughput).
+//! `LP_PORTABLE_KERNELS=1` forces the portable tier; the JSON records
+//! which tier ran in `kernel_tier`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lp::adaptivfloat::AdaptivFloat;
@@ -120,9 +126,10 @@ fn best_seconds(reps: usize, f: impl FnMut()) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-fn tensor_1m() -> Vec<f32> {
+fn comparison_tensor() -> Vec<f32> {
     // A DNN-layer-like magnitude profile: bulk near ±0.05, mild outliers.
-    (0..1_000_000)
+    let n = bench::env_usize("CODEC_BENCH_ELEMS", 1_000_000);
+    (0..n)
         .map(|i| {
             let t = (i as f32 * 0.618_034).fract() - 0.5;
             let outlier = if i % 97 == 0 { 8.0 } else { 1.0 };
@@ -132,16 +139,16 @@ fn tensor_1m() -> Vec<f32> {
 }
 
 fn compare_paths(c: &mut Criterion) {
+    let xs = comparison_tensor();
     let quantizers: Vec<Box<dyn Quantizer + Send + Sync>> = vec![
         Box::new(LpParams::new(8, 2, 3, 4.25).unwrap()),
         Box::new(PositParams::new(8, 2).unwrap()),
-        Box::new(AdaptivFloat::for_tensor(8, 3, &tensor_1m()).unwrap()),
+        Box::new(AdaptivFloat::for_tensor(8, 3, &xs).unwrap()),
         Box::new(MiniFloat::new(8, 4).unwrap()),
         Box::new(IntQuantizer::new(8, 0.005).unwrap()),
         Box::new(FixedPoint::new(8, 8).unwrap()),
         Box::new(LnsQuantizer::new(8, 3, 4.0).unwrap()),
     ];
-    let xs = tensor_1m();
     let n = xs.len();
     // Each measured pass must start from unquantized input; restore by
     // memcpy into a preallocated buffer and subtract the measured cost of
@@ -232,9 +239,30 @@ fn compare_paths(c: &mut Criterion) {
 /// Writes `BENCH_codec.json` (no serde in the tree; the format is flat
 /// enough to emit by hand).
 fn write_json(rows: &[Comparison], elements: usize) {
+    // Headline gate for the vectorized uniform-grid override: the worse of
+    // INT and Fixed batch throughput relative to its scalar baseline. The
+    // table formats already clear scalar by an order of magnitude; these
+    // two only win through the SIMD fast path, so this is the metric that
+    // regresses first.
+    let int_fixed_batch_speedup = rows
+        .iter()
+        .filter(|r| r.format == "INT" || r.format == "Fixed")
+        .map(Comparison::batch_speedup)
+        .fold(f64::INFINITY, f64::min);
+    bench::check_metric("int_fixed_batch_speedup", int_fixed_batch_speedup);
+    for r in rows {
+        bench::check_metric("batch_speedup", r.batch_speedup());
+    }
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"elements\": {elements},\n"));
     out.push_str("  \"unit\": \"elements_per_second\",\n");
+    out.push_str(&format!(
+        "  \"kernel_tier\": \"{}\",\n",
+        lp::simd::kernel_tier()
+    ));
+    out.push_str(&format!(
+        "  \"int_fixed_batch_speedup\": {int_fixed_batch_speedup:.3},\n"
+    ));
     out.push_str("  \"formats\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(

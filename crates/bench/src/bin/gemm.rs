@@ -1,24 +1,32 @@
 //! GEMM kernel benchmark: naive dot-product loop vs the zero-skip ikj
-//! loop vs the shared cache-blocked kernel vs the packed (code-decoding)
-//! kernel, plus a batch-amortization study, writing `BENCH_gemm.json` at
-//! the workspace root.
+//! loop vs the blocked saxpy kernel vs the register-tiled microkernel
+//! (the production `matmul_t`) vs the packed (code-decoding) kernel,
+//! plus a batch-amortization study, writing `BENCH_gemm.json` at the
+//! workspace root.
 //!
-//! Two questions this answers with numbers:
+//! Three questions this answers with numbers:
 //!
 //! 1. **Kernel shape** — how much the blocked panel kernel gains over the
 //!    retired baselines on a square layer-sized product, and what the old
 //!    per-MAC `a == 0.0` branch cost on dense data (the satellite fix in
 //!    `Tensor::matmul`).
-//! 2. **Batch amortization** — what stacking a serving micro-batch into
-//!    one GEMM buys at batch 1/4/16, dense and packed: the per-panel
+//! 2. **Microkernel tier** — what the register-tiled (and, when the CPU
+//!    has AVX2, intrinsics-vectorized) microkernel gains over the plain
+//!    blocked saxpy loop at the same blocking. The `kernel_tier` field
+//!    records which dispatch tier actually ran (`avx2` or `portable`).
+//! 3. **Batch amortization** — what stacking a serving micro-batch into
+//!    one GEMM buys at batch 1/2/4/16, dense and packed: the per-panel
 //!    weight transpose/decode is paid once per batch instead of once per
-//!    input, which is the `forward_batch` win on rank-1 layers.
+//!    input, which is the `forward_batch` win on rank-1 layers. Batch 2
+//!    pins the packed crossover: at batch 1 the decode cost is amortized
+//!    over a single matvec.
 //!
 //! Environment knobs: `GEMM_BENCH_SIZE` (square size, default 256),
 //! `GEMM_BENCH_DIM` (batch-study layer width, default 512),
 //! `GEMM_BENCH_REPS` (best-of repetitions, default 5), `GEMM_BENCH_ITERS`
-//! (timed iterations per rep in the batch study, default 20). CI runs the
-//! smoke configuration (tiny sizes); defaults produce the README numbers.
+//! (timed iterations per rep in the batch study, default 20). Set
+//! `LP_PORTABLE_KERNELS=1` to force the portable tier. CI runs the smoke
+//! configuration (tiny sizes); defaults produce the README numbers.
 
 use dnn::tensor::{QTensor, Tensor};
 use lp::format::LpParams;
@@ -89,15 +97,20 @@ fn main() {
         }
     }
 
-    // Correctness gates before timing: the blocked kernel must be
-    // bit-identical to the naive one, and the packed kernel to the
-    // dense kernel over the decoded weights.
-    let blocked_out = a.matmul_t(&bt);
+    // Correctness gates before timing: the microkernel and the blocked
+    // saxpy kernel must both be bit-identical to the naive one, and the
+    // packed kernel to the dense kernel over the decoded weights.
+    let simd_out = a.matmul_t(&bt);
     let naive_out = a.matmul_t_naive(&bt);
     assert_eq!(
-        blocked_out.data(),
+        simd_out.data(),
         naive_out.data(),
-        "blocked kernel diverged from naive"
+        "microkernel diverged from naive"
+    );
+    assert_eq!(
+        a.matmul_t_blocked_saxpy(&bt).data(),
+        naive_out.data(),
+        "blocked saxpy kernel diverged from naive"
     );
     assert_eq!(
         a.matmul_t_packed(&packed).data(),
@@ -105,18 +118,23 @@ fn main() {
         "packed kernel diverged from dense-on-decoded"
     );
 
+    let tier = lp::simd::kernel_tier();
     let naive_s = best_of(reps, || a.matmul_t_naive(&bt));
     let zero_skip_s = best_of(reps, || ikj_zero_skip(&a, &b_kn));
-    let blocked_s = best_of(reps, || a.matmul_t(&bt));
+    let blocked_s = best_of(reps, || a.matmul_t_blocked_saxpy(&bt));
+    let simd_s = best_of(reps, || a.matmul_t(&bt));
     let packed_s = best_of(reps, || a.matmul_t_packed(&packed));
     let blocked_speedup = naive_s / blocked_s.max(1e-12);
+    let simd_speedup = blocked_s / simd_s.max(1e-12);
     let zero_skip_cost = zero_skip_s / blocked_s.max(1e-12);
     println!(
-        "gemm {size}x{size}x{size}: naive {:.2} ms, ikj_zero_skip {:.2} ms, \
-         blocked {:.2} ms ({blocked_speedup:.2}x vs naive), packed {:.2} ms",
+        "gemm {size}x{size}x{size} [{tier}]: naive {:.2} ms, ikj_zero_skip {:.2} ms, \
+         blocked {:.2} ms ({blocked_speedup:.2}x vs naive), \
+         simd {:.2} ms ({simd_speedup:.2}x vs blocked), packed {:.2} ms",
         naive_s * 1e3,
         zero_skip_s * 1e3,
         blocked_s * 1e3,
+        simd_s * 1e3,
         packed_s * 1e3
     );
 
@@ -127,7 +145,7 @@ fn main() {
     let wq = QTensor::quantize(&w, &q);
     let wd = wq.dequantize(); // dense f32 copy of the same quantized values
     let mut rows = Vec::new();
-    for batch in [1usize, 4, 16] {
+    for batch in [1usize, 2, 4, 16] {
         let stacked = bench::pseudo_tensor(&[batch, dim], 0.9);
         let singles: Vec<Tensor> = (0..batch)
             .map(|i| Tensor::from_vec(&[1, dim], stacked.data()[i * dim..(i + 1) * dim].to_vec()))
@@ -168,8 +186,10 @@ fn main() {
     bench::check_metric("naive_s", naive_s);
     bench::check_metric("ikj_zero_skip_s", zero_skip_s);
     bench::check_metric("blocked_s", blocked_s);
+    bench::check_metric("simd_s", simd_s);
     bench::check_metric("packed_s", packed_s);
     bench::check_metric("blocked_speedup_vs_naive", blocked_speedup);
+    bench::check_metric("simd_speedup_vs_blocked", simd_speedup);
     bench::check_metric("zero_skip_cost_vs_blocked", zero_skip_cost);
     for r in &rows {
         bench::check_metric("per_input_dense_us", r.per_input_dense_us);
@@ -179,13 +199,18 @@ fn main() {
 
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"size\": {size},\n"));
+    out.push_str(&format!("  \"kernel_tier\": \"{tier}\",\n"));
     out.push_str("  \"kernels\": {\n");
     out.push_str(&format!("    \"naive_s\": {naive_s:.6},\n"));
     out.push_str(&format!("    \"ikj_zero_skip_s\": {zero_skip_s:.6},\n"));
     out.push_str(&format!("    \"blocked_s\": {blocked_s:.6},\n"));
+    out.push_str(&format!("    \"simd_s\": {simd_s:.6},\n"));
     out.push_str(&format!("    \"packed_s\": {packed_s:.6},\n"));
     out.push_str(&format!(
         "    \"blocked_speedup_vs_naive\": {blocked_speedup:.3},\n"
+    ));
+    out.push_str(&format!(
+        "    \"simd_speedup_vs_blocked\": {simd_speedup:.3},\n"
     ));
     out.push_str(&format!(
         "    \"zero_skip_cost_vs_blocked\": {zero_skip_cost:.3}\n"

@@ -873,6 +873,15 @@ impl Model {
     /// single-input path uses (bit-identical to per-input
     /// [`Model::forward_traced`]).
     ///
+    /// Activation fake-quant runs **in place** on the `f32` activations
+    /// (`quantize_slice`, vectorized in `lp`) — no `u16` code buffers are
+    /// allocated anywhere in this loop, deliberately: codes collapse
+    /// `-0.0` and NaN (datapath semantics), so a codes round-trip would
+    /// break the batch ≡ per-input bit-identity this method guarantees.
+    /// The code-emitting hot paths (packed-weight registration, `lpa`'s
+    /// tile output encode) use the allocation-free
+    /// `DecodeTable::quantize_batch_into` instead.
+    ///
     /// # Panics
     ///
     /// Panics on input-shape mismatch or scheme-length mismatch.

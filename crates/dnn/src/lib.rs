@@ -22,7 +22,11 @@
 //! * [`serving`] — registers quantized models on the `serve::server`
 //!   batch-inference server with weight caches shared across scenarios
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// runtime-dispatched GEMM microkernel module in [`tensor`], whose
+// `core::arch::x86_64` intrinsics are unsafe by signature. Everything
+// else in the crate stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod data;

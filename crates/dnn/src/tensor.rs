@@ -5,18 +5,28 @@
 //! ## The blocked GEMM kernel
 //!
 //! Every matrix product in the crate funnels into one cache-blocked
-//! kernel (the private `gemm_t_panels`): the right-hand operand is packed (or, for
-//! packed weights, *decoded*) tile by tile into a `[kb, nb]` panel that
-//! stays L1-resident, and the inner loop is a vectorizable
-//! `out_row += a * panel_row` saxpy with no serial dependency chain — the
-//! bottleneck of the retired dot-product loop (kept as
-//! [`Tensor::matmul_t_naive`], the benchmark baseline; see
-//! `BENCH_gemm.json`). Products are accumulated into each output element
-//! strictly in ascending-`k` order, one rounding per product — exactly the
-//! order of the naive kernel — so the blocked path is **bit-identical** to
-//! it, and row `i` of the output depends only on row `i` of the left
-//! operand, which is what makes batched forwards bit-identical to
-//! per-input forwards.
+//! kernel (the private `gemm_t_panels`): the right-hand operand is packed
+//! (or, for packed weights, *decoded*) tile by tile into a `[kb, nb]`
+//! panel that stays L1-resident, and the compute is a register-tiled
+//! microkernel — [`GEMM_MR`] left-hand rows at a time against the panel,
+//! holding an `MR × `[`GEMM_NR`] block of `f32` accumulators in vector
+//! registers for the whole `kb` depth. The microkernel has two dispatch
+//! tiers (see `lp::simd`): an explicit AVX2 path selected by runtime
+//! feature detection, and a portable unrolled fallback; both retire the
+//! old store/reload saxpy inner loop (kept as
+//! [`Tensor::matmul_t_blocked_saxpy`], the benchmark baseline, next to the
+//! dot-product [`Tensor::matmul_t_naive`]; see `BENCH_gemm.json`).
+//!
+//! Products are accumulated into each output element strictly in
+//! ascending-`k` order, one **separately rounded** multiply and add per
+//! product — never an FMA, whose single rounding would diverge — exactly
+//! the order of the naive kernel. Register accumulators don't change
+//! that: a partial sum stored to `out` between k-tiles and reloaded is an
+//! exact `f32` round-trip, so holding it in a register instead produces
+//! the same bit sequence. The blocked path is therefore **bit-identical**
+//! to the naive kernel in every tier, and row `i` of the output depends
+//! only on row `i` of the left operand, which is what makes batched
+//! forwards bit-identical to per-input forwards.
 //!
 //! ## Packed weights
 //!
@@ -242,13 +252,42 @@ impl Tensor {
         let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
         assert_eq!(k, k2, "matmul_t inner dimensions differ: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        let codes = rhs.codes();
-        let values = rhs.table().values();
+        // The fill widens + gathers codes through the table (AVX2 tier)
+        // or decodes scalar-wise (portable tier); either way the panel
+        // contents are identical to the dense transpose fill over the
+        // dequantized weights.
         gemm_t_panels(m, k, n, &self.data, &mut out, |jc, nb, pc, kb, panel| {
+            microkernel::fill_panel_packed(rhs, jc, nb, pc, kb, panel);
+        });
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// The previous-generation blocked compute (panel staging + 1-row
+    /// saxpy inner loop that stores and reloads the output row on every
+    /// `k` step). Kept as the measured baseline for `BENCH_gemm.json`'s
+    /// `simd_speedup_vs_blocked` figure and as an extra bit-identity
+    /// witness between the naive and microkernel paths; not used by any
+    /// forward path.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching `K`.
+    pub fn matmul_t_blocked_saxpy(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_t lhs must be rank-2");
+        assert_eq!(rhs.shape.len(), 2, "matmul_t rhs must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul_t inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let bd = &rhs.data;
+        gemm_t_panels_saxpy(m, k, n, &self.data, &mut out, |jc, nb, pc, kb, panel| {
             for j in 0..nb {
-                let src = &codes[(jc + j) * k + pc..(jc + j) * k + pc + kb];
-                for (p, &c) in src.iter().enumerate() {
-                    panel[p * nb + j] = values[usize::from(c)];
+                let src = &bd[(jc + j) * k + pc..(jc + j) * k + pc + kb];
+                for (p, &v) in src.iter().enumerate() {
+                    panel[p * nb + j] = v;
                 }
             }
         });
@@ -320,6 +359,12 @@ pub const GEMM_KC: usize = 128;
 /// Output-column width of one GEMM panel tile. `KC × NC` floats (32 KB)
 /// bound the panel to L1-cache size.
 pub const GEMM_NC: usize = 64;
+/// Left-hand rows processed together by one microkernel call: enough
+/// independent accumulator chains to hide the (FMA-free) add latency
+/// without spilling the `MR × NR` register block.
+pub const GEMM_MR: usize = 4;
+/// Accumulator width of the microkernel in `f32` lanes — one AVX2 vector.
+pub const GEMM_NR: usize = 8;
 
 /// The shared cache-blocked GEMM core: `out[M,N] += A[M,K] · Bᵀ`, with the
 /// right-hand operand delivered panel-wise by `fill`.
@@ -327,14 +372,37 @@ pub const GEMM_NC: usize = 64;
 /// `fill(jc, nb, pc, kb, panel)` must write `panel[p * nb + j] =
 /// B[jc + j][pc + p]` for `p < kb, j < nb` — a `[kb, nb]` transposed tile.
 /// Dense callers copy, packed callers decode `u16` codes through their
-/// table; the compute loop is identical either way, which is what makes
-/// packed and dense forwards bit-identical.
+/// table; the compute is identical either way (the register-tiled
+/// [`microkernel`]), which is what makes packed and dense forwards
+/// bit-identical.
 ///
 /// Accumulation order per output element is strictly ascending `k`, one
-/// product rounded into `out` at a time — the same order as the naive
-/// dot-product kernel, and independent of `M`, so results never depend on
-/// how many left-hand rows are stacked into one call.
+/// separately-rounded product at a time (no FMA) — the same order as the
+/// naive dot-product kernel, and independent of `M`, so results never
+/// depend on how many left-hand rows are stacked into one call.
 fn gemm_t_panels<F>(m: usize, k: usize, n: usize, a: &[f32], out: &mut [f32], mut fill: F)
+where
+    F: FnMut(usize, usize, usize, usize, &mut [f32]),
+{
+    let mut panel = vec![0.0f32; GEMM_KC.min(k.max(1)) * GEMM_NC.min(n.max(1))];
+    let mut jc = 0;
+    while jc < n {
+        let nb = GEMM_NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kb = GEMM_KC.min(k - pc);
+            fill(jc, nb, pc, kb, &mut panel[..kb * nb]);
+            microkernel::compute_tile(a, out, k, n, m, jc, nb, pc, kb, &panel[..kb * nb]);
+            pc += kb;
+        }
+        jc += nb;
+    }
+}
+
+/// The retired pre-microkernel compute loop (panel staging + 1-row saxpy
+/// with a store/reload of the output row on every `k` step), kept only as
+/// the measured baseline behind [`Tensor::matmul_t_blocked_saxpy`].
+fn gemm_t_panels_saxpy<F>(m: usize, k: usize, n: usize, a: &[f32], out: &mut [f32], mut fill: F)
 where
     F: FnMut(usize, usize, usize, usize, &mut [f32]),
 {
@@ -359,6 +427,318 @@ where
             pc += kb;
         }
         jc += nb;
+    }
+}
+
+mod microkernel {
+    //! The register-tiled GEMM microkernel and the packed panel decode, in
+    //! their two dispatch tiers (see `lp::simd` for the tier policy).
+    //!
+    //! Both tiers compute, for each output element, the identical sequence
+    //! `acc = out[i][j]; for p in 0..kb { acc += a[i][p] * b[p][j] }` with
+    //! one rounded multiply and one rounded add per step. The AVX2 tier
+    //! issues explicit `_mm256_mul_ps` + `_mm256_add_ps` pairs — **never**
+    //! FMA, whose single rounding per MAC would break the bit-identity
+    //! contract with `matmul_t_naive` — and per-lane vector IEEE ops are
+    //! identical to their scalar counterparts, so every tier produces the
+    //! same bits. This module is `dnn`'s one sanctioned `unsafe` island
+    //! (the crate is otherwise `deny(unsafe_code)`): intrinsics are
+    //! unsafe by signature, and every call is guarded by runtime feature
+    //! detection.
+    #![allow(unsafe_code)]
+
+    use super::{QTensor, GEMM_MR, GEMM_NR};
+
+    /// Computes `out[i, jc..jc+nb] += A[i, pc..pc+kb] · panel` for all `m`
+    /// rows against one `[kb, nb]` panel, dispatching between tiers.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn compute_tile(
+        a: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        m: usize,
+        jc: usize,
+        nb: usize,
+        pc: usize,
+        kb: usize,
+        panel: &[f32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if lp::simd::intrinsics_enabled() {
+            // SAFETY: AVX2 presence is runtime-checked by
+            // `intrinsics_enabled`, and the index bounds below are the
+            // same ones the safe portable tier proves in-bounds.
+            unsafe { compute_tile_avx2(a, out, k, n, m, jc, nb, pc, kb, panel) };
+            return;
+        }
+        compute_tile_portable(a, out, k, n, m, jc, nb, pc, kb, panel);
+    }
+
+    /// Portable tier: full `MR`-row groups, then single-row remainder.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_tile_portable(
+        a: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        m: usize,
+        jc: usize,
+        nb: usize,
+        pc: usize,
+        kb: usize,
+        panel: &[f32],
+    ) {
+        let mut i = 0;
+        while i + GEMM_MR <= m {
+            rows_portable::<GEMM_MR>(a, out, k, n, i, jc, nb, pc, kb, panel);
+            i += GEMM_MR;
+        }
+        while i < m {
+            rows_portable::<1>(a, out, k, n, i, jc, nb, pc, kb, panel);
+            i += 1;
+        }
+    }
+
+    /// `MR` rows × `GEMM_NR`-wide register block, unrolled so the
+    /// accumulator arrays stay in vector registers; scalar column tail.
+    #[allow(clippy::too_many_arguments)]
+    fn rows_portable<const MR: usize>(
+        a: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        i0: usize,
+        jc: usize,
+        nb: usize,
+        pc: usize,
+        kb: usize,
+        panel: &[f32],
+    ) {
+        let mut j = 0;
+        while j + GEMM_NR <= nb {
+            let mut acc = [[0.0f32; GEMM_NR]; MR];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                accr.copy_from_slice(&out[(i0 + r) * n + jc + j..][..GEMM_NR]);
+            }
+            for p in 0..kb {
+                let b: &[f32; GEMM_NR] = panel[p * nb + j..][..GEMM_NR].try_into().unwrap();
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = a[(i0 + r) * k + pc + p];
+                    for (ac, &bv) in accr.iter_mut().zip(b) {
+                        *ac += av * bv;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out[(i0 + r) * n + jc + j..][..GEMM_NR].copy_from_slice(accr);
+            }
+            j += GEMM_NR;
+        }
+        while j < nb {
+            let mut acc = [0.0f32; MR];
+            for (r, ac) in acc.iter_mut().enumerate() {
+                *ac = out[(i0 + r) * n + jc + j];
+            }
+            for p in 0..kb {
+                let bv = panel[p * nb + j];
+                for (r, ac) in acc.iter_mut().enumerate() {
+                    *ac += a[(i0 + r) * k + pc + p] * bv;
+                }
+            }
+            for (r, &ac) in acc.iter().enumerate() {
+                out[(i0 + r) * n + jc + j] = ac;
+            }
+            j += 1;
+        }
+    }
+
+    /// AVX2 tier: the same tiling as the portable path with the
+    /// `MR = 4 × NR = 8` block held in four `ymm` accumulators, one
+    /// `vbroadcastss` per left row and explicit `vmulps` + `vaddps` pairs
+    /// per step (no FMA).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (runtime-checked by [`compute_tile`]). Pointer
+    /// arithmetic stays within the `a`/`out`/`panel` slices for the same
+    /// index bounds the portable tier uses.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn compute_tile_avx2(
+        a: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        m: usize,
+        jc: usize,
+        nb: usize,
+        pc: usize,
+        kb: usize,
+        panel: &[f32],
+    ) {
+        use core::arch::x86_64::*;
+        debug_assert!(m * k <= a.len() && m * n <= out.len() && kb * nb <= panel.len());
+        let ap = a.as_ptr();
+        let op = out.as_mut_ptr();
+        let pp = panel.as_ptr();
+        let mut i = 0;
+        while i + GEMM_MR <= m {
+            let a0 = ap.add(i * k + pc);
+            let a1 = ap.add((i + 1) * k + pc);
+            let a2 = ap.add((i + 2) * k + pc);
+            let a3 = ap.add((i + 3) * k + pc);
+            let o0 = op.add(i * n + jc);
+            let o1 = op.add((i + 1) * n + jc);
+            let o2 = op.add((i + 2) * n + jc);
+            let o3 = op.add((i + 3) * n + jc);
+            let mut j = 0;
+            while j + GEMM_NR <= nb {
+                let mut acc0 = _mm256_loadu_ps(o0.add(j));
+                let mut acc1 = _mm256_loadu_ps(o1.add(j));
+                let mut acc2 = _mm256_loadu_ps(o2.add(j));
+                let mut acc3 = _mm256_loadu_ps(o3.add(j));
+                let mut bp = pp.add(j);
+                for p in 0..kb {
+                    let b = _mm256_loadu_ps(bp);
+                    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(*a0.add(p)), b));
+                    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(*a1.add(p)), b));
+                    acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(*a2.add(p)), b));
+                    acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(*a3.add(p)), b));
+                    bp = bp.add(nb);
+                }
+                _mm256_storeu_ps(o0.add(j), acc0);
+                _mm256_storeu_ps(o1.add(j), acc1);
+                _mm256_storeu_ps(o2.add(j), acc2);
+                _mm256_storeu_ps(o3.add(j), acc3);
+                j += GEMM_NR;
+            }
+            while j < nb {
+                let mut s0 = *o0.add(j);
+                let mut s1 = *o1.add(j);
+                let mut s2 = *o2.add(j);
+                let mut s3 = *o3.add(j);
+                for p in 0..kb {
+                    let bv = *pp.add(p * nb + j);
+                    s0 += *a0.add(p) * bv;
+                    s1 += *a1.add(p) * bv;
+                    s2 += *a2.add(p) * bv;
+                    s3 += *a3.add(p) * bv;
+                }
+                *o0.add(j) = s0;
+                *o1.add(j) = s1;
+                *o2.add(j) = s2;
+                *o3.add(j) = s3;
+                j += 1;
+            }
+            i += GEMM_MR;
+        }
+        while i < m {
+            let ar = ap.add(i * k + pc);
+            let or = op.add(i * n + jc);
+            let mut j = 0;
+            while j + GEMM_NR <= nb {
+                let mut acc = _mm256_loadu_ps(or.add(j));
+                let mut bp = pp.add(j);
+                for p in 0..kb {
+                    let b = _mm256_loadu_ps(bp);
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(*ar.add(p)), b));
+                    bp = bp.add(nb);
+                }
+                _mm256_storeu_ps(or.add(j), acc);
+                j += GEMM_NR;
+            }
+            while j < nb {
+                let mut s = *or.add(j);
+                for p in 0..kb {
+                    s += *ar.add(p) * *pp.add(p * nb + j);
+                }
+                *or.add(j) = s;
+                j += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Fills the `[kb, nb]` transposed panel from a packed weight tensor:
+    /// `panel[p * nb + j] = values[codes[(jc + j) * k + pc + p]]`, with an
+    /// AVX2 tier that widens eight `u16` codes at a time and gathers their
+    /// table values (`vpmovzxwd` + `vgatherdps`).
+    ///
+    /// Takes the [`QTensor`] rather than raw parts because the gather's
+    /// bounds safety rests on the tensor's construction invariant: every
+    /// code indexes into its table (`QTensor::from_parts` asserts it,
+    /// quantization produces it).
+    pub(super) fn fill_panel_packed(
+        qt: &QTensor,
+        jc: usize,
+        nb: usize,
+        pc: usize,
+        kb: usize,
+        panel: &mut [f32],
+    ) {
+        let codes = qt.codes();
+        let values = qt.table().values();
+        let k = qt.shape()[1];
+        #[cfg(target_arch = "x86_64")]
+        if lp::simd::intrinsics_enabled() {
+            // SAFETY: AVX2 runtime-checked; every code < values.len() by
+            // QTensor's construction invariant.
+            unsafe { fill_panel_packed_avx2(codes, values, k, jc, nb, pc, kb, panel) };
+            return;
+        }
+        for j in 0..nb {
+            let src = &codes[(jc + j) * k + pc..(jc + j) * k + pc + kb];
+            for (p, &c) in src.iter().enumerate() {
+                panel[p * nb + j] = values[usize::from(c)];
+            }
+        }
+    }
+
+    /// AVX2 tier of the packed panel fill.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2, and every element of `codes` must be a valid index
+    /// into `values` (the gather reads `values.as_ptr() + code * 4`
+    /// without bounds checks).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn fill_panel_packed_avx2(
+        codes: &[u16],
+        values: &[f32],
+        k: usize,
+        jc: usize,
+        nb: usize,
+        pc: usize,
+        kb: usize,
+        panel: &mut [f32],
+    ) {
+        use core::arch::x86_64::*;
+        debug_assert!(kb * nb <= panel.len());
+        let vp = values.as_ptr();
+        let pl = panel.as_mut_ptr();
+        for j in 0..nb {
+            let row = codes.as_ptr().add((jc + j) * k + pc);
+            let mut p = 0;
+            while p + 8 <= kb {
+                let c = _mm_loadu_si128(row.add(p) as *const __m128i);
+                let idx = _mm256_cvtepu16_epi32(c);
+                let v = _mm256_i32gather_ps::<4>(vp, idx);
+                let mut tmp = [0.0f32; 8];
+                _mm256_storeu_ps(tmp.as_mut_ptr(), v);
+                for (l, &t) in tmp.iter().enumerate() {
+                    *pl.add((p + l) * nb + j) = t;
+                }
+                p += 8;
+            }
+            while p < kb {
+                *pl.add(p * nb + j) = *vp.add(usize::from(*row.add(p)));
+                p += 1;
+            }
+        }
     }
 }
 

@@ -6,10 +6,18 @@
 //!   accumulation order independent of how many rows are stacked);
 //! * packed-weight forwards ([`Model::quantize_weights_packed`]) are
 //!   bit-identical to fake-quantized `f32` forwards
-//!   ([`Model::quantize_weights`]) for **all 7 format families**.
+//!   ([`Model::quantize_weights`]) for **all 7 format families**;
+//! * the dispatched microkernel GEMM ([`Tensor::matmul_t`]), the retired
+//!   saxpy blocked kernel ([`Tensor::matmul_t_blocked_saxpy`]) and the
+//!   naive dot-product reference ([`Tensor::matmul_t_naive`]) agree
+//!   bit-for-bit (modulo unspecified NaN payload bits) — including
+//!   operands salted with ±0.0 / NaN / ±∞ / subnormals — as does
+//!   [`Tensor::matmul_t_packed`] against the dense
+//!   kernel over dequantized weights (including the `m = 1` serving
+//!   matvec shape).
 
 use dnn::graph::{Model, Op, QuantScheme};
-use dnn::tensor::Tensor;
+use dnn::tensor::{QTensor, Tensor};
 use lp::quantizer::{fit_quantizer, FormatKind};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -204,4 +212,96 @@ proptest! {
             prop_assert_eq!(x.to_bits(), y.to_bits());
         }
     }
+
+    #[test]
+    fn simd_saxpy_and_naive_kernels_agree_including_specials(
+        m in 1usize..6, k in 1usize..200, n in 1usize..90,
+        seed in 0u64..1000,
+    ) {
+        // Three-way bit identity of every GEMM tier on operands salted
+        // with IEEE specials: per-lane vector mul/add are the same IEEE
+        // operations as their scalar forms (and never an FMA), so signed
+        // zeros, infinities and subnormals must round-trip identically
+        // through the microkernel. NaN outputs are compared as "both
+        // NaN": IEEE-754 (and LLVM, which freely commutes fmul/fadd
+        // operands) leaves NaN sign/payload propagation unspecified, so
+        // exact NaN bits are not a cross-kernel invariant even between
+        // two scalar loops.
+        let a = Tensor::from_vec(&[m, k], salted(m * k, seed, 1));
+        let b = Tensor::from_vec(&[n, k], salted(n * k, seed, 2));
+        let simd = a.matmul_t(&b);
+        let saxpy = a.matmul_t_blocked_saxpy(&b);
+        let naive = a.matmul_t_naive(&b);
+        for ((x, y), z) in simd.data().iter().zip(saxpy.data()).zip(naive.data()) {
+            prop_assert!(bits_eq_mod_nan(*x, *y), "simd {x:?} vs saxpy {y:?}");
+            prop_assert!(bits_eq_mod_nan(*x, *z), "simd {x:?} vs naive {z:?}");
+        }
+    }
+
+    #[test]
+    fn packed_matmul_is_bit_identical_to_dense_over_dequantized(
+        m in 1usize..5, k in 1usize..150, n in 1usize..80,
+        seed in 0u64..1000,
+    ) {
+        // The packed panel decode (gather tier or scalar tier) must stage
+        // exactly the dequantized weights, so the packed product matches
+        // the dense kernel bit-for-bit — including m = 1, the batch-1
+        // serving matvec whose fast path rides the single-row microkernel.
+        use lp::format::LpParams;
+        let a = Tensor::from_vec(&[m, k], salted(m * k, seed, 3));
+        let w = Tensor::from_vec(&[n, k], salted(n * k, seed.wrapping_add(7), 0));
+        let q = LpParams::clamped(8, 2, 3, 0.0);
+        let packed = QTensor::quantize(&w, &q);
+        let dense = packed.dequantize();
+        let c_packed = a.matmul_t_packed(&packed);
+        let c_dense = a.matmul_t(&dense);
+        for (x, y) in c_packed.data().iter().zip(c_dense.data()) {
+            prop_assert!(
+                bits_eq_mod_nan(*x, *y),
+                "packed {x:?} vs dense {y:?} (m={})", m
+            );
+        }
+    }
+}
+
+/// Exact bit equality, except NaN compares equal to NaN regardless of
+/// sign/payload (IEEE-754 leaves NaN propagation bits unspecified and
+/// LLVM commutes fmul/fadd operands, so payloads differ even between two
+/// scalar kernels).
+fn bits_eq_mod_nan(x: f32, y: f32) -> bool {
+    x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+}
+
+/// Deterministic pseudo-random data with IEEE specials (±0.0, NaN, ±∞,
+/// subnormals) injected at seed-chosen positions.
+fn salted(len: usize, seed: u64, salt: u64) -> Vec<f32> {
+    const SPECIALS: [f32; 8] = [
+        0.0,
+        -0.0,
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        1e-42,
+        -1e-42,
+        f32::MIN_POSITIVE,
+    ];
+    let mut data: Vec<f32> = (0..len)
+        .map(|i| {
+            (((i as u64)
+                .wrapping_mul(2654435761)
+                .wrapping_add(seed + salt)
+                % 10007) as f32
+                / 10007.0
+                - 0.5)
+                * 3.0
+        })
+        .collect();
+    let count = (len / 7).min(6) + 1;
+    for t in 0..count as u64 {
+        let h = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(t.wrapping_mul(104729).wrapping_add(salt));
+        data[(h % len as u64) as usize] = SPECIALS[((seed.wrapping_add(t)) % 8) as usize];
+    }
+    data
 }

@@ -6,7 +6,7 @@
 //! set of representable values plus, for each adjacent pair, the exact
 //! `f32` input at which the scalar quantizer switches from the lower value
 //! to the upper one. Batch quantization is then a branch-light binary
-//! search per element (accelerated by a 12-bit prefix index over the
+//! search per element (accelerated by a 16-bit prefix index over the
 //! monotone integer image of the input float), with **no** per-element
 //! `log2`/`exp2`.
 //!
@@ -47,16 +47,23 @@ const PREFIX_LEN: usize = (1 << PREFIX_BITS) + 1;
 /// formats; the flush bounds memory at ~20 MB of tables).
 const MAX_CACHED_TABLES: usize = 128;
 
+/// Lanes per block of the vectorized slice/batch quantizers: eight `f32`
+/// lanes (one AVX2 vector width). The block kernels are straight-line
+/// per-lane array code — branch-free in the common case — so the
+/// autovectorizer and the out-of-order pipeline can overlap the
+/// independent lanes; only lanes whose prefix block contains a decision
+/// boundary or whose input is a special (±0.0, non-finite, zero-interval)
+/// fall back to the scalar [`DecodeTable::quantize_one`].
+const QUANT_LANES: usize = 8;
+
 /// Maps an `f32` to a `u32` whose unsigned order equals the float total
 /// order (sign-magnitude to biased): the standard radix-sort key.
+/// Branchless: negatives need `!b`, non-negatives `b ^ 0x8000_0000`, and
+/// both are `b ^ (sign-extended sign bit | 0x8000_0000)`.
 #[inline]
 fn sort_key(x: f32) -> u32 {
     let b = x.to_bits();
-    if b & 0x8000_0000 != 0 {
-        !b
-    } else {
-        b ^ 0x8000_0000
-    }
+    b ^ ((((b as i32) >> 31) as u32) | 0x8000_0000)
 }
 
 /// Inverse of [`sort_key`].
@@ -359,9 +366,98 @@ impl DecodeTable {
     }
 
     /// Quantizes a slice in place (the batch fake-quant hot path).
+    ///
+    /// Vectorized: inputs stream `QUANT_LANES` (8) at a time through the
+    /// branchless fast path — per lane one `sort_key` bit-twiddle, one
+    /// adjacent prefix-pair gather, and the `lo == hi` no-boundary test.
+    /// A lane takes the scalar `quantize_one` fallback only
+    /// when its prefix block contains a boundary, its input is ±0.0 or
+    /// non-finite, or its value lands in the zero interval (sign-preserving
+    /// flush). Fast lanes reproduce `quantize_one` exactly: `lo == hi`
+    /// short-circuits `index_of_finite` to `lo`, and a
+    /// non-zero table value skips every special case — so the blocked
+    /// kernel stays bit-identical to the scalar map (pinned per format by
+    /// `lp::tests::proptest_codec`).
     pub fn quantize_slice(&self, xs: &mut [f32]) {
-        for x in xs.iter_mut() {
+        let mut chunks = xs.chunks_exact_mut(QUANT_LANES);
+        for chunk in &mut chunks {
+            let mut lo = [0usize; QUANT_LANES];
+            let mut slow = 0u32;
+            for (l, x) in chunk.iter().enumerate() {
+                let x = *x;
+                let k = sort_key(x);
+                let p = (k >> PREFIX_SHIFT) as usize;
+                let a = usize::from(self.prefix[p]);
+                let b = usize::from(self.prefix[p + 1]);
+                lo[l] = a;
+                slow |= u32::from((a != b) | (x == 0.0) | !x.is_finite()) << l;
+            }
+            for (l, x) in chunk.iter_mut().enumerate() {
+                let v = self.values[lo[l]];
+                if slow & (1 << l) == 0 && v != 0.0 {
+                    *x = v;
+                } else {
+                    *x = self.quantize_one(*x);
+                }
+            }
+        }
+        for x in chunks.into_remainder() {
             *x = self.quantize_one(*x);
+        }
+    }
+
+    /// The `u16` code of one input under the datapath semantics of
+    /// [`DecodeTable::quantize_batch`]: ±0.0 and NaN flush to the zero
+    /// code, ±∞ saturate to the extreme codes, finite values index their
+    /// quantized value.
+    #[inline]
+    fn code_one(&self, x: f32) -> u16 {
+        if x == 0.0 || x.is_nan() {
+            self.zero_index
+        } else if x == f32::INFINITY {
+            (self.values.len() - 1) as u16
+        } else if x == f32::NEG_INFINITY {
+            0
+        } else {
+            self.index_of_finite(x) as u16
+        }
+    }
+
+    /// Quantizes a batch into table indices (`u16` codes), reusing `out`'s
+    /// allocation — the zero-allocation entry point for per-call encode
+    /// loops (`lpa`'s tile output encode, packed-weight registration).
+    ///
+    /// `out` is cleared first; on return `out.len() == xs.len()`.
+    /// Vectorized with the same `QUANT_LANES`-wide branchless block
+    /// kernel as [`DecodeTable::quantize_slice`] (codes need no
+    /// zero-interval fallback: a finite non-zero input's code *is*
+    /// `index_of_finite`, even when that index holds the value `0.0`).
+    pub fn quantize_batch_into(&self, xs: &[f32], out: &mut Vec<u16>) {
+        out.clear();
+        out.reserve(xs.len());
+        let mut chunks = xs.chunks_exact(QUANT_LANES);
+        for chunk in &mut chunks {
+            let mut codes = [0u16; QUANT_LANES];
+            let mut slow = 0u32;
+            for (l, &x) in chunk.iter().enumerate() {
+                let k = sort_key(x);
+                let p = (k >> PREFIX_SHIFT) as usize;
+                let a = usize::from(self.prefix[p]);
+                let b = usize::from(self.prefix[p + 1]);
+                codes[l] = a as u16;
+                slow |= u32::from((a != b) | (x == 0.0) | !x.is_finite()) << l;
+            }
+            if slow != 0 {
+                for (l, &x) in chunk.iter().enumerate() {
+                    if slow & (1 << l) != 0 {
+                        codes[l] = self.code_one(x);
+                    }
+                }
+            }
+            out.extend_from_slice(&codes);
+        }
+        for &x in chunks.remainder() {
+            out.push(self.code_one(x));
         }
     }
 
@@ -369,21 +465,12 @@ impl DecodeTable {
     ///
     /// Finite inputs map to the index of their quantized value. Non-finite
     /// inputs follow the LPA datapath's exception handling: NaN flushes to
-    /// the zero code, ±∞ saturate to the extreme codes.
+    /// the zero code, ±∞ saturate to the extreme codes. Thin allocating
+    /// wrapper over [`DecodeTable::quantize_batch_into`].
     pub fn quantize_batch(&self, xs: &[f32]) -> Vec<u16> {
-        xs.iter()
-            .map(|&x| {
-                if x == 0.0 || x.is_nan() {
-                    self.zero_index
-                } else if x == f32::INFINITY {
-                    (self.values.len() - 1) as u16
-                } else if x == f32::NEG_INFINITY {
-                    0
-                } else {
-                    self.index_of_finite(x) as u16
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.quantize_batch_into(xs, &mut out);
+        out
     }
 
     /// Decodes a batch of table indices back to values.

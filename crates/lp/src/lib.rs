@@ -34,6 +34,8 @@
 //! * [`accuracy`] — decimal-accuracy metrics (Fig. 1(b) of the paper)
 //! * [`quantizer`] — a uniform [`Quantizer`](trait@quantizer::Quantizer) trait
 //!   over every format, with tensor-adaptive parameter fitting
+//! * [`simd`] — runtime AVX2/portable kernel dispatch and the vectorized
+//!   uniform-grid quantizer behind the INT/fixed-point fast paths
 //!
 //! ## Quick example
 //!
@@ -50,7 +52,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// runtime-dispatched AVX2 kernel module ([`simd`]), whose
+// `core::arch::x86_64` intrinsics are unsafe by signature. Everything
+// else in the crate stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accuracy;
@@ -62,6 +68,7 @@ pub mod error;
 pub mod format;
 pub mod posit;
 pub mod quantizer;
+pub mod simd;
 
 pub use codec::DecodeTable;
 pub use error::LpError;

@@ -133,20 +133,14 @@ impl Quantizer for IntQuantizer {
     /// Uniform-grid fast path: a hoisted-constant divide + round + clamp
     /// per element, skipping the decode table entirely (for uniform grids
     /// the scalar arithmetic *is* the floor a lookup can only match — see
-    /// ROADMAP "INT/fixed fast path"). Arithmetic is kept term-for-term
-    /// identical to [`IntQuantizer::quantize`], so this stays bit-identical
-    /// to both the scalar map and the table path.
+    /// ROADMAP "INT/fixed fast path"). Routed through the vectorized
+    /// [`crate::simd::uniform_grid_quantize_slice`] kernel, whose both
+    /// tiers keep the arithmetic term-for-term identical to
+    /// [`IntQuantizer::quantize`], so this stays bit-identical to the
+    /// scalar map and the table path.
     fn quantize_slice(&self, xs: &mut [f32]) {
-        let scale = self.scale();
         let levels = ((1u32 << (self.n() - 1)) - 1) as f64;
-        for x in xs.iter_mut() {
-            let v = f64::from(*x);
-            *x = if v.is_finite() {
-                ((v / scale).round_ties_even().clamp(-levels, levels) * scale) as f32
-            } else {
-                f64::NAN as f32
-            };
-        }
+        crate::simd::uniform_grid_quantize_slice(xs, self.scale(), levels);
     }
 }
 
@@ -165,19 +159,14 @@ impl Quantizer for FixedPoint {
     }
     /// Uniform-grid fast path (see the [`IntQuantizer`] impl): the
     /// power-of-two step is hoisted out of the loop and no table is
-    /// consulted. Bit-identical to [`FixedPoint::quantize`] by using the
-    /// same arithmetic.
+    /// consulted, with the divide/round/clamp chain running through the
+    /// vectorized [`crate::simd::uniform_grid_quantize_slice`] kernel.
+    /// Bit-identical to [`FixedPoint::quantize`] by using the same
+    /// arithmetic.
     fn quantize_slice(&self, xs: &mut [f32]) {
         let step = (-f64::from(self.frac_bits())).exp2();
         let levels = ((1u32 << (self.n() - 1)) - 1) as f64;
-        for x in xs.iter_mut() {
-            let v = f64::from(*x);
-            *x = if v.is_finite() {
-                ((v / step).round_ties_even().clamp(-levels, levels) * step) as f32
-            } else {
-                f64::NAN as f32
-            };
-        }
+        crate::simd::uniform_grid_quantize_slice(xs, step, levels);
     }
 }
 

@@ -138,6 +138,34 @@ proptest! {
     }
 
     #[test]
+    fn quantize_batch_into_matches_wrapper_and_reuses_buffer(
+        kind in 0usize..7,
+        n in 4u32..=16,
+        a in 0u32..2,
+        xs in inputs(),
+    ) {
+        // The vectorized zero-allocation entry point must produce exactly
+        // the wrapper's codes — including non-finite specials and
+        // non-multiple-of-8 lengths — and must reuse the output buffer's
+        // capacity across calls.
+        let q = make(kind, n, a, 1, 0);
+        let table = q.decode_table();
+        let mut xs = xs;
+        xs.extend(specials());
+
+        let mut out = Vec::new();
+        table.quantize_batch_into(&xs, &mut out);
+        prop_assert_eq!(&out, &table.quantize_batch(&xs), "{}", q.codec_key());
+
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        table.quantize_batch_into(&xs[..xs.len() / 2], &mut out);
+        prop_assert_eq!(out.len(), xs.len() / 2);
+        prop_assert_eq!(out.capacity(), cap, "capacity must be reused");
+        prop_assert_eq!(out.as_ptr(), ptr, "allocation must be reused");
+    }
+
+    #[test]
     fn quantize_batch_is_idempotent_through_values(
         kind in 0usize..7,
         n in 4u32..=10,

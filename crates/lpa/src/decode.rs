@@ -227,11 +227,26 @@ impl LaneLut {
     /// (NaN flushes to the zero word, ±∞ saturate) rather than encoding
     /// NaR.
     pub fn encode_outputs(&self, values: &[f32]) -> Vec<LpWord> {
-        self.table
-            .quantize_batch(values)
-            .into_iter()
-            .map(|c| LpWord::from_bits(self.words_by_value[usize::from(c)]))
-            .collect()
+        let mut codes = Vec::new();
+        let mut out = Vec::new();
+        self.encode_outputs_into(values, &mut codes, &mut out);
+        out
+    }
+
+    /// [`LaneLut::encode_outputs`] without per-call allocation: `codes`
+    /// (the `u16` scratch fed to
+    /// [`DecodeTable::quantize_batch_into`]) and `out` are cleared and
+    /// reused, so a tile loop that encodes every output wave can hold two
+    /// buffers for the whole run. On return `out.len() == values.len()`.
+    pub fn encode_outputs_into(&self, values: &[f32], codes: &mut Vec<u16>, out: &mut Vec<LpWord>) {
+        self.table.quantize_batch_into(values, codes);
+        out.clear();
+        out.reserve(codes.len());
+        out.extend(
+            codes
+                .iter()
+                .map(|&c| LpWord::from_bits(self.words_by_value[usize::from(c)])),
+        );
     }
 }
 
