@@ -35,9 +35,19 @@
 //! 5. **Multi-model serving** — two models × two quantization scenarios
 //!    (plus a duplicate scenario proving code sharing) registered on one
 //!    batching server, hammered by concurrent synchronous clients;
-//!    reports requests/s, per-registration mean/p50/p99 latency plus
+//!    reports requests/s, per-registration mean/p50/p99 latency **and
+//!    per-stage (queue-wait / service / delivery) histogram quantiles**,
 //!    submitted/per-reason-shed/queue-depth counters, and the pool's
-//!    per-worker executed/stolen counters.
+//!    per-worker executed/stolen/steal-failure/park counters — all
+//!    printed through the shared [`Server::report`] table.
+//! 6. **Trace overhead** (`trace_overhead`) — the observability gate:
+//!    the same packed registration driven through the async front with
+//!    ring-buffer event recording toggled off and on
+//!    (`serve::trace::set_enabled`, interleaved reps, best of each),
+//!    asserting the traced path costs less than the configured overhead
+//!    budget; a short traced run is then exported as Chrome trace-event
+//!    JSON to `TRACE_serve.json` at the workspace root (load it in
+//!    Perfetto / `chrome://tracing`).
 //!
 //! Environment knobs (all optional): `SERVE_BENCH_REQUESTS` (total
 //! requests in phase 4, default 240), `SERVE_BENCH_CLIENTS` (client
@@ -55,9 +65,15 @@
 //! 1200), `SERVE_BENCH_PRIO_BACKLOG` / `SERVE_BENCH_PRIO_PROBES`
 //! (phase-4 strict-priority study, defaults 60 / 20),
 //! `SERVE_BENCH_DEADLINE_BUDGET_MS` / `SERVE_BENCH_DEADLINE_BURST`
-//! (phase-4 deadline study, defaults 1000 / 4096), and `SERVE_THREADS`
-//! (pool size; the phase-4 studies run on their own fixed 2-worker /
-//! 1-worker pools so their shares and sheds are box-independent). CI runs
+//! (phase-4 deadline study, defaults 1000 / 4096),
+//! `SERVE_BENCH_TRACE_REQUESTS` / `SERVE_BENCH_TRACE_REPS` /
+//! `SERVE_BENCH_TRACE_INFLIGHT` (phase-6 A/B load, defaults 2048 / 3 /
+//! 256), `SERVE_BENCH_TRACE_MAX_OVERHEAD_PCT` (phase-6 overhead budget
+//! in percent, default 5; CI smoke runs relax it because tiny runs are
+//! noise-dominated — the committed artifact comes from a full run), and
+//! `SERVE_THREADS` (pool size; the phase-4 studies run on their own
+//! fixed 2-worker / 1-worker pools so their shares and sheds are
+//! box-independent). CI runs
 //! this in smoke mode with tiny counts; the defaults produce a meaningful
 //! measurement. Every knob's resolved value is recorded in the JSON
 //! (`config`), so runs are self-describing.
@@ -68,7 +84,7 @@ use dnn::serving::ServedModel;
 use dnn::Tensor;
 use serve::pool::Pool;
 use serve::server::{BatchPolicy, ScenarioSpec, ServeError, Server};
-use serve::{StrictPriority, WeightedFair};
+use serve::{trace, StrictPriority, WeightedFair};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -301,11 +317,30 @@ struct ServingRow {
     mean_ms: f64,
     p50_ms: f64,
     p99_ms: f64,
+    queue_wait_p50_ms: f64,
+    queue_wait_p99_ms: f64,
+    service_p50_ms: f64,
+    service_p99_ms: f64,
+    delivery_p50_ms: f64,
+    delivery_p99_ms: f64,
     submitted: u64,
     shed: u64,
     shed_deadline: u64,
     passed_over: u64,
     max_queue_depth: usize,
+}
+
+struct TraceOverhead {
+    requests: usize,
+    window: usize,
+    reps: usize,
+    untraced_rps: f64,
+    traced_rps: f64,
+    overhead_frac: f64,
+    max_overhead_frac: f64,
+    ring_cap: usize,
+    events_recorded: u64,
+    trace_rings: usize,
 }
 
 struct AbResult {
@@ -1011,39 +1046,143 @@ fn main() {
     println!("served {requests} requests in {wall_s:.3}s = {rps:.1} req/s");
 
     let mut rows = Vec::new();
-    println!(
-        "{:<10} {:<10} {:>7} {:>10} {:>10} {:>10}",
-        "model", "scenario", "count", "mean ms", "p50 ms", "p99 ms"
-    );
     for (model, scenario) in &combos {
         let snap = server.stats(model, scenario).expect("stats exist");
-        let row = ServingRow {
+        rows.push(ServingRow {
             model: model.clone(),
             scenario: scenario.clone(),
             count: snap.count,
             mean_ms: snap.mean_s * 1e3,
             p50_ms: snap.p50_s * 1e3,
             p99_ms: snap.p99_s * 1e3,
+            queue_wait_p50_ms: snap.queue_wait.p50_s * 1e3,
+            queue_wait_p99_ms: snap.queue_wait.p99_s * 1e3,
+            service_p50_ms: snap.service.p50_s * 1e3,
+            service_p99_ms: snap.service.p99_s * 1e3,
+            delivery_p50_ms: snap.delivery.p50_s * 1e3,
+            delivery_p99_ms: snap.delivery.p99_s * 1e3,
             submitted: snap.submitted,
             shed: snap.shed,
             shed_deadline: snap.shed_deadline,
             passed_over: snap.passed_over,
             max_queue_depth: snap.max_queue_depth,
-        };
-        println!(
-            "{:<10} {:<10} {:>7} {:>10.3} {:>10.3} {:>10.3}",
-            row.model, row.scenario, row.count, row.mean_ms, row.p50_ms, row.p99_ms
-        );
-        rows.push(row);
+        });
     }
+    // The shared stats table (latency + stage breakdown + pool counters)
+    // every bench bin prints instead of rolling its own.
+    print!("{}", server.report());
     server.shutdown();
 
     let pool_stats = pool.stats();
+
+    // ------------------------------------------------------------------
+    // Part 6: what does observability cost? The same packed registration
+    // driven through the async front with ring-buffer event recording
+    // off and on, interleaved; then a short traced run exported as a
+    // Chrome trace for TRACE_serve.json.
+    // ------------------------------------------------------------------
+    let trace_requests = bench::env_usize("SERVE_BENCH_TRACE_REQUESTS", 2048);
+    let trace_reps = bench::env_usize("SERVE_BENCH_TRACE_REPS", 3);
+    let trace_window = bench::env_usize("SERVE_BENCH_TRACE_INFLIGHT", 256);
+    let max_overhead_frac =
+        bench::env_usize("SERVE_BENCH_TRACE_MAX_OVERHEAD_PCT", 5) as f64 / 100.0;
+    let trace_oh = {
+        let server: Server<Tensor, Tensor> = Server::new(pool.clone(), ab_policy);
+        mlp.register_spec(
+            &server,
+            ScenarioSpec::new("", "lp8_trace").queue_cap(trace_window * 2),
+            bench::uniform_lp_scheme(mlp.model(), 8),
+        )
+        .expect("trace registration failed");
+        let was = trace::enabled();
+        // Warm both modes outside the timed windows.
+        let warm = (trace_window / 4).clamp(1, 64);
+        for on in [false, true] {
+            trace::set_enabled(on);
+            let _ =
+                async_single_driver(&server, "mlp_256", "lp8_trace", &mlp_inputs, warm, warm * 2);
+        }
+        let (mut best_off, mut best_on) = (0.0f64, 0.0f64);
+        for _ in 0..trace_reps.max(1) {
+            trace::set_enabled(false);
+            let (rps, _) = async_single_driver(
+                &server,
+                "mlp_256",
+                "lp8_trace",
+                &mlp_inputs,
+                trace_window,
+                trace_requests,
+            );
+            best_off = best_off.max(rps);
+            trace::set_enabled(true);
+            let (rps, _) = async_single_driver(
+                &server,
+                "mlp_256",
+                "lp8_trace",
+                &mlp_inputs,
+                trace_window,
+                trace_requests,
+            );
+            best_on = best_on.max(rps);
+        }
+        // Capture run for the committed trace artifact: small enough to
+        // stay inside the default ring capacity so Submit→Complete pairs
+        // survive for every request.
+        trace::set_enabled(true);
+        trace::clear();
+        let capture = trace_requests.min(256);
+        let _ = async_single_driver(
+            &server,
+            "mlp_256",
+            "lp8_trace",
+            &mlp_inputs,
+            trace_window.min(capture),
+            capture,
+        );
+        let chrome = trace::export_chrome();
+        assert!(
+            chrome.contains("\"ph\": \"s\"") && chrome.contains("\"ph\": \"f\""),
+            "exported trace must pair request flow events"
+        );
+        let tstats = trace::stats();
+        trace::set_enabled(was);
+        server.shutdown();
+        let trace_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TRACE_serve.json");
+        match std::fs::write(trace_path, &chrome) {
+            Ok(()) => println!("wrote TRACE_serve.json ({} bytes)", chrome.len()),
+            Err(e) => eprintln!("could not write TRACE_serve.json: {e}"),
+        }
+        TraceOverhead {
+            requests: trace_requests,
+            window: trace_window,
+            reps: trace_reps,
+            untraced_rps: best_off,
+            traced_rps: best_on,
+            overhead_frac: 1.0 - best_on / best_off.max(1e-12),
+            max_overhead_frac,
+            ring_cap: trace::ring_capacity(),
+            events_recorded: tstats.recorded,
+            trace_rings: tstats.rings,
+        }
+    };
     println!(
-        "pool counters: {} tasks executed ({} stolen) across {} workers + external",
-        pool_stats.total_executed(),
-        pool_stats.total_stolen(),
-        pool_stats.workers.len()
+        "trace_overhead (window {}, {} requests x {} reps): untraced {:.0} req/s, \
+         traced {:.0} req/s, overhead {:.2}% (budget {:.0}%), {} events in {} rings",
+        trace_oh.window,
+        trace_oh.requests,
+        trace_oh.reps,
+        trace_oh.untraced_rps,
+        trace_oh.traced_rps,
+        trace_oh.overhead_frac * 100.0,
+        trace_oh.max_overhead_frac * 100.0,
+        trace_oh.events_recorded,
+        trace_oh.trace_rings
+    );
+    assert!(
+        trace_oh.overhead_frac < trace_oh.max_overhead_frac,
+        "event recording overhead {:.2}% exceeds the {:.0}% budget",
+        trace_oh.overhead_frac * 100.0,
+        trace_oh.max_overhead_frac * 100.0
     );
 
     // Fail loudly on broken measurements before writing the artifact.
@@ -1069,6 +1208,25 @@ fn main() {
     bench::check_metric("dense_equiv_bytes", memory.dense_equiv_bytes as f64);
     bench::check_metric("packed_bytes", memory.packed_bytes as f64);
     bench::check_metric("pool_executed", pool_stats.total_executed() as f64);
+    // Stage breakdowns: every part-5 combo received traffic, so each
+    // stage histogram must hold samples (p99 of an empty histogram is 0
+    // and would trip the check).
+    let stage_max = |get: fn(&ServingRow) -> f64| rows.iter().map(get).fold(0.0f64, f64::max);
+    bench::check_metric(
+        "serving_queue_wait_p99_ms",
+        stage_max(|r| r.queue_wait_p99_ms),
+    );
+    bench::check_metric("serving_service_p99_ms", stage_max(|r| r.service_p99_ms));
+    bench::check_metric("serving_delivery_p99_ms", stage_max(|r| r.delivery_p99_ms));
+    bench::check_metric("trace_untraced_rps", trace_oh.untraced_rps);
+    bench::check_metric("trace_traced_rps", trace_oh.traced_rps);
+    bench::check_metric("trace_events_recorded", trace_oh.events_recorded as f64);
+    // Positive iff the measured overhead sits under the budget — turns
+    // the <5% gate into a checked metric, not just prose.
+    bench::check_metric(
+        "trace_headroom",
+        trace_oh.max_overhead_frac - trace_oh.overhead_frac,
+    );
 
     write_json(
         pool.threads(),
@@ -1087,6 +1245,7 @@ fn main() {
         (before, first.model().num_quant_layers()),
         &rows,
         &pool_stats,
+        &trace_oh,
     );
     println!("wrote BENCH_serve.json");
 }
@@ -1109,6 +1268,7 @@ fn write_json(
     cache: (usize, usize),
     rows: &[ServingRow],
     pool_stats: &serve::pool::PoolStats,
+    trace_oh: &TraceOverhead,
 ) {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"pool_threads\": {threads},\n"));
@@ -1343,6 +1503,9 @@ fn write_json(
         out.push_str(&format!(
             "      {{\"model\": \"{}\", \"scenario\": \"{}\", \"count\": {}, \
              \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"queue_wait_p50_ms\": {:.4}, \"queue_wait_p99_ms\": {:.4}, \
+             \"service_p50_ms\": {:.4}, \"service_p99_ms\": {:.4}, \
+             \"delivery_p50_ms\": {:.4}, \"delivery_p99_ms\": {:.4}, \
              \"submitted\": {}, \"shed\": {}, \"shed_deadline\": {}, \
              \"passed_over\": {}, \"max_queue_depth\": {}}}{}\n",
             r.model,
@@ -1351,6 +1514,12 @@ fn write_json(
             r.mean_ms,
             r.p50_ms,
             r.p99_ms,
+            r.queue_wait_p50_ms,
+            r.queue_wait_p99_ms,
+            r.service_p50_ms,
+            r.service_p99_ms,
+            r.delivery_p50_ms,
+            r.delivery_p99_ms,
             r.submitted,
             r.shed,
             r.shed_deadline,
@@ -1360,6 +1529,33 @@ fn write_json(
         ));
     }
     out.push_str("    ]\n  },\n");
+    out.push_str("  \"trace_overhead\": {\n");
+    out.push_str(&format!("    \"requests\": {},\n", trace_oh.requests));
+    out.push_str(&format!("    \"inflight_window\": {},\n", trace_oh.window));
+    out.push_str(&format!("    \"reps\": {},\n", trace_oh.reps));
+    out.push_str(&format!(
+        "    \"untraced_rps\": {:.1},\n",
+        trace_oh.untraced_rps
+    ));
+    out.push_str(&format!(
+        "    \"traced_rps\": {:.1},\n",
+        trace_oh.traced_rps
+    ));
+    out.push_str(&format!(
+        "    \"overhead_frac\": {:.5},\n",
+        trace_oh.overhead_frac
+    ));
+    out.push_str(&format!(
+        "    \"max_overhead_frac\": {:.3},\n",
+        trace_oh.max_overhead_frac
+    ));
+    out.push_str(&format!("    \"ring_cap\": {},\n", trace_oh.ring_cap));
+    out.push_str(&format!(
+        "    \"events_recorded\": {},\n",
+        trace_oh.events_recorded
+    ));
+    out.push_str(&format!("    \"trace_rings\": {}\n", trace_oh.trace_rings));
+    out.push_str("  },\n");
     out.push_str("  \"pool\": {\n");
     out.push_str(&format!(
         "    \"total_executed\": {},\n",
@@ -1369,12 +1565,28 @@ fn write_json(
         "    \"total_stolen\": {},\n",
         pool_stats.total_stolen()
     ));
+    out.push_str(&format!(
+        "    \"total_steal_failures\": {},\n",
+        pool_stats.total_steal_failures()
+    ));
+    out.push_str(&format!(
+        "    \"total_parks\": {},\n",
+        pool_stats.total_parks()
+    ));
+    out.push_str(&format!(
+        "    \"total_unparks\": {},\n",
+        pool_stats.total_unparks()
+    ));
     out.push_str("    \"workers\": [\n");
     for (i, w) in pool_stats.workers.iter().enumerate() {
         out.push_str(&format!(
-            "      {{\"executed\": {}, \"stolen\": {}}}{}\n",
+            "      {{\"executed\": {}, \"stolen\": {}, \"steal_failures\": {}, \
+             \"parks\": {}, \"unparks\": {}}}{}\n",
             w.executed,
             w.stolen,
+            w.steal_failures,
+            w.parks,
+            w.unparks,
             if i + 1 == pool_stats.workers.len() {
                 ""
             } else {
@@ -1384,8 +1596,10 @@ fn write_json(
     }
     out.push_str("    ],\n");
     out.push_str(&format!(
-        "    \"external\": {{\"executed\": {}, \"stolen\": {}}}\n",
-        pool_stats.external.executed, pool_stats.external.stolen
+        "    \"external\": {{\"executed\": {}, \"stolen\": {}, \"steal_failures\": {}}}\n",
+        pool_stats.external.executed,
+        pool_stats.external.stolen,
+        pool_stats.external.steal_failures
     ));
     out.push_str("  }\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");

@@ -27,6 +27,14 @@
 //! [`ServedModel::register_spec`], the one registration path;
 //! [`ServedModel::register`] is the all-defaults shorthand and the old
 //! `register_async` signature survives as a deprecated shim.
+//!
+//! Served models inherit the runtime's observability for free: every
+//! registration accumulates per-stage latency histograms (queue wait /
+//! service / delivery, visible in
+//! [`StatsSnapshot`](serve::stats::StatsSnapshot) and in
+//! [`Server::metrics_text`](serve::server::Server::metrics_text)), and
+//! with `SERVE_TRACE=1` each request's lifecycle is recorded into
+//! `serve::trace` ring buffers and exportable as a Chrome trace.
 
 use crate::graph::{Model, QuantScheme, WeightCache};
 use crate::tensor::Tensor;
@@ -313,6 +321,45 @@ mod tests {
         let qm = served.model().quantize_weights(&scheme);
         let want = qm.forward_traced(&input, Some(&scheme), false).output;
         assert_eq!(got.data(), want.data());
+    }
+
+    /// The stage histograms fill in through the DNN glue exactly like the
+    /// end-to-end reservoir: one sample per stage per completed request,
+    /// and the stage means sum to the end-to-end mean (the dispatch path
+    /// derives all four durations from shared instants).
+    #[test]
+    fn served_requests_fill_stage_histograms() {
+        let served = ServedModel::new(tiny_model());
+        let server = test_server();
+        let layers = served.model().num_quant_layers();
+        served
+            .register(&server, "lp8", lp_scheme(layers, 8, 0.0))
+            .unwrap();
+
+        let client = server.client();
+        for i in 0..12u32 {
+            let input = Tensor::from_vec(&[8], (0..8).map(|j| (i + j) as f32 * 0.05).collect());
+            client.infer("tiny_mlp", "lp8", input).unwrap();
+        }
+
+        let snap = server.stats("tiny_mlp", "lp8").unwrap();
+        assert_eq!(snap.count, 12);
+        for (name, stage) in [
+            ("queue_wait", &snap.queue_wait),
+            ("service", &snap.service),
+            ("delivery", &snap.delivery),
+        ] {
+            assert_eq!(stage.count, 12, "{name} missed a request");
+            assert!(stage.p50_s >= 0.0 && stage.p99_s >= stage.p50_s, "{name}");
+            assert!(stage.max_s >= stage.p50_s, "{name}");
+        }
+        assert!(snap.service.p50_s > 0.0, "inference takes nonzero time");
+        let stage_mean_sum = snap.queue_wait.mean_s + snap.service.mean_s + snap.delivery.mean_s;
+        assert!(
+            (stage_mean_sum - snap.mean_s).abs() < 1e-6,
+            "stage means {stage_mean_sum} should sum to total {}",
+            snap.mean_s
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
 /// Opaque identity of one accepted asynchronous submission. Process-wide
-/// unique; the matching [`Completion`] carries the same ticket.
+/// unique; the matching [`Completion`] carries the same ticket, and the
+/// same number is the request's trace correlation id — grep for it in
+/// [`crate::trace`] snapshots or follow its flow arrow in an exported
+/// Chrome trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ticket(u64);
 

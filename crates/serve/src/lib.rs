@@ -31,6 +31,17 @@
 //! of in-flight requests where the synchronous [`server::Client`] needs a
 //! blocked OS thread each (`async_vs_sync` in `BENCH_serve.json`).
 //!
+//! Cross-cutting both layers sits [`trace`] — the observability
+//! substrate: request-lifecycle [`trace::TraceEvent`]s (Submit → Admit →
+//! Enqueue → PolicyPick → BatchStart/End → Complete, plus per-reason
+//! sheds and pool task spans) recorded into per-thread ring buffers
+//! behind a `SERVE_TRACE` gate whose disabled path is one branch;
+//! always-on per-stage latency [`trace::Histogram`]s (queue wait /
+//! service / delivery) in every [`stats::StatsSnapshot`]; and two export
+//! faces — [`trace::export_chrome`] (Chrome trace-event JSON, Perfetto-
+//! loadable) and [`server::Server::metrics_text`] (Prometheus text
+//! exposition).
+//!
 //! `dnn::serving` supplies the glue that registers quantized DNN models
 //! here with weight caches shared across scenarios; see
 //! `crates/bench/src/bin/serve_throughput.rs` for the end-to-end driver
@@ -43,9 +54,14 @@ pub mod pool;
 pub mod sched;
 pub mod server;
 pub mod stats;
+pub mod trace;
 
 pub use async_front::{reactor, AsyncClient, Completion, InferFuture, Ticket};
 pub use pool::{par_map_pooled, Pool};
 pub use sched::{DueEntry, Fifo, SchedPolicy, StrictPriority, WeightedFair};
 pub use server::{AdmissionPolicy, BatchPolicy, Client, ScenarioSpec, ServeError, Server};
-pub use stats::{percentile, Reservoir, ReservoirSnapshot, StatsCollector, StatsSnapshot};
+pub use stats::{
+    percentile, Reservoir, ReservoirSnapshot, StageHistograms, StageSummary, StatsCollector,
+    StatsSnapshot,
+};
+pub use trace::{Histogram, ShedReason, TraceEvent, TraceRecord, TraceStats};

@@ -28,12 +28,13 @@
 //! `std::thread::scope`. Panics in detached [`Pool::spawn`] tasks are
 //! swallowed (the worker survives), mirroring detached-thread behavior.
 
+use crate::trace::{self, TraceEvent};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-participant task counters (lock-free; incremented as tasks are
 /// claimed in [`PoolInner::find_task`]).
@@ -41,6 +42,9 @@ use std::time::Duration;
 struct Counters {
     executed: AtomicU64,
     stolen: AtomicU64,
+    steal_failures: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
 }
 
 /// Executed/stolen task counts for one pool participant.
@@ -51,6 +55,18 @@ pub struct WorkerStats {
     pub executed: u64,
     /// Tasks this participant stole from another worker's deque.
     pub stolen: u64,
+    /// Empty-handed scans: the participant checked its own deque, the
+    /// injector *and* every sibling deque and found nothing. For workers
+    /// each park is preceded by at least one of these; a high rate with
+    /// low `executed` means threads outnumber the offered load.
+    pub steal_failures: u64,
+    /// Times a worker went to sleep on the parking lot (always 0 for the
+    /// external row — helpers nap on their scope, not the lot).
+    pub parks: u64,
+    /// Times a parked worker was woken. `parks - unparks ∈ {0, 1}` at
+    /// any instant (a worker currently asleep); persistent gaps would
+    /// mean lost wakeups.
+    pub unparks: u64,
 }
 
 /// Point-in-time snapshot of the pool's scheduling counters: one row per
@@ -76,6 +92,21 @@ impl PoolStats {
     /// Total tasks that moved between deques (stolen).
     pub fn total_stolen(&self) -> u64 {
         self.workers.iter().map(|w| w.stolen).sum::<u64>() + self.external.stolen
+    }
+
+    /// Total empty-handed scans across every participant.
+    pub fn total_steal_failures(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_failures).sum::<u64>() + self.external.steal_failures
+    }
+
+    /// Total worker parks (sleeps on the lot).
+    pub fn total_parks(&self) -> u64 {
+        self.workers.iter().map(|w| w.parks).sum::<u64>()
+    }
+
+    /// Total worker unparks (wakeups from the lot).
+    pub fn total_unparks(&self) -> u64 {
+        self.workers.iter().map(|w| w.unparks).sum::<u64>()
     }
 }
 
@@ -127,19 +158,21 @@ impl PoolInner {
 
     /// Pops the next task: own deque back (workers only), then injector
     /// front, then steal a sibling's front. Tallies the claim into the
-    /// participant's [`Counters`] row.
-    fn find_task(&self, own: Option<usize>) -> Option<Task> {
+    /// participant's [`Counters`] row; the `bool` says whether the task
+    /// was stolen. A full miss (nothing anywhere, including every
+    /// sibling's deque) counts as a steal failure.
+    fn find_task(&self, own: Option<usize>) -> Option<(Task, bool)> {
         if let Some(i) = own {
             if let Some(t) = self.deques[i].lock().expect("deque poisoned").pop_back() {
                 self.counters[i].executed.fetch_add(1, Ordering::Relaxed);
-                return Some(t);
+                return Some((t, false));
             }
         }
         if let Some(t) = self.injector.lock().expect("injector poisoned").pop_front() {
             self.counters_of(own)
                 .executed
                 .fetch_add(1, Ordering::Relaxed);
-            return Some(t);
+            return Some((t, false));
         }
         let n = self.deques.len();
         let start = self.steal_cursor.fetch_add(1, Ordering::Relaxed);
@@ -156,10 +189,33 @@ impl PoolInner {
                 let row = self.counters_of(own);
                 row.executed.fetch_add(1, Ordering::Relaxed);
                 row.stolen.fetch_add(1, Ordering::Relaxed);
-                return Some(t);
+                return Some((t, true));
             }
         }
+        self.counters_of(own)
+            .steal_failures
+            .fetch_add(1, Ordering::Relaxed);
         None
+    }
+
+    /// Runs one claimed task, swallowing panics, and — when tracing is
+    /// enabled — records its run/steal span on the executing thread's
+    /// trace ring.
+    fn run_task(&self, own: Option<usize>, task: Task, stolen: bool) {
+        let t0 = trace::enabled().then(Instant::now);
+        // Keep the executor alive across panicking detached tasks; scoped
+        // tasks carry their own catch + rethrow protocol.
+        let _ = panic::catch_unwind(AssertUnwindSafe(task));
+        if let Some(t0) = t0 {
+            trace::record(
+                0,
+                own.map_or(0, |i| i as u64),
+                TraceEvent::TaskEnd {
+                    run_ns: t0.elapsed().as_nanos() as u64,
+                    stolen,
+                },
+            );
+        }
     }
 
     /// Enqueues a task: onto the current worker's own deque when the caller
@@ -196,10 +252,8 @@ impl PoolInner {
     fn worker_loop(self: &Arc<Self>, index: usize) {
         WORKER.with(|w| w.set(Some((self.id, index))));
         loop {
-            if let Some(task) = self.find_task(Some(index)) {
-                // Keep the worker alive across panicking detached tasks;
-                // scoped tasks carry their own catch + rethrow protocol.
-                let _ = panic::catch_unwind(AssertUnwindSafe(task));
+            if let Some((task, stolen)) = self.find_task(Some(index)) {
+                self.run_task(Some(index), task, stolen);
                 continue;
             }
             let guard = self.lot.lock().expect("lot poisoned");
@@ -215,7 +269,9 @@ impl PoolInner {
             if self.has_work() {
                 continue;
             }
+            self.counters[index].parks.fetch_add(1, Ordering::Relaxed);
             drop(self.wake.wait(guard).expect("lot poisoned"));
+            self.counters[index].unparks.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -307,14 +363,18 @@ impl Pool {
         self.owner.inner.deques.len()
     }
 
-    /// Snapshot of the per-worker executed/stolen counters (plus the
-    /// external-helper row). Counters are cumulative for the pool's
+    /// Snapshot of the per-worker scheduling counters — executed/stolen
+    /// tasks, empty-handed steal scans, parks/unparks — plus the
+    /// external-helper row. Counters are cumulative for the pool's
     /// lifetime.
     pub fn stats(&self) -> PoolStats {
         let inner = &self.owner.inner;
         let read = |c: &Counters| WorkerStats {
             executed: c.executed.load(Ordering::Relaxed),
             stolen: c.stolen.load(Ordering::Relaxed),
+            steal_failures: c.steal_failures.load(Ordering::Relaxed),
+            parks: c.parks.load(Ordering::Relaxed),
+            unparks: c.unparks.load(Ordering::Relaxed),
         };
         let threads = inner.deques.len();
         PoolStats {
@@ -426,8 +486,8 @@ impl Pool {
             if state.idle() {
                 return;
             }
-            if let Some(task) = inner.find_task(own) {
-                let _ = panic::catch_unwind(AssertUnwindSafe(task));
+            if let Some((task, stolen)) = inner.find_task(own) {
+                inner.run_task(own, task, stolen);
                 continue;
             }
             let pending = state.pending.lock().expect("pending poisoned");
@@ -715,6 +775,29 @@ mod tests {
             stats.total_stolen() >= 1,
             "deque-local children of sleeping owners must be stolen: {stats:?}"
         );
+    }
+
+    #[test]
+    fn idle_workers_park_and_account_for_it() {
+        let pool = Pool::new(2);
+        let items: Vec<usize> = (0..64).collect();
+        let _ = pool.par_map(&items, |&x| x);
+        // Let the workers drain and go back to sleep.
+        std::thread::sleep(Duration::from_millis(30));
+        let stats = pool.stats();
+        assert!(
+            stats.total_parks() >= 1,
+            "idle workers must park, not spin: {stats:?}"
+        );
+        for w in &stats.workers {
+            assert!(
+                w.steal_failures >= w.parks,
+                "every park is preceded by an empty-handed scan: {stats:?}"
+            );
+            assert!(w.unparks <= w.parks, "unpark without a park: {stats:?}");
+        }
+        assert_eq!(stats.external.parks, 0, "external helpers never park");
+        assert_eq!(stats.external.unparks, 0);
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub struct DueEntry {
 /// dispatched batch.
 pub trait SchedPolicy: Send {
     /// Short stable name, recorded in server diagnostics and
-    /// `BENCH_serve.json`.
+    /// `BENCH_serve.json`; it also labels every
+    /// [`PolicyPick`](crate::trace::TraceEvent::PolicyPick) trace event
+    /// and the `serve_scheduler_info` series in
+    /// [`Server::metrics_text`](crate::server::Server::metrics_text).
     fn name(&self) -> &'static str;
 
     /// Picks the index (into `due`) of the registration to dispatch next.

@@ -54,7 +54,8 @@
 use crate::async_front::AsyncClient;
 use crate::pool::Pool;
 use crate::sched::{DueEntry, Fifo, SchedPolicy};
-use crate::stats::{Reservoir, ReservoirSnapshot, StatsCollector, StatsSnapshot};
+use crate::stats::{Reservoir, ReservoirSnapshot, StageHistograms, StatsCollector, StatsSnapshot};
+use crate::trace::{self, ShedReason, TraceEvent};
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -468,8 +469,14 @@ struct Pending<I, O> {
 }
 
 /// Process-wide request id source (ids are unique across servers, so a
-/// ticket can never be confused between completion queues).
+/// ticket can never be confused between completion queues — and the same
+/// id correlates a request's trace events end to end).
 static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide registration id source. Seqs stay ascending per server
+/// (all any scheduling policy needs) while being unique across servers,
+/// so trace queue tracks keyed by seq can never collide.
+static NEXT_REG_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// The batch inference function type for one registration.
 pub type InferFn<I, O> = Arc<dyn Fn(&[I]) -> Vec<O> + Send + Sync>;
@@ -580,8 +587,6 @@ pub(crate) struct Inner<I, O> {
     /// scheduler thread).
     sched_name: &'static str,
     registry: RwLock<Registry<I, O>>,
-    /// Source of stable registration ids ([`Registration::seq`]).
-    reg_seq: AtomicU64,
     shutdown: AtomicBool,
     signal: Arc<SchedSignal>,
 }
@@ -635,6 +640,10 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         // means the scheduler draining the queue into the pool cannot
         // defeat the cap — slots free up only when requests finish.
         let cap = reg.admission.queue_cap;
+        // The id is allocated before the admission gate so even a shed
+        // submission has a correlation id on the trace timeline.
+        let id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+        trace::record(id, reg.seq, TraceEvent::Submit);
         if reg
             .outstanding
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
@@ -643,13 +652,20 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
             .is_err()
         {
             reg.stats.record_shed();
+            trace::record(
+                id,
+                reg.seq,
+                TraceEvent::Shed {
+                    reason: ShedReason::Cap,
+                },
+            );
             return Err(ServeError::Rejected {
                 model: reg.key.0.clone(),
                 scenario: reg.key.1.clone(),
                 cap,
             });
         }
-        let id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+        trace::record(id, reg.seq, TraceEvent::Admit);
         let depth = {
             let mut q = reg.queue.lock().expect("queue poisoned");
             q.push(Pending {
@@ -663,6 +679,13 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         // Stats take their own lock; record outside the queue lock so a
         // stats convoy can never stall the scheduler or other submitters.
         reg.stats.record_enqueue(depth);
+        trace::record(
+            id,
+            reg.seq,
+            TraceEvent::Enqueue {
+                depth: depth.min(u32::MAX as usize) as u32,
+            },
+        );
         // Wake the scheduler out of its nap: it decides whether the queue
         // is due (full batch) or needs a max_wait timer.
         self.wake_scheduler();
@@ -685,6 +708,12 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
             };
             if withdrawn {
                 reg.outstanding.fetch_sub(1, Ordering::AcqRel);
+                let reason = if shutting_down {
+                    ShedReason::Shutdown
+                } else {
+                    ShedReason::Deregistered
+                };
+                trace::record(id, reg.seq, TraceEvent::Shed { reason });
                 return Err(if shutting_down {
                     ServeError::ShuttingDown
                 } else {
@@ -736,6 +765,13 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
             let budget = reg.deadline.expect("expiry implies a deadline");
             for p in expired {
                 reg.stats.record_shed_deadline();
+                trace::record(
+                    p.id,
+                    reg.seq,
+                    TraceEvent::Shed {
+                        reason: ShedReason::Deadline,
+                    },
+                );
                 p.completer.fulfill(
                     p.id,
                     Err(ServeError::DeadlineExpired {
@@ -762,12 +798,40 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
                 owned.push(p.input);
                 waiters.push((p.id, p.enqueued, p.completer));
             }
+            let started = Instant::now();
+            trace::record(
+                0,
+                reg.seq,
+                TraceEvent::BatchStart {
+                    batch_size: owned.len() as u32,
+                },
+            );
             let result = panic::catch_unwind(AssertUnwindSafe(|| (reg.infer)(&owned)));
+            let infer_done = Instant::now();
+            let service = infer_done.duration_since(started);
+            trace::record(
+                0,
+                reg.seq,
+                TraceEvent::BatchEnd {
+                    batch_size: owned.len() as u32,
+                    service_ns: service.as_nanos() as u64,
+                },
+            );
             let fulfilled = waiters.len();
             match result {
                 Ok(outputs) if outputs.len() == owned.len() => {
                     for ((id, enqueued, completer), out) in waiters.into_iter().zip(outputs) {
-                        reg.stats.record(enqueued.elapsed());
+                        // All three stages are cut from shared instants,
+                        // so total == queue_wait + service + delivery to
+                        // the nanosecond. Delivery grows down the fan-out
+                        // loop: it prices sequential completer handoff.
+                        let now = Instant::now();
+                        let queue_wait = started.saturating_duration_since(enqueued);
+                        let delivery = now.saturating_duration_since(infer_done);
+                        let total = now.saturating_duration_since(enqueued);
+                        reg.stats
+                            .record_request(total, queue_wait, service, delivery);
+                        trace::record(id, reg.seq, TraceEvent::Complete);
                         completer.fulfill(id, Ok(out));
                     }
                 }
@@ -834,6 +898,14 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
                 // due scan.
                 let (_shed, dispatched) = self.drain_one(picked, draining);
                 if let Some(n) = dispatched {
+                    trace::record(
+                        0,
+                        picked.seq,
+                        TraceEvent::PolicyPick {
+                            policy: self.sched_name,
+                            batch_size: n as u32,
+                        },
+                    );
                     policy.charge(entries[choice].id, n);
                     // Starvation accounting: every other due queue just
                     // watched a dispatch go elsewhere.
@@ -928,7 +1000,6 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
             policy,
             sched_name: sched.name(),
             registry: RwLock::new(HashMap::new()),
-            reg_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             signal: Arc::new(SchedSignal {
                 inflight: AtomicUsize::new(0),
@@ -983,11 +1054,15 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
                 scenario: spec.scenario,
             });
         }
+        let seq = NEXT_REG_SEQ.fetch_add(1, Ordering::Relaxed);
+        // Label the registration's trace track up front (control-plane
+        // rate), so enabling tracing later never yields unnamed tracks.
+        trace::name_track(seq, format!("{}/{}", key.0, key.1));
         reg.insert(
             key.clone(),
             Arc::new(Registration {
                 key,
-                seq: self.inner.reg_seq.fetch_add(1, Ordering::Relaxed),
+                seq,
                 infer: Arc::new(infer),
                 admission: spec.admission,
                 priority: spec.priority,
@@ -1064,6 +1139,13 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
             .drain(..)
             .collect();
         for p in &stranded {
+            trace::record(
+                p.id,
+                reg.seq,
+                TraceEvent::Shed {
+                    reason: ShedReason::Deregistered,
+                },
+            );
             p.completer.fulfill(
                 p.id,
                 Err(ServeError::Deregistered {
@@ -1184,6 +1266,284 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
             .map(|r| r.batch_sizes.snapshot())
     }
 
+    /// Renders every serving counter and histogram in Prometheus text
+    /// exposition format — the scrape face a future network edge can
+    /// serve verbatim. Families:
+    ///
+    /// * `serve_scheduler_info{policy}` — constant 1 with the policy name;
+    /// * per registration (`model`/`scenario` labels):
+    ///   `serve_requests_total`, `serve_submitted_total`,
+    ///   `serve_shed_total{reason="cap"|"deadline"}`,
+    ///   `serve_passed_over_total`, `serve_batches_total`,
+    ///   `serve_max_queue_depth` and the end-to-end
+    ///   `serve_latency_seconds` summary (`_sum`/`_count`, exact under
+    ///   reservoir thinning);
+    /// * `serve_stage_latency_seconds` — one histogram series per
+    ///   registration and `stage` (`queue_wait` | `service` |
+    ///   `delivery`), with cumulative `_bucket{le=...}` lines at
+    ///   power-of-two boundaries of the underlying log-linear
+    ///   [`Histogram`](crate::trace::Histogram) (so each boundary count
+    ///   is exact), `+Inf`, `_sum` and `_count`;
+    /// * pool rows (`worker` label, plus `external`):
+    ///   `serve_pool_tasks_total`, `serve_pool_steals_total`,
+    ///   `serve_pool_steal_failures_total`, `serve_pool_parks_total`,
+    ///   `serve_pool_unparks_total`.
+    ///
+    /// Output is sorted by registration key, so two calls under the same
+    /// traffic are textually comparable.
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        }
+        struct Row {
+            labels: String,
+            snap: StatsSnapshot,
+            batches: ReservoirSnapshot,
+            stages: StageHistograms,
+        }
+        let mut regs: Vec<Arc<Registration<I, O>>> = self
+            .inner
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .values()
+            .map(Arc::clone)
+            .collect();
+        regs.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+        let rows: Vec<Row> = regs
+            .iter()
+            .map(|r| Row {
+                labels: format!("model=\"{}\",scenario=\"{}\"", esc(&r.key.0), esc(&r.key.1)),
+                snap: r.stats.snapshot(),
+                batches: r.batch_sizes.snapshot(),
+                stages: r.stats.stages(),
+            })
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP serve_scheduler_info Scheduling policy of this server (value is always 1)."
+        );
+        let _ = writeln!(out, "# TYPE serve_scheduler_info gauge");
+        let _ = writeln!(
+            out,
+            "serve_scheduler_info{{policy=\"{}\"}} 1",
+            esc(self.inner.sched_name)
+        );
+        type Getter<'a, T> = &'a dyn Fn(&T) -> u64;
+        let counters: [(&str, &str, Getter<Row>); 4] = [
+            (
+                "serve_requests_total",
+                "Requests completed with a response.",
+                &|r| r.snap.count,
+            ),
+            (
+                "serve_submitted_total",
+                "Requests admitted into a queue.",
+                &|r| r.snap.submitted,
+            ),
+            (
+                "serve_passed_over_total",
+                "Scheduling rounds in which this due queue watched a dispatch go elsewhere.",
+                &|r| r.snap.passed_over,
+            ),
+            (
+                "serve_batches_total",
+                "Micro-batches dispatched to the pool.",
+                &|r| r.batches.count,
+            ),
+        ];
+        for (name, help, get) in counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for r in &rows {
+                let _ = writeln!(out, "{name}{{{}}} {}", r.labels, get(r));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP serve_shed_total Requests shed without a response, by reason."
+        );
+        let _ = writeln!(out, "# TYPE serve_shed_total counter");
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "serve_shed_total{{{},reason=\"cap\"}} {}",
+                r.labels, r.snap.shed
+            );
+            let _ = writeln!(
+                out,
+                "serve_shed_total{{{},reason=\"deadline\"}} {}",
+                r.labels, r.snap.shed_deadline
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP serve_max_queue_depth High-water mark of the registration queue."
+        );
+        let _ = writeln!(out, "# TYPE serve_max_queue_depth gauge");
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "serve_max_queue_depth{{{}}} {}",
+                r.labels, r.snap.max_queue_depth
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP serve_latency_seconds End-to-end request latency (exact sum/count)."
+        );
+        let _ = writeln!(out, "# TYPE serve_latency_seconds summary");
+        for r in &rows {
+            let sum_s = r.snap.mean_s * r.snap.count as f64;
+            let _ = writeln!(out, "serve_latency_seconds_sum{{{}}} {}", r.labels, sum_s);
+            let _ = writeln!(
+                out,
+                "serve_latency_seconds_count{{{}}} {}",
+                r.labels, r.snap.count
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP serve_stage_latency_seconds Per-stage request latency \
+             (queue_wait | service | delivery)."
+        );
+        let _ = writeln!(out, "# TYPE serve_stage_latency_seconds histogram");
+        for r in &rows {
+            for (stage, h) in [
+                ("queue_wait", &r.stages.queue_wait),
+                ("service", &r.stages.service),
+                ("delivery", &r.stages.delivery),
+            ] {
+                let labels = format!("{},stage=\"{stage}\"", r.labels);
+                for (bound_s, below) in h.cumulative_octaves() {
+                    let _ = writeln!(
+                        out,
+                        "serve_stage_latency_seconds_bucket{{{labels},le=\"{bound_s}\"}} {below}"
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "serve_stage_latency_seconds_bucket{{{labels},le=\"+Inf\"}} {}",
+                    h.count()
+                );
+                let _ = writeln!(
+                    out,
+                    "serve_stage_latency_seconds_sum{{{labels}}} {}",
+                    h.sum_s()
+                );
+                let _ = writeln!(
+                    out,
+                    "serve_stage_latency_seconds_count{{{labels}}} {}",
+                    h.count()
+                );
+            }
+        }
+        let pool = self.inner.pool.stats();
+        let pool_counters: [(&str, &str, Getter<crate::pool::WorkerStats>); 5] = [
+            (
+                "serve_pool_tasks_total",
+                "Tasks claimed and run by this pool participant.",
+                &|w| w.executed,
+            ),
+            (
+                "serve_pool_steals_total",
+                "Tasks stolen from a sibling's deque.",
+                &|w| w.stolen,
+            ),
+            (
+                "serve_pool_steal_failures_total",
+                "Empty-handed scans across every queue.",
+                &|w| w.steal_failures,
+            ),
+            (
+                "serve_pool_parks_total",
+                "Times the worker went to sleep on the parking lot.",
+                &|w| w.parks,
+            ),
+            (
+                "serve_pool_unparks_total",
+                "Times the worker was woken from the lot.",
+                &|w| w.unparks,
+            ),
+        ];
+        for (name, help, get) in pool_counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (i, w) in pool.workers.iter().enumerate() {
+                let _ = writeln!(out, "{name}{{worker=\"{i}\"}} {}", get(w));
+            }
+            let _ = writeln!(out, "{name}{{worker=\"external\"}} {}", get(&pool.external));
+        }
+        out
+    }
+
+    /// Renders a fixed-width text table of every registration's traffic,
+    /// latency and stage breakdown, followed by the pool's scheduling
+    /// counters — the shared stats printout the bench bins use instead of
+    /// each rolling its own.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "model/scenario",
+            "count",
+            "mean ms",
+            "p50 ms",
+            "p99 ms",
+            "qw99 ms",
+            "svc99 ms",
+            "dlv99 ms",
+            "batch",
+            "shed",
+            "ddl",
+            "pass",
+            "depth"
+        );
+        for (model, scenario) in self.registrations() {
+            let Some(snap) = self.stats(&model, &scenario) else {
+                continue;
+            };
+            let batch_mean = self
+                .batch_size_stats(&model, &scenario)
+                .map_or(0.0, |b| b.mean());
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>7} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.2} {:>6} \
+                 {:>6} {:>6} {:>6}",
+                format!("{model}/{scenario}"),
+                snap.count,
+                snap.mean_s * 1e3,
+                snap.p50_s * 1e3,
+                snap.p99_s * 1e3,
+                snap.queue_wait.p99_s * 1e3,
+                snap.service.p99_s * 1e3,
+                snap.delivery.p99_s * 1e3,
+                batch_mean,
+                snap.shed,
+                snap.shed_deadline,
+                snap.passed_over,
+                snap.max_queue_depth
+            );
+        }
+        let pool = self.inner.pool.stats();
+        let _ = writeln!(
+            out,
+            "  pool: executed {} (stolen {}, steal-failures {}), parks {} / unparks {}",
+            pool.total_executed(),
+            pool.total_stolen(),
+            pool.total_steal_failures(),
+            pool.total_parks(),
+            pool.total_unparks()
+        );
+        out
+    }
+
     /// Stops accepting requests, flushes every queued request, waits for
     /// in-flight batches, and joins the scheduler.
     pub fn shutdown(&self) {
@@ -1217,6 +1577,13 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
                 .drain(..)
                 .collect();
             for p in &stranded {
+                trace::record(
+                    p.id,
+                    reg.seq,
+                    TraceEvent::Shed {
+                        reason: ShedReason::Shutdown,
+                    },
+                );
                 p.completer.fulfill(p.id, Err(ServeError::ShuttingDown));
             }
             reg.outstanding.fetch_sub(stranded.len(), Ordering::AcqRel);

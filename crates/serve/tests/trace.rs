@@ -1,0 +1,265 @@
+//! Integration tests for the tracing and metrics-exposition layer, driven
+//! through real server traffic (the recording entry points are crate-
+//! private — events only exist because the request path emitted them).
+//!
+//! These tests toggle the process-global `SERVE_TRACE` flag, so every
+//! test that touches it serializes on [`guard`] and restores the prior
+//! state before returning.
+
+use serve::pool::Pool;
+use serve::server::{BatchPolicy, ScenarioSpec, Server};
+use serve::trace;
+use std::collections::HashSet;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Serializes tests that flip the global trace flag.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn echo_server(workers: usize) -> Server<u64, u64> {
+    let server: Server<u64, u64> = Server::new(
+        Pool::new(workers),
+        BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+        },
+    );
+    server
+        .register(ScenarioSpec::new("m", "echo"), |xs: &[u64]| xs.to_vec())
+        .unwrap();
+    server
+}
+
+/// End-to-end: traffic through a live server leaves Submit and Complete
+/// records sharing each request's correlation id, and the Chrome export
+/// pairs them as flow events (`ph:"s"` / `ph:"f"`).
+#[test]
+fn traffic_emits_paired_lifecycle_events_and_flows() {
+    let _g = guard();
+    let was = trace::enabled();
+    trace::set_enabled(true);
+    trace::clear();
+
+    let server = echo_server(2);
+    let client = server.client();
+    for i in 0..16u64 {
+        assert_eq!(client.infer("m", "echo", i).unwrap(), i);
+    }
+    server.shutdown();
+
+    let mut submits = HashSet::new();
+    let mut completes = HashSet::new();
+    for thread in trace::snapshot() {
+        for rec in &thread.events {
+            match rec.event {
+                serve::TraceEvent::Submit => {
+                    submits.insert(rec.id);
+                }
+                serve::TraceEvent::Complete => {
+                    completes.insert(rec.id);
+                }
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(submits.len(), 16, "one Submit per request");
+    assert_eq!(completes.len(), 16, "one Complete per request");
+    assert_eq!(submits, completes, "lifecycle ends pair by correlation id");
+
+    let chrome = trace::export_chrome();
+    assert!(chrome.contains("\"ph\": \"s\""), "flow starts present");
+    assert!(chrome.contains("\"ph\": \"f\""), "flow finishes present");
+    assert!(chrome.contains("queue m/echo"), "queue track is named");
+
+    trace::set_enabled(was);
+}
+
+/// Request ids never collide even when submissions race from many
+/// threads: every Submit recorded anywhere carries a distinct id.
+#[test]
+fn request_ids_are_unique_across_submitting_threads() {
+    let _g = guard();
+    let was = trace::enabled();
+    trace::set_enabled(true);
+    trace::clear();
+
+    let server = echo_server(4);
+    const THREADS: usize = 16;
+    const PER_THREAD: usize = 8;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let client = server.client();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let x = (t * PER_THREAD + i) as u64;
+                    assert_eq!(client.infer("m", "echo", x).unwrap(), x);
+                }
+            });
+        }
+    });
+    server.shutdown();
+
+    let mut ids = Vec::new();
+    for thread in trace::snapshot() {
+        for rec in &thread.events {
+            if matches!(rec.event, serve::TraceEvent::Submit) {
+                ids.push(rec.id);
+            }
+        }
+    }
+    assert_eq!(ids.len(), THREADS * PER_THREAD, "no Submit lost to wrap");
+    let unique: HashSet<u64> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), ids.len(), "ids collide across threads");
+
+    trace::set_enabled(was);
+}
+
+/// One parsed line of Prometheus exposition: `name{labels} value` or a
+/// bare `name value`.
+struct Line<'a> {
+    name: &'a str,
+    labels: &'a str,
+    value: f64,
+}
+
+fn parse_line(line: &str) -> Line<'_> {
+    let (series, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("no value separator in {line:?}"));
+    let value: f64 = value
+        .parse()
+        .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+    let (name, labels) = match series.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unclosed label set in {line:?}"));
+            (name, labels)
+        }
+        None => (series, ""),
+    };
+    Line {
+        name,
+        labels,
+        value,
+    }
+}
+
+fn label_value<'a>(labels: &'a str, key: &str) -> Option<&'a str> {
+    // Good enough for our own exposition: no commas/equals inside values.
+    labels.split(',').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then(|| v.trim_matches('"'))
+    })
+}
+
+/// `Server::metrics_text` round-trips through a format validation: every
+/// non-comment line parses as `name{labels} value`, every family is
+/// declared by `# TYPE` before use, histogram buckets are le-ascending
+/// and cumulative with `+Inf` equal to `_count`.
+#[test]
+fn metrics_text_parses_and_histograms_are_cumulative() {
+    let _g = guard();
+    // Exposition must be complete with tracing off — the histograms are
+    // always on; only ring-buffer event recording is gated.
+    let was = trace::enabled();
+    trace::set_enabled(false);
+
+    let server = echo_server(2);
+    let client = server.client();
+    for i in 0..64u64 {
+        assert_eq!(client.infer("m", "echo", i).unwrap(), i);
+    }
+    let text = server.metrics_text();
+    server.shutdown();
+    trace::set_enabled(was);
+
+    let mut declared = HashSet::new();
+    let mut seen_requests_total = false;
+    // (series-name suffix stripped) -> family base name for TYPE checks.
+    let base = |name: &str| {
+        name.strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name)
+            .to_string()
+    };
+    // Per (labels-minus-le) histogram series: (last le, last count, count
+    // from the `_count` line, count at +Inf).
+    let mut hist: Vec<(String, f64, f64)> = Vec::new(); // (key, le, below)
+    let mut hist_count: Vec<(String, f64)> = Vec::new();
+    let mut hist_inf: Vec<(String, f64)> = Vec::new();
+
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let fam = parts.next().unwrap().to_string();
+            let kind = parts.next().unwrap();
+            assert!(
+                matches!(kind, "counter" | "gauge" | "summary" | "histogram"),
+                "unknown TYPE {kind} in {line:?}"
+            );
+            assert!(declared.insert(fam), "family declared twice: {line:?}");
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP
+        }
+        let parsed = parse_line(line);
+        assert!(
+            declared.contains(&base(parsed.name)),
+            "series {} used before its # TYPE",
+            parsed.name
+        );
+        assert!(parsed.value.is_finite(), "non-finite value in {line:?}");
+        if parsed.name == "serve_requests_total" {
+            assert_eq!(parsed.value, 64.0, "completed-request counter");
+            seen_requests_total = true;
+        }
+        if parsed.name == "serve_stage_latency_seconds_bucket" {
+            let le = label_value(parsed.labels, "le").expect("bucket without le");
+            let key: String = parsed
+                .labels
+                .split(',')
+                .filter(|kv| !kv.starts_with("le="))
+                .collect::<Vec<_>>()
+                .join(",");
+            if le == "+Inf" {
+                hist_inf.push((key, parsed.value));
+            } else {
+                hist.push((key, le.parse().unwrap(), parsed.value));
+            }
+        }
+        if parsed.name == "serve_stage_latency_seconds_count" {
+            hist_count.push((parsed.labels.to_string(), parsed.value));
+        }
+    }
+    assert!(seen_requests_total, "serve_requests_total series missing");
+    assert!(!hist_count.is_empty(), "stage histogram families missing");
+
+    for (key, count) in &hist_count {
+        let buckets: Vec<(f64, f64)> = hist
+            .iter()
+            .filter(|(k, _, _)| k == key)
+            .map(|&(_, le, below)| (le, below))
+            .collect();
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "le not ascending for {key}");
+            assert!(pair[0].1 <= pair[1].1, "counts not cumulative for {key}");
+        }
+        let inf = hist_inf
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("no +Inf bucket for {key}"));
+        assert_eq!(inf.1, *count, "+Inf bucket != _count for {key}");
+        assert_eq!(*count, 64.0, "every request passes every stage ({key})");
+    }
+}
