@@ -326,6 +326,7 @@ struct ServingRow {
     submitted: u64,
     shed: u64,
     shed_deadline: u64,
+    shed_predicted: u64,
     passed_over: u64,
     max_queue_depth: usize,
 }
@@ -387,6 +388,29 @@ struct PolicyStudy {
     wfq: WfqStudy,
     prio: PrioStudy,
     deadline: DeadlineStudy,
+}
+
+struct OverloadStudy {
+    budget_ms: u64,
+    service_ms: u64,
+    warmups: usize,
+    burst: usize,
+    safety: f64,
+    accepted: u64,
+    completed: u64,
+    shed_predicted: u64,
+    shed_deadline: u64,
+    early_shed_fraction: f64,
+    accepted_p99_ms: f64,
+}
+
+struct ReservedLaneStudy {
+    low_backlog: usize,
+    probes: usize,
+    low_ms: u64,
+    baseline_high_p99_ms: f64,
+    reserved_high_p99_ms: f64,
+    improvement: f64,
 }
 
 /// A batch function that sleeps a fixed time and echoes its inputs --
@@ -629,7 +653,180 @@ fn deadline_study(budget_ms: u64, offered: usize) -> DeadlineStudy {
     }
 }
 
+/// Predictive admission under a doomed burst. Warm-up teaches the
+/// service histogram the true batch cost against an empty queue; the
+/// burst then piles up orders of magnitude faster than one worker can
+/// drain, so nearly every submission's forecast queue wait exceeds the
+/// budget and it is refused at *submit* with `PredictedOverload` — the
+/// reactive deadline check at dispatch is left with (almost) nothing to
+/// shed, and the handful of admitted requests complete inside the
+/// budget because the forecast admitted them only while the backlog
+/// still fit it.
+fn overload_study(budget_ms: u64, service_ms: u64, burst: usize) -> OverloadStudy {
+    let server: Server<u64, u64> = Server::new(
+        Pool::new(1),
+        BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::from_millis(0),
+        },
+    );
+    server
+        .register(
+            ScenarioSpec::new("overload", "predictive")
+                .max_batch(1)
+                .deadline(Duration::from_millis(budget_ms))
+                .predictive(),
+            sleepy(service_ms),
+        )
+        .expect("predictive registration failed");
+    // Warm the predictor: sequential sync requests each meet an empty
+    // queue (outstanding 0 is always admitted) while the service
+    // histogram learns that a batch costs ~service_ms.
+    let warmups = 8usize;
+    let client = server.client();
+    for i in 0..warmups {
+        client
+            .infer("overload", "predictive", i as u64)
+            .expect("warm-up against an empty queue must be admitted");
+    }
+    // The sync completer is fulfilled just before the dispatch task
+    // releases its admission slot; let the last warm-up slot drain so
+    // the burst starts from a provably empty queue.
+    std::thread::sleep(Duration::from_millis(20));
+    // The burst: submissions are microseconds apart while a batch costs
+    // `service_ms`, so observed depth climbs one per admission and the
+    // forecast crosses the budget within a handful of submits.
+    let cq = server.async_client();
+    let ep = cq.endpoint("overload", "predictive").expect("endpoint");
+    let mut accepted = 0u64;
+    let mut shed_predicted = 0u64;
+    for i in 0..burst {
+        match ep.submit(i as u64) {
+            Ok(_) => accepted += 1,
+            Err(ServeError::PredictedOverload {
+                predicted_wait,
+                budget,
+                retry_after,
+                ..
+            }) => {
+                assert!(predicted_wait > budget, "forecast must exceed the budget");
+                assert!(retry_after > Duration::ZERO, "retry hint must be usable");
+                shed_predicted += 1;
+            }
+            Err(e) => panic!("unexpected overload-study error: {e}"),
+        }
+    }
+    let mut completed = 0u64;
+    let mut shed_deadline = 0u64;
+    for _ in 0..accepted {
+        let c = cq
+            .wait(Duration::from_secs(60))
+            .expect("overload-study completion lost");
+        match c.result {
+            Ok(_) => completed += 1,
+            Err(ServeError::DeadlineExpired { .. }) => shed_deadline += 1,
+            Err(e) => panic!("unexpected overload-study completion: {e}"),
+        }
+    }
+    let snap = server.stats("overload", "predictive").expect("stats");
+    server.shutdown();
+    assert_eq!(
+        snap.shed_predicted, shed_predicted,
+        "stats must count every predictive shed"
+    );
+    let total_shed = shed_predicted + shed_deadline;
+    OverloadStudy {
+        budget_ms,
+        service_ms,
+        warmups,
+        burst,
+        safety: serve::overload::safety_factor(),
+        accepted,
+        completed,
+        shed_predicted,
+        shed_deadline,
+        early_shed_fraction: shed_predicted as f64 / total_shed.max(1) as f64,
+        accepted_p99_ms: snap.p99_s * 1e3,
+    }
+}
+
+/// Reserved-lane A/B: the identical low-saturation + class-0 probe load
+/// on a plain 2-worker pool vs one with a reserved high-lane worker.
+/// StrictPriority alone dequeues the probe first, but on the plain pool
+/// it still waits behind whichever long low batches already occupy every
+/// worker; with `Pool::with_reserved(2, 1)` the low class can never
+/// occupy the reserved worker, so a probe starts immediately.
+fn reserved_lane_study(low_backlog: usize, probes: usize, low_ms: u64) -> ReservedLaneStudy {
+    let run = |reserved: usize| -> f64 {
+        let pool = if reserved > 0 {
+            Pool::with_reserved(2, reserved)
+        } else {
+            Pool::new(2)
+        };
+        let server: Server<u64, u64> = Server::with_policy(
+            pool,
+            BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::from_millis(0),
+            },
+            Box::new(StrictPriority),
+        );
+        server
+            .register(ScenarioSpec::new("lane", "low").priority(5), sleepy(low_ms))
+            .expect("low registration failed");
+        server
+            .register(
+                ScenarioSpec::new("lane", "high").priority(0),
+                |xs: &[u64]| xs.to_vec(),
+            )
+            .expect("high registration failed");
+        let cq_low = server.async_client();
+        let ep_low = cq_low.endpoint("lane", "low").expect("endpoint");
+        for i in 0..low_backlog {
+            ep_low.submit(i as u64).expect("unbounded queue must admit");
+        }
+        // Let the low class saturate every worker it is allowed to hold
+        // before the first probe lands.
+        std::thread::sleep(Duration::from_millis(low_ms));
+        let cq_high = server.async_client();
+        for i in 0..probes {
+            cq_high
+                .submit("lane", "high", i as u64)
+                .expect("probe submit failed");
+            std::thread::sleep(Duration::from_millis((low_ms / 2).max(1)));
+        }
+        for _ in 0..probes {
+            cq_high
+                .wait(Duration::from_secs(60))
+                .expect("probe completion lost")
+                .result
+                .expect("probe failed");
+        }
+        let high = server.stats("lane", "high").expect("high stats");
+        server.shutdown();
+        high.p99_s * 1e3
+    };
+    let baseline_high_p99_ms = run(0);
+    let reserved_high_p99_ms = run(1);
+    ReservedLaneStudy {
+        low_backlog,
+        probes,
+        low_ms,
+        baseline_high_p99_ms,
+        reserved_high_p99_ms,
+        improvement: baseline_high_p99_ms / reserved_high_p99_ms.max(1e-9),
+    }
+}
+
 fn main() {
+    // The overload study admits right up to the forecast boundary, so a
+    // safety factor above 1 is what keeps accepted tail latency strictly
+    // inside the budget. Default it before the first predictive submit
+    // can latch the process-wide value; an explicit environment override
+    // still wins.
+    if std::env::var_os(serve::overload::SAFETY_ENV).is_none() {
+        std::env::set_var(serve::overload::SAFETY_ENV, "1.5");
+    }
     let requests = bench::env_usize("SERVE_BENCH_REQUESTS", 240);
     let clients = bench::env_usize("SERVE_BENCH_CLIENTS", 8);
     let candidates = bench::env_usize("SERVE_BENCH_CANDIDATES", 6);
@@ -958,6 +1155,67 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Part 4b: the overload-control layer — predictive admission under a
+    // doomed burst, and the reserved high-lane A/B.
+    // ------------------------------------------------------------------
+    let overload_budget_ms = bench::env_usize("SERVE_BENCH_OVERLOAD_BUDGET_MS", 150) as u64;
+    let overload_service_ms = bench::env_usize("SERVE_BENCH_OVERLOAD_SERVICE_MS", 15) as u64;
+    let overload_burst = bench::env_usize("SERVE_BENCH_OVERLOAD_BURST", 256);
+    let overload = overload_study(overload_budget_ms, overload_service_ms, overload_burst);
+    println!(
+        "overload_study predictive (budget {} ms, {} ms batches, burst {}, \
+         safety {:.2}): accepted {}, completed {}, shed {} at submit + {} at \
+         dispatch (early fraction {:.3}), accepted p99 {:.1} ms",
+        overload.budget_ms,
+        overload.service_ms,
+        overload.burst,
+        overload.safety,
+        overload.accepted,
+        overload.completed,
+        overload.shed_predicted,
+        overload.shed_deadline,
+        overload.early_shed_fraction,
+        overload.accepted_p99_ms
+    );
+    assert!(
+        overload.shed_predicted > 0 && overload.completed >= 1,
+        "the burst must split into admitted and predictively shed requests"
+    );
+    assert!(
+        overload.early_shed_fraction >= 0.8,
+        "at least 80% of sheds must happen at submit, not dispatch: {:.3}",
+        overload.early_shed_fraction
+    );
+    assert!(
+        overload.accepted_p99_ms < overload.budget_ms as f64,
+        "accepted p99 {:.1} ms must stay under the {} ms budget",
+        overload.accepted_p99_ms,
+        overload.budget_ms
+    );
+    let lane_backlog = bench::env_usize("SERVE_BENCH_RESERVED_BACKLOG", 40);
+    let lane_probes = bench::env_usize("SERVE_BENCH_RESERVED_PROBES", 12);
+    let lane_low_ms = bench::env_usize("SERVE_BENCH_RESERVED_LOW_MS", 25) as u64;
+    let lanes = reserved_lane_study(lane_backlog, lane_probes, lane_low_ms);
+    println!(
+        "reserved_lane_study ({} low backlog of {} ms batches, {} class-0 \
+         probes): high p99 {:.1} ms on the plain pool vs {:.2} ms with a \
+         reserved worker = {:.1}x",
+        lanes.low_backlog,
+        lanes.low_ms,
+        lanes.probes,
+        lanes.baseline_high_p99_ms,
+        lanes.reserved_high_p99_ms,
+        lanes.improvement
+    );
+    assert!(
+        lanes.improvement >= 3.0,
+        "a reserved lane must cut high-class p99 at least 3x: {:.1} ms -> {:.2} ms ({:.1}x)",
+        lanes.baseline_high_p99_ms,
+        lanes.reserved_high_p99_ms,
+        lanes.improvement
+    );
+
+    // ------------------------------------------------------------------
     // Part 5: multi-model multi-scenario serving on the packed batched
     // path, with resident-weight accounting.
     // ------------------------------------------------------------------
@@ -1064,6 +1322,7 @@ fn main() {
             submitted: snap.submitted,
             shed: snap.shed,
             shed_deadline: snap.shed_deadline,
+            shed_predicted: snap.shed_predicted,
             passed_over: snap.passed_over,
             max_queue_depth: snap.max_queue_depth,
         });
@@ -1205,6 +1464,15 @@ fn main() {
     bench::check_metric("prio_low_passed_over", policy.prio.low_passed_over as f64);
     bench::check_metric("deadline_shed_count", policy.deadline.shed_deadline as f64);
     bench::check_metric("deadline_accepted_p99_ms", policy.deadline.accepted_p99_ms);
+    bench::check_metric("predictive_shed_count", overload.shed_predicted as f64);
+    bench::check_metric(
+        "predictive_early_shed_fraction",
+        overload.early_shed_fraction,
+    );
+    bench::check_metric("predictive_accepted_p99_ms", overload.accepted_p99_ms);
+    bench::check_metric("reserved_baseline_high_p99_ms", lanes.baseline_high_p99_ms);
+    bench::check_metric("reserved_high_p99_ms", lanes.reserved_high_p99_ms);
+    bench::check_metric("reserved_improvement", lanes.improvement);
     bench::check_metric("dense_equiv_bytes", memory.dense_equiv_bytes as f64);
     bench::check_metric("packed_bytes", memory.packed_bytes as f64);
     bench::check_metric("pool_executed", pool_stats.total_executed() as f64);
@@ -1238,6 +1506,8 @@ fn main() {
         &ab,
         &avs,
         &policy,
+        &overload,
+        &lanes,
         &memory,
         requests,
         wall_s,
@@ -1261,6 +1531,8 @@ fn write_json(
     ab: &AbResult,
     avs: &AsyncVsSync,
     policy: &PolicyStudy,
+    overload: &OverloadStudy,
+    lanes: &ReservedLaneStudy,
     memory: &MemoryResult,
     requests: usize,
     wall_s: f64,
@@ -1317,6 +1589,25 @@ fn write_json(
         "    \"deadline_burst\": {},\n",
         policy.deadline.offered
     ));
+    out.push_str(&format!(
+        "    \"overload_budget_ms\": {},\n",
+        overload.budget_ms
+    ));
+    out.push_str(&format!(
+        "    \"overload_service_ms\": {},\n",
+        overload.service_ms
+    ));
+    out.push_str(&format!("    \"overload_burst\": {},\n", overload.burst));
+    out.push_str(&format!(
+        "    \"predict_safety_factor\": {:.3},\n",
+        overload.safety
+    ));
+    out.push_str(&format!(
+        "    \"reserved_backlog\": {},\n",
+        lanes.low_backlog
+    ));
+    out.push_str(&format!("    \"reserved_probes\": {},\n", lanes.probes));
+    out.push_str(&format!("    \"reserved_low_ms\": {},\n", lanes.low_ms));
     out.push_str(&format!("    \"serving_requests\": {requests},\n"));
     out.push_str(&format!("    \"lpq_candidates\": {candidates},\n"));
     out.push_str(&format!("    \"lpq_calibration_images\": {calib},\n"));
@@ -1474,6 +1765,49 @@ fn write_json(
     ));
     out.push_str("    }\n");
     out.push_str("  },\n");
+    out.push_str("  \"overload_study\": {\n");
+    out.push_str(&format!("    \"budget_ms\": {},\n", overload.budget_ms));
+    out.push_str(&format!("    \"service_ms\": {},\n", overload.service_ms));
+    out.push_str(&format!("    \"warmups\": {},\n", overload.warmups));
+    out.push_str(&format!("    \"offered_burst\": {},\n", overload.burst));
+    out.push_str(&format!("    \"safety_factor\": {:.3},\n", overload.safety));
+    out.push_str(&format!("    \"accepted\": {},\n", overload.accepted));
+    out.push_str(&format!("    \"completed\": {},\n", overload.completed));
+    out.push_str(&format!(
+        "    \"shed_predicted\": {},\n",
+        overload.shed_predicted
+    ));
+    out.push_str(&format!(
+        "    \"shed_deadline\": {},\n",
+        overload.shed_deadline
+    ));
+    out.push_str(&format!(
+        "    \"early_shed_fraction\": {:.4},\n",
+        overload.early_shed_fraction
+    ));
+    out.push_str("    \"early_shed_fraction_floor\": 0.8,\n");
+    out.push_str(&format!(
+        "    \"accepted_p99_ms\": {:.3}\n",
+        overload.accepted_p99_ms
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"reserved_lane_study\": {\n");
+    out.push_str("    \"pool_threads\": 2,\n");
+    out.push_str("    \"reserved_threads\": 1,\n");
+    out.push_str(&format!("    \"low_backlog\": {},\n", lanes.low_backlog));
+    out.push_str(&format!("    \"low_batch_ms\": {},\n", lanes.low_ms));
+    out.push_str(&format!("    \"high_probes\": {},\n", lanes.probes));
+    out.push_str(&format!(
+        "    \"baseline_high_p99_ms\": {:.3},\n",
+        lanes.baseline_high_p99_ms
+    ));
+    out.push_str(&format!(
+        "    \"reserved_high_p99_ms\": {:.3},\n",
+        lanes.reserved_high_p99_ms
+    ));
+    out.push_str(&format!("    \"improvement\": {:.3},\n", lanes.improvement));
+    out.push_str("    \"improvement_floor\": 3.0\n");
+    out.push_str("  },\n");
     out.push_str("  \"resident_weight_bytes\": {\n");
     out.push_str(&format!(
         "    \"scenario_registrations\": {},\n",
@@ -1507,7 +1841,7 @@ fn write_json(
              \"service_p50_ms\": {:.4}, \"service_p99_ms\": {:.4}, \
              \"delivery_p50_ms\": {:.4}, \"delivery_p99_ms\": {:.4}, \
              \"submitted\": {}, \"shed\": {}, \"shed_deadline\": {}, \
-             \"passed_over\": {}, \"max_queue_depth\": {}}}{}\n",
+             \"shed_predicted\": {}, \"passed_over\": {}, \"max_queue_depth\": {}}}{}\n",
             r.model,
             r.scenario,
             r.count,
@@ -1523,6 +1857,7 @@ fn write_json(
             r.submitted,
             r.shed,
             r.shed_deadline,
+            r.shed_predicted,
             r.passed_over,
             r.max_queue_depth,
             if i + 1 == rows.len() { "" } else { "," }

@@ -25,8 +25,7 @@
 //! admission cap, priority class, weighted-fair weight, deadline budget,
 //! batch override — rides a [`ScenarioSpec`] through
 //! [`ServedModel::register_spec`], the one registration path;
-//! [`ServedModel::register`] is the all-defaults shorthand and the old
-//! `register_async` signature survives as a deprecated shim.
+//! [`ServedModel::register`] is the all-defaults shorthand.
 //!
 //! Served models inherit the runtime's observability for free: every
 //! registration accumulates per-stage latency histograms (queue wait /
@@ -38,7 +37,7 @@
 
 use crate::graph::{Model, QuantScheme, WeightCache};
 use crate::tensor::Tensor;
-use serve::server::{AdmissionPolicy, ScenarioSpec, ServeError, Server};
+use serve::server::{ScenarioSpec, ServeError, Server};
 use std::sync::Arc;
 
 /// The request/response server type the model glue targets.
@@ -150,36 +149,6 @@ impl ServedModel {
         scheme: QuantScheme,
     ) -> Result<Arc<Model>, ServeError> {
         self.register_spec(server, ScenarioSpec::new("", scenario), scheme)
-    }
-
-    /// Deprecated shim for the old capped-registration entry point:
-    /// identical behavior to [`ServedModel::register_spec`] with
-    /// `ScenarioSpec::new(_, scenario).admission(admission)`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`ServeError`] from registration (duplicate key or
-    /// shutdown).
-    ///
-    /// # Panics
-    ///
-    /// Panics on scheme-length mismatch.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a `ScenarioSpec` (e.g. `.queue_cap(n)`) and call `register_spec`"
-    )]
-    pub fn register_async(
-        &self,
-        server: &TensorServer,
-        scenario: &str,
-        scheme: QuantScheme,
-        admission: AdmissionPolicy,
-    ) -> Result<Arc<Model>, ServeError> {
-        self.register_spec(
-            server,
-            ScenarioSpec::new("", scenario).admission(admission),
-            scheme,
-        )
     }
 
     /// The pre-packing registration path, kept as the measured baseline
@@ -454,11 +423,13 @@ mod tests {
         }
 
         // A tiny cap on a second scenario sheds a burst with the typed
-        // error and counts it in the registration's stats — through the
-        // deprecated shim, which must delegate to the spec path intact.
-        #[allow(deprecated)]
+        // error and counts it in the registration's stats.
         served
-            .register_async(&server, "lp8_capped", scheme, AdmissionPolicy::capped(2))
+            .register_spec(
+                &server,
+                ScenarioSpec::new("", "lp8_capped").queue_cap(2),
+                scheme,
+            )
             .unwrap();
         let mut shed = 0;
         for i in 0..64 {

@@ -1,0 +1,402 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! Robustness claims ("a panicking batch function fails only its own
+//! requests", "the pool survives a crashing worker", "latency spikes
+//! degrade tails, not correctness") are only claims until the failure
+//! paths actually run. This module injects three fault classes at two
+//! sites of the request path, on demand:
+//!
+//! * **Panics** — `infer_fault` fires *inside* the server's dispatch
+//!   closure immediately before the batch function, exercising the
+//!   catch-unwind → `InferenceFailed` fan-out (exactly-one-completion);
+//!   `worker_panic` fires on a pool worker *after* a task completes,
+//!   exercising worker survival without ever dropping a task.
+//! * **Added latency** — `infer_fault` and `worker_delay` sleep for
+//!   a configured duration, inflating the service stage (which also
+//!   feeds the overload predictor, so predictive shedding can be tested
+//!   under induced slowness).
+//! * **Malformed batches** — `take_malform` tells the dispatch path to
+//!   truncate the batch output vector, exercising the length-mismatch →
+//!   `InferenceFailed` arm.
+//!
+//! ## Gating
+//!
+//! Injection is **off by default** and zero-cost when off: every hook
+//! starts with one relaxed load of a `OnceLock`'d `AtomicBool` — the
+//! same pattern as `SERVE_TRACE` ([`crate::trace`]). The `SERVE_FAULTS`
+//! environment variable (any non-empty value other than `"0"`) enables
+//! it at startup, reading the plan from the `SERVE_FAULT_*` variables;
+//! [`set_enabled`] and [`configure`] drive it at runtime (the chaos
+//! suite uses these to flip faults on and off around assertions).
+//!
+//! ## Determinism
+//!
+//! Faults fire on **every-Nth-hit counters**, not randomness: a plan
+//! with `infer_panic_every = 3` panics on exactly the 3rd, 6th, 9th …
+//! infer dispatch after the counters were last [`reset`]. Tests can
+//! therefore assert exact outcomes, and the [`stats`] counters report
+//! how many faults of each class actually fired.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Environment variable that enables fault injection at startup (any
+/// non-empty value other than `"0"`).
+pub const FAULTS_ENV: &str = "SERVE_FAULTS";
+/// Panic before every Nth batch-function call (0 = never).
+pub const INFER_PANIC_ENV: &str = "SERVE_FAULT_PANIC_EVERY";
+/// Sleep this many microseconds at every Nth batch-function call.
+pub const INFER_DELAY_US_ENV: &str = "SERVE_FAULT_DELAY_US";
+/// Which batch-function calls the delay applies to (0 = never).
+pub const INFER_DELAY_EVERY_ENV: &str = "SERVE_FAULT_DELAY_EVERY";
+/// Truncate the output of every Nth batch (0 = never).
+pub const MALFORM_ENV: &str = "SERVE_FAULT_MALFORM_EVERY";
+/// Panic on a pool worker after every Nth completed task (0 = never).
+pub const WORKER_PANIC_ENV: &str = "SERVE_FAULT_WORKER_PANIC_EVERY";
+
+/// What to inject and how often. All cadences are "every Nth hit" with
+/// 0 meaning never; see the module docs for the exact sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Panic immediately before every Nth batch-function call.
+    pub infer_panic_every: u64,
+    /// Latency added at every `infer_delay_every`-th batch-function
+    /// call.
+    pub infer_delay: Duration,
+    /// Cadence for `infer_delay` (0 = never).
+    pub infer_delay_every: u64,
+    /// Truncate the output vector of every Nth successful batch,
+    /// forcing the length-mismatch failure path.
+    pub malform_every: u64,
+    /// Panic on the pool worker after every Nth completed task (the
+    /// task itself has already finished — this tests worker survival,
+    /// not request loss).
+    pub worker_panic_every: u64,
+    /// Latency added on the worker before every
+    /// `worker_delay_every`-th task.
+    pub worker_delay: Duration,
+    /// Cadence for `worker_delay` (0 = never).
+    pub worker_delay_every: u64,
+}
+
+/// How many faults of each class have fired since the last [`reset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Panics injected before batch functions.
+    pub infer_panics: u64,
+    /// Delays injected before batch functions.
+    pub infer_delays: u64,
+    /// Batch outputs truncated.
+    pub malformed: u64,
+    /// Panics injected on pool workers.
+    pub worker_panics: u64,
+    /// Delays injected on pool workers.
+    pub worker_delays: u64,
+}
+
+/// All mutable injection state: the plan (as atomics, so hooks read it
+/// without a lock), the per-site hit counters the cadences run on, and
+/// the fired-fault counters.
+#[derive(Default)]
+struct State {
+    infer_panic_every: AtomicU64,
+    infer_delay_ns: AtomicU64,
+    infer_delay_every: AtomicU64,
+    malform_every: AtomicU64,
+    worker_panic_every: AtomicU64,
+    worker_delay_ns: AtomicU64,
+    worker_delay_every: AtomicU64,
+    // Hit counters (one per site; malform shares the infer site).
+    infer_hits: AtomicU64,
+    malform_hits: AtomicU64,
+    worker_hits: AtomicU64,
+    // Fired counters.
+    infer_panics: AtomicU64,
+    infer_delays: AtomicU64,
+    malformed: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_delays: AtomicU64,
+}
+
+fn state() -> &'static State {
+    static STATE: OnceLock<State> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let st = State::default();
+        // Startup plan from the environment (only consulted once; the
+        // runtime API overwrites it).
+        let env_u64 = |key: &str| {
+            std::env::var(key)
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0)
+        };
+        st.infer_panic_every
+            .store(env_u64(INFER_PANIC_ENV), Ordering::Relaxed);
+        st.infer_delay_ns
+            .store(env_u64(INFER_DELAY_US_ENV) * 1_000, Ordering::Relaxed);
+        st.infer_delay_every
+            .store(env_u64(INFER_DELAY_EVERY_ENV), Ordering::Relaxed);
+        st.malform_every
+            .store(env_u64(MALFORM_ENV), Ordering::Relaxed);
+        st.worker_panic_every
+            .store(env_u64(WORKER_PANIC_ENV), Ordering::Relaxed);
+        st
+    })
+}
+
+/// The shared enabled flag: initialized once from [`FAULTS_ENV`], then
+/// flippable at runtime ([`set_enabled`]).
+fn flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let on = std::env::var(FAULTS_ENV)
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether fault injection is currently enabled. The disabled path of
+/// every hook is this one relaxed load and a branch.
+#[inline]
+pub fn enabled() -> bool {
+    flag().load(Ordering::Relaxed)
+}
+
+/// Enables or disables fault injection at runtime, overriding the
+/// [`FAULTS_ENV`] startup value.
+pub fn set_enabled(on: bool) {
+    flag().store(on, Ordering::Relaxed);
+}
+
+/// Installs a fault plan (replacing the previous one) and resets the
+/// hit/fired counters so cadences start fresh. Does **not** change the
+/// enabled flag — call [`set_enabled`] to arm it.
+pub fn configure(plan: FaultPlan) {
+    let st = state();
+    st.infer_panic_every
+        .store(plan.infer_panic_every, Ordering::Relaxed);
+    st.infer_delay_ns.store(
+        plan.infer_delay.as_nanos().min(u64::MAX as u128) as u64,
+        Ordering::Relaxed,
+    );
+    st.infer_delay_every
+        .store(plan.infer_delay_every, Ordering::Relaxed);
+    st.malform_every
+        .store(plan.malform_every, Ordering::Relaxed);
+    st.worker_panic_every
+        .store(plan.worker_panic_every, Ordering::Relaxed);
+    st.worker_delay_ns.store(
+        plan.worker_delay.as_nanos().min(u64::MAX as u128) as u64,
+        Ordering::Relaxed,
+    );
+    st.worker_delay_every
+        .store(plan.worker_delay_every, Ordering::Relaxed);
+    reset();
+}
+
+/// Zeroes the hit and fired counters (cadences restart from the top).
+pub fn reset() {
+    let st = state();
+    for c in [
+        &st.infer_hits,
+        &st.malform_hits,
+        &st.worker_hits,
+        &st.infer_panics,
+        &st.infer_delays,
+        &st.malformed,
+        &st.worker_panics,
+        &st.worker_delays,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Faults fired since the last [`reset`].
+pub fn stats() -> FaultStats {
+    let st = state();
+    FaultStats {
+        infer_panics: st.infer_panics.load(Ordering::Relaxed),
+        infer_delays: st.infer_delays.load(Ordering::Relaxed),
+        malformed: st.malformed.load(Ordering::Relaxed),
+        worker_panics: st.worker_panics.load(Ordering::Relaxed),
+        worker_delays: st.worker_delays.load(Ordering::Relaxed),
+    }
+}
+
+/// Whether hit number `hit` (1-based) fires under cadence `every`.
+fn due(hit: u64, every: u64) -> bool {
+    every != 0 && hit.is_multiple_of(every)
+}
+
+/// Injection point: inside the server's dispatch closure, immediately
+/// before the batch function. May sleep, then may panic (the dispatch
+/// closure's catch-unwind turns the panic into `InferenceFailed` for
+/// exactly the batch's own requests).
+#[inline]
+pub(crate) fn infer_fault() {
+    if !enabled() {
+        return;
+    }
+    infer_fault_enabled();
+}
+
+#[cold]
+fn infer_fault_enabled() {
+    let st = state();
+    let hit = st.infer_hits.fetch_add(1, Ordering::Relaxed) + 1;
+    if due(hit, st.infer_delay_every.load(Ordering::Relaxed)) {
+        st.infer_delays.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_nanos(
+            st.infer_delay_ns.load(Ordering::Relaxed),
+        ));
+    }
+    if due(hit, st.infer_panic_every.load(Ordering::Relaxed)) {
+        st.infer_panics.fetch_add(1, Ordering::Relaxed);
+        panic!("injected fault: panic before batch function (hit {hit})");
+    }
+}
+
+/// Injection point: after a successful batch, should the dispatch path
+/// truncate the output vector (forcing the length-mismatch →
+/// `InferenceFailed` arm)?
+#[inline]
+pub(crate) fn take_malform() -> bool {
+    if !enabled() {
+        return false;
+    }
+    take_malform_enabled()
+}
+
+#[cold]
+fn take_malform_enabled() -> bool {
+    let st = state();
+    let hit = st.malform_hits.fetch_add(1, Ordering::Relaxed) + 1;
+    let fire = due(hit, st.malform_every.load(Ordering::Relaxed));
+    if fire {
+        st.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+    fire
+}
+
+/// Injection point: on a pool worker, before a claimed task runs. Only
+/// sleeps (a pre-task panic would drop the task and lose its requests —
+/// the panic site is [`worker_panic`], after completion).
+#[inline]
+pub(crate) fn worker_delay() {
+    if !enabled() {
+        return;
+    }
+    worker_delay_enabled();
+}
+
+#[cold]
+fn worker_delay_enabled() {
+    let st = state();
+    let hit = st.worker_hits.fetch_add(1, Ordering::Relaxed) + 1;
+    if due(hit, st.worker_delay_every.load(Ordering::Relaxed)) {
+        st.worker_delays.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_nanos(
+            st.worker_delay_ns.load(Ordering::Relaxed),
+        ));
+    }
+}
+
+/// Injection point: on a pool worker, after a claimed task has run to
+/// completion. May panic — the worker's catch-unwind must swallow it
+/// and keep the worker alive (no request is lost because the task
+/// already finished).
+#[inline]
+pub(crate) fn worker_panic() {
+    if !enabled() {
+        return;
+    }
+    worker_panic_enabled();
+}
+
+#[cold]
+fn worker_panic_enabled() {
+    let st = state();
+    // Reuses the worker hit counter advanced by `worker_delay` (both
+    // hooks bracket the same task), so delay and panic cadences count
+    // the same sequence of tasks.
+    let hit = st.worker_hits.load(Ordering::Relaxed);
+    if due(hit, st.worker_panic_every.load(Ordering::Relaxed)) {
+        st.worker_panics.fetch_add(1, Ordering::Relaxed);
+        panic!("injected fault: worker panic after task (hit {hit})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the global plan/flag (shared with the
+    /// chaos suite convention; within this binary a plain static works).
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: OnceLock<std::sync::Mutex<()>> = OnceLock::new();
+        match GUARD.get_or_init(|| std::sync::Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_hooks_fire_nothing() {
+        let _g = guard();
+        let prior = enabled();
+        set_enabled(false);
+        configure(FaultPlan {
+            infer_panic_every: 1,
+            malform_every: 1,
+            ..FaultPlan::default()
+        });
+        infer_fault(); // must not panic
+        assert!(!take_malform());
+        worker_delay();
+        worker_panic();
+        assert_eq!(stats(), FaultStats::default(), "nothing fires while off");
+        set_enabled(prior);
+    }
+
+    #[test]
+    fn cadences_are_every_nth_and_counted() {
+        let _g = guard();
+        let prior = enabled();
+        configure(FaultPlan {
+            malform_every: 3,
+            ..FaultPlan::default()
+        });
+        set_enabled(true);
+        let fired: Vec<bool> = (0..9).map(|_| take_malform()).collect();
+        set_enabled(prior);
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, true],
+            "exactly every 3rd hit fires"
+        );
+        assert_eq!(stats().malformed, 3);
+    }
+
+    #[test]
+    fn injected_infer_panic_is_catchable_and_counted() {
+        let _g = guard();
+        let prior = enabled();
+        configure(FaultPlan {
+            infer_panic_every: 2,
+            infer_delay: Duration::from_millis(1),
+            infer_delay_every: 1,
+            ..FaultPlan::default()
+        });
+        set_enabled(true);
+        let outcomes: Vec<bool> = (0..4)
+            .map(|_| std::panic::catch_unwind(infer_fault).is_err())
+            .collect();
+        set_enabled(prior);
+        assert_eq!(outcomes, vec![false, true, false, true]);
+        let s = stats();
+        assert_eq!(s.infer_panics, 2);
+        assert_eq!(s.infer_delays, 4, "delay fires on every hit");
+    }
+}

@@ -42,6 +42,19 @@
 //! loadable) and [`server::Server::metrics_text`] (Prometheus text
 //! exposition).
 //!
+//! Two robustness layers round the runtime out. [`overload`] adds
+//! *predictive* admission: registrations opting in via
+//! [`server::ScenarioSpec::predictive`] forecast the queue wait from
+//! their live service histograms and shed doomed requests at submit
+//! ([`server::ServeError::PredictedOverload`], with a `retry_after`
+//! hint honored by the client-side [`overload::RetryPolicy`]), while
+//! [`pool::Pool::with_reserved`] keeps a reserved high-lane of workers
+//! that low-priority batches may never occupy. [`faults`] is the
+//! matching fault-injection harness (`SERVE_FAULTS`, zero-cost when
+//! off) that injects panics, latency, and malformed batches into infer
+//! fns and pool workers so those guarantees are tested under induced
+//! failure.
+//!
 //! `dnn::serving` supplies the glue that registers quantized DNN models
 //! here with weight caches shared across scenarios; see
 //! `crates/bench/src/bin/serve_throughput.rs` for the end-to-end driver
@@ -50,6 +63,8 @@
 #![warn(missing_docs)]
 
 pub mod async_front;
+pub mod faults;
+pub mod overload;
 pub mod pool;
 pub mod sched;
 pub mod server;
@@ -57,6 +72,8 @@ pub mod stats;
 pub mod trace;
 
 pub use async_front::{reactor, AsyncClient, Completion, InferFuture, Ticket};
+pub use faults::{FaultPlan, FaultStats};
+pub use overload::{Overload, RetryPolicy};
 pub use pool::{par_map_pooled, Pool};
 pub use sched::{DueEntry, Fifo, SchedPolicy, StrictPriority, WeightedFair};
 pub use server::{AdmissionPolicy, BatchPolicy, Client, ScenarioSpec, ServeError, Server};

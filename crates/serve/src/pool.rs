@@ -20,6 +20,21 @@
 //! Worker count comes from `SERVE_THREADS` (clamped to `[1, 256]`), falling
 //! back to [`std::thread::available_parallelism`].
 //!
+//! # Two-lane dispatch (reserved workers)
+//!
+//! [`Pool::with_reserved`] sets aside the last `reserved` workers as a
+//! **high lane**: they run only tasks submitted through
+//! [`Pool::spawn_high`] (plus tasks those spawn transitively), never
+//! tasks from the shared injector and never steals from ordinary
+//! workers' deques. Ordinary workers and external helpers drain the
+//! high queue *first*, so high-lane tasks get every worker's attention —
+//! but the reverse is forbidden, which is the point: however long the
+//! backlog of ordinary (low-priority) batches, at least `reserved`
+//! workers are always idle-or-working-on-high, bounding high-class
+//! latency at roughly one high task's own service time. With
+//! `reserved == 0` (the [`Pool::new`] default) the high queue is simply
+//! an extra front-of-line queue and scheduling is otherwise unchanged.
+//!
 //! # Panic semantics
 //!
 //! Panics inside [`Pool::scope`] / [`Pool::par_map`] closures are caught on
@@ -137,6 +152,12 @@ struct PoolInner {
     id: usize,
     /// Global FIFO fed by non-worker threads.
     injector: Mutex<VecDeque<Task>>,
+    /// High-lane FIFO ([`Pool::spawn_high`]): drained before the
+    /// injector by everyone, and the *only* shared queue reserved
+    /// workers may take from.
+    high: Mutex<VecDeque<Task>>,
+    /// Workers at the tail of `deques` that serve only the high lane.
+    reserved: usize,
     /// Per-worker deques (owner pops back, thieves pop front).
     deques: Vec<Mutex<VecDeque<Task>>>,
     /// Worker parking lot.
@@ -156,17 +177,48 @@ impl PoolInner {
         &self.counters[own.unwrap_or(self.deques.len())]
     }
 
-    /// Pops the next task: own deque back (workers only), then injector
-    /// front, then steal a sibling's front. Tallies the claim into the
-    /// participant's [`Counters`] row; the `bool` says whether the task
-    /// was stolen. A full miss (nothing anywhere, including every
-    /// sibling's deque) counts as a steal failure.
+    /// Whether worker `index` belongs to the reserved high lane.
+    fn is_reserved(&self, index: usize) -> bool {
+        index >= self.deques.len() - self.reserved
+    }
+
+    /// Pops the next task for a **reserved** worker: own deque back
+    /// (children of high tasks), then the high queue front. Reserved
+    /// workers never touch the injector and never steal — that is the
+    /// lane guarantee. A miss counts as a steal failure so the
+    /// `steal_failures ≥ parks` invariant holds for every row.
+    fn find_reserved_task(&self, i: usize) -> Option<(Task, bool)> {
+        if let Some(t) = self.deques[i].lock().expect("deque poisoned").pop_back() {
+            self.counters[i].executed.fetch_add(1, Ordering::Relaxed);
+            return Some((t, false));
+        }
+        if let Some(t) = self.high.lock().expect("high lane poisoned").pop_front() {
+            self.counters[i].executed.fetch_add(1, Ordering::Relaxed);
+            return Some((t, false));
+        }
+        self.counters[i]
+            .steal_failures
+            .fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Pops the next task: own deque back (workers only), then high-lane
+    /// front, then injector front, then steal a sibling's front. Tallies
+    /// the claim into the participant's [`Counters`] row; the `bool` says
+    /// whether the task was stolen. A full miss (nothing anywhere,
+    /// including every sibling's deque) counts as a steal failure.
     fn find_task(&self, own: Option<usize>) -> Option<(Task, bool)> {
         if let Some(i) = own {
             if let Some(t) = self.deques[i].lock().expect("deque poisoned").pop_back() {
                 self.counters[i].executed.fetch_add(1, Ordering::Relaxed);
                 return Some((t, false));
             }
+        }
+        if let Some(t) = self.high.lock().expect("high lane poisoned").pop_front() {
+            self.counters_of(own)
+                .executed
+                .fetch_add(1, Ordering::Relaxed);
+            return Some((t, false));
         }
         if let Some(t) = self.injector.lock().expect("injector poisoned").pop_front() {
             self.counters_of(own)
@@ -204,8 +256,16 @@ impl PoolInner {
     fn run_task(&self, own: Option<usize>, task: Task, stolen: bool) {
         let t0 = trace::enabled().then(Instant::now);
         // Keep the executor alive across panicking detached tasks; scoped
-        // tasks carry their own catch + rethrow protocol.
-        let _ = panic::catch_unwind(AssertUnwindSafe(task));
+        // tasks carry their own catch + rethrow protocol. The fault hooks
+        // bracket the task *inside* the catch so injected worker faults
+        // exercise exactly this survival path: the pre-task hook may only
+        // sleep (a pre-task panic would drop the task and strand its
+        // requests), the post-task hook may panic.
+        let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+            crate::faults::worker_delay();
+            task();
+            crate::faults::worker_panic();
+        }));
         if let Some(t0) = t0 {
             trace::record(
                 0,
@@ -234,13 +294,37 @@ impl PoolInner {
                 .push_back(task),
         }
         // Notify after releasing the queue lock (lock order: queue ≺ lot).
+        // With a reserved lane, `notify_one` could land on a reserved
+        // worker that (correctly) finds nothing for it and parks again,
+        // consuming the wakeup while an ordinary worker sleeps — so wake
+        // everyone. Tasks are coarse batches; the cost is negligible.
+        let _g = self.lot.lock().expect("lot poisoned");
+        if self.reserved == 0 {
+            self.wake.notify_one();
+        } else {
+            self.wake.notify_all();
+        }
+    }
+
+    /// Enqueues a high-lane task ([`Pool::spawn_high`]). A single wakeup
+    /// suffices: whichever worker it lands on — reserved or not — checks
+    /// the high queue before parking again.
+    fn push_high(&self, task: Task) {
+        self.high
+            .lock()
+            .expect("high lane poisoned")
+            .push_back(task);
         let _g = self.lot.lock().expect("lot poisoned");
         self.wake.notify_one();
     }
 
-    /// Whether any queue (injector or any deque) holds a task — the
-    /// idle-worker re-check performed under the lot lock before parking.
+    /// Whether any queue (high lane, injector or any deque) holds a task
+    /// — the idle-worker re-check performed under the lot lock before an
+    /// **ordinary** worker parks.
     fn has_work(&self) -> bool {
+        if !self.high.lock().expect("high lane poisoned").is_empty() {
+            return true;
+        }
         if !self.injector.lock().expect("injector poisoned").is_empty() {
             return true;
         }
@@ -249,10 +333,23 @@ impl PoolInner {
             .any(|d| !d.lock().expect("deque poisoned").is_empty())
     }
 
+    /// The pre-park re-check for a **reserved** worker: only its own
+    /// deque and the high lane can feed it.
+    fn has_reserved_work(&self, i: usize) -> bool {
+        !self.deques[i].lock().expect("deque poisoned").is_empty()
+            || !self.high.lock().expect("high lane poisoned").is_empty()
+    }
+
     fn worker_loop(self: &Arc<Self>, index: usize) {
         WORKER.with(|w| w.set(Some((self.id, index))));
+        let reserved = self.is_reserved(index);
         loop {
-            if let Some((task, stolen)) = self.find_task(Some(index)) {
+            let found = if reserved {
+                self.find_reserved_task(index)
+            } else {
+                self.find_task(Some(index))
+            };
+            if let Some((task, stolen)) = found {
                 self.run_task(Some(index), task, stolen);
                 continue;
             }
@@ -266,7 +363,12 @@ impl PoolInner {
             // before we acquired the lot is visible to `has_work`, and a
             // later push cannot notify until we are parked in `wait` — so
             // the wait needs no timeout and idle workers burn no CPU.
-            if self.has_work() {
+            let work = if reserved {
+                self.has_reserved_work(index)
+            } else {
+                self.has_work()
+            };
+            if work {
                 continue;
             }
             self.counters[index].parks.fetch_add(1, Ordering::Relaxed);
@@ -315,17 +417,30 @@ impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pool")
             .field("threads", &self.threads())
+            .field("reserved", &self.reserved_threads())
             .finish()
     }
 }
 
 impl Pool {
-    /// Spawns a pool with `threads` workers (clamped to `[1, 256]`).
+    /// Spawns a pool with `threads` workers (clamped to `[1, 256]`) and
+    /// no reserved lane.
     pub fn new(threads: usize) -> Self {
+        Pool::with_reserved(threads, 0)
+    }
+
+    /// Spawns a pool with `threads` workers of which the last `reserved`
+    /// serve only the high lane (see the module docs); `reserved` is
+    /// clamped so at least one ordinary worker always remains.
+    /// `with_reserved(n, 0)` is exactly [`Pool::new`].
+    pub fn with_reserved(threads: usize, reserved: usize) -> Self {
         let threads = threads.clamp(1, MAX_THREADS);
+        let reserved = reserved.min(threads - 1);
         let inner = Arc::new(PoolInner {
             id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
             injector: Mutex::new(VecDeque::new()),
+            high: Mutex::new(VecDeque::new()),
+            reserved,
             deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             lot: Mutex::new(()),
             wake: Condvar::new(),
@@ -336,8 +451,13 @@ impl Pool {
         let handles = (0..threads)
             .map(|i| {
                 let inner = Arc::clone(&inner);
+                let name = if inner.is_reserved(i) {
+                    format!("serve-reserved-{i}")
+                } else {
+                    format!("serve-worker-{i}")
+                };
                 std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
+                    .name(name)
                     .spawn(move || inner.worker_loop(i))
                     .expect("failed to spawn pool worker")
             })
@@ -358,9 +478,15 @@ impl Pool {
         GLOBAL.get_or_init(|| Pool::new(default_threads()))
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (ordinary + reserved).
     pub fn threads(&self) -> usize {
         self.owner.inner.deques.len()
+    }
+
+    /// Number of workers reserved for the high lane (0 unless built with
+    /// [`Pool::with_reserved`]).
+    pub fn reserved_threads(&self) -> usize {
+        self.owner.inner.reserved
     }
 
     /// Snapshot of the per-worker scheduling counters — executed/stolen
@@ -387,6 +513,14 @@ impl Pool {
     /// Panics in `f` are swallowed; use [`Pool::scope`] for propagation.
     pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
         self.owner.inner.push_task(Box::new(f));
+    }
+
+    /// Runs a detached task on the **high lane**: every worker prefers it
+    /// over injector work, and it is the only kind of task the reserved
+    /// workers of a [`Pool::with_reserved`] pool will run. With no
+    /// reserved workers this is simply a front-of-line [`Pool::spawn`].
+    pub fn spawn_high(&self, f: impl FnOnce() + Send + 'static) {
+        self.owner.inner.push_high(Box::new(f));
     }
 
     /// Runs `op` with a [`Scope`] onto which borrowed tasks can be
@@ -798,6 +932,78 @@ mod tests {
         }
         assert_eq!(stats.external.parks, 0, "external helpers never park");
         assert_eq!(stats.external.unparks, 0);
+    }
+
+    #[test]
+    fn reserved_workers_never_run_ordinary_tasks() {
+        let pool = Pool::with_reserved(2, 1);
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.reserved_threads(), 1);
+        let names: Arc<Mutex<Vec<(bool, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..32 {
+            let high = i % 4 == 0;
+            let names = Arc::clone(&names);
+            let tx = tx.clone();
+            let task = move || {
+                let name = std::thread::current().name().unwrap_or("").to_string();
+                names.lock().unwrap().push((high, name));
+                tx.send(()).unwrap();
+            };
+            if high {
+                pool.spawn_high(task);
+            } else {
+                pool.spawn(task);
+            }
+        }
+        for _ in 0..32 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        for (high, name) in names.lock().unwrap().iter() {
+            if !high {
+                assert!(
+                    !name.starts_with("serve-reserved"),
+                    "ordinary task ran on the reserved lane ({name})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn high_lane_probe_overtakes_deep_ordinary_backlog() {
+        // One ordinary worker chews a ~240 ms backlog of sleepy tasks;
+        // a high-lane probe submitted after the backlog must complete on
+        // the reserved worker in roughly its own service time.
+        let pool = Pool::with_reserved(2, 1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        for _ in 0..8 {
+            pool.spawn(|| std::thread::sleep(Duration::from_millis(30)));
+        }
+        let t0 = Instant::now();
+        pool.spawn_high(move || {
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let waited = t0.elapsed();
+        assert!(
+            waited < Duration::from_millis(100),
+            "high probe waited {waited:?} behind the ordinary backlog"
+        );
+    }
+
+    #[test]
+    fn spawn_high_works_without_reserved_workers() {
+        let pool = Pool::new(1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.spawn_high(move || {
+            tx.send(7usize).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        // par_map still balances on a reserved-lane pool: the reserved
+        // worker abstains, but the ordinary workers and the caller help.
+        let pool = Pool::with_reserved(3, 1);
+        let items: Vec<usize> = (0..64).collect();
+        assert_eq!(pool.par_map(&items, |&x| x + 1).len(), 64);
     }
 
     #[test]

@@ -48,8 +48,15 @@
 //! growing the backlog without bound. A [`ScenarioSpec::deadline`] budget
 //! additionally sheds *accepted* requests at dispatch when they have
 //! already waited longer than the budget — [`ServeError::DeadlineExpired`]
-//! — so a stale request never wastes a batch slot. The two shed reasons
-//! are counted separately in [`StatsSnapshot`].
+//! — so a stale request never wastes a batch slot. Registrations that
+//! opt in via [`ScenarioSpec::predictive`] go one step further: at
+//! submit, the live service histograms forecast the queue wait a new
+//! request would see, and a request whose forecast already exceeds the
+//! budget is refused immediately with
+//! [`ServeError::PredictedOverload`] — carrying a `retry_after` hint —
+//! instead of aging in the queue only to expire at dispatch (the
+//! predictor math lives in [`crate::overload`]). The shed reasons are
+//! counted separately in [`StatsSnapshot`].
 
 use crate::async_front::AsyncClient;
 use crate::pool::Pool;
@@ -131,6 +138,27 @@ pub enum ServeError {
         /// The deadline budget that expired.
         budget: Duration,
     },
+    /// The submission was refused at submit by predictive admission
+    /// ([`ScenarioSpec::predictive`]): the forecast queue wait for the
+    /// current backlog already exceeds the registration's deadline
+    /// budget, so accepting the request would only let it age into a
+    /// [`ServeError::DeadlineExpired`] at dispatch. `retry_after`
+    /// estimates how long the backlog needs to drain before a new
+    /// submission can fit the budget — [`crate::overload::RetryPolicy`]
+    /// honors it as a floor on its backoff. Counted in
+    /// [`StatsSnapshot::shed_predicted`].
+    PredictedOverload {
+        /// Model name of the overloaded registration.
+        model: String,
+        /// Scenario name of the overloaded registration.
+        scenario: String,
+        /// Forecast queue wait for a request admitted now.
+        predicted_wait: Duration,
+        /// The deadline budget the forecast exceeds.
+        budget: Duration,
+        /// Suggested wait before retrying.
+        retry_after: Duration,
+    },
     /// The registration was removed ([`Server::deregister`]) while this
     /// request was queued, or the submission raced a deregistration.
     Deregistered {
@@ -173,6 +201,20 @@ impl std::fmt::Display for ServeError {
                     f,
                     "({model}, {scenario}) shed the request: deadline budget {budget:?} expired \
                      before dispatch"
+                )
+            }
+            ServeError::PredictedOverload {
+                model,
+                scenario,
+                predicted_wait,
+                budget,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "({model}, {scenario}) shed the request: predicted queue wait \
+                     {predicted_wait:?} exceeds deadline budget {budget:?}; retry after \
+                     {retry_after:?}"
                 )
             }
             ServeError::Deregistered { model, scenario } => {
@@ -265,11 +307,13 @@ pub struct ScenarioSpec {
     /// alone cannot silently change the effective `max_wait`.
     batch_max: Option<usize>,
     batch_wait: Option<Duration>,
+    predictive: bool,
 }
 
 impl ScenarioSpec {
     /// A spec with every knob at its default (unbounded queue, priority
-    /// class 0, weight 1, no deadline, server-wide batch policy).
+    /// class 0, weight 1, no deadline, server-wide batch policy,
+    /// predictive admission off).
     pub fn new(model: &str, scenario: &str) -> Self {
         ScenarioSpec {
             model: model.to_string(),
@@ -280,6 +324,7 @@ impl ScenarioSpec {
             deadline: None,
             batch_max: None,
             batch_wait: None,
+            predictive: false,
         }
     }
 
@@ -332,6 +377,20 @@ impl ScenarioSpec {
     /// with [`ServeError::DeadlineExpired`] instead of dispatched.
     pub fn deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Enables predictive admission: at submit, the registration's live
+    /// service histograms forecast the queue wait a new request would
+    /// see, and a request whose forecast already exceeds the deadline
+    /// budget is refused immediately with
+    /// [`ServeError::PredictedOverload`] instead of aging in the queue
+    /// until the budget expires at dispatch. No effect unless a
+    /// [`ScenarioSpec::deadline`] is also set; silent until the
+    /// registration has served a few batches (see [`crate::overload`]
+    /// for the predictor math and the `SERVE_PREDICT_SAFETY` knob).
+    pub fn predictive(mut self) -> Self {
+        self.predictive = true;
         self
     }
 
@@ -398,6 +457,11 @@ impl ScenarioSpec {
     /// The `max_wait` override, if any.
     pub fn max_wait_override(&self) -> Option<Duration> {
         self.batch_wait
+    }
+
+    /// Whether predictive admission is enabled.
+    pub fn predictive_admission(&self) -> bool {
+        self.predictive
     }
 }
 
@@ -496,6 +560,9 @@ pub(crate) struct Registration<I, O> {
     /// Deadline budget: queued requests older than this are shed at
     /// dispatch with [`ServeError::DeadlineExpired`].
     deadline: Option<Duration>,
+    /// Predictive admission: shed at submit when the forecast queue wait
+    /// already exceeds the deadline budget ([`crate::overload`]).
+    predictive: bool,
     /// Effective batch policy (spec override or the server default,
     /// resolved once at registration).
     batch: BatchPolicy,
@@ -529,6 +596,7 @@ impl<I, O> Registration<I, O> {
             deadline: self.deadline,
             batch_max: Some(self.batch.max_batch),
             batch_wait: Some(self.batch.max_wait),
+            predictive: self.predictive,
         }
     }
 
@@ -561,9 +629,13 @@ type Registry<I, O> = HashMap<(String, String), Arc<Registration<I, O>>>;
 /// pool handle itself: if it did, a worker could drop the last `Pool`
 /// handle and try to join its own thread during pool teardown.
 struct SchedSignal {
-    /// Batches dispatched to the pool and not yet completed (the pacing
-    /// gauge).
+    /// Ordinary-lane batches dispatched to the pool and not yet
+    /// completed (the pacing gauge).
     inflight: AtomicUsize,
+    /// High-lane batches in flight, paced separately when the pool has
+    /// reserved workers: the ordinary lane filling its target must not
+    /// stop class-0 dispatches the reserved lane could run right now.
+    inflight_high: AtomicUsize,
     /// Scheduler wakeup channel. The bool is a dirty flag: set by
     /// [`SchedSignal::wake`], consumed by the scheduler before it
     /// waits — so a wakeup fired between the scheduler's queue scan and
@@ -644,6 +716,40 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         // submission has a correlation id on the trace timeline.
         let id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
         trace::record(id, reg.seq, TraceEvent::Submit);
+        // Predictive admission (opt-in): before claiming a slot, forecast
+        // the queue wait the request would see behind the current backlog
+        // and refuse it now if the forecast already blows the deadline
+        // budget — the request would only age into a DeadlineExpired at
+        // dispatch. Sits before the cap gate so a predictive shed never
+        // touches (and never has to release) an outstanding slot.
+        if reg.predictive {
+            if let Some(budget) = reg.deadline {
+                let depth = reg.outstanding.load(Ordering::Acquire);
+                if let Some(ov) = crate::overload::assess(
+                    reg.stats.service_rate(),
+                    reg.batch_sizes.totals(),
+                    depth,
+                    budget,
+                    crate::overload::safety_factor(),
+                ) {
+                    reg.stats.record_shed_predicted();
+                    trace::record(
+                        id,
+                        reg.seq,
+                        TraceEvent::Shed {
+                            reason: ShedReason::Predicted,
+                        },
+                    );
+                    return Err(ServeError::PredictedOverload {
+                        model: reg.key.0.clone(),
+                        scenario: reg.key.1.clone(),
+                        predicted_wait: ov.predicted_wait,
+                        budget,
+                        retry_after: ov.retry_after,
+                    });
+                }
+            }
+        }
         if reg
             .outstanding
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
@@ -788,10 +894,22 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         };
         let n = batch.len();
         reg.batch_sizes.record(n as f64);
-        self.signal.inflight.fetch_add(1, Ordering::AcqRel);
+        // Most-urgent-class batches ride the pool's high lane: they jump
+        // the injector backlog and are the only server batches reserved
+        // workers ([`Pool::with_reserved`]) execute, so a long run of
+        // low-class batches can never occupy every worker ahead of them.
+        // With reserved workers present the lane also paces on its own
+        // gauge (see `SchedSignal::inflight_high`).
+        let high_lane = reg.priority == 0;
+        let high_gauge = high_lane && self.pool.reserved_threads() > 0;
+        if high_gauge {
+            self.signal.inflight_high.fetch_add(1, Ordering::AcqRel);
+        } else {
+            self.signal.inflight.fetch_add(1, Ordering::AcqRel);
+        }
         let reg = Arc::clone(reg);
         let signal = Arc::clone(&self.signal);
-        self.pool.spawn(move || {
+        let task = move || {
             let mut owned: Vec<I> = Vec::with_capacity(batch.len());
             let mut waiters: Vec<(u64, Instant, Completer<O>)> = Vec::with_capacity(batch.len());
             for p in batch {
@@ -806,7 +924,20 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
                     batch_size: owned.len() as u32,
                 },
             );
-            let result = panic::catch_unwind(AssertUnwindSafe(|| (reg.infer)(&owned)));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                // Fault injection (no-op unless SERVE_FAULTS is on):
+                // injected delays/panics land inside the same
+                // catch_unwind as a real inference fault.
+                crate::faults::infer_fault();
+                let mut outputs = (reg.infer)(&owned);
+                if crate::faults::take_malform() {
+                    // A malformed batch: wrong output count, caught by
+                    // the length check below exactly like a buggy infer
+                    // fn would be.
+                    outputs.pop();
+                }
+                outputs
+            }));
             let infer_done = Instant::now();
             let service = infer_done.duration_since(started);
             trace::record(
@@ -844,14 +975,30 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
             // Release the admission slots only after delivery, so the cap
             // is never momentarily exceeded.
             reg.outstanding.fetch_sub(fulfilled, Ordering::AcqRel);
-            signal.inflight.fetch_sub(1, Ordering::AcqRel);
+            if high_gauge {
+                signal.inflight_high.fetch_sub(1, Ordering::AcqRel);
+            } else {
+                signal.inflight.fetch_sub(1, Ordering::AcqRel);
+            }
             signal.wake();
-        });
+        };
+        if high_lane {
+            self.pool.spawn_high(task);
+        } else {
+            self.pool.spawn(task);
+        }
         (n_exp, Some(n))
     }
 
     fn scheduler_loop(self: Arc<Self>, mut policy: Box<dyn SchedPolicy>) {
-        let inflight_target = (self.pool.threads() * INFLIGHT_BATCHES_PER_WORKER).max(1);
+        // Each lane paces on its own workers: with reserved workers the
+        // ordinary target shrinks to the workers low-lane batches can
+        // actually occupy, and the high lane gets its own target so a
+        // saturated ordinary lane never stalls class-0 dispatch.
+        let reserved = self.pool.reserved_threads();
+        let ordinary_workers = self.pool.threads().saturating_sub(reserved).max(1);
+        let inflight_target = (ordinary_workers * INFLIGHT_BATCHES_PER_WORKER).max(1);
+        let high_target = (reserved * INFLIGHT_BATCHES_PER_WORKER).max(1);
         loop {
             let draining = self.shutdown.load(Ordering::Acquire);
             let mut regs: Vec<Arc<Registration<I, O>>> = self
@@ -873,12 +1020,26 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
             // registration counts the rescan is nanoseconds against a
             // batch execution.
             loop {
-                if self.signal.inflight.load(Ordering::Acquire) >= inflight_target {
+                let ord_full = self.signal.inflight.load(Ordering::Acquire) >= inflight_target;
+                let high_full = reserved > 0
+                    && self.signal.inflight_high.load(Ordering::Acquire) >= high_target;
+                if ord_full && (reserved == 0 || high_full) {
                     break;
                 }
                 let mut due_idx: Vec<usize> = Vec::new();
                 let mut entries: Vec<DueEntry> = Vec::new();
                 for (i, reg) in regs.iter().enumerate() {
+                    // A queue whose lane is at its pacing target is
+                    // invisible this round: the policy must not pick it,
+                    // and it must not count others as passed over.
+                    let full = if reserved > 0 && reg.priority == 0 {
+                        high_full
+                    } else {
+                        ord_full
+                    };
+                    if full {
+                        continue;
+                    }
                     if let Some(e) = reg.due_entry(draining) {
                         due_idx.push(i);
                         entries.push(e);
@@ -929,10 +1090,14 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
                     nearest = Some(nearest.map_or(left, |n| n.min(left)));
                 }
             }
-            if draining && !queued && self.signal.inflight.load(Ordering::Acquire) == 0 {
+            let inflight_now = self.signal.inflight.load(Ordering::Acquire)
+                + self.signal.inflight_high.load(Ordering::Acquire);
+            if draining && !queued && inflight_now == 0 {
                 return;
             }
-            let at_capacity = self.signal.inflight.load(Ordering::Acquire) >= inflight_target;
+            let at_capacity = self.signal.inflight.load(Ordering::Acquire) >= inflight_target
+                && (reserved == 0
+                    || self.signal.inflight_high.load(Ordering::Acquire) >= high_target);
             let mut dirty = self.signal.tick.lock().expect("tick poisoned");
             if !*dirty {
                 // At the pacing target the max_wait timer is moot (no
@@ -1003,6 +1168,7 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
             shutdown: AtomicBool::new(false),
             signal: Arc::new(SchedSignal {
                 inflight: AtomicUsize::new(0),
+                inflight_high: AtomicUsize::new(0),
                 tick: Mutex::new(false),
                 tick_cv: Condvar::new(),
             }),
@@ -1068,6 +1234,7 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
                 priority: spec.priority,
                 weight: spec.weight,
                 deadline: spec.deadline,
+                predictive: spec.predictive,
                 batch,
                 closed: AtomicBool::new(false),
                 outstanding: AtomicUsize::new(0),
@@ -1077,30 +1244,6 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
             }),
         );
         Ok(())
-    }
-
-    /// Registers a batch inference function under `(model, scenario)`
-    /// with an explicit [`AdmissionPolicy`].
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::DuplicateRegistration`] if the key is taken,
-    /// [`ServeError::ShuttingDown`] after shutdown began.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a `ScenarioSpec` and call `Server::register(spec, infer)`"
-    )]
-    pub fn register_with(
-        &self,
-        model: &str,
-        scenario: &str,
-        admission: AdmissionPolicy,
-        infer: impl Fn(&[I]) -> Vec<O> + Send + Sync + 'static,
-    ) -> Result<(), ServeError> {
-        self.register(
-            ScenarioSpec::new(model, scenario).admission(admission),
-            infer,
-        )
     }
 
     /// Removes the `(model, scenario)` registration and releases its
@@ -1273,7 +1416,7 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
     /// * `serve_scheduler_info{policy}` — constant 1 with the policy name;
     /// * per registration (`model`/`scenario` labels):
     ///   `serve_requests_total`, `serve_submitted_total`,
-    ///   `serve_shed_total{reason="cap"|"deadline"}`,
+    ///   `serve_shed_total{reason="cap"|"deadline"|"predicted"}`,
     ///   `serve_passed_over_total`, `serve_batches_total`,
     ///   `serve_max_queue_depth` and the end-to-end
     ///   `serve_latency_seconds` summary (`_sum`/`_count`, exact under
@@ -1378,6 +1521,11 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
                 out,
                 "serve_shed_total{{{},reason=\"deadline\"}} {}",
                 r.labels, r.snap.shed_deadline
+            );
+            let _ = writeln!(
+                out,
+                "serve_shed_total{{{},reason=\"predicted\"}} {}",
+                r.labels, r.snap.shed_predicted
             );
         }
         let _ = writeln!(
@@ -1490,7 +1638,8 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "  {:<24} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "  {:<24} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6} \
+             {:>6}",
             "model/scenario",
             "count",
             "mean ms",
@@ -1502,6 +1651,7 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
             "batch",
             "shed",
             "ddl",
+            "pred",
             "pass",
             "depth"
         );
@@ -1515,7 +1665,7 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
             let _ = writeln!(
                 out,
                 "  {:<24} {:>7} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.2} {:>6} \
-                 {:>6} {:>6} {:>6}",
+                 {:>6} {:>6} {:>6} {:>6}",
                 format!("{model}/{scenario}"),
                 snap.count,
                 snap.mean_s * 1e3,
@@ -1527,6 +1677,7 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
                 batch_mean,
                 snap.shed,
                 snap.shed_deadline,
+                snap.shed_predicted,
                 snap.passed_over,
                 snap.max_queue_depth
             );
@@ -1648,7 +1799,11 @@ impl<I: Send + 'static, O: Send + 'static> Client<I, O> {
     ///
     /// [`ServeError::UnknownModel`] for an unregistered key,
     /// [`ServeError::Rejected`] when the registration's queue cap sheds
-    /// the request, [`ServeError::DeadlineExpired`] when the request
+    /// the request, [`ServeError::PredictedOverload`] when predictive
+    /// admission ([`ScenarioSpec::predictive`]) forecast the wait would
+    /// blow the budget (wrap calls in a
+    /// [`RetryPolicy`](crate::overload::RetryPolicy) to back off and
+    /// retry sheds), [`ServeError::DeadlineExpired`] when the request
     /// outwaited the registration's deadline budget,
     /// [`ServeError::Deregistered`] if the registration was removed,
     /// [`ServeError::ShuttingDown`] once shutdown began, and
@@ -1832,10 +1987,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_register_with_still_caps_the_queue() {
-        // The shim delegates to ScenarioSpec: same admission behavior,
-        // same typed shed error.
+    fn spec_admission_caps_the_queue() {
         let server = Server::new(
             Pool::new(1),
             BatchPolicy {
@@ -1844,7 +1996,7 @@ mod tests {
             },
         );
         server
-            .register_with("m", "s", AdmissionPolicy::capped(1), |xs: &[u64]| {
+            .register(ScenarioSpec::new("m", "s").queue_cap(1), |xs: &[u64]| {
                 std::thread::sleep(Duration::from_millis(20));
                 xs.to_vec()
             })

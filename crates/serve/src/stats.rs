@@ -5,9 +5,9 @@
 //! wait plus batch execution). Snapshots expose count, mean and p50/p99
 //! tail latency plus the backpressure counters the admission-control and
 //! scheduling layers feed: accepted submissions, requests shed **per
-//! reason** (queue cap vs expired deadline), the queue-depth high-water
-//! mark, and the scheduler's pass-over (starvation) counter — the numbers
-//! `BENCH_serve.json` reports.
+//! reason** (queue cap vs expired deadline vs predicted overload), the
+//! queue-depth high-water mark, and the scheduler's pass-over
+//! (starvation) counter — the numbers `BENCH_serve.json` reports.
 //!
 //! The bounded-memory sample store is factored out as [`Reservoir`]: an
 //! exact count/sum plus a thinning sample vector. The latency collector
@@ -133,6 +133,14 @@ impl Reservoir {
         self.state.lock().expect("reservoir poisoned").record(value);
     }
 
+    /// Exact count and sum without cloning the retained samples — the
+    /// cheap accessor for hot paths (the overload predictor's
+    /// mean-batch-size estimate) that only need the mean.
+    pub fn totals(&self) -> (u64, f64) {
+        let st = self.state.lock().expect("reservoir poisoned");
+        (st.count, st.sum)
+    }
+
     /// Copies out the current count/sum/samples.
     pub fn snapshot(&self) -> ReservoirSnapshot {
         let st = self.state.lock().expect("reservoir poisoned");
@@ -210,6 +218,12 @@ pub struct StatsSnapshot {
     /// separately from cap-shedding so overload diagnosis can tell "queue
     /// full at the door" from "waited too long inside".
     pub shed_deadline: u64,
+    /// Requests refused at submit because the overload predictor
+    /// estimated their queue wait would already exceed the deadline
+    /// budget ([`crate::server::ServeError::PredictedOverload`]) — the
+    /// *early* form of a deadline shed: the request never enters the
+    /// queue, so no capacity is wasted dispatching a doomed request.
+    pub shed_predicted: u64,
     /// Largest queue depth observed at any admission, including the
     /// admitted request itself — the backpressure high-water mark.
     pub max_queue_depth: usize,
@@ -240,6 +254,7 @@ impl StatsSnapshot {
             submitted: 0,
             shed: 0,
             shed_deadline: 0,
+            shed_predicted: 0,
             max_queue_depth: 0,
             passed_over: 0,
             queue_wait: StageSummary::empty(),
@@ -248,9 +263,10 @@ impl StatsSnapshot {
         }
     }
 
-    /// Requests shed for any reason (admission cap + expired deadline).
+    /// Requests shed for any reason (admission cap + expired deadline +
+    /// predicted overload).
     pub fn shed_total(&self) -> u64 {
-        self.shed + self.shed_deadline
+        self.shed + self.shed_deadline + self.shed_predicted
     }
 }
 
@@ -263,6 +279,7 @@ struct StatsState {
     submitted: u64,
     shed: u64,
     shed_deadline: u64,
+    shed_predicted: u64,
     max_queue_depth: usize,
     passed_over: u64,
 }
@@ -283,6 +300,7 @@ impl StatsState {
             submitted: self.submitted,
             shed: self.shed,
             shed_deadline: self.shed_deadline,
+            shed_predicted: self.shed_predicted,
             max_queue_depth: self.max_queue_depth,
             passed_over: self.passed_over,
             queue_wait: StageSummary::of(&self.queue_wait),
@@ -371,6 +389,24 @@ impl StatsCollector {
         self.state.lock().expect("stats poisoned").shed_deadline += 1;
     }
 
+    /// Records one request refused at submit because the overload
+    /// predictor estimated its queue wait would exceed the deadline
+    /// budget.
+    pub fn record_shed_predicted(&self) {
+        self.state.lock().expect("stats poisoned").shed_predicted += 1;
+    }
+
+    /// Exact count and mean (seconds) of the **service**-stage histogram
+    /// under one lock acquisition — the cheap accessor the predictive
+    /// admission gate polls on every submit. Cloning the full
+    /// distributions via [`StatsCollector::stages`] copies three ~15 KiB
+    /// bucket tables and is far too heavy for the submit hot path; this
+    /// reads two scalars.
+    pub fn service_rate(&self) -> (u64, f64) {
+        let st = self.state.lock().expect("stats poisoned");
+        (st.service.count(), st.service.mean_s())
+    }
+
     /// Records one scheduling round in which this registration had a due
     /// batch but the policy dispatched another registration instead.
     pub fn record_passed_over(&self) {
@@ -402,6 +438,7 @@ impl StatsCollector {
             acc.submitted += st.submitted;
             acc.shed += st.shed;
             acc.shed_deadline += st.shed_deadline;
+            acc.shed_predicted += st.shed_predicted;
             acc.passed_over += st.passed_over;
             acc.max_queue_depth = acc.max_queue_depth.max(st.max_queue_depth);
             acc.queue_wait.merge(&st.queue_wait);
@@ -515,6 +552,10 @@ mod tests {
         c.record_shed();
         c.record_shed();
         c.record_shed_deadline();
+        c.record_shed_predicted();
+        c.record_shed_predicted();
+        c.record_shed_predicted();
+        c.record_shed_predicted();
         c.record_passed_over();
         c.record_passed_over();
         c.record_passed_over();
@@ -522,7 +563,8 @@ mod tests {
         assert_eq!(s.submitted, 3);
         assert_eq!(s.shed, 2, "cap sheds counted on their own");
         assert_eq!(s.shed_deadline, 1, "deadline sheds counted separately");
-        assert_eq!(s.shed_total(), 3);
+        assert_eq!(s.shed_predicted, 4, "predictive sheds counted separately");
+        assert_eq!(s.shed_total(), 7);
         assert_eq!(s.passed_over, 3);
         assert_eq!(s.max_queue_depth, 7, "high-water mark, not last depth");
         // Sheds alone (nothing completed) must not fake latency numbers.
@@ -688,12 +730,14 @@ mod tests {
         b.record_enqueue(9);
         b.record_shed();
         b.record_shed_deadline();
+        a.record_shed_predicted();
         a.record_passed_over();
         let m = StatsCollector::merged([&a, &b]);
         assert_eq!(m.count, 3);
         assert_eq!(m.submitted, 2);
         assert_eq!(m.shed, 1);
         assert_eq!(m.shed_deadline, 1);
+        assert_eq!(m.shed_predicted, 1);
         assert_eq!(m.passed_over, 1);
         assert_eq!(m.max_queue_depth, 9);
         assert!((m.mean_s - (0.001 + 0.002 + 0.1) / 3.0).abs() < 1e-9);

@@ -63,6 +63,9 @@ pub enum ShedReason {
     Cap,
     /// Accepted but outwaited its deadline budget; shed at dispatch.
     Deadline,
+    /// Refused at submit: the overload predictor estimated the queue
+    /// wait would already exceed the deadline budget.
+    Predicted,
     /// Withdrawn because the server began shutting down mid-submit.
     Shutdown,
     /// Withdrawn because the registration was removed mid-submit.
@@ -75,6 +78,7 @@ impl ShedReason {
         match self {
             ShedReason::Cap => "cap",
             ShedReason::Deadline => "deadline",
+            ShedReason::Predicted => "predicted",
             ShedReason::Shutdown => "shutdown",
             ShedReason::Deregistered => "deregistered",
         }

@@ -142,6 +142,55 @@ fn strict_priority_high_class_overtakes_low_backlog() {
     assert_eq!(server.stats("m", "high").unwrap().passed_over, 0);
 }
 
+/// With a reserved worker ([`Pool::with_reserved`]), a class-0 request
+/// completes while long low-class batches still occupy every ordinary
+/// worker: the server routes class-0 batches onto the pool's high lane,
+/// which only reserved workers and idle ordinary workers drain, and the
+/// per-lane pacing gauges keep a saturated low lane from blocking the
+/// dispatch. 60 ms low batches bound the no-reserve alternative from
+/// below (~50 ms wait); the reserved lane must beat it comfortably.
+#[test]
+fn reserved_lane_bounds_high_class_latency_under_low_saturation() {
+    let server: Server<u64, u64> = Server::with_policy(
+        Pool::with_reserved(2, 1),
+        BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::from_millis(0),
+        },
+        Box::new(StrictPriority),
+    );
+    server
+        .register(ScenarioSpec::new("m", "low").priority(5), sleepy(60))
+        .unwrap();
+    server
+        .register(
+            ScenarioSpec::new("m", "high").priority(0),
+            |xs: &[u64]| xs.to_vec(),
+        )
+        .unwrap();
+    // Saturate the single ordinary worker with 6 × 60 ms batches.
+    let cq = server.async_client();
+    let ep_low = cq.endpoint("m", "low").unwrap();
+    for i in 0..6 {
+        ep_low.submit(i).unwrap();
+    }
+    // Once the backlog is executing, a class-0 request must ride the
+    // reserved lane instead of waiting out a 60 ms batch.
+    std::thread::sleep(Duration::from_millis(10));
+    let t0 = Instant::now();
+    assert_eq!(server.client().infer("m", "high", 7), Ok(7));
+    let high_latency = t0.elapsed();
+    assert!(
+        high_latency < Duration::from_millis(40),
+        "reserved lane failed to isolate class 0: {high_latency:?} \
+         (a 60ms low batch was in flight)"
+    );
+    // Drain the low completions so shutdown strands nothing.
+    for _ in 0..6 {
+        assert!(cq.wait(Duration::from_secs(10)).is_some());
+    }
+}
+
 /// Requests that outwait their deadline budget are shed with
 /// `DeadlineExpired` at dispatch and never reach the inference function;
 /// everything accepted gets exactly one completion either way.
