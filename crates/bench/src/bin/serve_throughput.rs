@@ -66,6 +66,10 @@
 //! (phase-4 strict-priority study, defaults 60 / 20),
 //! `SERVE_BENCH_DEADLINE_BUDGET_MS` / `SERVE_BENCH_DEADLINE_BURST`
 //! (phase-4 deadline study, defaults 1000 / 4096),
+//! `SERVE_BENCH_NET_CONNS` / `SERVE_BENCH_NET_INFLIGHT` /
+//! `SERVE_BENCH_NET_REQUESTS` / `SERVE_BENCH_NET_PAYLOAD` (phase-4d
+//! loopback wire study: connections, per-connection in-flight window,
+//! requests per connection, payload bytes; defaults 4 / 8 / 1000 / 64),
 //! `SERVE_BENCH_TRACE_REQUESTS` / `SERVE_BENCH_TRACE_REPS` /
 //! `SERVE_BENCH_TRACE_INFLIGHT` (phase-6 A/B load, defaults 2048 / 3 /
 //! 256), `SERVE_BENCH_TRACE_MAX_OVERHEAD_PCT` (phase-6 overhead budget
@@ -82,9 +86,11 @@ use dnn::data;
 use dnn::graph::{Model, Op, QuantScheme};
 use dnn::serving::ServedModel;
 use dnn::Tensor;
+use serve::net::{NetClient, NetConfig, NetServer, Status};
 use serve::pool::Pool;
 use serve::server::{BatchPolicy, ScenarioSpec, ServeError, Server};
 use serve::{trace, StrictPriority, WeightedFair};
+use std::collections::HashMap;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -411,6 +417,21 @@ struct ReservedLaneStudy {
     baseline_high_p99_ms: f64,
     reserved_high_p99_ms: f64,
     improvement: f64,
+}
+
+struct NetLoopback {
+    connections: usize,
+    in_flight: usize,
+    requests_per_conn: usize,
+    payload_bytes: usize,
+    total_requests: usize,
+    wall_s: f64,
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    frames_in: u64,
+    frames_out: u64,
+    protocol_errors: u64,
 }
 
 /// A batch function that sleeps a fixed time and echoes its inputs --
@@ -818,6 +839,92 @@ fn reserved_lane_study(low_backlog: usize, probes: usize, low_ms: u64) -> Reserv
     }
 }
 
+/// Loopback TCP study of the network edge: an echo server behind
+/// `NetServer` on an ephemeral port, `conns` client threads each keeping
+/// `window` request frames in flight on its own socket. Measures
+/// end-to-end wire throughput and submit-to-response latency — framing,
+/// the reactor hop, CQ admission, and the response flush all included —
+/// the socket-facing analogue of the in-process async-vs-sync phase.
+fn net_loopback_study(
+    conns: usize,
+    window: usize,
+    requests_per_conn: usize,
+    payload_bytes: usize,
+) -> NetLoopback {
+    let server: Server<Vec<u8>, Vec<u8>> = Server::new(
+        Pool::new(4),
+        BatchPolicy {
+            max_batch: 16,
+            max_wait: Duration::from_micros(200),
+        },
+    );
+    server
+        .register(ScenarioSpec::new("echo", "wire"), |xs: &[Vec<u8>]| {
+            xs.to_vec()
+        })
+        .expect("echo registration failed");
+    let net = NetServer::bind(
+        &server,
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            reactors: 2,
+            per_conn_inflight: window.max(1),
+        },
+    )
+    .expect("bind loopback");
+    let addr = net.local_addr();
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..conns {
+        handles.push(std::thread::spawn(move || -> Vec<f64> {
+            let mut client = NetClient::connect(addr).expect("connect loopback");
+            let payload = vec![0u8; payload_bytes];
+            let mut sent_at: HashMap<u64, Instant> = HashMap::new();
+            let mut lat_ms = Vec::with_capacity(requests_per_conn);
+            let mut sent = 0usize;
+            while lat_ms.len() < requests_per_conn {
+                while sent < requests_per_conn && sent_at.len() < window {
+                    let corr = client.submit("echo", "wire", &payload).expect("submit");
+                    sent_at.insert(corr, Instant::now());
+                    sent += 1;
+                }
+                let resp = client.recv().expect("recv");
+                assert_eq!(resp.status, Status::Ok, "echo over the wire must be Ok");
+                let t0 = sent_at
+                    .remove(&resp.corr)
+                    .expect("response for unknown corr");
+                lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            lat_ms
+        }));
+    }
+    let mut lat_ms: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("net client thread panicked"))
+        .collect();
+    let wall_s = start.elapsed().as_secs_f64();
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
+    let total = conns * requests_per_conn;
+    let stats = net.stats();
+    net.shutdown();
+    server.shutdown();
+    NetLoopback {
+        connections: conns,
+        in_flight: window,
+        requests_per_conn,
+        payload_bytes,
+        total_requests: total,
+        wall_s,
+        req_per_s: total as f64 / wall_s.max(1e-12),
+        p50_ms: serve::percentile(&lat_ms, 50.0),
+        p99_ms: serve::percentile(&lat_ms, 99.0),
+        frames_in: stats.frames_in,
+        frames_out: stats.frames_out,
+        protocol_errors: stats.protocol_errors,
+    }
+}
+
 fn main() {
     // The overload study admits right up to the forecast boundary, so a
     // safety factor above 1 is what keeps accepted tail latency strictly
@@ -1216,6 +1323,36 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Part 4d: the network edge. Loopback TCP echo through the framed
+    // wire protocol — N connections x M in-flight frames per connection.
+    // ------------------------------------------------------------------
+    let net_conns = bench::env_usize("SERVE_BENCH_NET_CONNS", 4);
+    let net_window = bench::env_usize("SERVE_BENCH_NET_INFLIGHT", 8);
+    let net_requests = bench::env_usize("SERVE_BENCH_NET_REQUESTS", 1000);
+    let net_payload = bench::env_usize("SERVE_BENCH_NET_PAYLOAD", 64);
+    let net = net_loopback_study(net_conns, net_window, net_requests, net_payload);
+    println!(
+        "net_loopback ({} conns x {} in flight, {} reqs/conn, {} B payload): \
+         {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms",
+        net.connections,
+        net.in_flight,
+        net.requests_per_conn,
+        net.payload_bytes,
+        net.req_per_s,
+        net.p50_ms,
+        net.p99_ms
+    );
+    assert_eq!(
+        net.frames_in, net.total_requests as u64,
+        "every request frame must be decoded exactly once"
+    );
+    assert_eq!(
+        net.frames_out, net.total_requests as u64,
+        "exactly one response frame per accepted request"
+    );
+    assert_eq!(net.protocol_errors, 0, "a clean run has no framing errors");
+
+    // ------------------------------------------------------------------
     // Part 5: multi-model multi-scenario serving on the packed batched
     // path, with resident-weight accounting.
     // ------------------------------------------------------------------
@@ -1473,6 +1610,11 @@ fn main() {
     bench::check_metric("reserved_baseline_high_p99_ms", lanes.baseline_high_p99_ms);
     bench::check_metric("reserved_high_p99_ms", lanes.reserved_high_p99_ms);
     bench::check_metric("reserved_improvement", lanes.improvement);
+    bench::check_metric("net_req_per_s", net.req_per_s);
+    bench::check_metric("net_p50_ms", net.p50_ms);
+    bench::check_metric("net_p99_ms", net.p99_ms);
+    bench::check_metric("net_frames_in", net.frames_in as f64);
+    bench::check_metric("net_frames_out", net.frames_out as f64);
     bench::check_metric("dense_equiv_bytes", memory.dense_equiv_bytes as f64);
     bench::check_metric("packed_bytes", memory.packed_bytes as f64);
     bench::check_metric("pool_executed", pool_stats.total_executed() as f64);
@@ -1508,6 +1650,7 @@ fn main() {
         &policy,
         &overload,
         &lanes,
+        &net,
         &memory,
         requests,
         wall_s,
@@ -1533,6 +1676,7 @@ fn write_json(
     policy: &PolicyStudy,
     overload: &OverloadStudy,
     lanes: &ReservedLaneStudy,
+    net: &NetLoopback,
     memory: &MemoryResult,
     requests: usize,
     wall_s: f64,
@@ -1608,6 +1752,16 @@ fn write_json(
     ));
     out.push_str(&format!("    \"reserved_probes\": {},\n", lanes.probes));
     out.push_str(&format!("    \"reserved_low_ms\": {},\n", lanes.low_ms));
+    out.push_str(&format!("    \"net_connections\": {},\n", net.connections));
+    out.push_str(&format!("    \"net_inflight\": {},\n", net.in_flight));
+    out.push_str(&format!(
+        "    \"net_requests_per_conn\": {},\n",
+        net.requests_per_conn
+    ));
+    out.push_str(&format!(
+        "    \"net_payload_bytes\": {},\n",
+        net.payload_bytes
+    ));
     out.push_str(&format!("    \"serving_requests\": {requests},\n"));
     out.push_str(&format!("    \"lpq_candidates\": {candidates},\n"));
     out.push_str(&format!("    \"lpq_calibration_images\": {calib},\n"));
@@ -1807,6 +1961,30 @@ fn write_json(
     ));
     out.push_str(&format!("    \"improvement\": {:.3},\n", lanes.improvement));
     out.push_str("    \"improvement_floor\": 3.0\n");
+    out.push_str("  },\n");
+    out.push_str("  \"net_loopback\": {\n");
+    out.push_str("    \"model\": \"echo\",\n");
+    out.push_str(&format!("    \"connections\": {},\n", net.connections));
+    out.push_str(&format!("    \"in_flight\": {},\n", net.in_flight));
+    out.push_str(&format!(
+        "    \"requests_per_conn\": {},\n",
+        net.requests_per_conn
+    ));
+    out.push_str(&format!("    \"payload_bytes\": {},\n", net.payload_bytes));
+    out.push_str(&format!(
+        "    \"total_requests\": {},\n",
+        net.total_requests
+    ));
+    out.push_str(&format!("    \"wall_s\": {:.6},\n", net.wall_s));
+    out.push_str(&format!("    \"req_per_s\": {:.1},\n", net.req_per_s));
+    out.push_str(&format!("    \"p50_ms\": {:.3},\n", net.p50_ms));
+    out.push_str(&format!("    \"p99_ms\": {:.3},\n", net.p99_ms));
+    out.push_str(&format!("    \"frames_in\": {},\n", net.frames_in));
+    out.push_str(&format!("    \"frames_out\": {},\n", net.frames_out));
+    out.push_str(&format!(
+        "    \"protocol_errors\": {}\n",
+        net.protocol_errors
+    ));
     out.push_str("  },\n");
     out.push_str("  \"resident_weight_bytes\": {\n");
     out.push_str(&format!(

@@ -331,20 +331,14 @@ fn worker_panic_enabled() {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// Serializes tests that touch the global plan/flag (shared with the
-    /// chaos suite convention; within this binary a plain static works).
-    fn guard() -> std::sync::MutexGuard<'static, ()> {
-        static GUARD: OnceLock<std::sync::Mutex<()>> = OnceLock::new();
-        match GUARD.get_or_init(|| std::sync::Mutex::new(())).lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        }
-    }
+    // The process-wide arm/disarm guard shared with the chaos and
+    // wire-protocol suites: serializes every test touching the global
+    // plan/flag and disarms on drop, panicking assertions included.
+    use crate::test_support::lock_faults;
 
     #[test]
     fn disabled_hooks_fire_nothing() {
-        let _g = guard();
+        let _g = lock_faults();
         let prior = enabled();
         set_enabled(false);
         configure(FaultPlan {
@@ -362,7 +356,7 @@ mod tests {
 
     #[test]
     fn cadences_are_every_nth_and_counted() {
-        let _g = guard();
+        let _g = lock_faults();
         let prior = enabled();
         configure(FaultPlan {
             malform_every: 3,
@@ -381,7 +375,7 @@ mod tests {
 
     #[test]
     fn injected_infer_panic_is_catchable_and_counted() {
-        let _g = guard();
+        let _g = lock_faults();
         let prior = enabled();
         configure(FaultPlan {
             infer_panic_every: 2,

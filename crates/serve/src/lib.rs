@@ -55,24 +55,44 @@
 //! fns and pool workers so those guarantees are tested under induced
 //! failure.
 //!
+//! At the outermost boundary sits [`net`] — the network edge: a
+//! std-only TCP daemon ([`net::NetServer`], listener thread +
+//! connection-reactor threads) speaking a length-prefixed binary
+//! framing protocol whose resumable [`net::FrameParser`] state machines
+//! keep partial reads from ever blocking another connection. Request
+//! frames ride the [`async_front`] completion queue (ticket ids double
+//! as wire correlation ids, so responses complete out of order) and
+//! every typed [`server::ServeError`] maps to a stable wire
+//! [`net::Status`] code — remote [`net::NetClient`]s get the same
+//! backpressure semantics, including the `PredictedOverload`
+//! `retry_after` hint, as in-process callers.
+//!
 //! `dnn::serving` supplies the glue that registers quantized DNN models
 //! here with weight caches shared across scenarios; see
 //! `crates/bench/src/bin/serve_throughput.rs` for the end-to-end driver
 //! and `ARCHITECTURE.md` at the repo root for the life of a request.
+//! [`test_support`] carries the cross-suite test scaffolding (the
+//! fault-harness arm/disarm guard).
 
 #![warn(missing_docs)]
 
 pub mod async_front;
 pub mod faults;
+pub mod net;
 pub mod overload;
 pub mod pool;
 pub mod sched;
 pub mod server;
 pub mod stats;
+pub mod test_support;
 pub mod trace;
 
 pub use async_front::{reactor, AsyncClient, Completion, InferFuture, Ticket};
 pub use faults::{FaultPlan, FaultStats};
+pub use net::{
+    Frame, FrameParser, NetClient, NetConfig, NetServer, NetStatsSnapshot, RequestFrame,
+    ResponseFrame, Status, WireError,
+};
 pub use overload::{Overload, RetryPolicy};
 pub use pool::{par_map_pooled, Pool};
 pub use sched::{DueEntry, Fifo, SchedPolicy, StrictPriority, WeightedFair};

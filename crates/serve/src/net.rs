@@ -1,0 +1,1372 @@
+//! Network edge for [`crate::server`]: a length-prefixed binary framing
+//! protocol over TCP, std-only (the build environment is offline — no
+//! tokio, no mio; the only I/O machinery is non-blocking
+//! [`std::net::TcpStream`]s and a parking completion queue).
+//!
+//! ## Wire model
+//!
+//! A [`NetServer`] binds a listener and serves *byte-payload*
+//! registrations (`Server<Vec<u8>, Vec<u8>>`). One **listener thread**
+//! accepts connections and deals them round-robin to a fixed set of
+//! **connection reactor threads**. Each reactor owns its connections
+//! outright: it reads non-blocking sockets into resumable
+//! [`FrameParser`] state machines (a partial read never blocks another
+//! connection), submits decoded request frames onto the existing
+//! [`AsyncClient`] completion-queue
+//! machinery, and routes completions back by
+//! [`Ticket`](crate::async_front::Ticket) id — so responses complete
+//! **out of order** and a slow batch never head-of-line-blocks the
+//! connection, let alone the reactor:
+//!
+//! ```text
+//! clients        listener      reactor(s)               serving core
+//!   ●──connect──►  accept ──►  conn ─┐ read→parse→submit ──► queues
+//!   ●──connect──►          ──►  conn ─┤                        │batches
+//!   frames in any order         conn ─┘ write ◄─ poll ◄── completions
+//! ```
+//!
+//! Every frame starts with a fixed preamble (magic, version, kind) and a
+//! length-prefixed body; see [`RequestFrame`] / [`ResponseFrame`] for
+//! the exact layout. Request frames carry a client-chosen correlation
+//! id; the matching response echoes it, so a pipelined client can keep
+//! N requests in flight on one socket. Every typed
+//! [`ServeError`] maps to a stable wire
+//! [`Status`] code — remote callers get the *same* backpressure
+//! semantics as in-process callers, including the
+//! `PredictedOverload` retry hint (`retry_after` rides in the response
+//! header).
+//!
+//! Protocol violations (bad magic/version, oversized length prefix,
+//! unparseable UTF-8 in a name) poison only the offending connection:
+//! the reactor answers with [`Status::BadFrame`] and closes it after
+//! flushing; every other connection keeps being served. A well-formed
+//! frame naming an unknown model is *not* a protocol violation — it
+//! gets [`Status::UnknownModel`] and the connection stays open.
+//!
+//! [`NetClient`] is the matching client: a sync face
+//! ([`NetClient::call`]) and a pipelined face
+//! ([`NetClient::submit`] / [`NetClient::recv`]) over one blocking
+//! socket.
+//!
+//! Knobs: [`ADDR_ENV`], [`REACTORS_ENV`], [`INFLIGHT_ENV`]
+//! (per-connection in-flight cap — the connection-level admission gate
+//! sitting in front of the per-registration
+//! [`AdmissionPolicy`](crate::server::AdmissionPolicy)).
+
+use crate::async_front::AsyncClient;
+use crate::server::{ServeError, Server};
+use crate::trace::{self, TraceEvent};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Wire constants
+// ---------------------------------------------------------------------
+
+/// Frame magic: the little-endian bytes spell `"LP"` on the wire.
+pub const MAGIC: u16 = 0x504C;
+/// Wire protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Frame kind byte of a request frame.
+pub const KIND_REQUEST: u8 = 0;
+/// Frame kind byte of a response frame.
+pub const KIND_RESPONSE: u8 = 1;
+/// Fixed preamble size: magic (u16) + version (u8) + kind (u8).
+pub const PREAMBLE_LEN: usize = 4;
+/// Request header after the preamble: corr (u64) + model len (u16) +
+/// scenario len (u16) + payload len (u32).
+pub const REQ_HEADER_LEN: usize = 16;
+/// Response header after the preamble: corr (u64) + status (u8) +
+/// retry-after µs (u64) + payload len (u32).
+pub const RESP_HEADER_LEN: usize = 21;
+/// Hard ceiling on a frame's payload length (16 MiB): a length prefix
+/// above it is a protocol error, not an allocation request — the parser
+/// rejects it before buffering a single body byte.
+pub const MAX_PAYLOAD: usize = 1 << 24;
+
+/// Listener address env var (default `127.0.0.1:7070`; port `0` asks
+/// the OS for an ephemeral port — read it back via
+/// [`NetServer::local_addr`]).
+pub const ADDR_ENV: &str = "SERVE_NET_ADDR";
+/// Connection-reactor thread count env var (default 2).
+pub const REACTORS_ENV: &str = "SERVE_NET_REACTORS";
+/// Per-connection in-flight cap env var (default 64): request frames
+/// over the cap are answered immediately with [`Status::Rejected`].
+pub const INFLIGHT_ENV: &str = "SERVE_NET_INFLIGHT";
+
+/// Trace-track base for connection events, far above registration
+/// sequence numbers so the two id spaces can never collide.
+const NET_TRACK_BASE: u64 = 1 << 32;
+
+// ---------------------------------------------------------------------
+// Status codes
+// ---------------------------------------------------------------------
+
+/// Stable wire status of a [`ResponseFrame`] — the typed
+/// [`ServeError`] surface flattened onto one byte, so remote clients
+/// see exactly the backpressure semantics in-process callers do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Status {
+    /// The request was served; the payload is the inference output.
+    Ok = 0,
+    /// [`ServeError::UnknownModel`] — no such `(model, scenario)`.
+    UnknownModel = 1,
+    /// [`ServeError::Rejected`] — shed at admission (queue cap), or the
+    /// per-connection in-flight cap ([`INFLIGHT_ENV`]) was reached.
+    Rejected = 2,
+    /// [`ServeError::DeadlineExpired`] — accepted but shed at dispatch.
+    DeadlineExpired = 3,
+    /// [`ServeError::PredictedOverload`] — shed at submit by the
+    /// overload predictor; the response's `retry_after` carries the
+    /// backoff hint.
+    PredictedOverload = 4,
+    /// [`ServeError::Deregistered`] — the registration was removed.
+    Deregistered = 5,
+    /// [`ServeError::InferenceFailed`] — the batch panicked or came
+    /// back malformed.
+    InferenceFailed = 6,
+    /// [`ServeError::ShuttingDown`] — the server no longer accepts.
+    ShuttingDown = 7,
+    /// [`ServeError::DuplicateRegistration`] — control-plane only;
+    /// never produced by the data path, mapped for totality.
+    DuplicateRegistration = 8,
+    /// The connection violated the framing protocol (bad magic/version,
+    /// oversized length prefix, unparseable name bytes, or a response
+    /// frame sent to the server). Terminal: the server closes the
+    /// connection after this response.
+    BadFrame = 9,
+}
+
+impl Status {
+    /// Every status code, in wire-code order (round-trip tests).
+    pub const ALL: [Status; 10] = [
+        Status::Ok,
+        Status::UnknownModel,
+        Status::Rejected,
+        Status::DeadlineExpired,
+        Status::PredictedOverload,
+        Status::Deregistered,
+        Status::InferenceFailed,
+        Status::ShuttingDown,
+        Status::DuplicateRegistration,
+        Status::BadFrame,
+    ];
+
+    /// The wire byte.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire byte; `None` for an unassigned code.
+    pub fn from_u8(b: u8) -> Option<Status> {
+        Status::ALL.get(b as usize).copied()
+    }
+
+    /// Stable lowercase label (logs, metrics, assertions).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::UnknownModel => "unknown_model",
+            Status::Rejected => "rejected",
+            Status::DeadlineExpired => "deadline_expired",
+            Status::PredictedOverload => "predicted_overload",
+            Status::Deregistered => "deregistered",
+            Status::InferenceFailed => "inference_failed",
+            Status::ShuttingDown => "shutting_down",
+            Status::DuplicateRegistration => "duplicate_registration",
+            Status::BadFrame => "bad_frame",
+        }
+    }
+
+    /// Maps a typed serving error onto its wire status (total — every
+    /// variant has exactly one stable code).
+    pub fn from_error(e: &ServeError) -> Status {
+        match e {
+            ServeError::UnknownModel { .. } => Status::UnknownModel,
+            ServeError::DuplicateRegistration { .. } => Status::DuplicateRegistration,
+            ServeError::Rejected { .. } => Status::Rejected,
+            ServeError::DeadlineExpired { .. } => Status::DeadlineExpired,
+            ServeError::PredictedOverload { .. } => Status::PredictedOverload,
+            ServeError::Deregistered { .. } => Status::Deregistered,
+            ServeError::InferenceFailed => Status::InferenceFailed,
+            ServeError::ShuttingDown => Status::ShuttingDown,
+        }
+    }
+}
+
+/// The `retry_after` hint a typed error carries onto the wire
+/// (zero for every variant except `PredictedOverload`).
+fn retry_hint(e: &ServeError) -> Duration {
+    match e {
+        ServeError::PredictedOverload { retry_after, .. } => *retry_after,
+        _ => Duration::ZERO,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------
+
+/// One request frame: what a client sends per inference call.
+///
+/// Wire layout (all integers little-endian):
+///
+/// ```text
+/// magic u16 | version u8 | kind u8 = 0
+/// corr u64 | model_len u16 | scenario_len u16 | payload_len u32
+/// model bytes | scenario bytes | payload bytes
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestFrame {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub corr: u64,
+    /// Target model name (UTF-8 on the wire).
+    pub model: String,
+    /// Target scenario name (UTF-8 on the wire).
+    pub scenario: String,
+    /// Opaque request payload.
+    pub payload: Vec<u8>,
+}
+
+/// One response frame: what the server sends per request frame.
+///
+/// Wire layout (all integers little-endian):
+///
+/// ```text
+/// magic u16 | version u8 | kind u8 = 1
+/// corr u64 | status u8 | retry_after_us u64 | payload_len u32
+/// payload bytes
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseFrame {
+    /// The request's correlation id ([`Status::BadFrame`] responses to
+    /// undecodable input use 0 — no id could be parsed).
+    pub corr: u64,
+    /// Outcome status.
+    pub status: Status,
+    /// Retry backoff hint ([`Status::PredictedOverload`]); zero
+    /// otherwise.
+    pub retry_after: Duration,
+    /// Inference output on [`Status::Ok`]; a human-readable error
+    /// message otherwise.
+    pub payload: Vec<u8>,
+}
+
+/// Either frame kind, as produced by [`FrameParser`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A request frame (client → server).
+    Request(RequestFrame),
+    /// A response frame (server → client).
+    Response(ResponseFrame),
+}
+
+impl RequestFrame {
+    /// Encodes the frame into wire bytes.
+    ///
+    /// # Panics
+    ///
+    /// If the model or scenario name exceeds `u16::MAX` bytes or the
+    /// payload exceeds [`MAX_PAYLOAD`] — encoder-side violations are
+    /// caller bugs, not recoverable wire conditions.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.model.len() <= u16::MAX as usize, "model name too long");
+        assert!(
+            self.scenario.len() <= u16::MAX as usize,
+            "scenario name too long"
+        );
+        assert!(
+            self.payload.len() <= MAX_PAYLOAD,
+            "payload over MAX_PAYLOAD"
+        );
+        let mut out = Vec::with_capacity(
+            PREAMBLE_LEN
+                + REQ_HEADER_LEN
+                + self.model.len()
+                + self.scenario.len()
+                + self.payload.len(),
+        );
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(VERSION);
+        out.push(KIND_REQUEST);
+        out.extend_from_slice(&self.corr.to_le_bytes());
+        out.extend_from_slice(&(self.model.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.scenario.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.model.as_bytes());
+        out.extend_from_slice(self.scenario.as_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+impl ResponseFrame {
+    /// Encodes the frame into wire bytes.
+    ///
+    /// # Panics
+    ///
+    /// If the payload exceeds [`MAX_PAYLOAD`].
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(
+            self.payload.len() <= MAX_PAYLOAD,
+            "payload over MAX_PAYLOAD"
+        );
+        let mut out = Vec::with_capacity(PREAMBLE_LEN + RESP_HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(VERSION);
+        out.push(KIND_RESPONSE);
+        out.extend_from_slice(&self.corr.to_le_bytes());
+        out.push(self.status.as_u8());
+        let us = u64::try_from(self.retry_after.as_micros()).unwrap_or(u64::MAX);
+        out.extend_from_slice(&us.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+impl Frame {
+    /// Encodes either frame kind.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Frame::Request(r) => r.encode(),
+            Frame::Response(r) => r.encode(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire errors
+// ---------------------------------------------------------------------
+
+/// A framing-protocol violation detected by [`FrameParser`]. Terminal
+/// for the byte stream it was found on: the parser stays poisoned and
+/// the server closes the connection after a [`Status::BadFrame`]
+/// response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The preamble's magic did not match [`MAGIC`].
+    BadMagic(u16),
+    /// The preamble's version did not match [`VERSION`].
+    BadVersion(u8),
+    /// The preamble's kind byte named no known frame kind.
+    BadKind(u8),
+    /// A length prefix exceeded the parser's payload ceiling.
+    Oversized {
+        /// The declared payload length.
+        len: usize,
+        /// The ceiling it exceeded.
+        max: usize,
+    },
+    /// A model/scenario name field held invalid UTF-8.
+    BadString,
+    /// A response frame carried an unassigned status code.
+    BadStatus(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic 0x{m:04x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "declared payload length {len} exceeds cap {max}")
+            }
+            WireError::BadString => write!(f, "name field is not valid UTF-8"),
+            WireError::BadStatus(s) => write!(f, "unassigned status code {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn wire_to_io(e: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Resumable frame parser
+// ---------------------------------------------------------------------
+
+/// An incremental, resumable frame decoder: feed it byte chunks of any
+/// size ([`FrameParser::feed`]) and pop completed frames
+/// ([`FrameParser::next_frame`]). Partial input simply waits for more
+/// bytes — the parser never blocks, so one slow connection cannot stall
+/// a reactor. Any chunking of a valid byte stream decodes to the
+/// identical frame sequence (property-tested in
+/// `crates/serve/tests/proptest_net.rs`).
+///
+/// A protocol violation poisons the parser permanently
+/// ([`FrameParser::poisoned`]): bytes after the violation are
+/// meaningless because framing has been lost.
+#[derive(Debug)]
+pub struct FrameParser {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted when it grows past half).
+    start: usize,
+    ready: std::collections::VecDeque<Frame>,
+    err: Option<WireError>,
+    max_payload: usize,
+}
+
+impl Default for FrameParser {
+    fn default() -> Self {
+        FrameParser::new()
+    }
+}
+
+impl FrameParser {
+    /// A fresh parser with the default [`MAX_PAYLOAD`] ceiling.
+    pub fn new() -> Self {
+        FrameParser::with_max_payload(MAX_PAYLOAD)
+    }
+
+    /// A fresh parser with a custom payload ceiling (tests exercise
+    /// small ceilings so oversized-prefix handling is cheap to check).
+    pub fn with_max_payload(max_payload: usize) -> Self {
+        FrameParser {
+            buf: Vec::new(),
+            start: 0,
+            ready: std::collections::VecDeque::new(),
+            err: None,
+            max_payload,
+        }
+    }
+
+    /// Appends `bytes` and decodes as many complete frames as they
+    /// finish; decoded frames queue for [`FrameParser::next_frame`].
+    ///
+    /// # Errors
+    ///
+    /// The first protocol violation is returned and the parser is
+    /// poisoned: every later `feed` returns the same error.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        if let Some(e) = &self.err {
+            return Err(e.clone());
+        }
+        self.buf.extend_from_slice(bytes);
+        loop {
+            match self.try_decode() {
+                Ok(Some((frame, consumed))) => {
+                    self.ready.push_back(frame);
+                    self.start += consumed;
+                    // Compact once the dead prefix dominates, keeping
+                    // feed amortized O(bytes).
+                    if self.start > 4096 && self.start * 2 > self.buf.len() {
+                        self.buf.drain(..self.start);
+                        self.start = 0;
+                    }
+                }
+                Ok(None) => return Ok(()),
+                Err(e) => {
+                    self.err = Some(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Pops the next fully decoded frame, if any.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        self.ready.pop_front()
+    }
+
+    /// The violation that poisoned this parser, if one occurred.
+    pub fn poisoned(&self) -> Option<&WireError> {
+        self.err.as_ref()
+    }
+
+    /// Bytes buffered but not yet decoded into a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Attempts to decode one frame from the unconsumed buffer.
+    /// `Ok(None)` means "need more bytes" — resumable by construction:
+    /// nothing is consumed until a whole frame is present.
+    fn try_decode(&self) -> Result<Option<(Frame, usize)>, WireError> {
+        let b = &self.buf[self.start..];
+        if b.len() < PREAMBLE_LEN {
+            return Ok(None);
+        }
+        let magic = u16::from_le_bytes([b[0], b[1]]);
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        if b[2] != VERSION {
+            return Err(WireError::BadVersion(b[2]));
+        }
+        match b[3] {
+            KIND_REQUEST => self.decode_request(&b[PREAMBLE_LEN..]),
+            KIND_RESPONSE => self.decode_response(&b[PREAMBLE_LEN..]),
+            k => Err(WireError::BadKind(k)),
+        }
+    }
+
+    fn decode_request(&self, b: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+        if b.len() < REQ_HEADER_LEN {
+            return Ok(None);
+        }
+        let corr = u64::from_le_bytes(b[0..8].try_into().expect("slice len"));
+        let model_len = u16::from_le_bytes([b[8], b[9]]) as usize;
+        let scen_len = u16::from_le_bytes([b[10], b[11]]) as usize;
+        let payload_len = u32::from_le_bytes(b[12..16].try_into().expect("slice len")) as usize;
+        if payload_len > self.max_payload {
+            return Err(WireError::Oversized {
+                len: payload_len,
+                max: self.max_payload,
+            });
+        }
+        let body = model_len + scen_len + payload_len;
+        if b.len() < REQ_HEADER_LEN + body {
+            return Ok(None);
+        }
+        let rest = &b[REQ_HEADER_LEN..];
+        let model = std::str::from_utf8(&rest[..model_len])
+            .map_err(|_| WireError::BadString)?
+            .to_string();
+        let scenario = std::str::from_utf8(&rest[model_len..model_len + scen_len])
+            .map_err(|_| WireError::BadString)?
+            .to_string();
+        let payload = rest[model_len + scen_len..body].to_vec();
+        Ok(Some((
+            Frame::Request(RequestFrame {
+                corr,
+                model,
+                scenario,
+                payload,
+            }),
+            PREAMBLE_LEN + REQ_HEADER_LEN + body,
+        )))
+    }
+
+    fn decode_response(&self, b: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+        if b.len() < RESP_HEADER_LEN {
+            return Ok(None);
+        }
+        let corr = u64::from_le_bytes(b[0..8].try_into().expect("slice len"));
+        let status = Status::from_u8(b[8]).ok_or(WireError::BadStatus(b[8]))?;
+        let retry_us = u64::from_le_bytes(b[9..17].try_into().expect("slice len"));
+        let payload_len = u32::from_le_bytes(b[17..21].try_into().expect("slice len")) as usize;
+        if payload_len > self.max_payload {
+            return Err(WireError::Oversized {
+                len: payload_len,
+                max: self.max_payload,
+            });
+        }
+        if b.len() < RESP_HEADER_LEN + payload_len {
+            return Ok(None);
+        }
+        let payload = b[RESP_HEADER_LEN..RESP_HEADER_LEN + payload_len].to_vec();
+        Ok(Some((
+            Frame::Response(ResponseFrame {
+                corr,
+                status,
+                retry_after: Duration::from_micros(retry_us),
+                payload,
+            }),
+            PREAMBLE_LEN + RESP_HEADER_LEN + payload_len,
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server-side counters
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct NetCounters {
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    protocol_errors: AtomicU64,
+    inflight_rejections: AtomicU64,
+}
+
+/// Point-in-time totals over a [`NetServer`]'s whole lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Connections the listener ever accepted.
+    pub connections_opened: u64,
+    /// Connections the reactors have torn down.
+    pub connections_closed: u64,
+    /// Request frames decoded across all connections.
+    pub frames_in: u64,
+    /// Response frames written across all connections.
+    pub frames_out: u64,
+    /// Socket bytes read.
+    pub bytes_in: u64,
+    /// Socket bytes written.
+    pub bytes_out: u64,
+    /// Connections poisoned by a framing violation.
+    pub protocol_errors: u64,
+    /// Request frames answered [`Status::Rejected`] by the
+    /// per-connection in-flight cap (never submitted to the server).
+    pub inflight_rejections: u64,
+}
+
+impl NetStatsSnapshot {
+    /// Connections currently open (accepted minus torn down).
+    pub fn open_connections(&self) -> u64 {
+        self.connections_opened - self.connections_closed
+    }
+}
+
+// ---------------------------------------------------------------------
+// NetServer
+// ---------------------------------------------------------------------
+
+/// Configuration for [`NetServer::bind`]; [`NetConfig::from_env`] reads
+/// the `SERVE_NET_*` knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Listen address (`host:port`; port 0 = OS-assigned).
+    pub addr: String,
+    /// Connection reactor threads (clamped to ≥ 1).
+    pub reactors: usize,
+    /// Per-connection in-flight request cap (clamped to ≥ 1).
+    pub per_conn_inflight: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:7070".to_string(),
+            reactors: 2,
+            per_conn_inflight: 64,
+        }
+    }
+}
+
+impl NetConfig {
+    /// The default configuration overridden by any of [`ADDR_ENV`],
+    /// [`REACTORS_ENV`], [`INFLIGHT_ENV`] present in the environment.
+    pub fn from_env() -> Self {
+        let d = NetConfig::default();
+        let num = |key: &str, dflt: usize| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(dflt)
+        };
+        NetConfig {
+            addr: std::env::var(ADDR_ENV).unwrap_or(d.addr),
+            reactors: num(REACTORS_ENV, d.reactors),
+            per_conn_inflight: num(INFLIGHT_ENV, d.per_conn_inflight),
+        }
+    }
+}
+
+/// The TCP daemon face of a [`Server`]: listener + connection reactors
+/// bridging socket frames onto the completion-queue serving core. See
+/// the [module docs](crate::net) for the architecture.
+///
+/// Shutdown ([`NetServer::shutdown`], also run on drop) stops
+/// accepting, lets reactors flush every response owed to an accepted
+/// frame (bounded by a grace period), and joins all threads. The
+/// underlying [`Server`] is *not* shut down — it may outlive its
+/// network edge or serve several.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    reactors: usize,
+    per_conn_inflight: usize,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("local_addr", &self.local_addr)
+            .field("reactors", &self.reactors)
+            .field("per_conn_inflight", &self.per_conn_inflight)
+            .finish()
+    }
+}
+
+impl NetServer {
+    /// Binds `cfg.addr` and starts serving `server`'s registrations
+    /// over it. Returns once the listener and reactors are running.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, …).
+    pub fn bind(server: &Server<Vec<u8>, Vec<u8>>, cfg: NetConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(NetCounters::default());
+        let reactors = cfg.reactors.max(1);
+        let per_conn_inflight = cfg.per_conn_inflight.max(1);
+
+        let mut threads = Vec::with_capacity(reactors + 1);
+        let mut senders = Vec::with_capacity(reactors);
+        for i in 0..reactors {
+            let (tx, rx) = mpsc::channel::<(TcpStream, String)>();
+            senders.push(tx);
+            let cq = server.async_client();
+            let sd = Arc::clone(&shutdown);
+            let ct = Arc::clone(&counters);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("net-reactor-{i}"))
+                    .spawn(move || reactor_loop(rx, cq, sd, ct, per_conn_inflight))
+                    .expect("spawn net reactor"),
+            );
+        }
+        {
+            let sd = Arc::clone(&shutdown);
+            let ct = Arc::clone(&counters);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("net-listener".to_string())
+                    .spawn(move || listener_loop(listener, senders, sd, ct))
+                    .expect("spawn net listener"),
+            );
+        }
+        Ok(NetServer {
+            local_addr,
+            shutdown,
+            counters,
+            threads: Mutex::new(threads),
+            reactors,
+            per_conn_inflight,
+        })
+    }
+
+    /// The actually bound address (resolves port 0 to the OS pick).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Reactor thread count this server runs.
+    pub fn reactors(&self) -> usize {
+        self.reactors
+    }
+
+    /// The per-connection in-flight cap in force.
+    pub fn per_conn_inflight(&self) -> usize {
+        self.per_conn_inflight
+    }
+
+    /// Current connection/frame/byte totals.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        let c = &self.counters;
+        NetStatsSnapshot {
+            connections_opened: c.connections_opened.load(Ordering::Relaxed),
+            connections_closed: c.connections_closed.load(Ordering::Relaxed),
+            frames_in: c.frames_in.load(Ordering::Relaxed),
+            frames_out: c.frames_out.load(Ordering::Relaxed),
+            bytes_in: c.bytes_in.load(Ordering::Relaxed),
+            bytes_out: c.bytes_out.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            inflight_rejections: c.inflight_rejections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Prometheus text exposition of the connection-level counters —
+    /// concatenate with
+    /// [`Server::metrics_text`](crate::server::Server::metrics_text)
+    /// for one scrape body.
+    pub fn metrics_text(&self) -> String {
+        let s = self.stats();
+        let mut out = String::new();
+        let mut gauge = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        gauge(
+            "serve_net_connections_opened_total",
+            "Connections accepted by the listener.",
+            s.connections_opened,
+        );
+        gauge(
+            "serve_net_connections_closed_total",
+            "Connections torn down by reactors.",
+            s.connections_closed,
+        );
+        gauge(
+            "serve_net_frames_in_total",
+            "Request frames decoded.",
+            s.frames_in,
+        );
+        gauge(
+            "serve_net_frames_out_total",
+            "Response frames written.",
+            s.frames_out,
+        );
+        gauge("serve_net_bytes_in_total", "Socket bytes read.", s.bytes_in);
+        gauge(
+            "serve_net_bytes_out_total",
+            "Socket bytes written.",
+            s.bytes_out,
+        );
+        gauge(
+            "serve_net_protocol_errors_total",
+            "Connections poisoned by framing violations.",
+            s.protocol_errors,
+        );
+        gauge(
+            "serve_net_inflight_rejections_total",
+            "Frames rejected by the per-connection in-flight cap.",
+            s.inflight_rejections,
+        );
+        out
+    }
+
+    /// Stops accepting, flushes responses owed to accepted frames
+    /// (grace-bounded), joins listener and reactors. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let handles = std::mem::take(&mut *self.threads.lock().expect("net threads poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Listener + reactor internals
+// ---------------------------------------------------------------------
+
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn listener_loop(
+    listener: TcpListener,
+    senders: Vec<mpsc::Sender<(TcpStream, String)>>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+) {
+    let mut next = 0usize;
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                counters.connections_opened.fetch_add(1, Ordering::Relaxed);
+                // Deal round-robin; a dead reactor (its rx dropped)
+                // means we are shutting down anyway.
+                if senders[next % senders.len()]
+                    .send((stream, peer.to_string()))
+                    .is_err()
+                {
+                    counters.connections_closed.fetch_add(1, Ordering::Relaxed);
+                }
+                next = next.wrapping_add(1);
+            }
+            // Nothing to accept (or a transient error): nap briefly so
+            // the flag check stays responsive without spinning.
+            Err(_) => std::thread::sleep(Duration::from_micros(500)),
+        }
+    }
+}
+
+/// One reactor-owned connection.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    parser: FrameParser,
+    /// Pending output bytes; `out_pos` is the flushed prefix.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Tickets submitted for this connection, not yet completed.
+    inflight: usize,
+    /// No more reads: EOF, poison, or server shutdown.
+    read_eof: bool,
+    /// Poisoned by a protocol violation — close once flushed/drained.
+    close_after_flush: bool,
+    /// Hard I/O failure — drop without flushing.
+    failed: bool,
+    frames_in: u64,
+    frames_out: u64,
+}
+
+impl Conn {
+    fn track(&self) -> u64 {
+        NET_TRACK_BASE + self.id
+    }
+
+    fn flushed(&self) -> bool {
+        self.out_pos >= self.out.len()
+    }
+
+    /// Queues one response frame on the connection's write buffer.
+    fn respond(
+        &mut self,
+        corr: u64,
+        status: Status,
+        retry_after: Duration,
+        payload: Vec<u8>,
+        counters: &NetCounters,
+    ) {
+        let frame = ResponseFrame {
+            corr,
+            status,
+            retry_after,
+            payload,
+        };
+        self.out.extend_from_slice(&frame.encode());
+        self.frames_out += 1;
+        counters.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// How many socket bytes one connection may consume per reactor tick
+/// before the reactor moves on (read fairness under a firehose peer).
+const READ_BUDGET: usize = 64 * 1024;
+/// Grace period for draining accepted-but-unanswered requests after
+/// shutdown is requested.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+fn reactor_loop(
+    rx: mpsc::Receiver<(TcpStream, String)>,
+    cq: AsyncClient<Vec<u8>, Vec<u8>>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+    per_conn_inflight: usize,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut pending: HashMap<u64, (u64, u64)> = HashMap::new(); // ticket → (conn, corr)
+    let mut scratch = vec![0u8; 16 * 1024];
+    let mut grace_deadline: Option<Instant> = None;
+    loop {
+        let shutting = shutdown.load(Ordering::Acquire);
+        if shutting && grace_deadline.is_none() {
+            grace_deadline = Some(Instant::now() + SHUTDOWN_GRACE);
+        }
+        let mut progressed = false;
+
+        // Adopt newly dealt connections.
+        while let Ok((stream, peer)) = rx.try_recv() {
+            if shutting {
+                counters.connections_closed.fetch_add(1, Ordering::Relaxed);
+                continue; // dropped: accepted in the race window
+            }
+            let id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
+            let conn = Conn {
+                id,
+                stream,
+                parser: FrameParser::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                inflight: 0,
+                read_eof: false,
+                close_after_flush: false,
+                failed: false,
+                frames_in: 0,
+                frames_out: 0,
+            };
+            if trace::enabled() {
+                trace::name_track(conn.track(), format!("net/conn-{id} ({peer})"));
+            }
+            trace::record(id, conn.track(), TraceEvent::ConnOpen);
+            conns.push(conn);
+            progressed = true;
+        }
+
+        // Read, parse, submit — per connection, budget-bounded.
+        for conn in conns.iter_mut() {
+            if shutting {
+                conn.read_eof = true;
+            }
+            if conn.failed {
+                continue;
+            }
+            let mut budget = READ_BUDGET;
+            while !conn.read_eof && budget > 0 {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => conn.read_eof = true,
+                    Ok(n) => {
+                        budget = budget.saturating_sub(n);
+                        counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                        progressed = true;
+                        if let Err(e) = conn.parser.feed(&scratch[..n]) {
+                            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            conn.respond(
+                                0,
+                                Status::BadFrame,
+                                Duration::ZERO,
+                                e.to_string().into_bytes(),
+                                &counters,
+                            );
+                            conn.read_eof = true;
+                            conn.close_after_flush = true;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => conn.failed = true,
+                }
+                if conn.failed {
+                    break;
+                }
+            }
+            while let Some(frame) = conn.parser.next_frame() {
+                progressed = true;
+                match frame {
+                    Frame::Request(req) => {
+                        conn.frames_in += 1;
+                        counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                        if conn.inflight >= per_conn_inflight {
+                            counters.inflight_rejections.fetch_add(1, Ordering::Relaxed);
+                            conn.respond(
+                                req.corr,
+                                Status::Rejected,
+                                Duration::ZERO,
+                                format!("per-connection in-flight cap {per_conn_inflight} reached")
+                                    .into_bytes(),
+                                &counters,
+                            );
+                            continue;
+                        }
+                        match cq.submit(&req.model, &req.scenario, req.payload) {
+                            Ok(ticket) => {
+                                pending.insert(ticket.id(), (conn.id, req.corr));
+                                conn.inflight += 1;
+                            }
+                            Err(e) => conn.respond(
+                                req.corr,
+                                Status::from_error(&e),
+                                retry_hint(&e),
+                                e.to_string().into_bytes(),
+                                &counters,
+                            ),
+                        }
+                    }
+                    // A response frame sent *to* the server is a
+                    // protocol violation like any other.
+                    Frame::Response(_) => {
+                        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        conn.respond(
+                            0,
+                            Status::BadFrame,
+                            Duration::ZERO,
+                            b"response frame sent to server".to_vec(),
+                            &counters,
+                        );
+                        conn.read_eof = true;
+                        conn.close_after_flush = true;
+                    }
+                }
+            }
+        }
+
+        // Route completions back by ticket id (arrival order — which is
+        // completion order, not submission order).
+        while let Some(c) = cq.poll() {
+            progressed = true;
+            deliver(&mut conns, &mut pending, c.ticket.id(), c.result, &counters);
+        }
+
+        // Flush write buffers.
+        for conn in conns.iter_mut() {
+            progressed |= flush_conn(conn, &counters);
+        }
+
+        // Reap finished connections.
+        conns.retain_mut(|conn| {
+            let done = conn.failed || (conn.read_eof && conn.inflight == 0 && conn.flushed());
+            if done {
+                trace::record(
+                    conn.id,
+                    conn.track(),
+                    TraceEvent::ConnClose {
+                        frames_in: conn.frames_in,
+                        frames_out: conn.frames_out,
+                    },
+                );
+                counters.connections_closed.fetch_add(1, Ordering::Relaxed);
+            }
+            !done
+        });
+
+        if shutting {
+            let expired = grace_deadline.is_some_and(|d| Instant::now() >= d);
+            if (conns.is_empty() && pending.is_empty()) || expired {
+                // Late reap for anything the grace period abandoned.
+                for conn in &conns {
+                    counters.connections_closed.fetch_add(1, Ordering::Relaxed);
+                    let _ = conn;
+                }
+                return;
+            }
+        }
+        if !progressed {
+            // Park on the completion queue: wakes the instant the next
+            // batch finishes, or after 1 ms to re-check sockets/flag.
+            if let Some(c) = cq.wait(Duration::from_millis(1)) {
+                deliver(&mut conns, &mut pending, c.ticket.id(), c.result, &counters);
+            }
+        }
+    }
+}
+
+/// Routes one completion to its connection's write buffer. Completions
+/// for connections that died in the meantime are dropped — the server
+/// side has already released every resource (the CQ delivery *is* the
+/// admission-slot release).
+fn deliver(
+    conns: &mut [Conn],
+    pending: &mut HashMap<u64, (u64, u64)>,
+    ticket: u64,
+    result: Result<Vec<u8>, ServeError>,
+    counters: &NetCounters,
+) {
+    let Some((conn_id, corr)) = pending.remove(&ticket) else {
+        return;
+    };
+    let Some(conn) = conns.iter_mut().find(|c| c.id == conn_id) else {
+        return;
+    };
+    conn.inflight -= 1;
+    match result {
+        Ok(payload) => conn.respond(corr, Status::Ok, Duration::ZERO, payload, counters),
+        Err(e) => conn.respond(
+            corr,
+            Status::from_error(&e),
+            retry_hint(&e),
+            e.to_string().into_bytes(),
+            counters,
+        ),
+    }
+}
+
+/// Writes as much pending output as the socket accepts; returns whether
+/// any bytes moved.
+fn flush_conn(conn: &mut Conn, counters: &NetCounters) -> bool {
+    let mut moved = false;
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.failed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                moved = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.failed = true;
+                break;
+            }
+        }
+    }
+    if conn.flushed() && conn.out_pos > 0 {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+    moved
+}
+
+// ---------------------------------------------------------------------
+// NetClient
+// ---------------------------------------------------------------------
+
+/// Client side of the wire protocol over one blocking TCP connection.
+///
+/// Two faces on the same socket:
+///
+/// * **sync** — [`NetClient::call`] sends one request and blocks for
+///   *its* response (other responses arriving first are stashed, not
+///   lost);
+/// * **pipelined** — [`NetClient::submit`] queues a request and returns
+///   its correlation id immediately; [`NetClient::recv`] returns the
+///   next response in arrival order. Keeping N submissions in flight
+///   amortizes the round-trip exactly like the in-process
+///   [`AsyncClient`] window does.
+///
+/// # Examples
+///
+/// ```no_run
+/// use serve::net::NetClient;
+///
+/// let mut c = NetClient::connect("127.0.0.1:7070").unwrap();
+/// let resp = c.call("echo", "wire", b"hello").unwrap();
+/// assert_eq!(resp.status, serve::net::Status::Ok);
+/// ```
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    parser: FrameParser,
+    stash: std::collections::VecDeque<ResponseFrame>,
+    next_corr: u64,
+    in_flight: usize,
+}
+
+impl NetClient {
+    /// Connects to a [`NetServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(NetClient {
+            stream,
+            parser: FrameParser::new(),
+            stash: std::collections::VecDeque::new(),
+            next_corr: 1,
+            in_flight: 0,
+        })
+    }
+
+    /// Requests accepted by [`NetClient::submit`] whose response has
+    /// not yet been returned.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Pipelined face: writes one request frame and returns its
+    /// correlation id without waiting for the response.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn submit(&mut self, model: &str, scenario: &str, payload: &[u8]) -> io::Result<u64> {
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        let frame = RequestFrame {
+            corr,
+            model: model.to_string(),
+            scenario: scenario.to_string(),
+            payload: payload.to_vec(),
+        };
+        self.stream.write_all(&frame.encode())?;
+        self.in_flight += 1;
+        Ok(corr)
+    }
+
+    /// Pipelined face: blocks for the next response in arrival order
+    /// (any correlation id).
+    ///
+    /// # Errors
+    ///
+    /// Socket failures; `UnexpectedEof` if the server closed with
+    /// responses still owed; `InvalidData` on a framing violation.
+    pub fn recv(&mut self) -> io::Result<ResponseFrame> {
+        loop {
+            if let Some(r) = self.stash.pop_front() {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                return Ok(r);
+            }
+            self.fill()?;
+        }
+    }
+
+    /// Sync face: sends one request and blocks for its response.
+    /// Responses for other in-flight correlation ids arriving first are
+    /// stashed for their own [`NetClient::recv`]/`call` to find.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::submit`] plus [`NetClient::recv`].
+    pub fn call(
+        &mut self,
+        model: &str,
+        scenario: &str,
+        payload: &[u8],
+    ) -> io::Result<ResponseFrame> {
+        let corr = self.submit(model, scenario, payload)?;
+        loop {
+            if let Some(pos) = self.stash.iter().position(|r| r.corr == corr) {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                return Ok(self.stash.remove(pos).expect("position just found"));
+            }
+            self.fill()?;
+        }
+    }
+
+    /// Convenience pipelined driver: sends every payload to one
+    /// `(model, scenario)` keeping at most `window` in flight, and
+    /// returns the responses **indexed by submission order**.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::submit`] plus [`NetClient::recv`].
+    pub fn call_pipelined(
+        &mut self,
+        model: &str,
+        scenario: &str,
+        payloads: &[Vec<u8>],
+        window: usize,
+    ) -> io::Result<Vec<ResponseFrame>> {
+        let window = window.max(1);
+        let mut corr_to_idx = HashMap::with_capacity(payloads.len());
+        let mut out: Vec<Option<ResponseFrame>> = (0..payloads.len()).map(|_| None).collect();
+        let mut sent = 0usize;
+        let mut received = 0usize;
+        while received < payloads.len() {
+            while sent < payloads.len() && sent - received < window {
+                let corr = self.submit(model, scenario, &payloads[sent])?;
+                corr_to_idx.insert(corr, sent);
+                sent += 1;
+            }
+            let resp = self.recv()?;
+            if let Some(&idx) = corr_to_idx.get(&resp.corr) {
+                out[idx] = Some(resp);
+                received += 1;
+            }
+        }
+        Ok(out.into_iter().map(|r| r.expect("all received")).collect())
+    }
+
+    /// Reads from the socket until at least one new response lands in
+    /// the stash.
+    fn fill(&mut self) -> io::Result<()> {
+        let mut buf = [0u8; 8 * 1024];
+        loop {
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.parser.feed(&buf[..n]).map_err(wire_to_io)?;
+            let mut any = false;
+            while let Some(frame) = self.parser.next_frame() {
+                match frame {
+                    Frame::Response(r) => {
+                        self.stash.push_back(r);
+                        any = true;
+                    }
+                    Frame::Request(_) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "request frame sent to client",
+                        ));
+                    }
+                }
+            }
+            if any {
+                return Ok(());
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Shared helpers for the serve test suites.
+//!
+//! The [`crate::faults`] injection harness is **process-global** (one
+//! plan, one enabled flag, one hit-counter set), so any two tests that
+//! arm it concurrently corrupt each other's deterministic cadences —
+//! the latent flake class behind sleep-calibrated timing assertions.
+//! Every suite used to re-roll the same fix: a process-wide mutex plus
+//! a `Drop` guard that disarms injection even when an assertion panics.
+//! This module is that pattern, written once; the chaos suite
+//! (`tests/faults.rs`), the wire-protocol suites (`tests/*net*.rs`) and
+//! the [`crate::faults`] unit tests all share it.
+//!
+//! The module ships in the library (not behind `#[cfg(test)]`) because
+//! integration-test binaries link `serve` as an external crate; it
+//! pulls in nothing beyond what [`crate::faults`] already uses.
+
+use crate::faults::{self, FaultPlan};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The one process-wide lock serializing every test that touches the
+/// global fault plan/flag/counters.
+fn faults_mutex() -> &'static Mutex<()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD.get_or_init(|| Mutex::new(()))
+}
+
+/// Holds the fault-harness lock for the armed test; dropping it —
+/// normally or during an assertion unwind — disarms injection and
+/// resets the plan, so the next test always starts clean.
+pub struct FaultsArmed {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultsArmed {
+    fn drop(&mut self) {
+        faults::set_enabled(false);
+        faults::configure(FaultPlan::default());
+    }
+}
+
+/// Arms `plan` for the duration of the returned guard: takes the
+/// process-wide fault lock (riding over poison — a previous test's
+/// panic must not cascade), installs the plan, and enables injection.
+pub fn arm_faults(plan: FaultPlan) -> FaultsArmed {
+    let guard = lock_faults();
+    faults::configure(plan);
+    faults::set_enabled(true);
+    guard
+}
+
+/// Takes the fault lock *without* arming anything — for tests that
+/// drive [`faults::set_enabled`] / [`faults::configure`] themselves but
+/// still need isolation from armed tests (and the disarm-on-drop
+/// cleanup).
+pub fn lock_faults() -> FaultsArmed {
+    let guard = match faults_mutex().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    FaultsArmed { _guard: guard }
+}

@@ -133,6 +133,17 @@ pub enum TraceEvent {
         /// Whether the task was stolen from another worker's deque.
         stolen: bool,
     },
+    /// A network connection was adopted by a reactor ([`crate::net`]);
+    /// the record's id is the connection id and its track the
+    /// connection's dedicated trace track.
+    ConnOpen,
+    /// A network connection was torn down by its reactor.
+    ConnClose {
+        /// Request frames decoded on the connection over its lifetime.
+        frames_in: u64,
+        /// Response frames written to the connection over its lifetime.
+        frames_out: u64,
+    },
 }
 
 impl TraceEvent {
@@ -148,6 +159,8 @@ impl TraceEvent {
             TraceEvent::BatchEnd { .. } => "BatchEnd",
             TraceEvent::Complete => "Complete",
             TraceEvent::TaskEnd { .. } => "TaskEnd",
+            TraceEvent::ConnOpen => "ConnOpen",
+            TraceEvent::ConnClose { .. } => "ConnClose",
         }
     }
 }
@@ -582,6 +595,23 @@ pub fn export_chrome() -> String {
                         r.tid,
                     )
                 }
+                TraceEvent::ConnOpen => format!(
+                    "{{\"name\": \"ConnOpen\", \"cat\": \"net\", \"ph\": \"i\", \"s\": \"t\", \
+                     \"ts\": {us:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{\"conn\": {}}}}}",
+                    QUEUE_TID_BASE + e.track,
+                    e.id,
+                ),
+                TraceEvent::ConnClose {
+                    frames_in,
+                    frames_out,
+                } => format!(
+                    "{{\"name\": \"ConnClose\", \"cat\": \"net\", \"ph\": \"i\", \"s\": \"t\", \
+                     \"ts\": {us:.3}, \"pid\": 1, \"tid\": {}, \
+                     \"args\": {{\"conn\": {}, \"frames_in\": {frames_in}, \
+                     \"frames_out\": {frames_out}}}}}",
+                    QUEUE_TID_BASE + e.track,
+                    e.id,
+                ),
             };
             push(line, &mut out);
         }

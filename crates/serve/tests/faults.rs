@@ -9,34 +9,17 @@
 //! next test starts clean).
 
 use serve::faults::{self, FaultPlan};
+use serve::net::{NetClient, NetConfig, NetServer, Status};
 use serve::overload::RetryPolicy;
 use serve::pool::Pool;
 use serve::server::{BatchPolicy, ScenarioSpec, ServeError, Server};
+// The arm/disarm mutex + Drop-guard pattern lives in the library now
+// (`serve::test_support`), shared with the faults unit tests and the
+// wire-protocol suites instead of being re-rolled per suite.
+use serve::test_support::arm_faults as arm;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Arms a fault plan for the duration of the returned guard; the guard
-/// also serializes tests (the plan, flag and counters are global).
-fn arm(plan: FaultPlan) -> Armed {
-    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
-    let g = match GUARD.get_or_init(|| Mutex::new(())).lock() {
-        Ok(g) => g,
-        Err(p) => p.into_inner(),
-    };
-    faults::configure(plan);
-    faults::set_enabled(true);
-    Armed(g)
-}
-
-struct Armed(#[allow(dead_code)] MutexGuard<'static, ()>);
-
-impl Drop for Armed {
-    fn drop(&mut self) {
-        faults::set_enabled(false);
-        faults::configure(FaultPlan::default());
-    }
-}
 
 /// A server that forms one batch per request (deterministic fault
 /// cadences: batch k is infer hit k).
@@ -211,11 +194,15 @@ fn predictive_admission_sheds_under_induced_slowness_and_retry_recovers() {
     // service histogram that a batch costs ~30 ms.
     let client = server.client();
     for i in 0..6 {
+        // The sync client is fulfilled just *before* the dispatch task
+        // releases its outstanding slot; pause between warm-ups so every
+        // submit truly sees an empty queue (otherwise a warm predictor
+        // can shed the tail of the warm-up itself).
         assert_eq!(client.infer("m", "s", i), Ok(i), "warm-up must be admitted");
+        std::thread::sleep(Duration::from_millis(5));
     }
-    // The sync client is fulfilled just *before* the dispatch task
-    // releases its outstanding slot, so give the last warm-up slot a
-    // moment to drain — the burst below must start from depth 0.
+    // Give the last warm-up slot a moment to drain — the burst below
+    // must start from depth 0.
     std::thread::sleep(Duration::from_millis(10));
     // Burst without waiting: the first submission lands on an empty
     // queue, every following one sees outstanding ≥ 1 → forecast ≥
@@ -266,5 +253,93 @@ fn predictive_admission_sheds_under_induced_slowness_and_retry_recovers() {
     for _ in 0..accepted {
         cq.wait(Duration::from_secs(10)).expect("completion lost");
     }
+    server.shutdown();
+}
+
+#[test]
+fn chaos_over_the_wire_yields_exactly_one_response_per_frame() {
+    // Injected infer panics (every 3rd batch) and delays (every 2nd)
+    // while requests arrive over a loopback socket: the wire must keep
+    // the core's exactly-one-completion guarantee — exactly one
+    // response frame per accepted request frame — and failed batches
+    // must surface as typed, wire-visible statuses.
+    let _armed = arm(FaultPlan {
+        infer_panic_every: 3,
+        infer_delay: Duration::from_millis(2),
+        infer_delay_every: 2,
+        ..FaultPlan::default()
+    });
+    let server: Server<Vec<u8>, Vec<u8>> = Server::new(
+        Pool::new(2),
+        BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::from_millis(0),
+        },
+    );
+    server
+        .register(
+            ScenarioSpec::new("m", "s").max_batch(1),
+            |xs: &[Vec<u8>]| xs.to_vec(),
+        )
+        .unwrap();
+    let net = NetServer::bind(
+        &server,
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            reactors: 1,
+            per_conn_inflight: 64,
+        },
+    )
+    .expect("bind loopback");
+
+    const TOTAL: usize = 30;
+    let mut client = NetClient::connect(net.local_addr()).expect("connect");
+    let payloads: Vec<Vec<u8>> = (0..TOTAL).map(|i| vec![i as u8; 8]).collect();
+    let responses = client
+        .call_pipelined("m", "s", &payloads, 8)
+        .expect("pipelined run");
+
+    // Exactly one response per frame, correlated back to its payload.
+    assert_eq!(responses.len(), TOTAL, "one response per accepted frame");
+    let ok = responses.iter().filter(|r| r.status == Status::Ok).count();
+    let failed = responses
+        .iter()
+        .filter(|r| r.status == Status::InferenceFailed)
+        .count();
+    assert_eq!(ok + failed, TOTAL, "no third status under infer faults");
+    for (i, r) in responses.iter().enumerate() {
+        if r.status == Status::Ok {
+            assert_eq!(r.payload, payloads[i], "echo must match its frame");
+        } else {
+            assert!(
+                !r.payload.is_empty(),
+                "error responses carry a message payload"
+            );
+        }
+    }
+    // With max_batch=1, batch k is infer hit k: every 3rd panics, so a
+    // third of the wire traffic must come back InferenceFailed.
+    assert_eq!(failed, TOTAL / 3, "every 3rd batch panic must be visible");
+    assert!(faults::stats().infer_panics >= (TOTAL / 3) as u64);
+    assert!(faults::stats().infer_delays > 0, "delays must have fired");
+
+    // The accounting closes: every decoded frame was answered.
+    let ns = net.stats();
+    assert_eq!(ns.frames_in, TOTAL as u64);
+    assert_eq!(ns.frames_out, TOTAL as u64);
+    assert_eq!(ns.protocol_errors, 0);
+
+    // Injection off, the same connection still serves cleanly.
+    faults::set_enabled(false);
+    let r = client
+        .call("m", "s", b"after-chaos")
+        .expect("post-chaos call");
+    assert_eq!(
+        (r.status, r.payload.as_slice()),
+        (Status::Ok, &b"after-chaos"[..])
+    );
+
+    drop(client);
+    net.shutdown();
     server.shutdown();
 }

@@ -1,0 +1,201 @@
+//! Property tests for the wire protocol (`serve::net`): frame
+//! encode/decode round-trips for arbitrary payloads (empty, sized, and
+//! every status code), and the resumable-parser equivalence law — any
+//! chunking of a valid byte stream decodes to the identical frame
+//! sequence, byte split points be damned.
+
+use proptest::prelude::*;
+use serve::net::{Frame, FrameParser, RequestFrame, ResponseFrame, Status};
+use std::time::Duration;
+
+/// Strategy: short (possibly empty) lowercase identifier.
+fn name() -> impl Strategy<Value = String> {
+    prop::collection::vec(97u8..123u8, 0..12)
+        .prop_map(|v| String::from_utf8(v).expect("ascii lowercase"))
+}
+
+/// Strategy: arbitrary payload bytes, length 0..=512.
+fn payload() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=255u8, 0..=512)
+}
+
+/// Strategy: one of the ten assigned status codes.
+fn status() -> impl Strategy<Value = Status> {
+    (0usize..Status::ALL.len()).prop_map(|i| Status::ALL[i])
+}
+
+/// Strategy: an arbitrary frame of either kind (one homogeneous
+/// tuple strategy — the kind selector and status index ride in it).
+fn frame() -> impl Strategy<Value = Frame> {
+    (
+        0usize..2,
+        0u64..u64::MAX,
+        name(),
+        name(),
+        payload(),
+        0u64..10_000_000u64,
+    )
+        .prop_map(|(kind, corr, model, scenario, payload, retry_us)| {
+            if kind == 0 {
+                Frame::Request(RequestFrame {
+                    corr,
+                    model,
+                    scenario,
+                    payload,
+                })
+            } else {
+                Frame::Response(ResponseFrame {
+                    corr,
+                    status: Status::ALL[(retry_us % Status::ALL.len() as u64) as usize],
+                    retry_after: Duration::from_micros(retry_us),
+                    payload,
+                })
+            }
+        })
+}
+
+/// Decodes one byte stream in one shot, asserting no poison.
+fn decode_all(bytes: &[u8]) -> Vec<Frame> {
+    let mut p = FrameParser::new();
+    p.feed(bytes).expect("valid stream must decode");
+    let mut out = Vec::new();
+    while let Some(f) = p.next_frame() {
+        out.push(f);
+    }
+    assert_eq!(p.buffered(), 0, "no trailing bytes after whole frames");
+    out
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip(
+        corr in 0u64..u64::MAX,
+        model in name(),
+        scenario in name(),
+        payload in payload(),
+    ) {
+        let frame = RequestFrame { corr, model, scenario, payload };
+        let decoded = decode_all(&frame.encode());
+        prop_assert_eq!(decoded, vec![Frame::Request(frame)]);
+    }
+
+    #[test]
+    fn response_roundtrip(
+        corr in 0u64..u64::MAX,
+        status in status(),
+        retry_us in 0u64..10_000_000u64,
+        payload in payload(),
+    ) {
+        let frame = ResponseFrame {
+            corr,
+            status,
+            retry_after: Duration::from_micros(retry_us),
+            payload,
+        };
+        let decoded = decode_all(&frame.encode());
+        prop_assert_eq!(decoded, vec![Frame::Response(frame)]);
+    }
+
+    #[test]
+    fn status_codes_roundtrip(i in 0usize..10) {
+        let s = Status::ALL[i];
+        prop_assert_eq!(Status::from_u8(s.as_u8()), Some(s));
+        prop_assert_eq!(s.as_u8() as usize, i, "wire codes are positional");
+    }
+
+    // The resumable-parser equivalence law: concatenate several frames,
+    // split the byte stream at arbitrary points, feed the chunks one by
+    // one — the decoded frame sequence is identical to the one-shot
+    // decode, regardless of where the splits landed (mid-preamble,
+    // mid-header, mid-payload).
+    #[test]
+    fn any_chunking_decodes_identically(
+        frames in prop::collection::vec(frame(), 1..5),
+        cuts in prop::collection::vec(0usize..4096, 0..16),
+    ) {
+        let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        let oneshot = decode_all(&stream);
+        prop_assert_eq!(&oneshot, &frames);
+
+        // Map the raw cut points into in-range, sorted split offsets.
+        let mut splits: Vec<usize> = cuts
+            .iter()
+            .map(|&c| if stream.is_empty() { 0 } else { c % stream.len() })
+            .collect();
+        splits.sort_unstable();
+        splits.dedup();
+
+        let mut p = FrameParser::new();
+        let mut chunked = Vec::new();
+        let mut prev = 0usize;
+        for &cut in splits.iter().chain(std::iter::once(&stream.len())) {
+            p.feed(&stream[prev..cut]).expect("chunk of a valid stream");
+            while let Some(f) = p.next_frame() {
+                chunked.push(f);
+            }
+            prev = cut;
+        }
+        prop_assert_eq!(p.buffered(), 0);
+        prop_assert!(p.poisoned().is_none());
+        prop_assert_eq!(chunked, oneshot);
+    }
+
+    // Degenerate chunking: every byte arrives alone. The parser must
+    // make progress on one-byte feeds and still decode the identical
+    // sequence (this is the worst torn-read case a socket can produce).
+    #[test]
+    fn byte_at_a_time_decodes_identically(frames in prop::collection::vec(frame(), 1..4)) {
+        let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        let mut p = FrameParser::new();
+        let mut chunked = Vec::new();
+        for b in &stream {
+            p.feed(std::slice::from_ref(b)).expect("single byte of a valid stream");
+            while let Some(f) = p.next_frame() {
+                chunked.push(f);
+            }
+        }
+        prop_assert_eq!(chunked, frames);
+        prop_assert_eq!(p.buffered(), 0);
+    }
+}
+
+#[test]
+fn empty_payload_and_names_roundtrip() {
+    let frame = RequestFrame {
+        corr: 0,
+        model: String::new(),
+        scenario: String::new(),
+        payload: Vec::new(),
+    };
+    assert_eq!(decode_all(&frame.encode()), vec![Frame::Request(frame)]);
+}
+
+#[test]
+fn max_size_payload_roundtrips_and_one_byte_more_is_rejected() {
+    // Exercise the ceiling itself on a small parser (the default 16 MiB
+    // cap would make this allocation-bound, not logic-bound).
+    const CAP: usize = 4096;
+    let frame = ResponseFrame {
+        corr: 7,
+        status: Status::Ok,
+        retry_after: Duration::ZERO,
+        payload: vec![0xAB; CAP],
+    };
+    let mut p = FrameParser::with_max_payload(CAP);
+    p.feed(&frame.encode()).expect("payload at the cap decodes");
+    assert_eq!(p.next_frame(), Some(Frame::Response(frame.clone())));
+
+    let over = ResponseFrame {
+        payload: vec![0xAB; CAP + 1],
+        ..frame
+    };
+    let mut p = FrameParser::with_max_payload(CAP);
+    let err = p.feed(&over.encode()).expect_err("over the cap must fail");
+    assert_eq!(
+        err,
+        serve::net::WireError::Oversized {
+            len: CAP + 1,
+            max: CAP
+        }
+    );
+}
