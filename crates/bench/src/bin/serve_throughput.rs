@@ -192,7 +192,7 @@ fn hammer(
         let combos = combos.to_vec();
         let inputs = inputs.to_vec();
         joins.push(std::thread::spawn(move || loop {
-            let i = counter.fetch_add(1, Ordering::Relaxed);
+            let i = counter.fetch_add(1, Ordering::Relaxed); // ordering: relaxed work-claim counter; joins order the results
             if i >= requests {
                 break;
             }
@@ -236,7 +236,7 @@ fn sync_thread_per_request(
         joins.push(
             builder
                 .spawn(move || loop {
-                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    let i = counter.fetch_add(1, Ordering::Relaxed); // ordering: relaxed work-claim counter; joins order the results
                     if i >= total {
                         break;
                     }

@@ -5,6 +5,8 @@
 //! `LPQ_PRESET=paper` for the full-budget genetic search (the default
 //! `quick` preset runs the same algorithm with smaller budgets).
 
+#![forbid(unsafe_code)]
+
 use dnn::graph::{Model, QuantScheme};
 use dnn::{data, models};
 use lp::format::LpParams;

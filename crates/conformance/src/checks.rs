@@ -1,0 +1,726 @@
+//! The seven invariant checks, each enforcing one documented repo rule.
+//!
+//! Every check is a pure function `fn(&Workspace) -> Vec<Finding>` and is
+//! registered in [`REGISTRY`] under a stable id. A finding can be
+//! silenced at its site with an inline directive on the same line or in
+//! the comment block immediately above:
+//!
+//! ```text
+//! // conformance: allow(<check-id>) — reason
+//! ```
+//!
+//! (suppression is applied by the runner in `lib.rs`, which also counts
+//! what it silenced — the report never hides that something was waived).
+
+use crate::lexer::{Tok, Token};
+use crate::report::Finding;
+use crate::workspace::Workspace;
+
+/// A registered check: `(id, one-line description, implementation)`.
+pub type Check = (&'static str, &'static str, fn(&Workspace) -> Vec<Finding>);
+
+/// All checks, in report order.
+pub const REGISTRY: &[Check] = &[
+    (
+        "unsafe-islands",
+        "`unsafe` only inside the sanctioned islands (lp::simd, \
+         dnn::tensor::microkernel, the serve::pool scope-transmute); every \
+         crate root carries deny(unsafe_code)/forbid(unsafe_code)",
+        unsafe_islands,
+    ),
+    (
+        "no-fma",
+        "no mul_add/fma in lp or dnn kernel code — fused single rounding \
+         would break the cross-tier bit-identity chain",
+        no_fma,
+    ),
+    (
+        "atomic-ordering-audit",
+        "every atomic memory-ordering use in library code carries an \
+         `// ordering:` justification on the same or preceding line",
+        atomic_ordering_audit,
+    ),
+    (
+        "env-knob-registry",
+        "every env-var key read by library/bench code appears in README's \
+         tuning-knob table, and every env row there is backed by code",
+        env_knob_registry,
+    ),
+    (
+        "wire-status-stability",
+        "serve::net wire status codes are dense 0..=9 and match \
+         ARCHITECTURE.md's status table name-for-name",
+        wire_status_stability,
+    ),
+    (
+        "no-sleep-in-library",
+        "no thread::sleep in library code outside #[cfg(test)] modules \
+         (bench harness code and explicitly allowed sites excepted)",
+        no_sleep_in_library,
+    ),
+    (
+        "vendored-deps-only",
+        "every dependency in every workspace manifest is a path (or \
+         workspace-inherited) dep — the build has no registry access",
+        vendored_deps_only,
+    ),
+];
+
+// ---------------------------------------------------------------------------
+// token-stream helpers
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.kind), Some(Tok::Punct(p)) if *p == c)
+}
+
+fn str_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(Tok::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Index of the token after the `{ … }` group opening at `open` (which
+/// must be a `{`), i.e. one past the matching `}`. Returns `toks.len()`
+/// on unbalanced input.
+fn skip_braces(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].kind {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Index one past the `]` matching the `[` at `open`.
+fn skip_brackets(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].kind {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Token-index ranges (half-open) of the bodies of `mod` items named
+/// `name` (e.g. the sanctioned `microkernel` island).
+fn mod_spans(toks: &[Token], name: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        if ident_at(toks, i) == Some("mod")
+            && ident_at(toks, i + 1) == Some(name)
+            && punct_at(toks, i + 2, '{')
+        {
+            spans.push((i + 2, skip_braces(toks, i + 2)));
+        }
+    }
+    spans
+}
+
+/// Token-index ranges of `#[cfg(test)] mod … { … }` bodies, including
+/// any further attributes between the cfg and the `mod` keyword.
+fn cfg_test_mod_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_cfg_test = punct_at(toks, i, '#')
+            && punct_at(toks, i + 1, '[')
+            && ident_at(toks, i + 2) == Some("cfg")
+            && punct_at(toks, i + 3, '(')
+            && ident_at(toks, i + 4) == Some("test")
+            && punct_at(toks, i + 5, ')')
+            && punct_at(toks, i + 6, ']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        // Skip any further `#[…]` attributes on the same item.
+        while punct_at(toks, j, '#') && punct_at(toks, j + 1, '[') {
+            j = skip_brackets(toks, j + 1);
+        }
+        if ident_at(toks, j) == Some("pub") {
+            j += 1;
+        }
+        if ident_at(toks, j) == Some("mod") && punct_at(toks, j + 2, '{') {
+            spans.push((j + 2, skip_braces(toks, j + 2)));
+        }
+        i += 7;
+    }
+    spans
+}
+
+fn in_spans(spans: &[(usize, usize)], i: usize) -> bool {
+    spans.iter().any(|&(a, b)| a <= i && i < b)
+}
+
+/// Library source of member crates: `crates/<c>/src/**`.
+fn is_crate_src(rel: &str) -> bool {
+    rel.starts_with("crates/") && rel.contains("/src/")
+}
+
+// ---------------------------------------------------------------------------
+// check 1: unsafe-islands
+
+/// Files in which `unsafe` is sanctioned wholesale (module-scoped
+/// islands are handled separately; the serve::pool transmute carries an
+/// inline `conformance: allow(unsafe-islands)` at its one site).
+const UNSAFE_WHOLE_FILE_ISLANDS: &[&str] = &["crates/lp/src/simd.rs"];
+
+fn unsafe_islands(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if UNSAFE_WHOLE_FILE_ISLANDS.contains(&f.rel.as_str()) {
+            continue;
+        }
+        let toks = &f.lex.tokens;
+        // dnn's island is one module, not the whole tensor file.
+        let island_spans = if f.rel == "crates/dnn/src/tensor.rs" {
+            mod_spans(toks, "microkernel")
+        } else {
+            Vec::new()
+        };
+        for (i, t) in toks.iter().enumerate() {
+            if matches!(&t.kind, Tok::Ident(s) if s == "unsafe") && !in_spans(&island_spans, i) {
+                out.push(Finding::new(
+                    &f.rel,
+                    t.line,
+                    "`unsafe` outside the sanctioned islands (lp::simd, \
+                     dnn::tensor::microkernel, serve::pool scope-transmute)",
+                ));
+            }
+        }
+    }
+    // Every crate root must opt out of unsafe at the lint level.
+    for f in &ws.files {
+        let is_root = f.rel == "src/lib.rs"
+            || (f.rel.starts_with("crates/")
+                && f.rel.ends_with("/src/lib.rs")
+                && f.rel.matches('/').count() == 3);
+        if is_root && !has_unsafe_code_lint(&f.lex.tokens) {
+            out.push(Finding::new(
+                &f.rel,
+                0,
+                "crate root missing #![deny(unsafe_code)] / #![forbid(unsafe_code)]",
+            ));
+        }
+    }
+    out
+}
+
+fn has_unsafe_code_lint(toks: &[Token]) -> bool {
+    (0..toks.len()).any(|i| {
+        punct_at(toks, i, '#')
+            && punct_at(toks, i + 1, '!')
+            && punct_at(toks, i + 2, '[')
+            && matches!(ident_at(toks, i + 3), Some("deny") | Some("forbid"))
+            && punct_at(toks, i + 4, '(')
+            && ident_at(toks, i + 5) == Some("unsafe_code")
+            && punct_at(toks, i + 6, ')')
+            && punct_at(toks, i + 7, ']')
+    })
+}
+
+// ---------------------------------------------------------------------------
+// check 2: no-fma
+
+fn no_fma(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if !(f.rel.starts_with("crates/lp/src") || f.rel.starts_with("crates/dnn/src")) {
+            continue;
+        }
+        for t in &f.lex.tokens {
+            if matches!(&t.kind, Tok::Ident(s) if s == "mul_add" || s == "fma") {
+                out.push(Finding::new(
+                    &f.rel,
+                    t.line,
+                    "fused multiply-add in kernel code: single rounding breaks \
+                     the scalar/blocked/SIMD bit-identity chain",
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// check 3: atomic-ordering-audit
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn atomic_ordering_audit(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if !(is_crate_src(&f.rel) || f.rel.starts_with("src/")) {
+            continue;
+        }
+        let toks = &f.lex.tokens;
+        // Collect the lines holding `Ordering::<variant>` uses. The
+        // variant-name filter keeps `cmp::Ordering::{Less,Equal,Greater}`
+        // out of scope — only the atomic orderings are audited, and only
+        // in production code (#[cfg(test)] modules assert on counters,
+        // they don't synchronize anything).
+        let test_spans = cfg_test_mod_spans(toks);
+        let mut site_lines: Vec<u32> = Vec::new();
+        for i in 0..toks.len() {
+            if ident_at(toks, i) == Some("Ordering")
+                && punct_at(toks, i + 1, ':')
+                && punct_at(toks, i + 2, ':')
+                && matches!(ident_at(toks, i + 3), Some(v) if ATOMIC_ORDERINGS.contains(&v))
+                && !in_spans(&test_spans, i)
+            {
+                site_lines.push(toks[i + 3].line);
+            }
+        }
+        site_lines.sort_unstable();
+        site_lines.dedup();
+        // A line is justified by an `ordering:` comment on the line, by a
+        // comment run ending on the previous line, or by chaining off an
+        // adjacent justified site line (multi-line calls such as
+        // `fetch_update(Ordering::AcqRel, Ordering::Acquire, …)` share
+        // one justification).
+        let mut prev: Option<(u32, bool)> = None;
+        for &line in &site_lines {
+            let direct = f.lex.comment_on_line_contains(line, "ordering:")
+                || f.lex
+                    .comment_run_ending_at_contains(line.saturating_sub(1), "ordering:");
+            let ok = direct || matches!(prev, Some((l, true)) if l + 1 == line);
+            if !ok {
+                out.push(Finding::new(
+                    &f.rel,
+                    line,
+                    "atomic Ordering use without an `// ordering:` justification \
+                     comment on the same or preceding line",
+                ));
+            }
+            prev = Some((line, ok));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// check 4: env-knob-registry
+
+/// Functions whose first string-literal argument is an env-var key.
+const ENV_READ_FNS: &[&str] = &["var", "var_os", "env_usize"];
+
+fn looks_like_env_key(s: &str) -> bool {
+    s.len() >= 4
+        && s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        && s.chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Library/bench code that may read env knobs (tests and examples are
+/// free to set/read whatever they like).
+fn env_scope(rel: &str) -> bool {
+    is_crate_src(rel) || rel.starts_with("src/") || rel.contains("/benches/")
+}
+
+fn env_knob_registry(ws: &Workspace) -> Vec<Finding> {
+    // 1. Harvest keys from code: direct `env::var("KEY")`-style reads and
+    //    `const SOME_ENV: &str = "KEY"` registrations (the repo idiom for
+    //    documented knobs — the constant is then passed to env::var).
+    let mut code_keys: Vec<(String, String, u32)> = Vec::new(); // key, file, line
+    for f in ws.files.iter().filter(|f| env_scope(&f.rel)) {
+        let toks = &f.lex.tokens;
+        for i in 0..toks.len() {
+            if matches!(ident_at(toks, i), Some(id) if ENV_READ_FNS.contains(&id))
+                && punct_at(toks, i + 1, '(')
+            {
+                if let Some(key) = str_at(toks, i + 2) {
+                    if looks_like_env_key(key) {
+                        code_keys.push((key.to_string(), f.rel.clone(), toks[i + 2].line));
+                    }
+                }
+            }
+            if ident_at(toks, i) == Some("const")
+                && matches!(ident_at(toks, i + 1), Some(name) if name.ends_with("_ENV"))
+            {
+                // First string literal before the terminating `;`.
+                let mut j = i + 2;
+                while j < toks.len() && !punct_at(toks, j, ';') {
+                    if let Some(key) = str_at(toks, j) {
+                        if looks_like_env_key(key) {
+                            code_keys.push((key.to_string(), f.rel.clone(), toks[j].line));
+                        }
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    // 2. Harvest keys from README's tuning table: rows whose "Where"
+    //    column says env, expanding `PREFIX_{A,B}_SUFFIX` brace patterns.
+    let mut readme_keys: Vec<(String, u32)> = Vec::new();
+    let readme = ws.readme.as_deref().unwrap_or("");
+    for (ln, line) in readme.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cols: Vec<&str> = line.trim_matches('|').split('|').collect();
+        if cols.len() < 2 {
+            continue;
+        }
+        let where_col = cols[1];
+        let is_env_row = where_col
+            .split(|c: char| !c.is_ascii_alphanumeric())
+            .any(|w| w == "env");
+        if !is_env_row {
+            continue;
+        }
+        for chunk in backticked(cols[0]) {
+            for key in expand_braces(&chunk) {
+                if looks_like_env_key(&key) {
+                    readme_keys.push((key, ln as u32 + 1));
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    if ws.readme.is_none() {
+        out.push(Finding::new(
+            "README.md",
+            0,
+            "README.md not found — the tuning-knob registry is unverifiable",
+        ));
+        return out;
+    }
+    // 3. Drift in either direction is a finding.
+    let mut reported: Vec<&str> = Vec::new();
+    for (key, file, line) in &code_keys {
+        if !readme_keys.iter().any(|(k, _)| k == key) && !reported.contains(&key.as_str()) {
+            reported.push(key);
+            out.push(Finding::new(
+                file.clone(),
+                *line,
+                format!("env knob `{key}` is read here but missing from README's tuning table"),
+            ));
+        }
+    }
+    for (key, line) in &readme_keys {
+        if !code_keys.iter().any(|(k, _, _)| k == key) {
+            out.push(Finding::new(
+                "README.md",
+                *line,
+                format!("README tuning table lists `{key}` but no library/bench code reads it"),
+            ));
+        }
+    }
+    out
+}
+
+/// The backtick-quoted chunks of a Markdown table cell.
+fn backticked(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(a) = rest.find('`') {
+        let after = &rest[a + 1..];
+        match after.find('`') {
+            Some(b) => {
+                out.push(after[..b].to_string());
+                rest = &after[b + 1..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Expand one `PREFIX_{A,B}_SUFFIX` brace group (the README idiom for
+/// families of knobs). Non-brace input passes through unchanged.
+fn expand_braces(s: &str) -> Vec<String> {
+    match (s.find('{'), s.find('}')) {
+        (Some(a), Some(b)) if a < b => {
+            let (prefix, rest) = (&s[..a], &s[a + 1..b]);
+            let suffix = &s[b + 1..];
+            rest.split(',')
+                .flat_map(|alt| expand_braces(&format!("{prefix}{}{suffix}", alt.trim())))
+                .collect()
+        }
+        _ => vec![s.to_string()],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// check 5: wire-status-stability
+
+fn wire_status_stability(ws: &Workspace) -> Vec<Finding> {
+    const NET_RS: &str = "crates/serve/src/net.rs";
+    let mut out = Vec::new();
+    let Some(f) = ws.file(NET_RS) else {
+        return out; // no network edge in this tree (fixture roots)
+    };
+    let toks = &f.lex.tokens;
+    // Parse `enum Status { Name = N, … }`.
+    let mut variants: Vec<(String, u32, u32)> = Vec::new(); // name, code, line
+    for i in 0..toks.len() {
+        if ident_at(toks, i) == Some("enum")
+            && ident_at(toks, i + 1) == Some("Status")
+            && punct_at(toks, i + 2, '{')
+        {
+            let end = skip_braces(toks, i + 2);
+            let mut j = i + 3;
+            while j + 2 < end {
+                if let (Some(name), true, Some(Tok::Num(n))) = (
+                    ident_at(toks, j),
+                    punct_at(toks, j + 1, '='),
+                    toks.get(j + 2).map(|t| &t.kind),
+                ) {
+                    if let Ok(code) = n.parse::<u32>() {
+                        variants.push((name.to_string(), code, toks[j].line));
+                    }
+                    j += 3;
+                } else {
+                    j += 1;
+                }
+            }
+            break;
+        }
+    }
+    if variants.is_empty() {
+        out.push(Finding::new(
+            NET_RS,
+            0,
+            "could not parse `enum Status` with explicit discriminants",
+        ));
+        return out;
+    }
+    // Density: discriminants must be exactly 0..=len-1 in declaration
+    // order, and the table is pinned at 10 codes (0..=9) — growing the
+    // protocol is a conscious act that updates this check.
+    for (idx, (name, code, line)) in variants.iter().enumerate() {
+        if *code != idx as u32 {
+            out.push(Finding::new(
+                NET_RS,
+                *line,
+                format!("wire status `{name}` has discriminant {code}, expected {idx} (dense 0..)"),
+            ));
+        }
+    }
+    if variants.len() != 10 {
+        out.push(Finding::new(
+            NET_RS,
+            variants.last().map(|v| v.2).unwrap_or(0),
+            format!(
+                "wire status table has {} codes, expected the documented dense 0..=9",
+                variants.len()
+            ),
+        ));
+    }
+    // Cross-check ARCHITECTURE.md's `| code | `Name` |` table.
+    let arch = ws.architecture.as_deref().unwrap_or("");
+    let mut doc_rows: Vec<(u32, String, u32)> = Vec::new();
+    for (ln, line) in arch.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cols: Vec<&str> = line.trim_matches('|').split('|').collect();
+        if cols.len() < 2 {
+            continue;
+        }
+        if let Ok(code) = cols[0].trim().parse::<u32>() {
+            let names = backticked(cols[1]);
+            if let Some(name) = names.first() {
+                doc_rows.push((code, name.clone(), ln as u32 + 1));
+            }
+        }
+    }
+    if doc_rows.is_empty() {
+        out.push(Finding::new(
+            "ARCHITECTURE.md",
+            0,
+            "no wire-status table (| code | `Name` | …) found to check against serve::net",
+        ));
+        return out;
+    }
+    for (code, name, ln) in &doc_rows {
+        match variants.iter().find(|(_, c, _)| c == code) {
+            Some((vname, _, _)) if vname == name => {}
+            Some((vname, _, _)) => out.push(Finding::new(
+                "ARCHITECTURE.md",
+                *ln,
+                format!("status {code} documented as `{name}` but serve::net names it `{vname}`"),
+            )),
+            None => out.push(Finding::new(
+                "ARCHITECTURE.md",
+                *ln,
+                format!("status {code} (`{name}`) documented but absent from serve::net"),
+            )),
+        }
+    }
+    for (vname, code, line) in &variants {
+        if !doc_rows.iter().any(|(c, _, _)| c == code) {
+            out.push(Finding::new(
+                NET_RS,
+                *line,
+                format!("wire status `{vname}` = {code} is not documented in ARCHITECTURE.md"),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// check 6: no-sleep-in-library
+
+fn no_sleep_in_library(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        // Library source only: tests may pace themselves freely, and the
+        // bench crate is harness code whose whole job is shaping load.
+        if !is_crate_src(&f.rel) || f.rel.starts_with("crates/bench/") {
+            continue;
+        }
+        let toks = &f.lex.tokens;
+        let test_spans = cfg_test_mod_spans(toks);
+        for i in 0..toks.len() {
+            if ident_at(toks, i) == Some("thread")
+                && punct_at(toks, i + 1, ':')
+                && punct_at(toks, i + 2, ':')
+                && ident_at(toks, i + 3) == Some("sleep")
+                && !in_spans(&test_spans, i)
+            {
+                out.push(Finding::new(
+                    &f.rel,
+                    toks[i].line,
+                    "thread::sleep in library code outside #[cfg(test)] — \
+                     blocking naps hide backpressure; use the documented \
+                     allowlist directive only for sanctioned waits",
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// check 7: vendored-deps-only
+
+const DEP_SECTIONS: &[&str] = &["dependencies", "dev-dependencies", "build-dependencies"];
+
+fn is_dep_section(header: &str) -> bool {
+    // [dependencies], [dev-dependencies], [workspace.dependencies],
+    // [target.'cfg(…)'.dependencies] — but NOT [dependencies.foo]
+    // (handled as a single-entry section by the caller).
+    let last = header.rsplit('.').next().unwrap_or(header);
+    DEP_SECTIONS.contains(&last)
+}
+
+fn vendored_deps_only(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (rel, text) in &ws.manifests {
+        let mut in_deps = false;
+        // `[dependencies.foo]` sub-table: collect its keys to one entry.
+        let mut subtable: Option<(String, u32, bool)> = None; // name, line, ok
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = ln as u32 + 1;
+            if line.starts_with('[') && line.ends_with(']') {
+                flush_subtable(&mut subtable, rel, &mut out);
+                let header = &line[1..line.len() - 1];
+                if let Some(prefix) = header_dep_subtable(header) {
+                    subtable = Some((prefix.to_string(), lineno, false));
+                    in_deps = false;
+                } else {
+                    in_deps = is_dep_section(header);
+                }
+                continue;
+            }
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((_, _, ok)) = &mut subtable {
+                let key = line.split('=').next().unwrap_or("").trim();
+                if key == "path" || (key == "workspace" && line.contains("true")) {
+                    *ok = true;
+                }
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let ok = value.contains("path")
+                || value.contains("workspace")
+                || key.ends_with(".workspace");
+            if !ok {
+                out.push(Finding::new(
+                    rel.clone(),
+                    lineno,
+                    format!(
+                        "dependency `{}` is not a path/workspace dep — the offline \
+                         build has no registry access; vendor it under vendor/",
+                        key.split('.').next().unwrap_or(key)
+                    ),
+                ));
+            }
+        }
+        flush_subtable(&mut subtable, rel, &mut out);
+    }
+    out
+}
+
+/// If `header` is a `[…dependencies.<name>]` sub-table, return `<name>`.
+fn header_dep_subtable(header: &str) -> Option<&str> {
+    let mut parts = header.split('.').rev();
+    let name = parts.next()?;
+    let section = parts.next()?;
+    if DEP_SECTIONS.contains(&section) {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+fn flush_subtable(sub: &mut Option<(String, u32, bool)>, rel: &str, out: &mut Vec<Finding>) {
+    if let Some((name, line, ok)) = sub.take() {
+        if !ok {
+            out.push(Finding::new(
+                rel,
+                line,
+                format!(
+                    "dependency `{name}` is not a path/workspace dep — the offline \
+                     build has no registry access; vendor it under vendor/"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! A small Rust lexer, exactly deep enough for invariant checking.
+//!
+//! The conformance checks need to distinguish *code* from *text*: an
+//! `unsafe` inside a doc comment or a `"thread::sleep"` inside a string
+//! literal must never trip a check, while the same token in code must.
+//! Pulling in `syn` is not an option (the build is offline and the tool
+//! must stay dependency-free), so this module hand-rolls the lexical
+//! subset of Rust the checks care about:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), collected separately so checks can look for
+//!   justification / suppression directives;
+//! * cooked strings (`"…"` with escapes), byte strings (`b"…"`), and
+//!   raw (byte) strings with arbitrary hash fences (`r#"…"#`,
+//!   `br##"…"##`) — the content is kept so checks can read env-var keys;
+//! * char literals vs lifetimes vs loop labels (`'a'` / `'a` /
+//!   `'outer:`), including escaped chars (`'\''`, `'\u{1F600}'`);
+//! * raw identifiers (`r#type`), plain identifiers, numbers (kept as
+//!   text so enum discriminants can be read back), and single-char
+//!   punctuation.
+//!
+//! The output is a flat token stream plus a comment list, both carrying
+//! 1-based line numbers. No spans, no trees: checks pattern-match over
+//! token windows and correlate with comment lines.
+
+/// One lexical token, with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is (and its text, where checks need it).
+    pub kind: Tok,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// Token kinds. Only the distinctions the checks use are kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `mul_add`, …).
+    Ident(String),
+    /// String literal — cooked, byte, raw, or raw-byte — with its
+    /// *source* content (escape sequences left as written; env-var keys
+    /// and doc-table strings never contain escapes).
+    Str(String),
+    /// Numeric literal, kept as source text (`0`, `0x1F`, `1_000u64`).
+    Num(String),
+    /// Char literal (`'a'`, `'\''`). Content is not needed by any check.
+    CharLit,
+    /// Lifetime or loop label (`'a`, `'outer`). Distinguished from
+    /// [`Tok::CharLit`] by the missing closing quote.
+    Lifetime(String),
+    /// Any other single character of punctuation (`::` is two `:`).
+    Punct(char),
+}
+
+/// A comment — line or block — with its line span and raw text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// The comment text, including its `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True if some comment overlapping `line` contains `needle`.
+    pub fn comment_on_line_contains(&self, line: u32, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line <= line && line <= c.end_line && c.text.contains(needle))
+    }
+
+    /// True if a comment run ending exactly on `line` (i.e. the comment
+    /// block immediately above a statement on `line + 1`) contains
+    /// `needle`. A "run" is a sequence of comments on consecutive lines;
+    /// the needle may appear anywhere in the run.
+    pub fn comment_run_ending_at_contains(&self, line: u32, needle: &str) -> bool {
+        // Find the comment ending on `line`, then extend upward through
+        // comments on consecutive preceding lines.
+        let mut end = match self.comments.iter().rposition(|c| c.end_line == line) {
+            Some(i) => i,
+            None => return false,
+        };
+        if self.comments[end].text.contains(needle) {
+            return true;
+        }
+        while end > 0 {
+            let prev = &self.comments[end - 1];
+            if prev.end_line + 1 != self.comments[end].line {
+                break;
+            }
+            end -= 1;
+            if prev.text.contains(needle) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated
+/// constructs consume to end of input (the checks then see whatever was
+/// lexed — good enough for a linter that runs on compiling code).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! bump_lines {
+        ($slice:expr) => {
+            line += $slice.iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comment: track depth.
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'"' => {
+                let start_line = line;
+                let (content, end) = cooked_string(src, i);
+                bump_lines!(&b[i..end]);
+                out.tokens.push(Token {
+                    kind: Tok::Str(content),
+                    line: start_line,
+                });
+                i = end;
+            }
+            b'\'' => {
+                let start_line = line;
+                let (tok, end) = quote_token(src, i);
+                bump_lines!(&b[i..end]);
+                out.tokens.push(Token {
+                    kind: tok,
+                    line: start_line,
+                });
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric()
+                        || b[i] == b'_'
+                        || (b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit()))
+                {
+                    // `0..9` must stay `0` `..` `9`: only eat a dot when it
+                    // is followed by a digit AND the previous char was not
+                    // already a consumed dot (one fractional dot max).
+                    if b[i] == b'.' && src[start..i].contains('.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: Tok::Num(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                // Possible string prefixes first: r"", r#"", b"", br"",
+                // rb is not a thing; c"" / cr#""# exist since 1.77.
+                if let Some((content, end)) = raw_or_prefixed_string(src, i) {
+                    let start_line = line;
+                    bump_lines!(&b[i..end]);
+                    out.tokens.push(Token {
+                        kind: Tok::Str(content),
+                        line: start_line,
+                    });
+                    i = end;
+                    continue;
+                }
+                // Raw identifier r#type?
+                let start = if b[i] == b'r' && i + 1 < b.len() && b[i + 1] == b'#' {
+                    i += 2;
+                    i
+                } else {
+                    i
+                };
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Lex a cooked (possibly byte) string starting at the opening `"` at
+/// byte `i`. Returns (content-without-quotes, index past the closing
+/// quote). Escapes are skipped, not interpreted.
+fn cooked_string(src: &str, i: usize) -> (String, usize) {
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j = (j + 2).min(b.len()),
+            b'"' => return (src[i + 1..j].to_string(), j + 1),
+            _ => j += 1,
+        }
+    }
+    (src[i + 1..j].to_string(), j)
+}
+
+/// At a `'`: decide char literal vs lifetime/label and lex it.
+/// Returns the token and the index past it.
+fn quote_token(src: &str, i: usize) -> (Tok, usize) {
+    let b = src.as_bytes();
+    debug_assert_eq!(b[i], b'\'');
+    // Escaped char literal: '\x41', '\'', '\u{…}'. Skip the backslash
+    // and the character it escapes unconditionally (that covers '\'' and
+    // '\\'), then scan to the closing quote.
+    if i + 1 < b.len() && b[i + 1] == b'\\' {
+        let mut j = (i + 3).min(b.len());
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return (Tok::CharLit, (j + 1).min(b.len()));
+    }
+    // `'X'` where X is any single byte (or the lead of a multibyte char):
+    // find the char boundary after the first char and check for `'`.
+    let rest = &src[i + 1..];
+    if let Some(ch) = rest.chars().next() {
+        let after = i + 1 + ch.len_utf8();
+        if after < b.len() && b[after] == b'\'' {
+            // One char then a closing quote → char literal. (A lifetime
+            // followed by a char literal, `'a''b'`, cannot appear in
+            // valid Rust without intervening tokens.)
+            return (Tok::CharLit, after + 1);
+        }
+        if ch == '_' || ch.is_alphabetic() {
+            // Lifetime or label: consume identifier chars.
+            let mut j = i + 1;
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                j += 1;
+            }
+            return (Tok::Lifetime(src[i + 1..j].to_string()), j);
+        }
+    }
+    // Lone quote (invalid Rust); emit as punctuation to keep going.
+    (Tok::Punct('\''), i + 1)
+}
+
+/// If byte `i` starts a raw / prefixed string (`r"…"`, `r#"…"#`,
+/// `b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`), lex it and return
+/// (content, index past the end). Otherwise `None` (plain identifier).
+fn raw_or_prefixed_string(src: &str, i: usize) -> Option<(String, usize)> {
+    let b = src.as_bytes();
+    let mut j = i;
+    // Consume the prefix letters (at most two of b/r/c in valid combos).
+    let mut saw_r = false;
+    while j < b.len() && (b[j] == b'b' || b[j] == b'r' || b[j] == b'c') && j - i < 2 {
+        if b[j] == b'r' {
+            saw_r = true;
+        }
+        j += 1;
+    }
+    if j == i {
+        return None;
+    }
+    if saw_r {
+        // Count hash fence.
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= b.len() || b[j] != b'"' {
+            return None; // raw identifier (r#foo) or plain ident — not ours
+        }
+        let content_start = j + 1;
+        // Scan for `"` followed by exactly-or-more `hashes` hashes.
+        let mut k = content_start;
+        while k < b.len() {
+            if b[k] == b'"' {
+                let mut h = 0usize;
+                while k + 1 + h < b.len() && b[k + 1 + h] == b'#' && h < hashes {
+                    h += 1;
+                }
+                if h == hashes {
+                    return Some((src[content_start..k].to_string(), k + 1 + hashes));
+                }
+            }
+            k += 1;
+        }
+        Some((src[content_start..].to_string(), b.len()))
+    } else {
+        // b"…" / c"…": cooked string with a one-letter prefix.
+        if j < b.len() && b[j] == b'"' {
+            let (content, end) = cooked_string(src, j);
+            Some((content, end))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_code_like_text() {
+        let l = lex(r#"let s = "unsafe { thread::sleep } // not a comment";"#);
+        assert_eq!(idents(&l), ["let", "s"]);
+        assert!(l.comments.is_empty());
+        assert!(matches!(&l.tokens[3].kind, Tok::Str(s) if s.contains("unsafe")));
+    }
+
+    #[test]
+    fn comments_hide_code_like_text() {
+        let l = lex("// unsafe mul_add\n/* Ordering::SeqCst */\nfn f() {}");
+        assert_eq!(idents(&l), ["fn", "f"]);
+        assert_eq!(l.comments.len(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn g() {}");
+        assert_eq!(idents(&l), ["fn", "g"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+}

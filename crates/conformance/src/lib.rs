@@ -1,0 +1,88 @@
+//! `conformance` — the repo's invariants, checked as code.
+//!
+//! The reproduction's correctness story rests on a set of documented
+//! rules (ARCHITECTURE.md's bit-identity chain, the two sanctioned
+//! `unsafe` islands, the no-FMA rule, the dense 0..=9 wire-status table,
+//! README's tuning-knob registry, the offline vendored-deps rule). With
+//! six crates and a network edge, prose invariants no longer scale to
+//! reviewer memory — this crate turns each one into a named static check
+//! that runs on every PR:
+//!
+//! | id | invariant |
+//! |---|---|
+//! | `unsafe-islands` | `unsafe` only in `lp::simd`, `dnn::tensor::microkernel`, the `serve::pool` scope-transmute; crate roots carry `deny`/`forbid(unsafe_code)` |
+//! | `no-fma` | no `mul_add`/`fma` in `lp`/`dnn` (single rounding breaks bit-identity) |
+//! | `atomic-ordering-audit` | every `Ordering::*` use justified by an `// ordering:` comment |
+//! | `env-knob-registry` | env keys in code ⇔ README tuning table, both directions |
+//! | `wire-status-stability` | `serve::net` status codes dense 0..=9, matching ARCHITECTURE.md |
+//! | `no-sleep-in-library` | no `thread::sleep` outside `#[cfg(test)]`/benches/allowlist |
+//! | `vendored-deps-only` | every manifest dependency is a path/workspace dep |
+//!
+//! The tool is dependency-free and offline: instead of `syn` it carries
+//! a small comment/string/raw-string-aware lexer ([`lexer`]), so code
+//! inside strings and comments can never trip a check. Any finding can
+//! be waived at its site with `// conformance: allow(<check-id>)` on the
+//! same line or in the comment block directly above — waivers are
+//! counted in the report, never silent.
+//!
+//! Run it with `cargo run -p conformance --release`; it prints findings
+//! and writes the machine-readable `LINT_report.json` at the workspace
+//! root, exiting nonzero if anything survived suppression.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod lexer;
+pub mod report;
+pub mod workspace;
+
+use report::{CheckReport, Report};
+use std::io;
+use std::path::Path;
+use workspace::Workspace;
+
+/// Run every registered check over the workspace at `root`, applying
+/// inline suppressions, and return the full report.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let ws = Workspace::load(root)?;
+    let mut out = Vec::with_capacity(checks::REGISTRY.len());
+    for (id, description, f) in checks::REGISTRY {
+        let raw = f(&ws);
+        let needle = format!("conformance: allow({id})");
+        let mut findings = Vec::new();
+        let mut suppressed = 0usize;
+        for finding in raw {
+            if finding.line > 0 && is_suppressed(&ws, &finding.file, finding.line, &needle) {
+                suppressed += 1;
+            } else {
+                findings.push(finding);
+            }
+        }
+        out.push(CheckReport {
+            id,
+            description,
+            findings,
+            suppressed,
+        });
+    }
+    Ok(Report {
+        root: root.display().to_string(),
+        files_scanned: ws.files.len(),
+        manifests_scanned: ws.manifests.len(),
+        checks: out,
+    })
+}
+
+/// A finding is suppressed when the directive appears on the finding's
+/// line or in the comment run ending on the line directly above it.
+fn is_suppressed(ws: &Workspace, file: &str, line: u32, needle: &str) -> bool {
+    match ws.file(file) {
+        Some(f) => {
+            f.lex.comment_on_line_contains(line, needle)
+                || f.lex
+                    .comment_run_ending_at_contains(line.saturating_sub(1), needle)
+        }
+        None => false,
+    }
+}

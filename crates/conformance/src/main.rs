@@ -1,0 +1,105 @@
+//! The `conformance` binary: lint the workspace, print findings, write
+//! `LINT_report.json`, exit nonzero if anything fired.
+//!
+//! ```text
+//! conformance [--root <dir>] [--report <file>|--no-report] [--quiet]
+//! ```
+//!
+//! With no flags it finds the workspace root by walking up from the
+//! current directory (so `cargo run -p conformance --release` works from
+//! anywhere in the tree) and writes the report next to the root
+//! `Cargo.toml`, where CI uploads it as an artifact.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut write_report = true;
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--report" => report_path = args.next().map(PathBuf::from),
+            "--no-report" => write_report = false,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "conformance — invariants-as-code linter\n\n\
+                     USAGE: conformance [--root <dir>] [--report <file>|--no-report] [--quiet]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("conformance: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| conformance::workspace::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("conformance: no workspace root found (pass --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match conformance::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("conformance: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !quiet {
+        for c in &report.checks {
+            let badge = if c.findings.is_empty() { "ok " } else { "FAIL" };
+            println!(
+                "[{badge}] {:<24} findings: {:<3} suppressed: {}",
+                c.id,
+                c.findings.len(),
+                c.suppressed
+            );
+            for f in &c.findings {
+                if f.line > 0 {
+                    println!("       {}:{}: {}", f.file, f.line, f.message);
+                } else {
+                    println!("       {}: {}", f.file, f.message);
+                }
+            }
+        }
+        println!(
+            "conformance: {} files + {} manifests scanned, {} finding(s), {} suppressed",
+            report.files_scanned,
+            report.manifests_scanned,
+            report.findings_total(),
+            report.suppressed_total()
+        );
+    }
+
+    if write_report {
+        let path = report_path.unwrap_or_else(|| root.join("LINT_report.json"));
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("conformance: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            println!("conformance: report written to {}", path.display());
+        }
+    }
+
+    if report.findings_total() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,142 @@
+//! Findings, per-check reports, and the hand-rolled `LINT_report.json`
+//! writer (no serde — the tool is dependency-free by design).
+
+/// One violation of one check, anchored to a file (and usually a line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Root-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number; `0` for file-level findings (e.g. a missing
+    /// crate-root lint attribute).
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Convenience constructor.
+    pub fn new(file: impl Into<String>, line: u32, message: impl Into<String>) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// The outcome of running one named check over the workspace.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Stable check id (also the suppression key:
+    /// `conformance: allow(<id>)`).
+    pub id: &'static str,
+    /// One-line description of the invariant the check enforces.
+    pub description: &'static str,
+    /// Surviving (unsuppressed) findings.
+    pub findings: Vec<Finding>,
+    /// How many findings were silenced by an inline
+    /// `conformance: allow(...)` directive.
+    pub suppressed: usize,
+}
+
+/// The whole run: every check's report plus scan-size counters.
+#[derive(Debug)]
+pub struct Report {
+    /// Root the scan ran over (as given, for the JSON record).
+    pub root: String,
+    /// Number of first-party `.rs` files lexed.
+    pub files_scanned: usize,
+    /// Number of `Cargo.toml` manifests scanned.
+    pub manifests_scanned: usize,
+    /// Per-check outcomes, in registry order.
+    pub checks: Vec<CheckReport>,
+}
+
+impl Report {
+    /// Total surviving findings across all checks.
+    pub fn findings_total(&self) -> usize {
+        self.checks.iter().map(|c| c.findings.len()).sum()
+    }
+
+    /// Total suppressed findings across all checks.
+    pub fn suppressed_total(&self) -> usize {
+        self.checks.iter().map(|c| c.suppressed).sum()
+    }
+
+    /// Render the machine-readable report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"tool\": \"conformance\",\n");
+        s.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!(
+            "  \"manifests_scanned\": {},\n",
+            self.manifests_scanned
+        ));
+        s.push_str(&format!(
+            "  \"findings_total\": {},\n",
+            self.findings_total()
+        ));
+        s.push_str(&format!(
+            "  \"suppressed_total\": {},\n",
+            self.suppressed_total()
+        ));
+        s.push_str("  \"checks\": [\n");
+        for (i, c) in self.checks.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"id\": {},\n", json_str(c.id)));
+            s.push_str(&format!(
+                "      \"description\": {},\n",
+                json_str(c.description)
+            ));
+            s.push_str("      \"status\": \"run\",\n");
+            s.push_str(&format!("      \"suppressed\": {},\n", c.suppressed));
+            s.push_str(&format!(
+                "      \"findings_count\": {},\n",
+                c.findings.len()
+            ));
+            s.push_str("      \"findings\": [");
+            for (j, f) in c.findings.iter().enumerate() {
+                s.push_str("\n        {");
+                s.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+                s.push_str(&format!("\"line\": {}, ", f.line));
+                s.push_str(&format!("\"message\": {}", json_str(&f.message)));
+                s.push('}');
+                if j + 1 < c.findings.len() {
+                    s.push(',');
+                }
+            }
+            if !c.findings.is_empty() {
+                s.push_str("\n      ");
+            }
+            s.push_str("]\n");
+            s.push_str("    }");
+            if i + 1 < self.checks.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,127 @@
+//! Workspace discovery: find the root, walk the source tree, lex every
+//! first-party `.rs` file, and load the docs + manifests the checks read.
+//!
+//! What counts as "the workspace source" is deliberate:
+//!
+//! * `src/`, `tests/`, `examples/`, `benches/` at the root and under
+//!   every `crates/*` member — first-party code, fully checked;
+//! * `vendor/` is **excluded** from `.rs` scanning (those crates are
+//!   API stand-ins for third-party code, not ours to lint) but its
+//!   `Cargo.toml`s are still collected for the `vendored-deps-only`
+//!   manifest check;
+//! * any directory named `fixtures` is excluded — that is where the
+//!   conformance test suite keeps its seeded-violation files, which
+//!   must never count against the real tree;
+//! * `target/` and hidden directories are excluded.
+
+use crate::lexer::{self, Lexed};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lexed first-party source file.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// The lexed token/comment streams.
+    pub lex: Lexed,
+}
+
+/// Everything the checks need, loaded once.
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// Every first-party `.rs` file, lexed, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Every `Cargo.toml` (root, members, **and** vendor), as
+    /// `(relative path, content)`, sorted by path.
+    pub manifests: Vec<(String, String)>,
+    /// `README.md` content, if present.
+    pub readme: Option<String>,
+    /// `ARCHITECTURE.md` content, if present.
+    pub architecture: Option<String>,
+}
+
+impl Workspace {
+    /// Load the workspace rooted at `root`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        let mut manifests = Vec::new();
+        walk(root, root, &mut files, &mut manifests)?;
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        manifests.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            manifests,
+            readme: fs::read_to_string(root.join("README.md")).ok(),
+            architecture: fs::read_to_string(root.join("ARCHITECTURE.md")).ok(),
+        })
+    }
+
+    /// Find the lexed file with exactly this root-relative path.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+/// Directories never descended into.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == "fixtures" || name.starts_with('.')
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    files: &mut Vec<SourceFile>,
+    manifests: &mut Vec<(String, String)>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let rel = rel_path(root, &path);
+        let in_vendor = rel.starts_with("vendor/") || rel == "vendor";
+        if path.is_dir() {
+            if skip_dir(&name) {
+                continue;
+            }
+            walk(root, &path, files, manifests)?;
+        } else if name == "Cargo.toml" {
+            manifests.push((rel, fs::read_to_string(&path)?));
+        } else if name.ends_with(".rs") && !in_vendor {
+            let src = fs::read_to_string(&path)?;
+            files.push(SourceFile {
+                rel,
+                lex: lexer::lex(&src),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Walk upward from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]` — the root the binary lints when invoked from
+/// anywhere inside the tree.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

@@ -1,0 +1,29 @@
+//! Seeded violation: one atomic Ordering use with no justification.
+#![deny(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static N: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump_unjustified() -> usize {
+    N.fetch_add(1, Ordering::Relaxed) // seeded: a comment without the magic word
+}
+
+pub fn bump_justified() -> usize {
+    N.fetch_add(1, Ordering::Relaxed) // ordering: relaxed tally, fixture baseline
+}
+
+pub fn compare(a: u32, b: u32) -> std::cmp::Ordering {
+    // cmp::Ordering variants are out of scope for the audit.
+    a.cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert_eq!(N.load(Ordering::SeqCst), N.load(Ordering::SeqCst));
+    }
+}

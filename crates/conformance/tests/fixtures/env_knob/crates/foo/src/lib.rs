@@ -1,0 +1,9 @@
+//! Seeded violation: reads a knob the README table does not list.
+#![deny(unsafe_code)]
+
+pub fn knob() -> usize {
+    std::env::var("FIXTURE_UNDOCUMENTED_KNOB")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: a fused multiply-add in `lp` kernel code.
+#![deny(unsafe_code)]
+
+pub fn dot_step(a: f32, b: f32, acc: f32) -> f32 {
+    a.mul_add(b, acc)
+}

@@ -1,0 +1,17 @@
+//! Seeded violation: a blocking nap in library code. The same call in
+//! the #[cfg(test)] module below is exempt.
+#![deny(unsafe_code)]
+
+use std::time::Duration;
+
+pub fn nap() {
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_pace_themselves() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

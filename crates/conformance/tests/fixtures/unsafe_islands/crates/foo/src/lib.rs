@@ -1,0 +1,7 @@
+//! Seeded violations: an `unsafe` block outside every sanctioned island,
+//! in a crate whose root carries no deny/forbid(unsafe_code) attribute.
+
+pub fn poke() -> i8 {
+    let x = 200u8;
+    unsafe { std::mem::transmute::<u8, i8>(x) }
+}

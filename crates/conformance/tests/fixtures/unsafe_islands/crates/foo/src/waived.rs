@@ -1,0 +1,7 @@
+//! A waived site: the inline directive must move this finding from the
+//! findings list to the suppressed count, never silence it entirely.
+
+pub fn poke_waived() -> i8 {
+    let x = 200u8;
+    unsafe { std::mem::transmute::<u8, i8>(x) } // conformance: allow(unsafe-islands) — fixture waiver
+}

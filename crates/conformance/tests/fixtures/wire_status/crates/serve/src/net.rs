@@ -1,0 +1,7 @@
+//! Seeded violations: a gap in the discriminants, a table far short of
+//! the documented ten codes, and drift against ARCHITECTURE.md.
+
+pub enum Status {
+    Ok = 0,
+    Shed = 2,
+}

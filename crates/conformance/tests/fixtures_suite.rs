@@ -1,0 +1,126 @@
+//! Negative suite: every check must fire on its seeded-violation
+//! fixture tree under `tests/fixtures/`, proving the check is live.
+//! The workspace walker skips any directory named `fixtures`, so these
+//! trees never count against the real workspace — each test points the
+//! runner at one fixture as if it were a workspace root.
+
+use conformance::report::{CheckReport, Report};
+use std::path::PathBuf;
+
+fn run_fixture(name: &str) -> Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    conformance::run(&root).expect("fixture scan failed")
+}
+
+fn check<'a>(report: &'a Report, id: &str) -> &'a CheckReport {
+    report
+        .checks
+        .iter()
+        .find(|c| c.id == id)
+        .unwrap_or_else(|| panic!("check `{id}` missing from report"))
+}
+
+#[test]
+fn unsafe_islands_fires_and_counts_waivers() {
+    let r = run_fixture("unsafe_islands");
+    let c = check(&r, "unsafe-islands");
+    // One unsanctioned block + one crate root without the lint attr.
+    assert_eq!(c.findings.len(), 2, "{:?}", c.findings);
+    assert!(c
+        .findings
+        .iter()
+        .any(|f| f.file == "crates/foo/src/lib.rs" && f.line == 6));
+    assert!(c
+        .findings
+        .iter()
+        .any(|f| f.file == "crates/foo/src/lib.rs" && f.line == 0));
+    // The waived site is counted, not silenced.
+    assert_eq!(c.suppressed, 1);
+}
+
+#[test]
+fn no_fma_fires_in_kernel_code() {
+    let r = run_fixture("no_fma");
+    let c = check(&r, "no-fma");
+    assert_eq!(c.findings.len(), 1, "{:?}", c.findings);
+    assert_eq!(c.findings[0].file, "crates/lp/src/lib.rs");
+    assert_eq!(c.findings[0].line, 5);
+}
+
+#[test]
+fn atomic_ordering_audit_fires_only_on_unjustified_sites() {
+    let r = run_fixture("atomic_ordering");
+    let c = check(&r, "atomic-ordering-audit");
+    // The justified site, the cmp::Ordering use, and the #[cfg(test)]
+    // module must all stay quiet; only the seeded site fires.
+    assert_eq!(c.findings.len(), 1, "{:?}", c.findings);
+    assert_eq!(c.findings[0].file, "crates/foo/src/lib.rs");
+    assert_eq!(c.findings[0].line, 9);
+}
+
+#[test]
+fn env_knob_registry_fires_in_both_directions() {
+    let r = run_fixture("env_knob");
+    let c = check(&r, "env-knob-registry");
+    assert_eq!(c.findings.len(), 2, "{:?}", c.findings);
+    assert!(c
+        .findings
+        .iter()
+        .any(|f| f.file == "crates/foo/src/lib.rs"
+            && f.message.contains("FIXTURE_UNDOCUMENTED_KNOB")));
+    assert!(c
+        .findings
+        .iter()
+        .any(|f| f.file == "README.md" && f.message.contains("FIXTURE_GHOST_KNOB")));
+}
+
+#[test]
+fn wire_status_stability_fires_on_gaps_and_drift() {
+    let r = run_fixture("wire_status");
+    let c = check(&r, "wire-status-stability");
+    // Gap (Shed = 2 where 1 is expected), table size != 10, `Missing`
+    // documented but absent, `Shed` present but undocumented.
+    assert_eq!(c.findings.len(), 4, "{:?}", c.findings);
+    assert!(c.findings.iter().any(|f| f.message.contains("dense")));
+    assert!(c.findings.iter().any(|f| f.message.contains("Missing")));
+    assert!(c.findings.iter().any(|f| f.message.contains("`Shed`")));
+}
+
+#[test]
+fn no_sleep_in_library_fires_outside_test_modules() {
+    let r = run_fixture("no_sleep");
+    let c = check(&r, "no-sleep-in-library");
+    // The library nap fires; the identical call in #[cfg(test)] does not.
+    assert_eq!(c.findings.len(), 1, "{:?}", c.findings);
+    assert_eq!(c.findings[0].file, "crates/foo/src/lib.rs");
+    assert_eq!(c.findings[0].line, 8);
+}
+
+#[test]
+fn vendored_deps_only_fires_on_registry_deps() {
+    let r = run_fixture("vendored_deps");
+    let c = check(&r, "vendored-deps-only");
+    // `serde` inline and `tokio` as a sub-table; `lp` (path) and
+    // `proptest` (workspace) pass.
+    assert_eq!(c.findings.len(), 2, "{:?}", c.findings);
+    assert!(c.findings.iter().any(|f| f.message.contains("`serde`")));
+    assert!(c.findings.iter().any(|f| f.message.contains("`tokio`")));
+}
+
+#[test]
+fn report_json_lists_every_check_as_run() {
+    let r = run_fixture("no_sleep");
+    let json = r.to_json();
+    for (id, _, _) in conformance::checks::REGISTRY {
+        assert!(
+            json.contains(&format!("\"id\": \"{id}\"")),
+            "check `{id}` missing from JSON report"
+        );
+    }
+    assert_eq!(
+        json.matches("\"status\": \"run\"").count(),
+        conformance::checks::REGISTRY.len()
+    );
+}

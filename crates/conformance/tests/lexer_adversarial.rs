@@ -1,0 +1,142 @@
+//! Adversarial inputs for the hand-rolled lexer: constructs that fool a
+//! regex-grade scanner (raw-string fences, char-vs-lifetime quotes,
+//! comment markers inside literals) must not fool the token stream the
+//! checks pattern-match over.
+
+use conformance::lexer::{lex, Lexed, Tok};
+
+fn idents(l: &Lexed) -> Vec<&str> {
+    l.tokens
+        .iter()
+        .filter_map(|t| match &t.kind {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn strs(l: &Lexed) -> Vec<&str> {
+    l.tokens
+        .iter()
+        .filter_map(|t| match &t.kind {
+            Tok::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn raw_string_hash_fences_hide_code_and_lesser_fences() {
+    let l = lex(r####"let s = r##"mul_add "# thread::sleep"##; fn after() {}"####);
+    assert_eq!(idents(&l), ["let", "s", "fn", "after"]);
+    assert_eq!(strs(&l), [r##"mul_add "# thread::sleep"##]);
+}
+
+#[test]
+fn byte_and_raw_byte_strings_hide_code() {
+    let l = lex(r##"let a = b"mul_add"; let b = br#"Ordering::SeqCst"#;"##);
+    assert_eq!(idents(&l), ["let", "a", "let", "b"]);
+    assert_eq!(strs(&l).len(), 2);
+}
+
+#[test]
+fn chars_lifetimes_and_labels_disambiguate() {
+    let l = lex("fn f<'a>(x: &'a u8) -> char { 'x' } 'outer: loop { break 'outer; }");
+    let lifetimes: Vec<&str> = l
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.kind {
+            Tok::Lifetime(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(lifetimes, ["a", "a", "outer", "outer"]);
+    let chars = l
+        .tokens
+        .iter()
+        .filter(|t| matches!(t.kind, Tok::CharLit))
+        .count();
+    assert_eq!(chars, 1);
+}
+
+#[test]
+fn escaped_char_literals_do_not_derail() {
+    let l = lex(r"let q = '\''; let b = '\\'; let u = '\u{1F600}'; fn g() {}");
+    assert_eq!(idents(&l), ["let", "q", "let", "b", "let", "u", "fn", "g"]);
+    let chars = l
+        .tokens
+        .iter()
+        .filter(|t| matches!(t.kind, Tok::CharLit))
+        .count();
+    assert_eq!(chars, 3);
+}
+
+#[test]
+fn raw_identifiers_keep_their_name() {
+    let l = lex("fn take(r#type: u8) -> u8 { r#type }");
+    assert_eq!(idents(&l), ["fn", "take", "type", "u8", "u8", "type"]);
+}
+
+#[test]
+fn quote_inside_block_comment_stays_comment() {
+    let l = lex("/* a \" quote and a ' tick */ fn g() {}");
+    assert_eq!(idents(&l), ["fn", "g"]);
+    assert_eq!(l.comments.len(), 1);
+}
+
+#[test]
+fn multiline_strings_keep_line_numbers_honest() {
+    let l = lex("let s = \"a\nb\nc\";\nlet t = 1;");
+    // The string token carries its *starting* line; the tokens after it
+    // sit on the right lines despite the embedded newlines.
+    let s_tok = l
+        .tokens
+        .iter()
+        .find(|t| matches!(t.kind, Tok::Str(_)))
+        .unwrap();
+    assert_eq!(s_tok.line, 1);
+    let t_tok = l
+        .tokens
+        .iter()
+        .find(|t| matches!(&t.kind, Tok::Ident(s) if s == "t"))
+        .unwrap();
+    assert_eq!(t_tok.line, 4);
+}
+
+#[test]
+fn range_expressions_do_not_merge_into_floats() {
+    let l = lex("for i in 0..9 { let x = 1.5; let y = 1_000u64; let z = 0x1F; }");
+    let nums: Vec<&str> = l
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.kind {
+            Tok::Num(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(nums, ["0", "9", "1.5", "1_000u64", "0x1F"]);
+}
+
+#[test]
+fn comment_runs_chain_across_consecutive_lines_only() {
+    let src =
+        "// first line\n// ordering: the reason\nlet x = 1;\n\n// ordering: far away\n\nlet y = 2;";
+    let l = lex(src);
+    // The two-line run ends on line 2, directly above the statement.
+    assert!(l.comment_run_ending_at_contains(2, "ordering:"));
+    // The needle in the run's *first* line is found from the run's end.
+    assert!(l.comment_run_ending_at_contains(2, "first"));
+    // A blank line between comment and statement breaks adjacency.
+    assert!(!l.comment_run_ending_at_contains(6, "ordering:"));
+    // Trailing-comment lookup by line.
+    let trailer = lex("let n = 0; // ordering: tally");
+    assert!(trailer.comment_on_line_contains(1, "ordering:"));
+    assert!(!trailer.comment_on_line_contains(2, "ordering:"));
+}
+
+#[test]
+fn unterminated_constructs_never_panic() {
+    for src in ["\"never closed", "/* never closed", "r#\"never closed", "'"] {
+        let _ = lex(src);
+    }
+}

@@ -150,7 +150,7 @@ where
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed); // ordering: relaxed work-claim index; the scope join orders all writes
                 if i >= items.len() {
                     break;
                 }

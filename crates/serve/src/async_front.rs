@@ -100,7 +100,7 @@ impl<O> CqShared<O> {
     /// Dispatcher-side delivery: push the completion and wake any waiter.
     pub(crate) fn complete(&self, id: u64, r: Result<O, ServeError>) {
         self.done.lock().expect("cq poisoned").push_back((id, r));
-        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed); // ordering: relaxed observer gauge; waiters sync on the done mutex, not this counter
         self.ready.notify_all();
     }
 }
@@ -243,14 +243,17 @@ impl<I: Send + 'static, O: Send + 'static> AsyncClient<I, O> {
     fn submit_reg(&self, reg: &Arc<Registration<I, O>>, input: I) -> Result<Ticket, ServeError> {
         // Count before enqueuing so a completion racing in from the pool
         // can never underflow the in-flight counter.
-        self.cq.in_flight.fetch_add(1, Ordering::AcqRel);
+        // ordering: relaxed — the underflow guard is program order (count before enqueue);
+        // the gauge itself is observational (single_thread_drives_a_large_inflight_window
+        // and shutdown_fails_inflight_tickets_instead_of_hanging pin its bookkeeping).
+        self.cq.in_flight.fetch_add(1, Ordering::Relaxed);
         match self
             .inner
             .submit_to(reg, input, Completer::Queue(Arc::clone(&self.cq)))
         {
             Ok(id) => Ok(Ticket(id)),
             Err(e) => {
-                self.cq.in_flight.fetch_sub(1, Ordering::AcqRel);
+                self.cq.in_flight.fetch_sub(1, Ordering::Relaxed); // ordering: relaxed; same observer gauge
                 Err(e)
             }
         }
@@ -315,7 +318,7 @@ impl<I: Send + 'static, O: Send + 'static> AsyncClient<I, O> {
     /// Accepted submissions whose completion has not yet been delivered
     /// to the queue (being batched or executing).
     pub fn in_flight(&self) -> usize {
-        self.cq.in_flight.load(Ordering::Acquire)
+        self.cq.in_flight.load(Ordering::Relaxed) // ordering: relaxed observer read; momentary staleness is inherent to a gauge
     }
 
     /// Completions delivered but not yet popped by [`AsyncClient::poll`] /

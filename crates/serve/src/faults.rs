@@ -132,15 +132,15 @@ fn state() -> &'static State {
                 .unwrap_or(0)
         };
         st.infer_panic_every
-            .store(env_u64(INFER_PANIC_ENV), Ordering::Relaxed);
+            .store(env_u64(INFER_PANIC_ENV), Ordering::Relaxed); // ordering: independent plan slot; stale reads only shift the fault cadence
         st.infer_delay_ns
-            .store(env_u64(INFER_DELAY_US_ENV) * 1_000, Ordering::Relaxed);
+            .store(env_u64(INFER_DELAY_US_ENV) * 1_000, Ordering::Relaxed); // ordering: independent plan slot; stale reads only shift the fault cadence
         st.infer_delay_every
-            .store(env_u64(INFER_DELAY_EVERY_ENV), Ordering::Relaxed);
+            .store(env_u64(INFER_DELAY_EVERY_ENV), Ordering::Relaxed); // ordering: independent plan slot; stale reads only shift the fault cadence
         st.malform_every
-            .store(env_u64(MALFORM_ENV), Ordering::Relaxed);
+            .store(env_u64(MALFORM_ENV), Ordering::Relaxed); // ordering: independent plan slot; stale reads only shift the fault cadence
         st.worker_panic_every
-            .store(env_u64(WORKER_PANIC_ENV), Ordering::Relaxed);
+            .store(env_u64(WORKER_PANIC_ENV), Ordering::Relaxed); // ordering: independent plan slot; stale reads only shift the fault cadence
         st
     })
 }
@@ -161,13 +161,13 @@ fn flag() -> &'static AtomicBool {
 /// every hook is this one relaxed load and a branch.
 #[inline]
 pub fn enabled() -> bool {
-    flag().load(Ordering::Relaxed)
+    flag().load(Ordering::Relaxed) // ordering: advisory gate; a stale read only delays arm/disarm
 }
 
 /// Enables or disables fault injection at runtime, overriding the
 /// [`FAULTS_ENV`] startup value.
 pub fn set_enabled(on: bool) {
-    flag().store(on, Ordering::Relaxed);
+    flag().store(on, Ordering::Relaxed); // ordering: advisory gate; a stale read only delays arm/disarm
 }
 
 /// Installs a fault plan (replacing the previous one) and resets the
@@ -176,23 +176,23 @@ pub fn set_enabled(on: bool) {
 pub fn configure(plan: FaultPlan) {
     let st = state();
     st.infer_panic_every
-        .store(plan.infer_panic_every, Ordering::Relaxed);
+        .store(plan.infer_panic_every, Ordering::Relaxed); // ordering: independent plan slot; stale reads only shift the fault cadence
     st.infer_delay_ns.store(
         plan.infer_delay.as_nanos().min(u64::MAX as u128) as u64,
-        Ordering::Relaxed,
+        Ordering::Relaxed, // ordering: independent plan slot; stale reads only shift the fault cadence
     );
     st.infer_delay_every
-        .store(plan.infer_delay_every, Ordering::Relaxed);
+        .store(plan.infer_delay_every, Ordering::Relaxed); // ordering: independent plan slot; stale reads only shift the fault cadence
     st.malform_every
-        .store(plan.malform_every, Ordering::Relaxed);
+        .store(plan.malform_every, Ordering::Relaxed); // ordering: independent plan slot; stale reads only shift the fault cadence
     st.worker_panic_every
-        .store(plan.worker_panic_every, Ordering::Relaxed);
+        .store(plan.worker_panic_every, Ordering::Relaxed); // ordering: independent plan slot; stale reads only shift the fault cadence
     st.worker_delay_ns.store(
         plan.worker_delay.as_nanos().min(u64::MAX as u128) as u64,
-        Ordering::Relaxed,
+        Ordering::Relaxed, // ordering: independent plan slot; stale reads only shift the fault cadence
     );
     st.worker_delay_every
-        .store(plan.worker_delay_every, Ordering::Relaxed);
+        .store(plan.worker_delay_every, Ordering::Relaxed); // ordering: independent plan slot; stale reads only shift the fault cadence
     reset();
 }
 
@@ -209,7 +209,7 @@ pub fn reset() {
         &st.worker_panics,
         &st.worker_delays,
     ] {
-        c.store(0, Ordering::Relaxed);
+        c.store(0, Ordering::Relaxed); // ordering: relaxed counter reset; tallies are monotonic telemetry
     }
 }
 
@@ -217,6 +217,7 @@ pub fn reset() {
 pub fn stats() -> FaultStats {
     let st = state();
     FaultStats {
+        // ordering: relaxed counter reads — the snapshot is telemetry, not a sync point.
         infer_panics: st.infer_panics.load(Ordering::Relaxed),
         infer_delays: st.infer_delays.load(Ordering::Relaxed),
         malformed: st.malformed.load(Ordering::Relaxed),
@@ -245,13 +246,16 @@ pub(crate) fn infer_fault() {
 #[cold]
 fn infer_fault_enabled() {
     let st = state();
+    // ordering: relaxed cadence counters; RMW atomicity alone fixes the firing pattern.
     let hit = st.infer_hits.fetch_add(1, Ordering::Relaxed) + 1;
     if due(hit, st.infer_delay_every.load(Ordering::Relaxed)) {
         st.infer_delays.fetch_add(1, Ordering::Relaxed);
+        // conformance: allow(no-sleep-in-library) — the injected delay IS the fault
         std::thread::sleep(Duration::from_nanos(
-            st.infer_delay_ns.load(Ordering::Relaxed),
+            st.infer_delay_ns.load(Ordering::Relaxed), // ordering: plan slot read; staleness only shifts the delay length
         ));
     }
+    // ordering: relaxed cadence check and tally, as above.
     if due(hit, st.infer_panic_every.load(Ordering::Relaxed)) {
         st.infer_panics.fetch_add(1, Ordering::Relaxed);
         panic!("injected fault: panic before batch function (hit {hit})");
@@ -272,10 +276,11 @@ pub(crate) fn take_malform() -> bool {
 #[cold]
 fn take_malform_enabled() -> bool {
     let st = state();
+    // ordering: relaxed cadence counters; RMW atomicity alone fixes the firing pattern.
     let hit = st.malform_hits.fetch_add(1, Ordering::Relaxed) + 1;
     let fire = due(hit, st.malform_every.load(Ordering::Relaxed));
     if fire {
-        st.malformed.fetch_add(1, Ordering::Relaxed);
+        st.malformed.fetch_add(1, Ordering::Relaxed); // ordering: relaxed fired tally
     }
     fire
 }
@@ -294,11 +299,13 @@ pub(crate) fn worker_delay() {
 #[cold]
 fn worker_delay_enabled() {
     let st = state();
+    // ordering: relaxed cadence counters; RMW atomicity alone fixes the firing pattern.
     let hit = st.worker_hits.fetch_add(1, Ordering::Relaxed) + 1;
     if due(hit, st.worker_delay_every.load(Ordering::Relaxed)) {
         st.worker_delays.fetch_add(1, Ordering::Relaxed);
+        // conformance: allow(no-sleep-in-library) — the injected delay IS the fault
         std::thread::sleep(Duration::from_nanos(
-            st.worker_delay_ns.load(Ordering::Relaxed),
+            st.worker_delay_ns.load(Ordering::Relaxed), // ordering: plan slot read; staleness only shifts the delay length
         ));
     }
 }
@@ -321,6 +328,7 @@ fn worker_panic_enabled() {
     // Reuses the worker hit counter advanced by `worker_delay` (both
     // hooks bracket the same task), so delay and panic cadences count
     // the same sequence of tasks.
+    // ordering: relaxed cadence reads; the hooks bracket the same task on one thread.
     let hit = st.worker_hits.load(Ordering::Relaxed);
     if due(hit, st.worker_panic_every.load(Ordering::Relaxed)) {
         st.worker_panics.fetch_add(1, Ordering::Relaxed);

@@ -74,6 +74,7 @@
 //! [`test_support`] carries the cross-suite test scaffolding (the
 //! fault-harness arm/disarm guard).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod async_front;

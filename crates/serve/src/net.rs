@@ -766,6 +766,7 @@ impl NetServer {
     pub fn stats(&self) -> NetStatsSnapshot {
         let c = &self.counters;
         NetStatsSnapshot {
+            // ordering: relaxed counter reads — the snapshot is telemetry, not a sync point.
             connections_opened: c.connections_opened.load(Ordering::Relaxed),
             connections_closed: c.connections_closed.load(Ordering::Relaxed),
             frames_in: c.frames_in.load(Ordering::Relaxed),
@@ -831,7 +832,7 @@ impl NetServer {
     /// Stops accepting, flushes responses owed to accepted frames
     /// (grace-bounded), joins listener and reactors. Idempotent.
     pub fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::Release);
+        self.shutdown.store(true, Ordering::Release); // ordering: Release; pairs with the Acquire loads in the listener/reactor loops
         let handles = std::mem::take(&mut *self.threads.lock().expect("net threads poisoned"));
         for h in handles {
             let _ = h.join();
@@ -858,6 +859,7 @@ fn listener_loop(
     counters: Arc<NetCounters>,
 ) {
     let mut next = 0usize;
+    // ordering: Acquire; pairs with shutdown()'s Release store
     while !shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, peer)) => {
@@ -865,6 +867,7 @@ fn listener_loop(
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
+                // ordering: relaxed wire counter; totals only
                 counters.connections_opened.fetch_add(1, Ordering::Relaxed);
                 // Deal round-robin; a dead reactor (its rx dropped)
                 // means we are shutting down anyway.
@@ -872,12 +875,14 @@ fn listener_loop(
                     .send((stream, peer.to_string()))
                     .is_err()
                 {
+                    // ordering: relaxed wire counter; totals only
                     counters.connections_closed.fetch_add(1, Ordering::Relaxed);
                 }
                 next = next.wrapping_add(1);
             }
             // Nothing to accept (or a transient error): nap briefly so
             // the flag check stays responsive without spinning.
+            // conformance: allow(no-sleep-in-library): sanctioned accept-loop nap.
             Err(_) => std::thread::sleep(Duration::from_micros(500)),
         }
     }
@@ -929,7 +934,7 @@ impl Conn {
         };
         self.out.extend_from_slice(&frame.encode());
         self.frames_out += 1;
-        counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        counters.frames_out.fetch_add(1, Ordering::Relaxed); // ordering: relaxed wire counter; totals only
     }
 }
 
@@ -952,7 +957,7 @@ fn reactor_loop(
     let mut scratch = vec![0u8; 16 * 1024];
     let mut grace_deadline: Option<Instant> = None;
     loop {
-        let shutting = shutdown.load(Ordering::Acquire);
+        let shutting = shutdown.load(Ordering::Acquire); // ordering: Acquire; pairs with shutdown()'s Release store
         if shutting && grace_deadline.is_none() {
             grace_deadline = Some(Instant::now() + SHUTDOWN_GRACE);
         }
@@ -961,10 +966,10 @@ fn reactor_loop(
         // Adopt newly dealt connections.
         while let Ok((stream, peer)) = rx.try_recv() {
             if shutting {
-                counters.connections_closed.fetch_add(1, Ordering::Relaxed);
+                counters.connections_closed.fetch_add(1, Ordering::Relaxed); // ordering: relaxed wire counter; totals only
                 continue; // dropped: accepted in the race window
             }
-            let id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
+            let id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed); // ordering: relaxed id allocation; uniqueness needs only atomicity
             let conn = Conn {
                 id,
                 stream,
@@ -1000,10 +1005,10 @@ fn reactor_loop(
                     Ok(0) => conn.read_eof = true,
                     Ok(n) => {
                         budget = budget.saturating_sub(n);
-                        counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                        counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed); // ordering: relaxed wire counter; totals only
                         progressed = true;
                         if let Err(e) = conn.parser.feed(&scratch[..n]) {
-                            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            counters.protocol_errors.fetch_add(1, Ordering::Relaxed); // ordering: relaxed wire counter; totals only
                             conn.respond(
                                 0,
                                 Status::BadFrame,
@@ -1028,9 +1033,9 @@ fn reactor_loop(
                 match frame {
                     Frame::Request(req) => {
                         conn.frames_in += 1;
-                        counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                        counters.frames_in.fetch_add(1, Ordering::Relaxed); // ordering: relaxed wire counter; totals only
                         if conn.inflight >= per_conn_inflight {
-                            counters.inflight_rejections.fetch_add(1, Ordering::Relaxed);
+                            counters.inflight_rejections.fetch_add(1, Ordering::Relaxed); // ordering: relaxed wire counter; totals only
                             conn.respond(
                                 req.corr,
                                 Status::Rejected,
@@ -1058,7 +1063,7 @@ fn reactor_loop(
                     // A response frame sent *to* the server is a
                     // protocol violation like any other.
                     Frame::Response(_) => {
-                        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        counters.protocol_errors.fetch_add(1, Ordering::Relaxed); // ordering: relaxed wire counter; totals only
                         conn.respond(
                             0,
                             Status::BadFrame,
@@ -1097,7 +1102,7 @@ fn reactor_loop(
                         frames_out: conn.frames_out,
                     },
                 );
-                counters.connections_closed.fetch_add(1, Ordering::Relaxed);
+                counters.connections_closed.fetch_add(1, Ordering::Relaxed); // ordering: relaxed wire counter; totals only
             }
             !done
         });
@@ -1107,7 +1112,7 @@ fn reactor_loop(
             if (conns.is_empty() && pending.is_empty()) || expired {
                 // Late reap for anything the grace period abandoned.
                 for conn in &conns {
-                    counters.connections_closed.fetch_add(1, Ordering::Relaxed);
+                    counters.connections_closed.fetch_add(1, Ordering::Relaxed); // ordering: relaxed wire counter; totals only
                     let _ = conn;
                 }
                 return;
@@ -1165,7 +1170,7 @@ fn flush_conn(conn: &mut Conn, counters: &NetCounters) -> bool {
             }
             Ok(n) => {
                 conn.out_pos += n;
-                counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed); // ordering: relaxed wire counter; totals only
                 moved = true;
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,

@@ -219,7 +219,7 @@ impl RetryPolicy {
                     };
                     last = Some(e);
                     if attempt + 1 < attempts {
-                        std::thread::sleep(self.backoff(attempt, hint));
+                        std::thread::sleep(self.backoff(attempt, hint)); // conformance: allow(no-sleep-in-library) — the retry backoff is RetryPolicy's documented contract
                     }
                 }
             }

@@ -189,16 +189,16 @@ impl PoolInner {
     /// `steal_failures ≥ parks` invariant holds for every row.
     fn find_reserved_task(&self, i: usize) -> Option<(Task, bool)> {
         if let Some(t) = self.deques[i].lock().expect("deque poisoned").pop_back() {
-            self.counters[i].executed.fetch_add(1, Ordering::Relaxed);
+            self.counters[i].executed.fetch_add(1, Ordering::Relaxed); // ordering: relaxed tally; claims are serialized by the queue mutexes
             return Some((t, false));
         }
         if let Some(t) = self.high.lock().expect("high lane poisoned").pop_front() {
-            self.counters[i].executed.fetch_add(1, Ordering::Relaxed);
+            self.counters[i].executed.fetch_add(1, Ordering::Relaxed); // ordering: relaxed tally; claims are serialized by the queue mutexes
             return Some((t, false));
         }
         self.counters[i]
             .steal_failures
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // ordering: relaxed tally; claims are serialized by the queue mutexes
         None
     }
 
@@ -210,24 +210,24 @@ impl PoolInner {
     fn find_task(&self, own: Option<usize>) -> Option<(Task, bool)> {
         if let Some(i) = own {
             if let Some(t) = self.deques[i].lock().expect("deque poisoned").pop_back() {
-                self.counters[i].executed.fetch_add(1, Ordering::Relaxed);
+                self.counters[i].executed.fetch_add(1, Ordering::Relaxed); // ordering: relaxed tally; claims are serialized by the queue mutexes
                 return Some((t, false));
             }
         }
         if let Some(t) = self.high.lock().expect("high lane poisoned").pop_front() {
             self.counters_of(own)
                 .executed
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // ordering: relaxed tally; claims are serialized by the queue mutexes
             return Some((t, false));
         }
         if let Some(t) = self.injector.lock().expect("injector poisoned").pop_front() {
             self.counters_of(own)
                 .executed
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // ordering: relaxed tally; claims are serialized by the queue mutexes
             return Some((t, false));
         }
         let n = self.deques.len();
-        let start = self.steal_cursor.fetch_add(1, Ordering::Relaxed);
+        let start = self.steal_cursor.fetch_add(1, Ordering::Relaxed); // ordering: relaxed rotation hint; any starting victim is correct
         for k in 0..n {
             let victim = (start + k) % n;
             if own == Some(victim) {
@@ -239,6 +239,7 @@ impl PoolInner {
                 .pop_front()
             {
                 let row = self.counters_of(own);
+                // ordering: relaxed tallies; claims are serialized by the queue mutexes.
                 row.executed.fetch_add(1, Ordering::Relaxed);
                 row.stolen.fetch_add(1, Ordering::Relaxed);
                 return Some((t, true));
@@ -246,7 +247,7 @@ impl PoolInner {
         }
         self.counters_of(own)
             .steal_failures
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // ordering: relaxed tally; claims are serialized by the queue mutexes
         None
     }
 
@@ -354,6 +355,7 @@ impl PoolInner {
                 continue;
             }
             let guard = self.lot.lock().expect("lot poisoned");
+            // ordering: Acquire; pairs with PoolOwner::drop's Release store
             if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
@@ -371,9 +373,9 @@ impl PoolInner {
             if work {
                 continue;
             }
-            self.counters[index].parks.fetch_add(1, Ordering::Relaxed);
+            self.counters[index].parks.fetch_add(1, Ordering::Relaxed); // ordering: relaxed park/unpark tally; the lot mutex orders the waits
             drop(self.wake.wait(guard).expect("lot poisoned"));
-            self.counters[index].unparks.fetch_add(1, Ordering::Relaxed);
+            self.counters[index].unparks.fetch_add(1, Ordering::Relaxed); // ordering: relaxed park/unpark tally; the lot mutex orders the waits
         }
     }
 }
@@ -387,7 +389,7 @@ struct PoolOwner {
 
 impl Drop for PoolOwner {
     fn drop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.shutdown.store(true, Ordering::Release); // ordering: Release; pairs with the workers' Acquire check under the lot
         {
             let _g = self.inner.lot.lock().expect("lot poisoned");
             self.inner.wake.notify_all();
@@ -437,7 +439,7 @@ impl Pool {
         let threads = threads.clamp(1, MAX_THREADS);
         let reserved = reserved.min(threads - 1);
         let inner = Arc::new(PoolInner {
-            id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
+            id: POOL_IDS.fetch_add(1, Ordering::Relaxed), // ordering: relaxed id allocation; uniqueness needs only atomicity
             injector: Mutex::new(VecDeque::new()),
             high: Mutex::new(VecDeque::new()),
             reserved,
@@ -496,6 +498,7 @@ impl Pool {
     pub fn stats(&self) -> PoolStats {
         let inner = &self.owner.inner;
         let read = |c: &Counters| WorkerStats {
+            // ordering: relaxed counter reads — the snapshot is telemetry, not a sync point.
             executed: c.executed.load(Ordering::Relaxed),
             stolen: c.stolen.load(Ordering::Relaxed),
             steal_failures: c.steal_failures.load(Ordering::Relaxed),
@@ -584,7 +587,7 @@ impl Pool {
         let drain = |()| {
             let mut local: Vec<(usize, U)> = Vec::new();
             loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
+                let i = next.fetch_add(1, Ordering::Relaxed); // ordering: relaxed work-claim index; results merge under the collector mutex
                 if i >= n {
                     break;
                 }
@@ -713,8 +716,9 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         // carried by `f` is dead before the borrowed frame can be popped.
         // Both trait objects have identical (fat-pointer) layout; only the
         // lifetime parameter differs.
+        #[allow(unsafe_code)]
         let task: Task =
-            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) }; // conformance: allow(unsafe-islands) — the one sanctioned scope-transmute
         self.inner.push_task(task);
     }
 }

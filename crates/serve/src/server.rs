@@ -603,6 +603,7 @@ impl<I, O> Registration<I, O> {
     /// Whether the queue holds a due batch, and its scheduling facts if
     /// so. `force` (shutdown drain) makes any non-empty queue due.
     fn due_entry(&self, force: bool) -> Option<DueEntry> {
+        // ordering: Acquire; pairs with deregister's Release close
         if self.closed.load(Ordering::Acquire) {
             return None;
         }
@@ -697,9 +698,11 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         input: I,
         completer: Completer<O>,
     ) -> Result<u64, ServeError> {
+        // ordering: Acquire; pairs with shutdown()'s Release store
         if self.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
+        // ordering: Acquire; pairs with deregister's Release close
         if reg.closed.load(Ordering::Acquire) {
             return Err(ServeError::Deregistered {
                 model: reg.key.0.clone(),
@@ -714,7 +717,7 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         let cap = reg.admission.queue_cap;
         // The id is allocated before the admission gate so even a shed
         // submission has a correlation id on the trace timeline.
-        let id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+        let id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed); // ordering: relaxed id allocation; uniqueness needs only atomicity
         trace::record(id, reg.seq, TraceEvent::Submit);
         // Predictive admission (opt-in): before claiming a slot, forecast
         // the queue wait the request would see behind the current backlog
@@ -724,7 +727,7 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         // touches (and never has to release) an outstanding slot.
         if reg.predictive {
             if let Some(budget) = reg.deadline {
-                let depth = reg.outstanding.load(Ordering::Acquire);
+                let depth = reg.outstanding.load(Ordering::Acquire); // ordering: Acquire to see the freshest depth; the forecast is advisory either way
                 if let Some(ov) = crate::overload::assess(
                     reg.stats.service_rate(),
                     reg.batch_sizes.totals(),
@@ -752,6 +755,7 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         }
         if reg
             .outstanding
+            // ordering: AcqRel claim: seeing a freed slot also orders the delivery that freed it
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
                 (n < cap).then_some(n + 1)
             })
@@ -803,6 +807,7 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         // so it suffices to withdraw our own entry when a flag is set
         // now; if it is no longer queued it was drained (into a batch or
         // by the final sweep) and its completer will be fulfilled.
+        // ordering: the Acquire flag loads pair with the Release stores in shutdown()/deregister.
         let shutting_down = self.shutdown.load(Ordering::Acquire);
         if shutting_down || reg.closed.load(Ordering::Acquire) {
             let withdrawn = {
@@ -813,7 +818,7 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
                     .is_some()
             };
             if withdrawn {
-                reg.outstanding.fetch_sub(1, Ordering::AcqRel);
+                reg.outstanding.fetch_sub(1, Ordering::AcqRel); // ordering: AcqRel slot release; pairs with the admission gate's fetch_update
                 let reason = if shutting_down {
                     ShedReason::Shutdown
                 } else {
@@ -887,7 +892,7 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
                     }),
                 );
             }
-            reg.outstanding.fetch_sub(n_exp, Ordering::AcqRel);
+            reg.outstanding.fetch_sub(n_exp, Ordering::AcqRel); // ordering: AcqRel slot release; pairs with the admission gate's fetch_update
         }
         let Some(batch) = batch else {
             return (n_exp, None);
@@ -903,9 +908,9 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         let high_lane = reg.priority == 0;
         let high_gauge = high_lane && self.pool.reserved_threads() > 0;
         if high_gauge {
-            self.signal.inflight_high.fetch_add(1, Ordering::AcqRel);
+            self.signal.inflight_high.fetch_add(1, Ordering::Relaxed); // ordering: relaxed pacing gauge; signal.wake()'s tick mutex orders it for the scheduler
         } else {
-            self.signal.inflight.fetch_add(1, Ordering::AcqRel);
+            self.signal.inflight.fetch_add(1, Ordering::Relaxed); // ordering: relaxed pacing gauge; signal.wake()'s tick mutex orders it for the scheduler
         }
         let reg = Arc::clone(reg);
         let signal = Arc::clone(&self.signal);
@@ -974,11 +979,12 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
             }
             // Release the admission slots only after delivery, so the cap
             // is never momentarily exceeded.
+            // ordering: AcqRel; pairs with the admission gate's fetch_update.
             reg.outstanding.fetch_sub(fulfilled, Ordering::AcqRel);
             if high_gauge {
-                signal.inflight_high.fetch_sub(1, Ordering::AcqRel);
+                signal.inflight_high.fetch_sub(1, Ordering::Relaxed); // ordering: relaxed pacing gauge; signal.wake()'s tick mutex orders it for the scheduler
             } else {
-                signal.inflight.fetch_sub(1, Ordering::AcqRel);
+                signal.inflight.fetch_sub(1, Ordering::Relaxed); // ordering: relaxed pacing gauge; signal.wake()'s tick mutex orders it for the scheduler
             }
             signal.wake();
         };
@@ -1000,7 +1006,7 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
         let inflight_target = (ordinary_workers * INFLIGHT_BATCHES_PER_WORKER).max(1);
         let high_target = (reserved * INFLIGHT_BATCHES_PER_WORKER).max(1);
         loop {
-            let draining = self.shutdown.load(Ordering::Acquire);
+            let draining = self.shutdown.load(Ordering::Acquire); // ordering: Acquire; pairs with shutdown()'s Release store
             let mut regs: Vec<Arc<Registration<I, O>>> = self
                 .registry
                 .read()
@@ -1020,9 +1026,9 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
             // registration counts the rescan is nanoseconds against a
             // batch execution.
             loop {
-                let ord_full = self.signal.inflight.load(Ordering::Acquire) >= inflight_target;
+                let ord_full = self.signal.inflight.load(Ordering::Relaxed) >= inflight_target; // ordering: relaxed gauge read; staleness only mis-paces one tick
                 let high_full = reserved > 0
-                    && self.signal.inflight_high.load(Ordering::Acquire) >= high_target;
+                    && self.signal.inflight_high.load(Ordering::Relaxed) >= high_target; // ordering: relaxed gauge read; staleness only mis-paces one tick
                 if ord_full && (reserved == 0 || high_full) {
                     break;
                 }
@@ -1090,14 +1096,17 @@ impl<I: Send + 'static, O: Send + 'static> Inner<I, O> {
                     nearest = Some(nearest.map_or(left, |n| n.min(left)));
                 }
             }
-            let inflight_now = self.signal.inflight.load(Ordering::Acquire)
-                + self.signal.inflight_high.load(Ordering::Acquire);
+            // ordering: relaxed gauge reads — the dispatch task decrements before signal.wake(),
+            // whose tick mutex the loop takes below, so the drain re-check cannot miss the zero.
+            let inflight_now = self.signal.inflight.load(Ordering::Relaxed)
+                + self.signal.inflight_high.load(Ordering::Relaxed);
             if draining && !queued && inflight_now == 0 {
                 return;
             }
-            let at_capacity = self.signal.inflight.load(Ordering::Acquire) >= inflight_target
+            // ordering: relaxed gauge reads, as above.
+            let at_capacity = self.signal.inflight.load(Ordering::Relaxed) >= inflight_target
                 && (reserved == 0
-                    || self.signal.inflight_high.load(Ordering::Acquire) >= high_target);
+                    || self.signal.inflight_high.load(Ordering::Relaxed) >= high_target); // ordering: relaxed gauge read, as above
             let mut dirty = self.signal.tick.lock().expect("tick poisoned");
             if !*dirty {
                 // At the pacing target the max_wait timer is moot (no
@@ -1204,6 +1213,7 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
         spec: ScenarioSpec,
         infer: impl Fn(&[I]) -> Vec<O> + Send + Sync + 'static,
     ) -> Result<(), ServeError> {
+        // ordering: Acquire; pairs with shutdown()'s Release store
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
@@ -1220,6 +1230,7 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
                 scenario: spec.scenario,
             });
         }
+        // ordering: relaxed id allocation; uniqueness needs only atomicity
         let seq = NEXT_REG_SEQ.fetch_add(1, Ordering::Relaxed);
         // Label the registration's trace track up front (control-plane
         // rate), so enabling tracing later never yields unnamed tracks.
@@ -1274,6 +1285,7 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
         // enqueue and withdraws, so every request is either withdrawn by
         // its submitter, drained (and failed) here, or was already
         // dispatched — exactly one completion in every case.
+        // ordering: Release close; pairs with the Acquire re-checks in submit_to.
         reg.closed.store(true, Ordering::Release);
         let stranded: Vec<Pending<I, O>> = reg
             .queue
@@ -1298,7 +1310,7 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
             );
         }
         if !stranded.is_empty() {
-            reg.outstanding.fetch_sub(stranded.len(), Ordering::AcqRel);
+            reg.outstanding.fetch_sub(stranded.len(), Ordering::AcqRel); // ordering: AcqRel slot release; pairs with the admission gate's fetch_update
         }
         // The registration set changed under the scheduler; wake it so a
         // pass whose wakeup was already consumed re-plans against the
@@ -1698,7 +1710,7 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
     /// Stops accepting requests, flushes every queued request, waits for
     /// in-flight batches, and joins the scheduler.
     pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.shutdown.store(true, Ordering::Release); // ordering: Release; pairs with the Acquire loads in submit_to and the scheduler
         self.inner.wake_scheduler();
         if let Some(h) = self
             .scheduler
@@ -1737,7 +1749,7 @@ impl<I: Send + 'static, O: Send + 'static> Server<I, O> {
                 );
                 p.completer.fulfill(p.id, Err(ServeError::ShuttingDown));
             }
-            reg.outstanding.fetch_sub(stranded.len(), Ordering::AcqRel);
+            reg.outstanding.fetch_sub(stranded.len(), Ordering::AcqRel); // ordering: AcqRel slot release; pairs with the admission gate's fetch_update
         }
     }
 }

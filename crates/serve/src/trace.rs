@@ -196,14 +196,14 @@ fn flag() -> &'static AtomicBool {
 /// recording hook is this one relaxed load and a branch.
 #[inline]
 pub fn enabled() -> bool {
-    flag().load(Ordering::Relaxed)
+    flag().load(Ordering::Relaxed) // ordering: advisory gate; a stale read only delays enable/disable
 }
 
 /// Enables or disables tracing at runtime, overriding the [`TRACE_ENV`]
 /// startup value. The overhead benchmark uses this to measure traced vs
 /// untraced throughput in one process.
 pub fn set_enabled(on: bool) {
-    flag().store(on, Ordering::Relaxed);
+    flag().store(on, Ordering::Relaxed); // ordering: advisory gate; a stale read only delays enable/disable
 }
 
 /// Per-thread ring capacity in events: [`RING_CAP_ENV`] clamped to
